@@ -1,0 +1,12 @@
+package main
+
+import (
+	"repro/internal/ingest"
+	"repro/internal/tsdb"
+)
+
+// ingestParseJSON re-exports the /api/put JSON codec.
+func ingestParseJSON(body []byte) ([]tsdb.Point, error) { return ingest.ParseJSON(body) }
+
+// ingestParseLine re-exports the telnet line codec.
+func ingestParseLine(line string) (tsdb.Point, error) { return ingest.ParseLine(line) }

@@ -1,0 +1,186 @@
+// Command ingestd runs the ingestion frontend as an HTTP service: the
+// buffering reverse proxy over a simulated storage cluster, accepting
+// OpenTSDB-compatible writes.
+//
+//	ingestd -addr :4242 -nodes 4
+//
+// Endpoints (mirroring OpenTSDB's HTTP API):
+//
+//	POST /api/put        JSON point or array of points
+//	POST /api/put/line   telnet "put …" lines, one per row
+//	GET  /api/query      ?metric=&unit=&sensor=&from=&to=
+//	GET  /metrics        ingestion counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/hbase"
+	"repro/internal/proxy"
+	"repro/internal/tsdb"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":4242", "listen address")
+		nodes = flag.Int("nodes", 4, "storage nodes (region servers + TSDs)")
+		salt  = flag.Int("salt", -1, "salt buckets (-1: one per node, 0: disable)")
+	)
+	flag.Parse()
+	buckets := *salt
+	if buckets < 0 {
+		buckets = *nodes
+	}
+	cluster, err := hbase.NewCluster(hbase.Config{RegionServers: *nodes})
+	if err != nil {
+		log.Fatalf("ingestd: %v", err)
+	}
+	defer cluster.Stop()
+	deploy, err := tsdb.NewDeployment(cluster, *nodes, tsdb.TSDConfig{SaltBuckets: buckets})
+	if err != nil {
+		log.Fatalf("ingestd: %v", err)
+	}
+	if err := deploy.CreateTable(); err != nil {
+		log.Fatalf("ingestd: %v", err)
+	}
+	px, err := proxy.New(cluster.Network(), deploy.Addrs(), proxy.Config{})
+	if err != nil {
+		log.Fatalf("ingestd: %v", err)
+	}
+	defer px.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/put", handlePutJSON(px))
+	mux.HandleFunc("/api/put/line", handlePutLines(px))
+	mux.HandleFunc("/api/query", handleQuery(deploy.TSDs()[0]))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "accepted %d\ndelivered %d\ndropped %d\nretries %d\nqueue_depth %d\n",
+			px.Accepted.Value(), px.Delivered.Value(), px.Dropped.Value(), px.Retries.Value(), px.QueueDepth.Value())
+	})
+	log.Printf("ingestd: %d nodes, salt=%d, listening on %s", *nodes, buckets, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func handlePutJSON(px *proxy.Proxy) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		points, err := parseJSONBody(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := px.Submit(points); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func handlePutLines(px *proxy.Proxy) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		points, err := parseLinesBody(string(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := px.Submit(points); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func handleQuery(t *tsdb.TSD) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		metric := q.Get("metric")
+		if metric == "" {
+			metric = tsdb.MetricEnergy
+		}
+		from, _ := strconv.ParseInt(q.Get("from"), 10, 64)
+		to, err := strconv.ParseInt(q.Get("to"), 10, 64)
+		if err != nil {
+			http.Error(w, "to required", http.StatusBadRequest)
+			return
+		}
+		tags := map[string]string{}
+		if u := q.Get("unit"); u != "" {
+			tags["unit"] = u
+		}
+		if s := q.Get("sensor"); s != "" {
+			tags["sensor"] = s
+		}
+		series, err := t.Query(tsdb.Query{Metric: metric, Tags: tags, Start: from, End: to})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, renderSeries(series))
+	}
+}
+
+// parseJSONBody and parseLinesBody are thin indirections over the
+// ingest codecs (kept separate so the handlers stay testable).
+func parseJSONBody(body []byte) ([]tsdb.Point, error) { return ingestParseJSON(body) }
+
+func parseLinesBody(body string) ([]tsdb.Point, error) {
+	var points []tsdb.Point
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		p, err := ingestParseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+func renderSeries(series []tsdb.Series) string {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, s := range series {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"series":%q,"samples":[`, s.ID())
+		for j, sm := range s.Samples {
+			if j > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, `[%d,%g]`, sm.Timestamp, sm.Value)
+		}
+		b.WriteString("]}")
+	}
+	b.WriteString("]\n")
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/hbase"
+	"repro/internal/proxy"
+	"repro/internal/tsdb"
+)
+
+func testStack(t *testing.T) (*proxy.Proxy, *tsdb.TSD) {
+	t.Helper()
+	cluster, err := hbase.NewCluster(hbase.Config{RegionServers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Stop)
+	deploy, err := tsdb.NewDeployment(cluster, 1, tsdb.TSDConfig{SaltBuckets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := deploy.CreateTable(); err != nil {
+		t.Fatal(err)
+	}
+	px, err := proxy.New(cluster.Network(), deploy.Addrs(), proxy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(px.Close)
+	return px, deploy.TSDs()[0]
+}
+
+func TestPutJSONEndpoint(t *testing.T) {
+	px, tsd := testStack(t)
+	h := handlePutJSON(px)
+	body := `[{"metric":"energy","timestamp":11,"value":3.5,"tags":{"unit":"1","sensor":"2"}}]`
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("POST", "/api/put", strings.NewReader(body)))
+	if rec.Code != 204 {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+	}
+	px.Flush()
+	series, err := tsd.Query(tsdb.Query{Metric: "energy", Tags: tsdb.EnergyTags(1, 2), Start: 0, End: 100})
+	if err != nil || len(series) != 1 || series[0].Samples[0].Value != 3.5 {
+		t.Fatalf("stored = %+v, %v", series, err)
+	}
+	// Errors.
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/api/put", nil))
+	if rec.Code != 405 {
+		t.Fatalf("GET status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("POST", "/api/put", strings.NewReader("{bad")))
+	if rec.Code != 400 {
+		t.Fatalf("bad body status = %d", rec.Code)
+	}
+}
+
+func TestPutLinesEndpoint(t *testing.T) {
+	px, tsd := testStack(t)
+	h := handlePutLines(px)
+	body := "put energy 20 1.25 unit=4 sensor=5\n\nput energy 21 1.5 unit=4 sensor=5\n"
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("POST", "/api/put/line", strings.NewReader(body)))
+	if rec.Code != 204 {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+	}
+	px.Flush()
+	series, err := tsd.Query(tsdb.Query{Metric: "energy", Tags: tsdb.EnergyTags(4, 5), Start: 0, End: 100})
+	if err != nil || len(series) != 1 || len(series[0].Samples) != 2 {
+		t.Fatalf("stored = %+v, %v", series, err)
+	}
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("POST", "/api/put/line", strings.NewReader("bogus line\n")))
+	if rec.Code != 400 {
+		t.Fatalf("bad line status = %d", rec.Code)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	px, tsd := testStack(t)
+	_ = px
+	if err := tsd.Put([]tsdb.Point{tsdb.EnergyPoint(7, 8, 30, 9.75)}); err != nil {
+		t.Fatal(err)
+	}
+	h := handleQuery(tsd)
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/api/query?unit=7&sensor=8&from=0&to=100", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+	}
+	out := rec.Body.String()
+	if !strings.Contains(out, "energy{sensor=8,unit=7}") || !strings.Contains(out, "[30,9.75]") {
+		t.Fatalf("query body = %s", out)
+	}
+	// Missing 'to' is a client error.
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/api/query?unit=7", nil))
+	if rec.Code != 400 {
+		t.Fatalf("missing to status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces "Scalable Architecture for Anomaly
+// Detection and Visualization in Power Generating Assets" (Jain et
+// al., 2017) as a self-contained Go system.
+//
+// The public API lives in repro/sentinel; the substrates (simulated
+// HBase/OpenTSDB/ZooKeeper/HDFS cluster, dataflow engine, FDR
+// detector, visualization web app) live under repro/internal. This
+// root package carries the repository-level benchmark harness
+// (bench_test.go) and the experiment shape tests (experiments_test.go)
+// that regenerate every figure in the paper's evaluation; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results.
+package repro

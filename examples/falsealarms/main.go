@@ -1,0 +1,65 @@
+// Falsealarms: the §IV story in one run — why per-sensor testing
+// drowns operators in false alarms as fleets grow, and how the False
+// Discovery Rate procedure fixes it without Bonferroni's power loss.
+//
+//	go run ./examples/falsealarms
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/fdr"
+	"repro/internal/stats"
+)
+
+func main() {
+	const (
+		alpha  = 0.05
+		trials = 1000
+		shift  = 4.0 // injected fault magnitude in σ
+	)
+	rng := rand.New(rand.NewSource(2024))
+
+	fmt.Println("The paper's §IV example: α=0.05 per sensor.")
+	fmt.Println("P(at least one false alarm) = 1-(1-α)^m for m healthy sensors:")
+	for _, m := range []int{1, 10, 100, 1000} {
+		fmt.Printf("  m=%4d  closed form %6.1f%%\n", m, 100*stats.FWER(alpha, m))
+	}
+
+	fmt.Println("\nMonte-Carlo with 10% faulty sensors (4σ shift), 1000 trials:")
+	fmt.Printf("%-8s %-22s %10s %10s %10s\n", "sensors", "procedure", "FWER", "FDR", "power")
+	for _, m := range []int{10, 100, 1000} {
+		m1 := m / 10
+		truth := make([]bool, m)
+		for i := 0; i < m1; i++ {
+			truth[i] = true
+		}
+		for _, proc := range []fdr.Procedure{fdr.Uncorrected, fdr.Bonferroni, fdr.BH} {
+			var met fdr.Metrics
+			for trial := 0; trial < trials; trial++ {
+				pvals := make([]float64, m)
+				for i := range pvals {
+					mu := 0.0
+					if truth[i] {
+						mu = shift
+					}
+					pvals[i] = stats.ZTestPoint(rng.NormFloat64()+mu, 0, 1, stats.TwoSided).PValue
+				}
+				res, err := fdr.Apply(proc, pvals, alpha)
+				if err != nil {
+					log.Fatal(err)
+				}
+				met.Add(fdr.Score(res.Rejected, truth))
+			}
+			fmt.Printf("%-8d %-22s %9.1f%% %9.1f%% %9.1f%%\n",
+				m, proc, 100*met.FWER(), 100*met.FDR(), 100*met.Power())
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading: uncorrected FWER explodes with m (40% at m=10, ≈100% beyond);")
+	fmt.Println("Bonferroni suppresses false alarms but sacrifices power at large m;")
+	fmt.Println("Benjamini–Hochberg keeps FDR ≤ q while retaining nearly full power —")
+	fmt.Println("which is why the paper chose it for fleet-scale condition monitoring.")
+}

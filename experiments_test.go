@@ -1,0 +1,295 @@
+package repro
+
+// Experiment shape tests: fast, assertion-bearing versions of the
+// benchmark harness. Each test pins the qualitative claim the paper
+// makes — who wins, by roughly what factor, where behaviour changes —
+// with thresholds loose enough to pass on any machine.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hbase"
+	"repro/internal/ingest"
+	"repro/internal/proxy"
+	"repro/internal/simdata"
+	"repro/internal/tsdb"
+)
+
+// scaledRate keeps the shape tests fast: per-node ceiling of 40k
+// samples/s (3× paper) so a 3-node measurement finishes in well under
+// a second.
+const scaledRate = 40000.0
+
+func bootRig(t *testing.T, nodes int, perNodeRate float64, saltBuckets int) (*hbase.Cluster, *tsdb.Deployment, *proxy.Proxy) {
+	t.Helper()
+	cluster, err := hbase.NewCluster(hbase.Config{
+		RegionServers:    nodes,
+		ServiceRatePerRS: perNodeRate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Stop)
+	deploy, err := tsdb.NewDeployment(cluster, nodes, tsdb.TSDConfig{SaltBuckets: saltBuckets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := deploy.CreateTable(); err != nil {
+		t.Fatal(err)
+	}
+	px, err := proxy.New(cluster.Network(), deploy.Addrs(), proxy.Config{MaxInFlight: 2 * nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(px.Close)
+	return cluster, deploy, px
+}
+
+// measureDelivery pushes load for the window and returns delivered
+// samples/second.
+func measureDelivery(t *testing.T, px *proxy.Proxy, fleet *simdata.Fleet, window time.Duration) float64 {
+	t.Helper()
+	driver := ingest.NewDriver(fleet, px, ingest.DriverConfig{BatchSize: 500, Senders: 8})
+	start := time.Now()
+	for step := int64(0); time.Since(start) < window; step++ {
+		if _, err := driver.Run(step, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	px.Flush()
+	return float64(px.Delivered.Value()) / time.Since(start).Seconds()
+}
+
+// TestExperimentE1LinearScaleUp pins Figure 2 (left): doubling the
+// node count roughly doubles delivered throughput when keys are
+// salted and the proxy is in place.
+func TestExperimentE1LinearScaleUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement")
+	}
+	fleet := simdata.NewFleet(simdata.Config{Units: 10, SensorsPerUnit: 100, Seed: 42})
+	rates := map[int]float64{}
+	for _, nodes := range []int{2, 4} {
+		_, _, px := bootRig(t, nodes, scaledRate, nodes)
+		rates[nodes] = measureDelivery(t, px, fleet, 700*time.Millisecond)
+	}
+	ratio := rates[4] / rates[2]
+	if ratio < 1.6 || ratio > 2.6 {
+		t.Fatalf("4-node/2-node throughput ratio = %.2f (rates: %v), want ≈2 (linear scale-up)", ratio, rates)
+	}
+	// Each configuration must run near its emulated aggregate ceiling.
+	for nodes, rate := range rates {
+		ceiling := scaledRate * float64(nodes)
+		if rate < 0.7*ceiling || rate > 1.3*ceiling {
+			t.Fatalf("%d nodes delivered %.0f samples/s, want ≈%.0f", nodes, rate, ceiling)
+		}
+	}
+}
+
+// TestExperimentE2StableRate pins Figure 2 (right): the cumulative
+// delivery curve is linear in time (R² ≈ 1).
+func TestExperimentE2StableRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rate series measurement")
+	}
+	fleet := simdata.NewFleet(simdata.Config{Units: 10, SensorsPerUnit: 100, Seed: 42})
+	_, _, px := bootRig(t, 3, scaledRate, 3)
+	stop := make(chan struct{})
+	go func() {
+		driver := ingest.NewDriver(fleet, px, ingest.DriverConfig{BatchSize: 500, Senders: 8})
+		for step := int64(0); ; step++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := driver.Run(step, 1); err != nil {
+				return
+			}
+		}
+	}()
+	defer close(stop)
+	var xs, ys []float64
+	start := time.Now()
+	for i := 0; i < 12; i++ {
+		time.Sleep(60 * time.Millisecond)
+		xs = append(xs, time.Since(start).Seconds())
+		ys = append(ys, float64(px.Delivered.Value()))
+	}
+	_, slope, r2 := linearFit(xs, ys)
+	if r2 < 0.99 {
+		t.Fatalf("cumulative curve R² = %.4f, want ≥ 0.99 (unstable rate)", r2)
+	}
+	if slope <= 0 {
+		t.Fatalf("slope = %v, want positive", slope)
+	}
+}
+
+// TestExperimentE3SaltingFixesHotspot pins the §III-B key finding:
+// without salting one RegionServer takes ~100% of writes and
+// throughput is pinned near a single node's ceiling; salting spreads
+// load and multiplies throughput.
+func TestExperimentE3SaltingFixesHotspot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement")
+	}
+	const nodes = 4
+	fleet := simdata.NewFleet(simdata.Config{Units: 10, SensorsPerUnit: 100, Seed: 42})
+
+	clusterU, _, pxU := bootRig(t, nodes, scaledRate, 0) // unsalted
+	unsalted := measureDelivery(t, pxU, fleet, 600*time.Millisecond)
+	maxShareU := 0.0
+	for _, s := range clusterU.WriteShares() {
+		if s > maxShareU {
+			maxShareU = s
+		}
+	}
+
+	clusterS, _, pxS := bootRig(t, nodes, scaledRate, nodes) // salted
+	salted := measureDelivery(t, pxS, fleet, 600*time.Millisecond)
+	maxShareS := 0.0
+	for _, s := range clusterS.WriteShares() {
+		if s > maxShareS {
+			maxShareS = s
+		}
+	}
+
+	if maxShareU < 0.95 {
+		t.Fatalf("unsalted hottest-node share = %.2f, want ≈1 (hotspot)", maxShareU)
+	}
+	if maxShareS > 2.5/float64(nodes) {
+		t.Fatalf("salted hottest-node share = %.2f, want ≈1/%d", maxShareS, nodes)
+	}
+	if salted < 2*unsalted {
+		t.Fatalf("salted %.0f vs unsalted %.0f samples/s: salting must give a dramatic increase", salted, unsalted)
+	}
+}
+
+// TestExperimentE4ProxyPreventsCrashes pins the second §III-B finding:
+// unbounded producers crash RegionServers via RPC-queue overflow; the
+// buffering proxy prevents every crash.
+func TestExperimentE4ProxyPreventsCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload measurement")
+	}
+	const nodes = 3
+	run := func(buffered bool) (crashed int) {
+		cluster, err := hbase.NewCluster(hbase.Config{
+			RegionServers:    nodes,
+			ServiceRatePerRS: 5000, // slow nodes back the queues up fast
+			RSQueueCap:       8,
+			CrashOnOverflow:  32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Stop()
+		deploy, err := tsdb.NewDeployment(cluster, nodes, tsdb.TSDConfig{
+			SaltBuckets: nodes, Workers: 64, QueueCap: 256, FailFast: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := deploy.CreateTable(); err != nil {
+			t.Fatal(err)
+		}
+		// 48 units so all 48 producer goroutines have work at once — the
+		// unbounded-concurrency condition that overloads the RPC queues.
+		fleet := simdata.NewFleet(simdata.Config{Units: 48, SensorsPerUnit: 100, Seed: 42})
+		if buffered {
+			px, err := proxy.New(cluster.Network(), deploy.Addrs(), proxy.Config{MaxInFlight: nodes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			driver := ingest.NewDriver(fleet, px, ingest.DriverConfig{BatchSize: 500, Senders: 48})
+			deadline := time.Now().Add(900 * time.Millisecond)
+			for step := int64(0); time.Now().Before(deadline); step++ {
+				_, _ = driver.Run(step, 1)
+			}
+			px.Flush()
+			px.Close()
+		} else {
+			var rr uint64
+			addrs := deploy.Addrs()
+			sink := ingest.SinkFunc(func(pts []tsdb.Point) error {
+				addr := addrs[int(rr)%len(addrs)]
+				rr++
+				_, err := cluster.Network().Call(addr, "put", &tsdb.PutBatch{Points: pts})
+				return err
+			})
+			driver := ingest.NewDriver(fleet, sink, ingest.DriverConfig{BatchSize: 100, Senders: 48})
+			// Keep the pressure on until the failure mode manifests (or a
+			// generous deadline passes — the point is that it *does*).
+			deadline := time.Now().Add(8 * time.Second)
+			for step := int64(0); time.Now().Before(deadline); step++ {
+				_, _ = driver.Run(step, 1)
+				anyCrashed := false
+				for _, rs := range cluster.RegionServers() {
+					if rs.Crashed() {
+						anyCrashed = true
+						break
+					}
+				}
+				if anyCrashed {
+					break
+				}
+			}
+		}
+		for _, rs := range cluster.RegionServers() {
+			if rs.Crashed() {
+				crashed++
+			}
+		}
+		return crashed
+	}
+	if crashed := run(false); crashed == 0 {
+		t.Fatal("unbuffered overload crashed no RegionServers; the §III-B failure mode is not reproduced")
+	}
+	if crashed := run(true); crashed != 0 {
+		t.Fatalf("buffered pipeline crashed %d RegionServers; the proxy must prevent crashes", crashed)
+	}
+}
+
+// TestExperimentRowCompactionRPCCost pins the remaining §III-B
+// finding: row compaction multiplies RPC calls per sample, which is
+// why the paper disabled it.
+func TestExperimentRowCompactionRPCCost(t *testing.T) {
+	callsPerSample := func(enabled bool) float64 {
+		cluster, err := hbase.NewCluster(hbase.Config{RegionServers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Stop()
+		deploy, err := tsdb.NewDeployment(cluster, 1, tsdb.TSDConfig{SaltBuckets: 2, CompactionEnabled: enabled})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := deploy.CreateTable(); err != nil {
+			t.Fatal(err)
+		}
+		tsd := deploy.TSDs()[0]
+		fleet := simdata.NewFleet(simdata.Config{Units: 3, SensorsPerUnit: 20, Seed: 42})
+		var pts []tsdb.Point
+		for ts := int64(0); ts < 30; ts++ {
+			for u := 0; u < 3; u++ {
+				for s := 0; s < 20; s++ {
+					pts = append(pts, tsdb.EnergyPoint(u, s, ts, fleet.Value(u, s, ts)))
+				}
+			}
+		}
+		before := cluster.Network().Calls.Value()
+		if err := tsd.Put(pts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tsd.CompactRows(1 << 40); err != nil {
+			t.Fatal(err)
+		}
+		return float64(cluster.Network().Calls.Value()-before) / float64(len(pts))
+	}
+	off := callsPerSample(false)
+	on := callsPerSample(true)
+	if on < 2*off {
+		t.Fatalf("compaction RPC cost %.3f vs %.3f calls/sample: expected ≥2× amplification", on, off)
+	}
+}

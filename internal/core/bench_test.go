@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/fdr"
+)
+
+func BenchmarkEvaluateBatch(b *testing.B) {
+	eng := dataflow.NewEngine(0)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(1))
+	for _, sensors := range []int{100, 1000} {
+		mean := constVec(sensors, 10)
+		sigma := constVec(sensors, 2)
+		tr := NewTrainer(eng, TrainerConfig{})
+		m, err := tr.TrainUnit(0, gaussianWindow(rng, 512, sensors, mean, sigma))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev, err := NewEvaluator(m, EvaluatorConfig{Procedure: fdr.BH})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const batch = 64
+		xs := gaussianWindow(rng, batch, sensors, mean, sigma)
+		ts := make([]int64, batch)
+		b.Run(fmt.Sprintf("sensors=%d", sensors), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.EvaluateBatch(xs, ts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch*sensors)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
+func BenchmarkTrainUnit(b *testing.B) {
+	eng := dataflow.NewEngine(0)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(2))
+	for _, sensors := range []int{100, 500} {
+		window := gaussianWindow(rng, 512, sensors, constVec(sensors, 0), constVec(sensors, 1))
+		tr := NewTrainer(eng, TrainerConfig{})
+		b.Run(fmt.Sprintf("sensors=%d", sensors), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.TrainUnit(0, window); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStreamingObserve(b *testing.B) {
+	const sensors = 200
+	st, err := NewStreamingTrainer(0, sensors, TrainerConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	row := make([]float64, sensors)
+	for j := range row {
+		row[j] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Observe(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sensors)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// StreamingTrainer implements the paper's stated ongoing work —
+// "migrating our anomaly detection implementation to Spark Streaming
+// for online training" — as an incremental estimator: observations
+// arrive one micro-batch at a time and the per-unit model (mean,
+// variance, covariance eigenstructure) is maintained with Welford's
+// algorithm instead of a full batch recomputation.
+//
+// The co-moment update is the exact streaming form of the batch
+// covariance, so after N observations Snapshot returns the same model
+// TrainUnit would have produced from those N rows (up to floating-
+// point reassociation). Snapshot is O(d³) for the eigendecomposition,
+// so callers refresh models periodically (e.g. every few hundred
+// observations), while Observe is O(d²) per row.
+type StreamingTrainer struct {
+	unit    int
+	sensors int
+	cfg     TrainerConfig
+
+	mu   sync.Mutex
+	n    int
+	mean []float64
+	// comoment accumulates Σ (x-μ)(x-μ)ᵀ; dividing by n-1 yields the
+	// unbiased sample covariance.
+	comoment *linalg.Matrix
+}
+
+// NewStreamingTrainer prepares an incremental trainer for one unit.
+func NewStreamingTrainer(unit, sensors int, cfg TrainerConfig) (*StreamingTrainer, error) {
+	if sensors <= 0 {
+		return nil, fmt.Errorf("core: streaming trainer needs sensors > 0")
+	}
+	cfg.Partitions = 1
+	cfg = cfg.withDefaults(nil)
+	return &StreamingTrainer{
+		unit:     unit,
+		sensors:  sensors,
+		cfg:      cfg,
+		mean:     make([]float64, sensors),
+		comoment: linalg.NewMatrix(sensors, sensors),
+	}, nil
+}
+
+// Observations returns how many rows have been absorbed.
+func (st *StreamingTrainer) Observations() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.n
+}
+
+// Observe folds one observation vector into the running moments
+// (Welford's update generalized to the co-moment matrix).
+func (st *StreamingTrainer) Observe(x []float64) error {
+	if len(x) != st.sensors {
+		return fmt.Errorf("core: observation has %d sensors, want %d", len(x), st.sensors)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.n++
+	d := st.sensors
+	// delta = x - mean_{n-1}; mean_n = mean_{n-1} + delta/n;
+	// M2 += delta ⊗ (x - mean_n).
+	delta := make([]float64, d)
+	for j, v := range x {
+		delta[j] = v - st.mean[j]
+	}
+	inv := 1 / float64(st.n)
+	for j := range st.mean {
+		st.mean[j] += delta[j] * inv
+	}
+	for i := 0; i < d; i++ {
+		di := delta[i]
+		if di == 0 {
+			continue
+		}
+		row := st.comoment.Row(i)
+		for j := 0; j < d; j++ {
+			row[j] += di * (x[j] - st.mean[j])
+		}
+	}
+	return nil
+}
+
+// ObserveBatch folds a micro-batch of observations (the DStream
+// analogue: one RDD per streaming interval).
+func (st *StreamingTrainer) ObserveBatch(xs [][]float64) error {
+	for _, x := range xs {
+		if err := st.Observe(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot materializes the current model: covariance from the running
+// co-moment, eigendecomposition, energy-based subspace selection —
+// identical post-processing to the batch trainer.
+func (st *StreamingTrainer) Snapshot() (*Model, error) {
+	st.mu.Lock()
+	if st.n < 2 {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("core: streaming trainer for unit %d has %d observations, need ≥2", st.unit, st.n)
+	}
+	d := st.sensors
+	cov := st.comoment.Scale(1 / float64(st.n-1))
+	mean := append([]float64(nil), st.mean...)
+	n := st.n
+	st.mu.Unlock()
+
+	// Clean tiny asymmetries from the streaming accumulation order.
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			v := (cov.At(i, j) + cov.At(j, i)) / 2
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	eig, vecs, err := linalg.EigenSym(cov)
+	if err != nil {
+		return nil, fmt.Errorf("core: streaming snapshot unit %d: %w", st.unit, err)
+	}
+	for i, l := range eig {
+		if l < 0 {
+			eig[i] = 0
+		}
+	}
+	total := 0.0
+	for _, l := range eig {
+		total += l
+	}
+	k := 1
+	if total > 0 {
+		cum := 0.0
+		for i, l := range eig {
+			cum += l
+			if cum/total >= st.cfg.EnergyFraction {
+				k = i + 1
+				break
+			}
+			k = i + 1
+		}
+	}
+	if k > st.cfg.MaxComponents {
+		k = st.cfg.MaxComponents
+	}
+	if k > d {
+		k = d
+	}
+	sigma := make([]float64, d)
+	for i := 0; i < d; i++ {
+		v := cov.At(i, i)
+		if v < st.cfg.MinSigma*st.cfg.MinSigma {
+			v = st.cfg.MinSigma * st.cfg.MinSigma
+		}
+		sigma[i] = math.Sqrt(v)
+	}
+	m := &Model{
+		Unit:        st.unit,
+		Sensors:     d,
+		TrainedRows: n,
+		Mean:        mean,
+		Sigma:       sigma,
+		Eigenvalues: eig[:k:k],
+		Components:  topColumns(vecs, k),
+		K:           k,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Merge folds another trainer's moments into this one (parallel
+// streams over disjoint data — Chan et al.'s pairwise combination).
+// Both must cover the same unit shape.
+func (st *StreamingTrainer) Merge(other *StreamingTrainer) error {
+	if other.sensors != st.sensors {
+		return fmt.Errorf("core: merge shape mismatch %d vs %d", other.sensors, st.sensors)
+	}
+	other.mu.Lock()
+	nB := other.n
+	meanB := append([]float64(nil), other.mean...)
+	m2B := other.comoment.Clone()
+	other.mu.Unlock()
+	if nB == 0 {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	nA := st.n
+	if nA == 0 {
+		st.n = nB
+		copy(st.mean, meanB)
+		copy(st.comoment.Data, m2B.Data)
+		return nil
+	}
+	nAB := nA + nB
+	d := st.sensors
+	delta := make([]float64, d)
+	for j := range delta {
+		delta[j] = meanB[j] - st.mean[j]
+	}
+	fA, fB := float64(nA), float64(nB)
+	for j := range st.mean {
+		st.mean[j] += delta[j] * fB / float64(nAB)
+	}
+	scale := fA * fB / float64(nAB)
+	for i := 0; i < d; i++ {
+		rowA := st.comoment.Row(i)
+		rowB := m2B.Row(i)
+		di := delta[i]
+		for j := 0; j < d; j++ {
+			rowA[j] += rowB[j] + scale*di*delta[j]
+		}
+	}
+	st.n = nAB
+	return nil
+}

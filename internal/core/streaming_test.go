@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fdr"
+)
+
+func TestStreamingTrainerMatchesBatch(t *testing.T) {
+	eng := newEngine(t)
+	rng := rand.New(rand.NewSource(61))
+	const sensors, rows = 15, 800
+	mean := make([]float64, sensors)
+	sigma := make([]float64, sensors)
+	for j := range mean {
+		mean[j] = float64(j) * 5
+		sigma[j] = 1 + float64(j%4)
+	}
+	window := gaussianWindow(rng, rows, sensors, mean, sigma)
+
+	batchTrainer := NewTrainer(eng, TrainerConfig{})
+	batch, err := batchTrainer.TrainUnit(3, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := NewStreamingTrainer(3, sensors, TrainerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ObserveBatch(window); err != nil {
+		t.Fatal(err)
+	}
+	if st.Observations() != rows {
+		t.Fatalf("Observations = %d", st.Observations())
+	}
+	stream, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.TrainedRows != rows || stream.Unit != 3 {
+		t.Fatalf("snapshot metadata wrong: %+v", stream)
+	}
+	// The streaming co-moment is algebraically the batch covariance:
+	// means, sigmas and eigenvalues agree to fp tolerance.
+	for j := 0; j < sensors; j++ {
+		if math.Abs(stream.Mean[j]-batch.Mean[j]) > 1e-9*(1+math.Abs(batch.Mean[j])) {
+			t.Fatalf("sensor %d mean: stream %v vs batch %v", j, stream.Mean[j], batch.Mean[j])
+		}
+		if math.Abs(stream.Sigma[j]-batch.Sigma[j]) > 1e-6*(1+batch.Sigma[j]) {
+			t.Fatalf("sensor %d sigma: stream %v vs batch %v", j, stream.Sigma[j], batch.Sigma[j])
+		}
+	}
+	if stream.K != batch.K {
+		t.Fatalf("K: stream %d vs batch %d", stream.K, batch.K)
+	}
+	for i := 0; i < stream.K; i++ {
+		if math.Abs(stream.Eigenvalues[i]-batch.Eigenvalues[i]) > 1e-6*(1+batch.Eigenvalues[0]) {
+			t.Fatalf("eigenvalue %d: stream %v vs batch %v", i, stream.Eigenvalues[i], batch.Eigenvalues[i])
+		}
+	}
+}
+
+func TestStreamingTrainerValidation(t *testing.T) {
+	if _, err := NewStreamingTrainer(0, 0, TrainerConfig{}); err == nil {
+		t.Fatal("sensors=0 must error")
+	}
+	st, err := NewStreamingTrainer(0, 3, TrainerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Observe([]float64{1, 2}); err == nil {
+		t.Fatal("wrong width must error")
+	}
+	if _, err := st.Snapshot(); err == nil {
+		t.Fatal("snapshot before 2 observations must error")
+	}
+	if err := st.Observe([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Snapshot(); err == nil {
+		t.Fatal("snapshot with 1 observation must error")
+	}
+}
+
+func TestStreamingSnapshotUsableForEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	const sensors = 20
+	st, err := NewStreamingTrainer(0, sensors, TrainerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := gaussianWindow(rng, 600, sensors, constVec(sensors, 50), constVec(sensors, 2))
+	if err := st.ObserveBatch(window); err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(m, EvaluatorConfig{Procedure: fdr.BH, Level: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := constVec(sensors, 50)
+	shifted[4] = 50 + 6*2 // 6σ shift
+	rep, err := ev.Evaluate(shifted, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Flags {
+		if f.Sensor == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("streaming-trained model missed a 6σ shift")
+	}
+}
+
+func TestStreamingIncrementalUpdates(t *testing.T) {
+	// Models keep improving as data streams in: sigma estimates from a
+	// longer stream are closer to the truth.
+	rng := rand.New(rand.NewSource(63))
+	const sensors = 8
+	st, err := NewStreamingTrainer(0, sensors, TrainerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthSigma := 3.0
+	errAt := func() float64 {
+		m, err := st.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := 0.0
+		for _, s := range m.Sigma {
+			e += math.Abs(s - truthSigma)
+		}
+		return e / sensors
+	}
+	if err := st.ObserveBatch(gaussianWindow(rng, 30, sensors, constVec(sensors, 0), constVec(sensors, truthSigma))); err != nil {
+		t.Fatal(err)
+	}
+	early := errAt()
+	if err := st.ObserveBatch(gaussianWindow(rng, 4000, sensors, constVec(sensors, 0), constVec(sensors, truthSigma))); err != nil {
+		t.Fatal(err)
+	}
+	late := errAt()
+	if late >= early {
+		t.Fatalf("sigma error did not shrink with more data: %v → %v", early, late)
+	}
+	if late > 0.15 {
+		t.Fatalf("sigma error after 4000 rows = %v, too large", late)
+	}
+}
+
+func TestStreamingMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	const sensors, rows = 6, 500
+	window := gaussianWindow(rng, rows, sensors, constVec(sensors, 7), constVec(sensors, 2))
+
+	// One trainer sees everything…
+	whole, _ := NewStreamingTrainer(0, sensors, TrainerConfig{})
+	if err := whole.ObserveBatch(window); err != nil {
+		t.Fatal(err)
+	}
+	// …two others split the stream and merge (parallel partitions).
+	a, _ := NewStreamingTrainer(0, sensors, TrainerConfig{})
+	b, _ := NewStreamingTrainer(0, sensors, TrainerConfig{})
+	if err := a.ObserveBatch(window[:rows/3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ObserveBatch(window[rows/3:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Observations() != rows {
+		t.Fatalf("merged observations = %d", a.Observations())
+	}
+	mWhole, err := whole.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mMerged, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < sensors; j++ {
+		if math.Abs(mWhole.Mean[j]-mMerged.Mean[j]) > 1e-9 {
+			t.Fatalf("merged mean differs at %d: %v vs %v", j, mMerged.Mean[j], mWhole.Mean[j])
+		}
+		if math.Abs(mWhole.Sigma[j]-mMerged.Sigma[j]) > 1e-8 {
+			t.Fatalf("merged sigma differs at %d: %v vs %v", j, mMerged.Sigma[j], mWhole.Sigma[j])
+		}
+	}
+	// Merging into an empty trainer copies.
+	empty, _ := NewStreamingTrainer(0, sensors, TrainerConfig{})
+	if err := empty.Merge(whole); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Observations() != rows {
+		t.Fatal("merge into empty failed")
+	}
+	// Merging an empty trainer is a no-op.
+	before := whole.Observations()
+	fresh, _ := NewStreamingTrainer(0, sensors, TrainerConfig{})
+	if err := whole.Merge(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if whole.Observations() != before {
+		t.Fatal("merging empty must not change counts")
+	}
+	// Shape mismatch.
+	other, _ := NewStreamingTrainer(0, sensors+1, TrainerConfig{})
+	if err := whole.Merge(other); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}

@@ -1,0 +1,457 @@
+package dataflow
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func newTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(4)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func intRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizeCollectRoundTrip(t *testing.T) {
+	e := newTestEngine(t)
+	data := intRange(100)
+	ds := Parallelize(e, data, 7)
+	if ds.Partitions() != 7 {
+		t.Fatalf("partitions = %d, want 7", ds.Partitions())
+	}
+	got, err := Collect(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("len = %d, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("element %d = %d; partition order must be preserved", i, v)
+		}
+	}
+}
+
+func TestParallelizeClampsPartitions(t *testing.T) {
+	e := newTestEngine(t)
+	if ds := Parallelize(e, intRange(3), 10); ds.Partitions() != 3 {
+		t.Fatalf("partitions = %d, want clamp to 3", ds.Partitions())
+	}
+	if ds := Parallelize(e, []int{}, 0); ds.Partitions() != 1 {
+		t.Fatal("empty dataset must have 1 partition")
+	}
+	got, err := Collect(Parallelize(e, []int{}, 5))
+	if err != nil || len(got) != 0 {
+		t.Fatal("empty dataset must collect empty")
+	}
+}
+
+func TestParallelizeCopiesInput(t *testing.T) {
+	e := newTestEngine(t)
+	data := []int{1, 2, 3}
+	ds := Parallelize(e, data, 1)
+	data[0] = 99
+	got, err := Collect(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("Parallelize must copy its input")
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	e := newTestEngine(t)
+	ds := Parallelize(e, intRange(10), 3)
+	sq := Map(ds, func(x int) int { return x * x })
+	even := Filter(sq, func(x int) bool { return x%2 == 0 })
+	got, err := Collect(even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 4, 16, 36, 64}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	dup, err := Collect(FlatMap(ds, func(x int) []int { return []int{x, x} }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dup) != 20 || dup[0] != 0 || dup[1] != 0 {
+		t.Fatalf("flatmap wrong: %v", dup)
+	}
+}
+
+func TestMapPartitionsSeesWholePartition(t *testing.T) {
+	e := newTestEngine(t)
+	ds := Parallelize(e, intRange(12), 4)
+	sums, err := Collect(MapPartitions(ds, func(p int, in []int) []int {
+		s := 0
+		for _, v := range in {
+			s += v
+		}
+		return []int{s}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 4 {
+		t.Fatalf("one output per partition, got %v", sums)
+	}
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	if total != 66 {
+		t.Fatalf("partition sums total %d, want 66", total)
+	}
+}
+
+func TestUnionKeepsAllElements(t *testing.T) {
+	e := newTestEngine(t)
+	a := Parallelize(e, []int{1, 2}, 2)
+	b := Parallelize(e, []int{3, 4, 5}, 1)
+	u := Union(a, b)
+	if u.Partitions() != 3 {
+		t.Fatalf("union partitions = %d, want 3", u.Partitions())
+	}
+	got, err := Collect(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("union lost elements: %v", got)
+	}
+}
+
+func TestCountAndReduce(t *testing.T) {
+	e := newTestEngine(t)
+	ds := Parallelize(e, intRange(101), 8)
+	n, err := Count(ds)
+	if err != nil || n != 101 {
+		t.Fatalf("Count = %d, want 101", n)
+	}
+	sum, ok, err := Reduce(ds, func(a, b int) int { return a + b })
+	if err != nil || !ok {
+		t.Fatal("Reduce failed")
+	}
+	if sum != 5050 {
+		t.Fatalf("sum = %d, want 5050", sum)
+	}
+	_, ok, err = Reduce(Parallelize(e, []int{}, 1), func(a, b int) int { return a + b })
+	if err != nil || ok {
+		t.Fatal("empty Reduce must report !ok")
+	}
+}
+
+func TestReduceWithEmptyPartitions(t *testing.T) {
+	e := newTestEngine(t)
+	// Generate a dataset where some partitions are empty.
+	ds := Generate(e, 5, func(p int) []int {
+		if p%2 == 0 {
+			return []int{p}
+		}
+		return nil
+	})
+	sum, ok, err := Reduce(ds, func(a, b int) int { return a + b })
+	if err != nil || !ok {
+		t.Fatal("Reduce failed")
+	}
+	if sum != 0+2+4 {
+		t.Fatalf("sum = %d, want 6", sum)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	e := newTestEngine(t)
+	ds := Parallelize(e, intRange(100), 9)
+	type acc struct {
+		n   int
+		sum int
+	}
+	got, err := Aggregate(ds,
+		func() acc { return acc{} },
+		func(a acc, x int) acc { return acc{a.n + 1, a.sum + x} },
+		func(a, b acc) acc { return acc{a.n + b.n, a.sum + b.sum} },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.n != 100 || got.sum != 4950 {
+		t.Fatalf("aggregate = %+v", got)
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	e := newTestEngine(t)
+	words := []string{"a", "b", "a", "c", "b", "a"}
+	pairs := make([]Pair[string, int], len(words))
+	for i, w := range words {
+		pairs[i] = Pair[string, int]{Key: w, Value: 1}
+	}
+	ds := Parallelize(e, pairs, 3)
+	counts, err := CollectMap(ReduceByKey(ds, func(a, b int) int { return a + b }, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["a"] != 3 || counts["b"] != 2 || counts["c"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestReduceByKeyShuffleConservation(t *testing.T) {
+	// Property: for any input multiset, ReduceByKey with + preserves the
+	// per-key sums regardless of partitioning.
+	f := func(keys []uint8, parts uint8) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		e := NewEngine(3)
+		defer e.Close()
+		want := map[uint8]int{}
+		pairs := make([]Pair[uint8, int], len(keys))
+		for i, k := range keys {
+			want[k]++
+			pairs[i] = Pair[uint8, int]{Key: k, Value: 1}
+		}
+		p := int(parts%8) + 1
+		ds := Parallelize(e, pairs, p)
+		got, err := CollectMap(ReduceByKey(ds, func(a, b int) int { return a + b }, int(parts%5)+1))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceByKeyDeterministicOrder(t *testing.T) {
+	e := newTestEngine(t)
+	pairs := []Pair[string, int]{{"z", 1}, {"a", 1}, {"m", 1}, {"a", 1}}
+	ds := Parallelize(e, pairs, 2)
+	r := ReduceByKey(ds, func(a, b int) int { return a + b }, 1)
+	got1, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(got1))
+	for i, p := range got1 {
+		keys[i] = p.Key
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("keys not sorted within partition: %v", keys)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	e := newTestEngine(t)
+	pairs := []Pair[int, string]{{1, "x"}, {2, "y"}, {1, "z"}}
+	groups, err := CollectMap(GroupByKey(Parallelize(e, pairs, 2), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups[1]) != 2 || len(groups[2]) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestCacheComputesOnce(t *testing.T) {
+	e := newTestEngine(t)
+	var computes atomic.Int64
+	ds := Generate(e, 4, func(p int) []int {
+		computes.Add(1)
+		return []int{p}
+	}).Cache()
+	if _, err := Collect(ds); err != nil {
+		t.Fatal(err)
+	}
+	first := computes.Load()
+	if first != 4 {
+		t.Fatalf("first collect computed %d partitions, want 4", first)
+	}
+	if _, err := Collect(ds); err != nil {
+		t.Fatal(err)
+	}
+	if computes.Load() != first {
+		t.Fatal("cached dataset recomputed partitions")
+	}
+}
+
+func TestUncachedRecomputes(t *testing.T) {
+	e := newTestEngine(t)
+	var computes atomic.Int64
+	ds := Generate(e, 2, func(p int) []int {
+		computes.Add(1)
+		return []int{p}
+	})
+	_, _ = Collect(ds)
+	_, _ = Collect(ds)
+	if computes.Load() != 4 {
+		t.Fatalf("uncached dataset computed %d times, want 4", computes.Load())
+	}
+}
+
+func TestTaskRetrySucceedsAfterTransientPanic(t *testing.T) {
+	e := NewEngine(2, WithMaxRetries(3))
+	defer e.Close()
+	var attempts atomic.Int64
+	ds := Generate(e, 1, func(p int) []int {
+		if attempts.Add(1) < 3 {
+			panic("transient failure")
+		}
+		return []int{42}
+	})
+	got, err := Collect(ds)
+	if err != nil {
+		t.Fatalf("expected retry to succeed, got %v", err)
+	}
+	if got[0] != 42 {
+		t.Fatalf("got %v", got)
+	}
+	if e.TaskFails.Value() != 2 {
+		t.Fatalf("TaskFails = %d, want 2", e.TaskFails.Value())
+	}
+}
+
+func TestTaskFailsAfterMaxRetries(t *testing.T) {
+	e := NewEngine(2, WithMaxRetries(1))
+	defer e.Close()
+	ds := Generate(e, 3, func(p int) []int {
+		if p == 1 {
+			panic("permanent failure")
+		}
+		return []int{p}
+	})
+	_, err := Collect(ds)
+	if err == nil {
+		t.Fatal("expected job failure")
+	}
+	var te *taskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error type = %T", err)
+	}
+	if te.partition != 1 {
+		t.Fatalf("failing partition = %d, want 1", te.partition)
+	}
+}
+
+func TestEngineClosedRejectsActions(t *testing.T) {
+	e := NewEngine(2)
+	ds := Parallelize(e, intRange(4), 2)
+	e.Close()
+	if _, err := Collect(ds); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("err = %v, want ErrEngineClosed", err)
+	}
+	e.Close() // double close must be safe
+}
+
+func TestNestedStagesDoNotDeadlock(t *testing.T) {
+	// A stage whose tasks trigger a shuffle (nested stage) while the
+	// pool is saturated — the inline-fallback path must prevent
+	// deadlock. Run with a 1-worker engine to force saturation.
+	e := NewEngine(1)
+	defer e.Close()
+	outer := Generate(e, 4, func(p int) []int { return intRange(10) })
+	nested := MapPartitions(outer, func(p int, in []int) []int {
+		pairs := make([]Pair[int, int], len(in))
+		for i, v := range in {
+			pairs[i] = Pair[int, int]{Key: v % 3, Value: v}
+		}
+		inner := Parallelize(e, pairs, 2)
+		m, err := CollectMap(ReduceByKey(inner, func(a, b int) int { return a + b }, 2))
+		if err != nil {
+			panic(err)
+		}
+		return []int{m[0] + m[1] + m[2]}
+	})
+	got, err := Collect(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != 45 {
+		t.Fatalf("nested result = %v", got)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	e := newTestEngine(t)
+	lookup := NewBroadcast(map[int]string{1: "one", 2: "two"})
+	ds := Parallelize(e, []int{1, 2, 1}, 2)
+	got, err := Collect(Map(ds, func(x int) string { return lookup.Value()[x] }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "one" || got[1] != "two" {
+		t.Fatalf("broadcast map result = %v", got)
+	}
+	if lookup.Reads.Load() != 3 {
+		t.Fatalf("reads = %d, want 3", lookup.Reads.Load())
+	}
+}
+
+func TestEngineMetrics(t *testing.T) {
+	e := newTestEngine(t)
+	ds := Parallelize(e, intRange(10), 5)
+	if _, err := Collect(ds); err != nil {
+		t.Fatal(err)
+	}
+	if e.StagesRun.Value() != 1 {
+		t.Fatalf("StagesRun = %d, want 1", e.StagesRun.Value())
+	}
+	if e.TasksRun.Value() != 5 {
+		t.Fatalf("TasksRun = %d, want 5", e.TasksRun.Value())
+	}
+	if e.Workers() != 4 {
+		t.Fatalf("Workers = %d", e.Workers())
+	}
+}
+
+func TestGenerateLazy(t *testing.T) {
+	e := newTestEngine(t)
+	var computed atomic.Bool
+	ds := Generate(e, 1, func(p int) []int {
+		computed.Store(true)
+		return nil
+	})
+	if computed.Load() {
+		t.Fatal("Generate must be lazy")
+	}
+	_ = Map(ds, func(x int) int { return x })
+	if computed.Load() {
+		t.Fatal("transformations must be lazy")
+	}
+	_, _ = Collect(ds)
+	if !computed.Load() {
+		t.Fatal("action must trigger computation")
+	}
+	if ds.Name() == "" {
+		t.Fatal("datasets must carry lineage names")
+	}
+}

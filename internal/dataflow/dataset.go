@@ -1,0 +1,387 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Dataset is a lazily evaluated, partitioned, immutable collection —
+// the moral equivalent of a Spark RDD. Transformations build lineage;
+// actions trigger a job on the owning Engine.
+type Dataset[T any] struct {
+	eng   *Engine
+	parts int
+	name  string
+	// compute materializes one partition. It must be safe for
+	// concurrent invocation across distinct partitions.
+	compute func(p int) []T
+
+	mu     sync.Mutex
+	cached [][]T // non-nil after Cache() + first materialization
+}
+
+// Pair is a keyed record for the shuffle operations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Parallelize splits data into parts partitions (round-robin blocks)
+// and returns a Dataset over them. parts is clamped to [1, len(data)]
+// (or 1 for empty data).
+func Parallelize[T any](eng *Engine, data []T, parts int) *Dataset[T] {
+	n := len(data)
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n && n > 0 {
+		parts = n
+	}
+	// Copy so later caller mutation cannot corrupt lineage replays.
+	own := make([]T, n)
+	copy(own, data)
+	return &Dataset[T]{
+		eng:   eng,
+		parts: parts,
+		name:  fmt.Sprintf("parallelize[%d]", n),
+		compute: func(p int) []T {
+			lo, hi := sliceRange(n, parts, p)
+			return own[lo:hi]
+		},
+	}
+}
+
+// Generate builds a Dataset whose partition p holds gen(p). Use it to
+// produce partitions lazily without materializing the whole input
+// (e.g. one partition per simulated unit).
+func Generate[T any](eng *Engine, parts int, gen func(p int) []T) *Dataset[T] {
+	if parts < 1 {
+		parts = 1
+	}
+	return &Dataset[T]{eng: eng, parts: parts, name: "generate", compute: gen}
+}
+
+// sliceRange returns the [lo, hi) block of partition p of n items.
+func sliceRange(n, parts, p int) (int, int) {
+	chunk := (n + parts - 1) / parts
+	lo := p * chunk
+	hi := lo + chunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Partitions returns the partition count.
+func (d *Dataset[T]) Partitions() int { return d.parts }
+
+// Name returns the lineage label, for debugging.
+func (d *Dataset[T]) Name() string { return d.name }
+
+// materialize computes partition p, consulting the cache when enabled.
+func (d *Dataset[T]) materialize(p int) []T {
+	d.mu.Lock()
+	if d.cached != nil && d.cached[p] != nil {
+		out := d.cached[p]
+		d.mu.Unlock()
+		return out
+	}
+	d.mu.Unlock()
+	out := d.compute(p)
+	d.mu.Lock()
+	if d.cached != nil {
+		d.cached[p] = out
+	}
+	d.mu.Unlock()
+	return out
+}
+
+// Cache marks the dataset so each partition is materialized at most
+// once and reused by later jobs, like RDD.cache(). Returns d.
+func (d *Dataset[T]) Cache() *Dataset[T] {
+	d.mu.Lock()
+	if d.cached == nil {
+		d.cached = make([][]T, d.parts)
+	}
+	d.mu.Unlock()
+	return d
+}
+
+// Map applies f to every element, preserving partitioning (narrow).
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	return &Dataset[U]{
+		eng:   d.eng,
+		parts: d.parts,
+		name:  d.name + "→map",
+		compute: func(p int) []U {
+			in := d.materialize(p)
+			out := make([]U, len(in))
+			for i, v := range in {
+				out[i] = f(v)
+			}
+			return out
+		},
+	}
+}
+
+// Filter keeps elements where pred returns true (narrow).
+func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
+	return &Dataset[T]{
+		eng:   d.eng,
+		parts: d.parts,
+		name:  d.name + "→filter",
+		compute: func(p int) []T {
+			in := d.materialize(p)
+			out := make([]T, 0, len(in))
+			for _, v := range in {
+				if pred(v) {
+					out = append(out, v)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// FlatMap applies f and concatenates the results (narrow).
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	return &Dataset[U]{
+		eng:   d.eng,
+		parts: d.parts,
+		name:  d.name + "→flatmap",
+		compute: func(p int) []U {
+			in := d.materialize(p)
+			var out []U
+			for _, v := range in {
+				out = append(out, f(v)...)
+			}
+			return out
+		},
+	}
+}
+
+// MapPartitions applies f to whole partitions, for per-partition
+// accumulators like local covariance sums (narrow).
+func MapPartitions[T, U any](d *Dataset[T], f func(p int, in []T) []U) *Dataset[U] {
+	return &Dataset[U]{
+		eng:   d.eng,
+		parts: d.parts,
+		name:  d.name + "→mapPartitions",
+		compute: func(p int) []U {
+			return f(p, d.materialize(p))
+		},
+	}
+}
+
+// Union concatenates two datasets partition-wise (their partitions are
+// kept side by side, like RDD.union).
+func Union[T any](a, b *Dataset[T]) *Dataset[T] {
+	return &Dataset[T]{
+		eng:   a.eng,
+		parts: a.parts + b.parts,
+		name:  "union(" + a.name + "," + b.name + ")",
+		compute: func(p int) []T {
+			if p < a.parts {
+				return a.materialize(p)
+			}
+			return b.materialize(p - a.parts)
+		},
+	}
+}
+
+// Collect materializes every partition and returns the concatenated
+// elements in partition order. It is an action: it runs a stage.
+func Collect[T any](d *Dataset[T]) ([]T, error) {
+	results := make([][]T, d.parts)
+	err := d.eng.runStage(d.parts, func(p int) {
+		results[p] = d.materialize(p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	for _, r := range results {
+		n += len(r)
+	}
+	out := make([]T, 0, n)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+// Count returns the number of elements (action).
+func Count[T any](d *Dataset[T]) (int, error) {
+	counts := make([]int, d.parts)
+	err := d.eng.runStage(d.parts, func(p int) {
+		counts[p] = len(d.materialize(p))
+	})
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n, nil
+}
+
+// Reduce folds all elements with the associative, commutative function
+// f (action). It returns the zero value and false for empty datasets.
+func Reduce[T any](d *Dataset[T], f func(a, b T) T) (T, bool, error) {
+	partials := make([]T, d.parts)
+	nonEmpty := make([]bool, d.parts)
+	err := d.eng.runStage(d.parts, func(p int) {
+		in := d.materialize(p)
+		if len(in) == 0 {
+			return
+		}
+		acc := in[0]
+		for _, v := range in[1:] {
+			acc = f(acc, v)
+		}
+		partials[p] = acc
+		nonEmpty[p] = true
+	})
+	var zero T
+	if err != nil {
+		return zero, false, err
+	}
+	var (
+		acc T
+		got bool
+	)
+	for p := 0; p < d.parts; p++ {
+		if !nonEmpty[p] {
+			continue
+		}
+		if !got {
+			acc, got = partials[p], true
+		} else {
+			acc = f(acc, partials[p])
+		}
+	}
+	return acc, got, nil
+}
+
+// Aggregate folds each partition from zero with seqOp, then merges the
+// per-partition results with combOp (action). It mirrors RDD.aggregate
+// and is the workhorse behind the distributed covariance.
+func Aggregate[T, A any](d *Dataset[T], zero func() A, seqOp func(A, T) A, combOp func(A, A) A) (A, error) {
+	partials := make([]A, d.parts)
+	err := d.eng.runStage(d.parts, func(p int) {
+		acc := zero()
+		for _, v := range d.materialize(p) {
+			acc = seqOp(acc, v)
+		}
+		partials[p] = acc
+	})
+	if err != nil {
+		var z A
+		return z, err
+	}
+	acc := zero()
+	for _, part := range partials {
+		acc = combOp(acc, part)
+	}
+	return acc, nil
+}
+
+// ReduceByKey shuffles pairs by key hash into outParts partitions and
+// reduces values per key with f (wide: introduces a stage boundary).
+// Within each partition the output is sorted by key string for
+// determinism. outParts <= 0 keeps the parent partition count.
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], f func(a, b V) V, outParts int) *Dataset[Pair[K, V]] {
+	if outParts <= 0 {
+		outParts = d.parts
+	}
+	var (
+		once    sync.Once
+		buckets []map[K]V
+		shufErr error
+	)
+	shuffle := func() {
+		once.Do(func() {
+			// Map side: materialize parents, combine locally, bucket.
+			locals := make([][]map[K]V, d.parts)
+			shufErr = d.eng.runStage(d.parts, func(p int) {
+				bs := make([]map[K]V, outParts)
+				for i := range bs {
+					bs[i] = make(map[K]V)
+				}
+				for _, pr := range d.materialize(p) {
+					b := hashKey(pr.Key, outParts)
+					if old, ok := bs[b][pr.Key]; ok {
+						bs[b][pr.Key] = f(old, pr.Value)
+					} else {
+						bs[b][pr.Key] = pr.Value
+					}
+					d.eng.ShuffleRec.Inc()
+				}
+				locals[p] = bs
+			})
+			if shufErr != nil {
+				return
+			}
+			// Reduce side: merge the per-parent buckets.
+			buckets = make([]map[K]V, outParts)
+			for b := 0; b < outParts; b++ {
+				merged := make(map[K]V)
+				for p := 0; p < d.parts; p++ {
+					for k, v := range locals[p][b] {
+						if old, ok := merged[k]; ok {
+							merged[k] = f(old, v)
+						} else {
+							merged[k] = v
+						}
+					}
+				}
+				buckets[b] = merged
+			}
+		})
+	}
+	return &Dataset[Pair[K, V]]{
+		eng:   d.eng,
+		parts: outParts,
+		name:  d.name + "→reduceByKey",
+		compute: func(p int) []Pair[K, V] {
+			shuffle()
+			if shufErr != nil {
+				panic(shufErr) // surfaces as a task error with retry
+			}
+			out := make([]Pair[K, V], 0, len(buckets[p]))
+			for k, v := range buckets[p] {
+				out = append(out, Pair[K, V]{Key: k, Value: v})
+			}
+			sortPairs(out)
+			return out
+		},
+	}
+}
+
+// GroupByKey shuffles pairs by key into outParts partitions, collecting
+// all values per key (wide). Prefer ReduceByKey when a combiner exists.
+func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], outParts int) *Dataset[Pair[K, []V]] {
+	lifted := Map(d, func(p Pair[K, V]) Pair[K, []V] {
+		return Pair[K, []V]{Key: p.Key, Value: []V{p.Value}}
+	})
+	return ReduceByKey(lifted, func(a, b []V) []V { return append(append([]V{}, a...), b...) }, outParts)
+}
+
+// CollectMap gathers a keyed dataset into a Go map (action). Later
+// duplicates of a key overwrite earlier ones; use ReduceByKey first if
+// that matters.
+func CollectMap[K comparable, V any](d *Dataset[Pair[K, V]]) (map[K]V, error) {
+	pairs, err := Collect(d)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]V, len(pairs))
+	for _, p := range pairs {
+		out[p.Key] = p.Value
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+// Package dataflow is a miniature Spark: an in-process engine for
+// partition-parallel batch computation with lazy, lineage-tracked
+// datasets, narrow transformations (Map, Filter, FlatMap,
+// MapPartitions), wide shuffles (ReduceByKey, GroupByKey), actions
+// (Collect, Reduce, Count), broadcast variables, caching and task
+// retry.
+//
+// The paper runs its offline FDR training as a Spark batch job using
+// MLlib's distributed matrix machinery; this package plays Spark's role.
+// It is deliberately small — one machine, goroutine executors — but
+// preserves the architectural shape that matters for the reproduction:
+// work is split into per-partition tasks scheduled onto a bounded
+// executor pool, wide operations introduce a stage boundary with a
+// hash shuffle, and failed tasks are retried a bounded number of times.
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// ErrEngineClosed is returned by actions submitted after Close.
+var ErrEngineClosed = errors.New("dataflow: engine closed")
+
+// Engine schedules tasks onto a fixed pool of executor goroutines.
+type Engine struct {
+	workers    int
+	maxRetries int
+	tasks      chan func()
+	wg         sync.WaitGroup
+	closed     atomic.Bool
+
+	// Metrics visible to tests and the experiment harnesses.
+	TasksRun   telemetry.Counter
+	TaskFails  telemetry.Counter
+	StagesRun  telemetry.Counter
+	ShuffleRec telemetry.Counter
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMaxRetries sets how many times a panicking task is retried before
+// the job fails (default 2 retries, i.e. 3 attempts).
+func WithMaxRetries(n int) Option {
+	return func(e *Engine) {
+		if n >= 0 {
+			e.maxRetries = n
+		}
+	}
+}
+
+// NewEngine starts an engine with the given executor parallelism
+// (defaults to GOMAXPROCS when workers <= 0). Close must be called to
+// release the executors.
+func NewEngine(workers int, opts ...Option) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The task channel is deliberately unbuffered: when every executor
+	// is busy (e.g. a shuffle stage nested inside a running task),
+	// submission falls back to inline execution instead of parking work
+	// in a buffer no executor will ever drain — the classic nested-stage
+	// deadlock.
+	e := &Engine{
+		workers:    workers,
+		maxRetries: 2,
+		tasks:      make(chan func()),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer e.wg.Done()
+			for task := range e.tasks {
+				task()
+			}
+		}()
+	}
+	return e
+}
+
+// Workers returns the executor parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// Close shuts the executor pool down and waits for in-flight tasks.
+// It is safe to call once; subsequent actions fail with ErrEngineClosed.
+func (e *Engine) Close() {
+	if e.closed.CompareAndSwap(false, true) {
+		close(e.tasks)
+		e.wg.Wait()
+	}
+}
+
+// taskError carries a recovered panic out of an executor.
+type taskError struct {
+	partition int
+	attempt   int
+	cause     any
+}
+
+func (t *taskError) Error() string {
+	return fmt.Sprintf("dataflow: task for partition %d failed on attempt %d: %v", t.partition, t.attempt, t.cause)
+}
+
+// runStage executes fn once per partition index across the executor
+// pool, retrying panicking tasks, and blocks until the stage finishes.
+func (e *Engine) runStage(partitions int, fn func(p int)) error {
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	e.StagesRun.Inc()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for p := 0; p < partitions; p++ {
+		wg.Add(1)
+		task := func(p int) func() {
+			return func() {
+				defer wg.Done()
+				for attempt := 0; ; attempt++ {
+					err := e.runOne(p, attempt, fn)
+					if err == nil {
+						return
+					}
+					e.TaskFails.Inc()
+					if attempt >= e.maxRetries {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+				}
+			}
+		}(p)
+		select {
+		case e.tasks <- task:
+		default:
+			// Pool saturated: run inline rather than deadlock when stages
+			// nest (an executor task that itself submits a stage).
+			task()
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runOne executes one attempt of one task, converting panics to errors.
+func (e *Engine) runOne(p, attempt int, fn func(int)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &taskError{partition: p, attempt: attempt, cause: r}
+		}
+	}()
+	e.TasksRun.Inc()
+	fn(p)
+	return nil
+}
+
+// Broadcast wraps a read-only value shared by every task, mirroring
+// Spark broadcast variables. In-process it is a plain pointer, but the
+// type documents intent and gives tests a seam to count accesses.
+type Broadcast[T any] struct {
+	value T
+	Reads atomic.Int64
+}
+
+// NewBroadcast returns a broadcast wrapper for value.
+func NewBroadcast[T any](value T) *Broadcast[T] {
+	return &Broadcast[T]{value: value}
+}
+
+// Value returns the broadcast payload.
+func (b *Broadcast[T]) Value() T {
+	b.Reads.Add(1)
+	return b.value
+}
+
+// hashKey maps an arbitrary comparable key to a shuffle bucket.
+func hashKey[K comparable](k K, buckets int) int {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v", k)
+	return int(h.Sum64() % uint64(buckets))
+}
+
+// sortPairs orders pairs by the string form of their keys, giving
+// deterministic Collect output after shuffles.
+func sortPairs[K comparable, V any](ps []Pair[K, V]) {
+	sort.SliceStable(ps, func(i, j int) bool {
+		return fmt.Sprintf("%v", ps[i].Key) < fmt.Sprintf("%v", ps[j].Key)
+	})
+}

@@ -1,0 +1,333 @@
+// Package fdr implements the multiple-hypothesis-testing corrections at
+// the heart of the paper: the Benjamini–Hochberg False Discovery Rate
+// step-up procedure (and the Benjamini–Yekutieli variant for dependent
+// tests), plus the family-wise baselines the paper contrasts it with —
+// no correction, Bonferroni, Holm and Šidák.
+//
+// Every procedure consumes a vector of p-values (one per hypothesis,
+// e.g. one per sensor) and a target level, and returns the set of
+// rejected hypotheses. Adjusted p-values are also exposed so callers can
+// rank anomalies for the visualization layer.
+package fdr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadLevel reports a target level outside (0, 1).
+var ErrBadLevel = errors.New("fdr: level must be in (0,1)")
+
+// Procedure names a multiple-testing correction.
+type Procedure int
+
+// The supported procedures.
+const (
+	Uncorrected Procedure = iota // reject p ≤ α per test; no correction
+	Bonferroni                   // reject p ≤ α/m (FWER control)
+	Holm                         // step-down Bonferroni (FWER control)
+	Sidak                        // reject p ≤ 1-(1-α)^{1/m} (FWER, independent)
+	BH                           // Benjamini–Hochberg step-up (FDR control)
+	BY                           // Benjamini–Yekutieli (FDR under dependency)
+)
+
+// Procedures lists every supported procedure in presentation order.
+var Procedures = []Procedure{Uncorrected, Bonferroni, Holm, Sidak, BH, BY}
+
+// String implements fmt.Stringer.
+func (p Procedure) String() string {
+	switch p {
+	case Uncorrected:
+		return "uncorrected"
+	case Bonferroni:
+		return "bonferroni"
+	case Holm:
+		return "holm"
+	case Sidak:
+		return "sidak"
+	case BH:
+		return "benjamini-hochberg"
+	case BY:
+		return "benjamini-yekutieli"
+	default:
+		return fmt.Sprintf("Procedure(%d)", int(p))
+	}
+}
+
+// ParseProcedure maps a name (as produced by String, plus the short
+// aliases "bh" and "by") back to a Procedure.
+func ParseProcedure(s string) (Procedure, error) {
+	switch s {
+	case "uncorrected", "none":
+		return Uncorrected, nil
+	case "bonferroni":
+		return Bonferroni, nil
+	case "holm":
+		return Holm, nil
+	case "sidak":
+		return Sidak, nil
+	case "benjamini-hochberg", "bh", "fdr":
+		return BH, nil
+	case "benjamini-yekutieli", "by":
+		return BY, nil
+	}
+	return 0, fmt.Errorf("fdr: unknown procedure %q", s)
+}
+
+// Result is the outcome of applying a procedure to a family of
+// p-values.
+type Result struct {
+	Procedure Procedure
+	Level     float64
+	Rejected  []bool    // Rejected[i] == true ⇒ hypothesis i is flagged
+	Adjusted  []float64 // adjusted p-values, comparable to Level
+	NumReject int
+}
+
+// Apply runs the procedure on pvals at the given level. The input slice
+// is not modified. P-values equal to NaN are treated as 1 (never
+// rejected).
+func Apply(proc Procedure, pvals []float64, level float64) (*Result, error) {
+	if level <= 0 || level >= 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadLevel, level)
+	}
+	m := len(pvals)
+	res := &Result{
+		Procedure: proc,
+		Level:     level,
+		Rejected:  make([]bool, m),
+		Adjusted:  make([]float64, m),
+	}
+	if m == 0 {
+		return res, nil
+	}
+	clean := make([]float64, m)
+	for i, p := range pvals {
+		switch {
+		case math.IsNaN(p):
+			clean[i] = 1
+		case p < 0:
+			clean[i] = 0
+		case p > 1:
+			clean[i] = 1
+		default:
+			clean[i] = p
+		}
+	}
+	switch proc {
+	case Uncorrected:
+		for i, p := range clean {
+			res.Adjusted[i] = p
+			res.Rejected[i] = p <= level
+		}
+	case Bonferroni:
+		mf := float64(m)
+		for i, p := range clean {
+			res.Adjusted[i] = math.Min(1, p*mf)
+			res.Rejected[i] = res.Adjusted[i] <= level
+		}
+	case Sidak:
+		mf := float64(m)
+		for i, p := range clean {
+			res.Adjusted[i] = 1 - math.Pow(1-p, mf)
+			res.Rejected[i] = res.Adjusted[i] <= level
+		}
+	case Holm:
+		applyHolm(clean, level, res)
+	case BH:
+		applyStepUp(clean, level, res, 1)
+	case BY:
+		// BY inflates the threshold by the harmonic sum c(m) = Σ 1/i.
+		cm := 0.0
+		for i := 1; i <= m; i++ {
+			cm += 1 / float64(i)
+		}
+		applyStepUp(clean, level, res, cm)
+	default:
+		return nil, fmt.Errorf("fdr: unknown procedure %v", proc)
+	}
+	for _, r := range res.Rejected {
+		if r {
+			res.NumReject++
+		}
+	}
+	return res, nil
+}
+
+// applyHolm implements the Holm step-down procedure: sort ascending,
+// reject while p(i) ≤ α/(m-i) (0-based), stop at the first failure.
+// Adjusted p-values are the standard monotone max-cummax form.
+func applyHolm(pvals []float64, level float64, res *Result) {
+	m := len(pvals)
+	order := sortOrder(pvals)
+	adjSorted := make([]float64, m)
+	running := 0.0
+	for rank, idx := range order {
+		adj := float64(m-rank) * pvals[idx]
+		if adj > 1 {
+			adj = 1
+		}
+		if adj < running {
+			adj = running // enforce monotonicity
+		}
+		running = adj
+		adjSorted[rank] = adj
+	}
+	stopped := false
+	for rank, idx := range order {
+		res.Adjusted[idx] = adjSorted[rank]
+		if !stopped && adjSorted[rank] <= level {
+			res.Rejected[idx] = true
+		} else {
+			stopped = true
+		}
+	}
+}
+
+// applyStepUp implements the BH/BY step-up rule: find the largest k with
+// p(k) ≤ k·α/(m·c), reject hypotheses 1..k. Adjusted p-values are the
+// standard min-cummin from the top.
+func applyStepUp(pvals []float64, level float64, res *Result, c float64) {
+	m := len(pvals)
+	order := sortOrder(pvals)
+	adjSorted := make([]float64, m)
+	running := 1.0
+	for rank := m - 1; rank >= 0; rank-- {
+		idx := order[rank]
+		adj := pvals[idx] * float64(m) * c / float64(rank+1)
+		if adj > 1 {
+			adj = 1
+		}
+		if adj < running {
+			running = adj
+		} else {
+			adj = running
+		}
+		adjSorted[rank] = adj
+	}
+	// Find the largest k with p(k) ≤ (k/m)·(α/c).
+	cut := -1
+	for rank := m - 1; rank >= 0; rank-- {
+		idx := order[rank]
+		if pvals[idx] <= float64(rank+1)/float64(m)*level/c {
+			cut = rank
+			break
+		}
+	}
+	for rank, idx := range order {
+		res.Adjusted[idx] = adjSorted[rank]
+		if rank <= cut {
+			res.Rejected[idx] = true
+		}
+	}
+}
+
+// sortOrder returns indices that sort pvals ascending (stable).
+func sortOrder(pvals []float64) []int {
+	order := make([]int, len(pvals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return pvals[order[a]] < pvals[order[b]] })
+	return order
+}
+
+// Confusion tallies one trial's rejections against ground truth.
+type Confusion struct {
+	TruePositives  int // faulty and flagged
+	FalsePositives int // healthy but flagged (false alarms)
+	TrueNegatives  int // healthy and not flagged
+	FalseNegatives int // faulty but missed
+}
+
+// Score compares a rejection vector with the ground-truth fault vector.
+func Score(rejected, truth []bool) Confusion {
+	var c Confusion
+	for i := range rejected {
+		switch {
+		case rejected[i] && truth[i]:
+			c.TruePositives++
+		case rejected[i] && !truth[i]:
+			c.FalsePositives++
+		case !rejected[i] && truth[i]:
+			c.FalseNegatives++
+		default:
+			c.TrueNegatives++
+		}
+	}
+	return c
+}
+
+// FDP returns the false discovery proportion V/max(R,1) of this trial.
+func (c Confusion) FDP() float64 {
+	r := c.TruePositives + c.FalsePositives
+	if r == 0 {
+		return 0
+	}
+	return float64(c.FalsePositives) / float64(r)
+}
+
+// Power returns the true positive rate S/m1 (1 when there are no
+// true faults, by convention).
+func (c Confusion) Power() float64 {
+	m1 := c.TruePositives + c.FalseNegatives
+	if m1 == 0 {
+		return 1
+	}
+	return float64(c.TruePositives) / float64(m1)
+}
+
+// AnyFalseAlarm reports whether the trial committed at least one type I
+// error (the event whose probability FWER measures).
+func (c Confusion) AnyFalseAlarm() bool { return c.FalsePositives > 0 }
+
+// Metrics aggregates confusion counts over Monte-Carlo trials into the
+// quantities the paper reasons about: empirical FDR (mean FDP),
+// empirical FWER (share of trials with ≥1 false alarm) and mean power.
+type Metrics struct {
+	Trials    int
+	sumFDP    float64
+	sumPower  float64
+	fwerTrips int
+	Total     Confusion
+}
+
+// Add folds one trial into the aggregate.
+func (m *Metrics) Add(c Confusion) {
+	m.Trials++
+	m.sumFDP += c.FDP()
+	m.sumPower += c.Power()
+	if c.AnyFalseAlarm() {
+		m.fwerTrips++
+	}
+	m.Total.TruePositives += c.TruePositives
+	m.Total.FalsePositives += c.FalsePositives
+	m.Total.TrueNegatives += c.TrueNegatives
+	m.Total.FalseNegatives += c.FalseNegatives
+}
+
+// FDR returns the empirical false discovery rate E[FDP].
+func (m *Metrics) FDR() float64 {
+	if m.Trials == 0 {
+		return 0
+	}
+	return m.sumFDP / float64(m.Trials)
+}
+
+// FWER returns the empirical family-wise error rate.
+func (m *Metrics) FWER() float64 {
+	if m.Trials == 0 {
+		return 0
+	}
+	return float64(m.fwerTrips) / float64(m.Trials)
+}
+
+// Power returns mean statistical power across trials.
+func (m *Metrics) Power() float64 {
+	if m.Trials == 0 {
+		return 0
+	}
+	return m.sumPower / float64(m.Trials)
+}

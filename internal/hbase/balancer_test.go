@@ -1,0 +1,141 @@
+package hbase
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRebalanceAfterScaleOut(t *testing.T) {
+	c := newTestCluster(t, Config{RegionServers: 2})
+	if err := c.CreateTable(byteSplits(6)); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewClient(ClientConfig{})
+	var cells []Cell
+	for i := 0; i < 120; i++ {
+		cells = append(cells, Cell{Row: []byte{byte(i * 2)}, Qual: []byte{byte(i)}, Value: []byte("v")})
+	}
+	if err := cl.Put(cells); err != nil {
+		t.Fatal(err)
+	}
+	// Scale out: the new server owns nothing yet.
+	if _, err := c.AddRegionServer(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.ActiveMaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := func() map[string]int {
+		out := map[string]int{}
+		for _, ri := range m.Regions() {
+			out[ri.Server]++
+		}
+		return out
+	}
+	if counts()["rs-3"] != 0 {
+		t.Fatal("new server unexpectedly owns regions before rebalance")
+	}
+	moved, err := m.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing")
+	}
+	after := counts()
+	for s, n := range after {
+		if n != 2 {
+			t.Fatalf("server %s owns %d regions after rebalance, want 2 (%v)", s, n, after)
+		}
+	}
+	// No data lost through the flush+close+open moves.
+	got, err := cl.Scan(nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 120 {
+		t.Fatalf("scan after rebalance = %d cells, want 120", len(got))
+	}
+	// Idempotent once balanced.
+	moved, err = m.Rebalance()
+	if err != nil || moved != 0 {
+		t.Fatalf("second rebalance moved %d, %v", moved, err)
+	}
+}
+
+func TestRebalanceRequiresActiveMaster(t *testing.T) {
+	c := newTestCluster(t, Config{RegionServers: 2})
+	var standby *Master
+	for _, m := range c.masters {
+		if !m.IsActive() {
+			standby = m
+		}
+	}
+	if standby == nil {
+		t.Fatal("no standby master")
+	}
+	if _, err := standby.Rebalance(); err != ErrNotActive {
+		t.Fatalf("err = %v, want ErrNotActive", err)
+	}
+}
+
+func TestRebalanceManyRegionsManyServers(t *testing.T) {
+	c := newTestCluster(t, Config{RegionServers: 2})
+	if err := c.CreateTable(byteSplits(12)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.AddRegionServer(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, _ := c.ActiveMaster()
+	if _, err := m.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, ri := range m.Regions() {
+		counts[ri.Server]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("regions on %d servers, want 4: %v", len(counts), counts)
+	}
+	for s, n := range counts {
+		if n != 3 {
+			t.Fatalf("server %s owns %d, want 3 (%v)", s, n, counts)
+		}
+	}
+}
+
+func TestScaleOutThenIngestUsesNewServer(t *testing.T) {
+	// The full ongoing-work path: grow the cluster, rebalance, keep
+	// ingesting — the new server takes real write traffic.
+	c := newTestCluster(t, Config{RegionServers: 2})
+	if err := c.CreateTable(byteSplits(6)); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewClient(ClientConfig{})
+	put := func(base int) {
+		var cells []Cell
+		for i := 0; i < 128; i++ {
+			cells = append(cells, Cell{Row: []byte{byte(i * 2)}, Qual: []byte(fmt.Sprint(base + i)), Value: []byte("v")})
+		}
+		if err := cl.Put(cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(0)
+	rs3, err := c.AddRegionServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.ActiveMaster()
+	if _, err := m.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	put(1000)
+	if rs3.CellsWritten.Value() == 0 {
+		t.Fatal("new server received no writes after rebalance")
+	}
+}

@@ -1,0 +1,88 @@
+package hbase
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func benchCluster(b *testing.B, nodes int) (*Cluster, *Client) {
+	b.Helper()
+	c, err := NewCluster(Config{RegionServers: nodes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	if err := c.CreateTable(byteSplits(nodes * 2)); err != nil {
+		b.Fatal(err)
+	}
+	return c, c.NewClient(ClientConfig{})
+}
+
+func BenchmarkClientPut(b *testing.B) {
+	_, cl := benchCluster(b, 4)
+	const batch = 500
+	cells := make([]Cell, batch)
+	var seq [8]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range cells {
+			binary.BigEndian.PutUint64(seq[:], uint64(i*batch+j))
+			cells[j] = Cell{Row: append([]byte{byte(j)}, seq[:]...), Qual: []byte{0, 1}, Value: seq[:]}
+		}
+		if err := cl.Put(cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+func BenchmarkClientScan(b *testing.B) {
+	_, cl := benchCluster(b, 4)
+	var cells []Cell
+	var seq [8]byte
+	for i := 0; i < 5000; i++ {
+		binary.BigEndian.PutUint64(seq[:], uint64(i))
+		cells = append(cells, Cell{Row: append([]byte{byte(i % 251)}, seq[:]...), Qual: []byte{0}, Value: seq[:]})
+	}
+	if err := cl.Put(cells); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := cl.Scan(nil, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != 5000 {
+			b.Fatalf("scan = %d", len(got))
+		}
+	}
+	b.ReportMetric(float64(5000*b.N)/b.Elapsed().Seconds(), "cells-read/s")
+}
+
+func BenchmarkMemstoreFlushReopen(b *testing.B) {
+	c, cl := benchCluster(b, 2)
+	var cells []Cell
+	var seq [8]byte
+	for i := 0; i < 2000; i++ {
+		binary.BigEndian.PutUint64(seq[:], uint64(i))
+		cells = append(cells, Cell{Row: append([]byte(nil), seq[:]...), Qual: []byte{0}, Value: seq[:]})
+	}
+	if err := cl.Put(cells); err != nil {
+		b.Fatal(err)
+	}
+	m, err := c.ActiveMaster()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ri := m.Regions()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.net.Call(rsAddr(ri.Server), "flush", &FlushRequest{Region: ri.ID}); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := openRegion(ri, c.dfs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

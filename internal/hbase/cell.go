@@ -1,0 +1,161 @@
+// Package hbase is a miniature HBase: a distributed, sorted,
+// range-partitioned key-value store layered on the simulated HDFS,
+// ZooKeeper and RPC substrates. It models the parts of HBase the
+// paper's findings depend on:
+//
+//   - Regions: contiguous row-key ranges served by RegionServers, with
+//     in-memory MemStores flushed to immutable store files in HDFS and
+//     a write-ahead log for crash recovery.
+//   - Bounded RPC queues: RegionServers crash when their inbound queue
+//     overflows persistently (§III-B), which is why the ingestion
+//     pipeline needs the buffering reverse proxy.
+//   - Key-hash placement: writes route by row key, so sequential keys
+//     hotspot one server until the TSDB layer salts them (§III-B).
+//   - Manual region splits and an HMaster (+backup, via ZooKeeper
+//     election) that reassigns regions and replays WALs on crashes.
+package hbase
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Cell is one versioned key-value entry: row key, column qualifier and
+// value. Sorting is by (Row, Qual), with later sequence numbers
+// shadowing earlier ones during reads. A cell with Tomb set is a
+// delete marker: it shadows older versions of its slot and is elided
+// from scans (and dropped entirely by major compaction).
+type Cell struct {
+	Row   []byte
+	Qual  []byte
+	Value []byte
+	Tomb  bool
+}
+
+// Less orders cells by (Row, Qual).
+func (c Cell) Less(o Cell) bool {
+	if r := bytes.Compare(c.Row, o.Row); r != 0 {
+		return r < 0
+	}
+	return bytes.Compare(c.Qual, o.Qual) < 0
+}
+
+// Same reports whether two cells address the same (Row, Qual) slot.
+func (c Cell) Same(o Cell) bool {
+	return bytes.Equal(c.Row, o.Row) && bytes.Equal(c.Qual, o.Qual)
+}
+
+// clone deep-copies a cell so callers can reuse buffers.
+func (c Cell) clone() Cell {
+	return Cell{
+		Row:   append([]byte(nil), c.Row...),
+		Qual:  append([]byte(nil), c.Qual...),
+		Value: append([]byte(nil), c.Value...),
+		Tomb:  c.Tomb,
+	}
+}
+
+// slotKey returns an unambiguous map key for (Row, Qual) using a
+// length prefix (rows may contain any byte, so plain concatenation
+// would collide).
+func slotKey(row, qual []byte) string {
+	var b bytes.Buffer
+	var lp [4]byte
+	binary.BigEndian.PutUint32(lp[:], uint32(len(row)))
+	b.Write(lp[:])
+	b.Write(row)
+	b.Write(qual)
+	return b.String()
+}
+
+// sortCells orders cells by (Row, Qual) in place.
+func sortCells(cells []Cell) {
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Less(cells[j]) })
+}
+
+// encodeCells serializes cells for a store file: a length-prefixed
+// binary layout (no gob; the format is stable and compact).
+func encodeCells(cells []Cell) []byte {
+	var buf bytes.Buffer
+	var lp [4]byte
+	binary.BigEndian.PutUint32(lp[:], uint32(len(cells)))
+	buf.Write(lp[:])
+	for _, c := range cells {
+		for _, field := range [][]byte{c.Row, c.Qual, c.Value} {
+			binary.BigEndian.PutUint32(lp[:], uint32(len(field)))
+			buf.Write(lp[:])
+			buf.Write(field)
+		}
+		if c.Tomb {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+	}
+	return buf.Bytes()
+}
+
+// errCorrupt reports a malformed store file.
+var errCorrupt = errors.New("hbase: corrupt store file")
+
+// decodeCells parses a store file produced by encodeCells.
+func decodeCells(data []byte) ([]Cell, error) {
+	if len(data) < 4 {
+		return nil, errCorrupt
+	}
+	n := binary.BigEndian.Uint32(data[:4])
+	data = data[4:]
+	cells := make([]Cell, 0, n)
+	readField := func() ([]byte, error) {
+		if len(data) < 4 {
+			return nil, errCorrupt
+		}
+		l := binary.BigEndian.Uint32(data[:4])
+		data = data[4:]
+		if uint32(len(data)) < l {
+			return nil, errCorrupt
+		}
+		f := append([]byte(nil), data[:l]...)
+		data = data[l:]
+		return f, nil
+	}
+	for i := uint32(0); i < n; i++ {
+		row, err := readField()
+		if err != nil {
+			return nil, err
+		}
+		qual, err := readField()
+		if err != nil {
+			return nil, err
+		}
+		val, err := readField()
+		if err != nil {
+			return nil, err
+		}
+		if len(data) < 1 {
+			return nil, errCorrupt
+		}
+		tomb := data[0] == 1
+		data = data[1:]
+		cells = append(cells, Cell{Row: row, Qual: qual, Value: val, Tomb: tomb})
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errCorrupt, len(data))
+	}
+	return cells, nil
+}
+
+// inRange reports whether key belongs to [start, end); an empty end
+// means +infinity and an empty start means -infinity.
+func inRange(key, start, end []byte) bool {
+	if len(start) > 0 && bytes.Compare(key, start) < 0 {
+		return false
+	}
+	if len(end) > 0 && bytes.Compare(key, end) >= 0 {
+		return false
+	}
+	return true
+}

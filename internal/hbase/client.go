@@ -1,0 +1,272 @@
+package hbase
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// ErrRetriesExhausted wraps the final failure after the client's retry
+// budget runs out.
+var ErrRetriesExhausted = errors.New("hbase: retries exhausted")
+
+// ClientConfig tunes routing behaviour.
+type ClientConfig struct {
+	// MaxRetries bounds put/scan retries after region-map refreshes
+	// (default 30 — failover takes a few refresh rounds).
+	MaxRetries int
+	// RetryBackoff is the pause between retries (default 5ms).
+	RetryBackoff time.Duration
+	// FailFast disables retries on queue overflow, surfacing
+	// backpressure to the caller instead of absorbing it. The ingestion
+	// proxy experiment uses this to contrast buffered vs unbuffered
+	// pipelines.
+	FailFast bool
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 30
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	return c
+}
+
+// Client routes puts and scans to region servers using a cached region
+// map, refreshing from the active master on routing misses — the same
+// caching protocol HBase clients use.
+type Client struct {
+	clu *Cluster
+	cfg ClientConfig
+
+	mu      sync.RWMutex
+	regions []RegionInfo // sorted by start key
+}
+
+// NewClient returns a routing client for the cluster.
+func (c *Cluster) NewClient(cfg ClientConfig) *Client {
+	return &Client{clu: c, cfg: cfg.withDefaults()}
+}
+
+// refresh fetches the region map from whichever master is active.
+func (cl *Client) refresh() error {
+	var lastErr error
+	for _, m := range cl.clu.masterAddrs() {
+		resp, err := cl.clu.net.Call(m, "regions", nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		regions := resp.([]RegionInfo)
+		cl.mu.Lock()
+		cl.regions = regions
+		cl.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("hbase: no active master: %w", lastErr)
+}
+
+// locate returns the region containing key, refreshing once on miss.
+func (cl *Client) locate(key []byte) (RegionInfo, error) {
+	cl.mu.RLock()
+	ri, ok := locateIn(cl.regions, key)
+	cl.mu.RUnlock()
+	if ok {
+		return ri, nil
+	}
+	if err := cl.refresh(); err != nil {
+		return RegionInfo{}, err
+	}
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	ri, ok = locateIn(cl.regions, key)
+	if !ok {
+		return RegionInfo{}, fmt.Errorf("hbase: no region for key %q (table missing?)", key)
+	}
+	return ri, nil
+}
+
+// locateIn finds the region containing key in a sorted region list.
+func locateIn(regions []RegionInfo, key []byte) (RegionInfo, bool) {
+	// Binary search over start keys: find the last region whose start
+	// is ≤ key.
+	lo, hi := 0, len(regions)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if regions[mid].Contains(key) {
+			return regions[mid], true
+		}
+		if len(regions[mid].Start) == 0 || string(regions[mid].Start) <= string(key) {
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return RegionInfo{}, false
+}
+
+// Put writes cells, grouping them by destination region and retrying
+// through failovers. It returns the first permanent error.
+func (cl *Client) Put(cells []Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	remaining := cells
+	var lastErr error
+	for attempt := 0; attempt <= cl.cfg.MaxRetries; attempt++ {
+		groups := make(map[int][]Cell)
+		infos := make(map[int]RegionInfo)
+		for _, c := range remaining {
+			ri, err := cl.locate(c.Row)
+			if err != nil {
+				return err
+			}
+			groups[ri.ID] = append(groups[ri.ID], c)
+			infos[ri.ID] = ri
+		}
+		var failed []Cell
+		for id, group := range groups {
+			ri := infos[id]
+			_, err := cl.clu.net.Call(rsAddr(ri.Server), "put", &PutRequest{Region: id, Cells: group})
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, rpc.ErrQueueOverflow) && cl.cfg.FailFast {
+				return err // surface backpressure to the caller
+			}
+			lastErr = err
+			failed = append(failed, group...)
+		}
+		if len(failed) == 0 {
+			return nil
+		}
+		remaining = failed
+		// Ask the active master to reconcile, then refresh the map.
+		cl.poke()
+		if err := cl.refresh(); err != nil {
+			lastErr = err
+		}
+		time.Sleep(cl.cfg.RetryBackoff)
+	}
+	return fmt.Errorf("%w: %v", ErrRetriesExhausted, lastErr)
+}
+
+// Delete tombstones the (Row, Qual) slots of the given cells. It
+// follows the same routing and retry path as Put.
+func (cl *Client) Delete(cells []Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	remaining := cells
+	var lastErr error
+	for attempt := 0; attempt <= cl.cfg.MaxRetries; attempt++ {
+		groups := make(map[int][]Cell)
+		infos := make(map[int]RegionInfo)
+		for _, c := range remaining {
+			ri, err := cl.locate(c.Row)
+			if err != nil {
+				return err
+			}
+			groups[ri.ID] = append(groups[ri.ID], c)
+			infos[ri.ID] = ri
+		}
+		var failed []Cell
+		for id, group := range groups {
+			ri := infos[id]
+			_, err := cl.clu.net.Call(rsAddr(ri.Server), "delete", &DeleteRequest{Region: id, Cells: group})
+			if err == nil {
+				continue
+			}
+			lastErr = err
+			failed = append(failed, group...)
+		}
+		if len(failed) == 0 {
+			return nil
+		}
+		remaining = failed
+		cl.poke()
+		if err := cl.refresh(); err != nil {
+			lastErr = err
+		}
+		time.Sleep(cl.cfg.RetryBackoff)
+	}
+	return fmt.Errorf("%w: %v", ErrRetriesExhausted, lastErr)
+}
+
+// poke nudges the active master to reconcile assignments (stands in for
+// the ZooKeeper watch latency in the real system).
+func (cl *Client) poke() {
+	for _, m := range cl.clu.masterAddrs() {
+		if _, err := cl.clu.net.Call(m, "reconcile", nil); err == nil {
+			return
+		}
+	}
+}
+
+// Scan returns all cells in [start, end) across regions, sorted by
+// (Row, Qual). limit <= 0 means unlimited; with a limit, the scan stops
+// once enough cells are gathered.
+func (cl *Client) Scan(start, end []byte, limit int) ([]Cell, error) {
+	var lastErr error
+	for attempt := 0; attempt <= cl.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			cl.poke()
+			if err := cl.refresh(); err != nil {
+				return nil, err
+			}
+			time.Sleep(cl.cfg.RetryBackoff)
+		}
+		cl.mu.RLock()
+		regions := append([]RegionInfo(nil), cl.regions...)
+		cl.mu.RUnlock()
+		if len(regions) == 0 {
+			if err := cl.refresh(); err != nil {
+				return nil, err
+			}
+			cl.mu.RLock()
+			regions = append([]RegionInfo(nil), cl.regions...)
+			cl.mu.RUnlock()
+		}
+		var out []Cell
+		ok := true
+		for _, ri := range regions {
+			if !rangesOverlap(ri, start, end) {
+				continue
+			}
+			resp, err := cl.clu.net.Call(rsAddr(ri.Server), "scan", &ScanRequest{Region: ri.ID, Start: start, End: end, Limit: limit})
+			if err != nil {
+				lastErr = err
+				ok = false
+				break
+			}
+			out = append(out, resp.(*ScanResponse).Cells...)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+		if ok {
+			sortCells(out)
+			if limit > 0 && len(out) > limit {
+				out = out[:limit]
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %v", ErrRetriesExhausted, lastErr)
+}
+
+// rangesOverlap reports whether region ri intersects [start, end).
+func rangesOverlap(ri RegionInfo, start, end []byte) bool {
+	if len(end) > 0 && len(ri.Start) > 0 && string(end) <= string(ri.Start) {
+		return false
+	}
+	if len(start) > 0 && len(ri.End) > 0 && string(start) >= string(ri.End) {
+		return false
+	}
+	return true
+}

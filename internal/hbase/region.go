@@ -1,0 +1,271 @@
+package hbase
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/hdfs"
+)
+
+// RegionInfo is the metadata the master publishes for one region.
+type RegionInfo struct {
+	ID    int    `json:"id"`
+	Start []byte `json:"start"` // inclusive; empty = -inf
+	End   []byte `json:"end"`   // exclusive; empty = +inf
+	// Server is the region server currently assigned, by name.
+	Server string `json:"server"`
+}
+
+// Contains reports whether key falls in this region's range.
+func (ri RegionInfo) Contains(key []byte) bool { return inRange(key, ri.Start, ri.End) }
+
+// dir returns the region's HDFS directory prefix.
+func (ri RegionInfo) dir() string { return regionDir(ri.ID) }
+
+func regionDir(id int) string { return fmt.Sprintf("/hbase/region-%d/", id) }
+
+// storeFile is one immutable flushed file, newest sequence wins.
+type storeFile struct {
+	path  string
+	seq   int64 // highest WAL sequence contained
+	cells []Cell
+}
+
+// region is the in-memory serving state for one assigned region.
+type region struct {
+	mu    sync.RWMutex
+	info  RegionInfo
+	mem   map[string]Cell // slotKey → newest cell
+	memSz int             // approximate bytes in memstore
+	files []storeFile     // sorted by seq ascending
+	// maxSeq is the highest WAL sequence applied to this region (for
+	// flush markers).
+	maxSeq int64
+}
+
+func newRegion(info RegionInfo) *region {
+	return &region{info: info, mem: make(map[string]Cell)}
+}
+
+// put applies cells (already range-checked) carrying WAL sequence seq.
+func (r *region) put(cells []Cell, seq int64) {
+	r.mu.Lock()
+	for _, c := range cells {
+		k := slotKey(c.Row, c.Qual)
+		if old, ok := r.mem[k]; ok {
+			r.memSz -= len(old.Row) + len(old.Qual) + len(old.Value)
+		}
+		cc := c.clone()
+		r.mem[k] = cc
+		r.memSz += len(cc.Row) + len(cc.Qual) + len(cc.Value)
+	}
+	if seq > r.maxSeq {
+		r.maxSeq = seq
+	}
+	r.mu.Unlock()
+}
+
+// memSize returns the approximate memstore footprint in bytes.
+func (r *region) memSize() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.memSz
+}
+
+// scan returns the merged view of [start, end): memstore shadows store
+// files, newer files shadow older ones. Cells are sorted by (Row, Qual).
+// limit <= 0 means unlimited.
+func (r *region) scan(start, end []byte, limit int) []Cell {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	merged := make(map[string]Cell)
+	// Oldest files first so newer overwrite.
+	for _, sf := range r.files {
+		for _, c := range sf.cells {
+			if inRange(c.Row, start, end) {
+				merged[slotKey(c.Row, c.Qual)] = c
+			}
+		}
+	}
+	for k, c := range r.mem {
+		if inRange(c.Row, start, end) {
+			merged[k] = c
+		}
+	}
+	out := make([]Cell, 0, len(merged))
+	for _, c := range merged {
+		if c.Tomb {
+			continue // delete marker shadows older versions
+		}
+		out = append(out, c)
+	}
+	sortCells(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// flushMarker is the durable record of how far a region has flushed.
+type flushMarker struct {
+	FlushedSeq int64    `json:"flushedSeq"`
+	Files      []string `json:"files"`
+}
+
+// flush writes the memstore to a new immutable store file in HDFS and
+// clears it, returning the flushed sequence. A nil error with seq 0
+// means the memstore was empty.
+func (r *region) flush(dfs *hdfs.Cluster) (int64, error) {
+	r.mu.Lock()
+	if len(r.mem) == 0 {
+		r.mu.Unlock()
+		return 0, nil
+	}
+	cells := make([]Cell, 0, len(r.mem))
+	for _, c := range r.mem {
+		cells = append(cells, c)
+	}
+	sortCells(cells)
+	seq := r.maxSeq
+	path := fmt.Sprintf("%ssf-%020d", r.info.dir(), seq)
+	r.mu.Unlock()
+
+	if err := dfs.WriteFile(path, encodeCells(cells)); err != nil {
+		return 0, fmt.Errorf("hbase: flush region %d: %w", r.info.ID, err)
+	}
+	r.mu.Lock()
+	r.files = append(r.files, storeFile{path: path, seq: seq, cells: cells})
+	sort.Slice(r.files, func(i, j int) bool { return r.files[i].seq < r.files[j].seq })
+	r.mem = make(map[string]Cell)
+	r.memSz = 0
+	files := make([]string, len(r.files))
+	for i, sf := range r.files {
+		files[i] = sf.path
+	}
+	r.mu.Unlock()
+
+	if err := r.writeMarker(dfs, seq, files); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+func (r *region) writeMarker(dfs *hdfs.Cluster, seq int64, files []string) error {
+	data, err := json.Marshal(flushMarker{FlushedSeq: seq, Files: files})
+	if err != nil {
+		return err
+	}
+	if err := dfs.WriteFile(r.info.dir()+"marker", data); err != nil {
+		return fmt.Errorf("hbase: write flush marker region %d: %w", r.info.ID, err)
+	}
+	return nil
+}
+
+// compact merges all store files into one (newest wins), deleting the
+// inputs. It returns the number of files compacted away.
+func (r *region) compact(dfs *hdfs.Cluster) (int, error) {
+	r.mu.Lock()
+	if len(r.files) < 2 {
+		r.mu.Unlock()
+		return 0, nil
+	}
+	old := append([]storeFile(nil), r.files...)
+	merged := make(map[string]Cell)
+	maxSeq := int64(0)
+	for _, sf := range old { // ascending seq: newest wins
+		for _, c := range sf.cells {
+			merged[slotKey(c.Row, c.Qual)] = c
+		}
+		if sf.seq > maxSeq {
+			maxSeq = sf.seq
+		}
+	}
+	cells := make([]Cell, 0, len(merged))
+	for _, c := range merged {
+		if c.Tomb {
+			continue // major compaction reclaims delete markers
+		}
+		cells = append(cells, c)
+	}
+	sortCells(cells)
+	r.mu.Unlock()
+
+	path := fmt.Sprintf("%ssf-%020d-c", r.info.dir(), maxSeq)
+	if err := dfs.WriteFile(path, encodeCells(cells)); err != nil {
+		return 0, fmt.Errorf("hbase: compact region %d: %w", r.info.ID, err)
+	}
+
+	r.mu.Lock()
+	// Only swap if the file set is unchanged (no concurrent flush).
+	same := len(r.files) == len(old)
+	if same {
+		for i := range old {
+			if r.files[i].path != old[i].path {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		r.mu.Unlock()
+		_ = dfs.DeleteFile(path)
+		return 0, nil
+	}
+	r.files = []storeFile{{path: path, seq: maxSeq, cells: cells}}
+	r.mu.Unlock()
+
+	if err := r.writeMarker(dfs, maxSeq, []string{path}); err != nil {
+		return 0, err
+	}
+	for _, sf := range old {
+		_ = dfs.DeleteFile(sf.path)
+	}
+	return len(old), nil
+}
+
+// openRegion reconstructs a region's flushed state from HDFS: reads the
+// marker, loads the listed store files. Used when a region is assigned
+// to a server (initial assignment, failover, split).
+func openRegion(info RegionInfo, dfs *hdfs.Cluster) (*region, int64, error) {
+	r := newRegion(info)
+	markerPath := info.dir() + "marker"
+	if !dfs.Exists(markerPath) {
+		return r, 0, nil // brand-new region
+	}
+	data, err := dfs.ReadFile(markerPath)
+	if err != nil {
+		return nil, 0, fmt.Errorf("hbase: open region %d marker: %w", info.ID, err)
+	}
+	var m flushMarker
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, 0, fmt.Errorf("hbase: open region %d marker: %w", info.ID, err)
+	}
+	for _, path := range m.Files {
+		raw, err := dfs.ReadFile(path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("hbase: open region %d file %s: %w", info.ID, path, err)
+		}
+		cells, err := decodeCells(raw)
+		if err != nil {
+			return nil, 0, fmt.Errorf("hbase: open region %d file %s: %w", info.ID, path, err)
+		}
+		seq := seqFromPath(path)
+		r.files = append(r.files, storeFile{path: path, seq: seq, cells: cells})
+	}
+	sort.Slice(r.files, func(i, j int) bool { return r.files[i].seq < r.files[j].seq })
+	r.maxSeq = m.FlushedSeq
+	return r, m.FlushedSeq, nil
+}
+
+// seqFromPath recovers the sequence embedded in a store file name.
+func seqFromPath(path string) int64 {
+	base := path[strings.LastIndex(path, "/")+1:]
+	base = strings.TrimPrefix(base, "sf-")
+	base = strings.TrimSuffix(base, "-c")
+	n, _ := strconv.ParseInt(base, 10, 64)
+	return n
+}

@@ -1,0 +1,77 @@
+package hbase
+
+import (
+	"sync"
+)
+
+// walEntry is one durable write-ahead record: the cell, the region it
+// belongs to, and the server-local sequence number.
+type walEntry struct {
+	Region int
+	Seq    int64
+	Cell   Cell
+}
+
+// walStore models the node-local durable disks holding each region
+// server's write-ahead log. It survives region-server crashes (the
+// process dies, the log does not), which is exactly what lets the
+// master replay un-flushed writes on failover. Indexed by server name.
+type walStore struct {
+	mu   sync.Mutex
+	logs map[string][]walEntry
+}
+
+func newWALStore() *walStore {
+	return &walStore{logs: make(map[string][]walEntry)}
+}
+
+// Append durably records entries for server.
+func (w *walStore) Append(server string, entries []walEntry) {
+	w.mu.Lock()
+	w.logs[server] = append(w.logs[server], entries...)
+	w.mu.Unlock()
+}
+
+// EntriesFor returns the entries server holds for region with sequence
+// greater than afterSeq, in append order.
+func (w *walStore) EntriesFor(server string, region int, afterSeq int64) []walEntry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []walEntry
+	for _, e := range w.logs[server] {
+		if e.Region == region && e.Seq > afterSeq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Truncate drops server's entries for region with sequence ≤ uptoSeq
+// (called after a successful flush made them redundant).
+func (w *walStore) Truncate(server string, region int, uptoSeq int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	log := w.logs[server]
+	kept := log[:0]
+	for _, e := range log {
+		if e.Region != region || e.Seq > uptoSeq {
+			kept = append(kept, e)
+		}
+	}
+	w.logs[server] = kept
+}
+
+// Drop removes server's entire log (after its regions were recovered
+// elsewhere).
+func (w *walStore) Drop(server string) {
+	w.mu.Lock()
+	delete(w.logs, server)
+	w.mu.Unlock()
+}
+
+// Len returns the number of entries held for server (for tests).
+func (w *walStore) Len(server string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.logs[server])
+}

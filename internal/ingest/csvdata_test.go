@@ -1,0 +1,128 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `timestamp,unit,sensor,value,faulty
+0,0,0,1.5,0
+0,0,1,2.5,0
+1,0,0,1.6,0
+1,0,1,9.9,1
+0,3,0,7.0,0
+0,3,1,8.0,0
+1,3,0,7.1,0
+1,3,1,8.1,0
+`
+
+func TestReadCSVBasics(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Sensors() != 2 {
+		t.Fatalf("sensors = %d", ds.Sensors())
+	}
+	units := ds.Units()
+	if len(units) != 2 || units[0] != 0 || units[1] != 3 {
+		t.Fatalf("units = %v", units)
+	}
+	first, last, ok := ds.TimeRange(0)
+	if !ok || first != 0 || last != 1 {
+		t.Fatalf("time range = %d..%d %v", first, last, ok)
+	}
+	if _, _, ok := ds.TimeRange(99); ok {
+		t.Fatal("missing unit must report !ok")
+	}
+}
+
+func TestReadCSVWindowAndObservations(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ds.Window(0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0][1] != 2.5 || w[1][1] != 9.9 {
+		t.Fatalf("window = %v", w)
+	}
+	rows, stamps, err := ds.Observations(3, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamps[1] != 1 || rows[1][0] != 7.1 {
+		t.Fatalf("observations = %v %v", rows, stamps)
+	}
+	if _, err := ds.Window(0, 0, 5); err == nil {
+		t.Fatal("missing timestamps must error")
+	}
+	if _, err := ds.Window(9, 0, 1); err == nil {
+		t.Fatal("missing unit must error")
+	}
+}
+
+func TestReadCSVTruth(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Faulty(0, 1, 1) {
+		t.Fatal("faulty flag lost")
+	}
+	if ds.Faulty(0, 0, 1) || ds.Faulty(3, 1, 0) {
+		t.Fatal("healthy samples marked faulty")
+	}
+}
+
+func TestReadCSVWithoutHeaderOrTruth(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("5,1,0,3.25\n5,1,1,4.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ds.Window(1, 5, 1)
+	if err != nil || w[0][1] != 4.5 {
+		t.Fatalf("window = %v, %v", w, err)
+	}
+	if ds.Faulty(1, 0, 5) {
+		t.Fatal("no truth column must mean healthy")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"timestamp,unit,sensor,value\n",
+		"1,2,3\n",
+		"x,0,0,1\n",
+		"0,x,0,1\n",
+		"0,0,x,1\n",
+		"0,0,0,x\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Fatalf("csv %q must fail", bad)
+		}
+	}
+}
+
+func TestDatasetPoints(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := ds.Points(0)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Metric != "energy" || p.Tags["unit"] != "0" {
+			t.Fatalf("point = %+v", p)
+		}
+	}
+	// Sorted by timestamp (times index is sorted).
+	if pts[0].Timestamp > pts[len(pts)-1].Timestamp {
+		t.Fatal("points not time-ordered")
+	}
+}

@@ -1,0 +1,205 @@
+package ingest
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simdata"
+	"repro/internal/tsdb"
+)
+
+func smallFleet() *simdata.Fleet {
+	return simdata.NewFleet(simdata.Config{Units: 4, SensorsPerUnit: 25, Seed: 1})
+}
+
+type collectingSink struct {
+	mu     sync.Mutex
+	points []tsdb.Point
+	fail   error
+}
+
+func (s *collectingSink) Submit(pts []tsdb.Point) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail != nil {
+		return s.fail
+	}
+	s.points = append(s.points, pts...)
+	return nil
+}
+
+func TestDriverProducesEverySample(t *testing.T) {
+	fleet := smallFleet()
+	sink := &collectingSink{}
+	d := NewDriver(fleet, sink, DriverConfig{BatchSize: 17, Senders: 3})
+	stats, err := d.Run(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(4 * 25 * 5)
+	if stats.Samples != want {
+		t.Fatalf("Samples = %d, want %d", stats.Samples, want)
+	}
+	if int64(len(sink.points)) != want {
+		t.Fatalf("sink received %d points", len(sink.points))
+	}
+	if stats.Rate <= 0 || stats.Elapsed <= 0 {
+		t.Fatal("rate/elapsed not measured")
+	}
+	// Every (unit, sensor, t) appears exactly once.
+	seen := make(map[[3]int64]bool, want)
+	for _, p := range sink.points {
+		if p.Metric != tsdb.MetricEnergy {
+			t.Fatalf("metric = %q", p.Metric)
+		}
+		var u, s int64
+		if _, err := fmtSscan(p.Tags["unit"], &u); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(p.Tags["sensor"], &s); err != nil {
+			t.Fatal(err)
+		}
+		key := [3]int64{u, s, p.Timestamp}
+		if seen[key] {
+			t.Fatalf("duplicate sample %v", key)
+		}
+		seen[key] = true
+		if got := fleet.Value(int(u), int(s), p.Timestamp); got != p.Value {
+			t.Fatal("driver value differs from fleet value")
+		}
+	}
+}
+
+func TestDriverCountsFailures(t *testing.T) {
+	sink := &collectingSink{fail: errors.New("down")}
+	d := NewDriver(smallFleet(), sink, DriverConfig{BatchSize: 10, Senders: 2})
+	stats, err := d.Run(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failures == 0 {
+		t.Fatal("failures not counted")
+	}
+	if stats.Samples != 0 {
+		t.Fatal("failed batches must not count as samples")
+	}
+}
+
+func TestDriverRateSeries(t *testing.T) {
+	slowSink := SinkFunc(func(pts []tsdb.Point) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	d := NewDriver(smallFleet(), slowSink, DriverConfig{BatchSize: 20, Senders: 2, SampleEvery: 5 * time.Millisecond})
+	stats, err := d.Run(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Series) == 0 {
+		t.Fatal("rate series not collected")
+	}
+	last := stats.Series[len(stats.Series)-1]
+	if last.Cumulative != stats.Samples {
+		t.Fatalf("final cumulative %d != samples %d", last.Cumulative, stats.Samples)
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	p := tsdb.EnergyPoint(3, 14, 1500, 2.718)
+	line := FormatLine(&p)
+	if line != "put energy 1500 2.718 sensor=14 unit=3" {
+		t.Fatalf("line = %q", line)
+	}
+	got, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metric != p.Metric || got.Timestamp != p.Timestamp || got.Value != p.Value {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Tags["unit"] != "3" || got.Tags["sensor"] != "14" {
+		t.Fatalf("tags = %v", got.Tags)
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"get energy 1 2 a=b",
+		"put energy xx 2 a=b",
+		"put energy 1 yy a=b",
+		"put energy 1 2",
+		"put energy 1 2 ab",
+		"put energy 1 2 =b",
+		"put energy 1 2 a=",
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Fatalf("line %q must fail", line)
+		}
+	}
+}
+
+func TestLinePropertyRoundTrip(t *testing.T) {
+	f := func(unit, sensor uint8, ts uint32, val float64) bool {
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return true
+		}
+		p := tsdb.EnergyPoint(int(unit), int(sensor), int64(ts), val)
+		got, err := ParseLine(FormatLine(&p))
+		return err == nil && got.Value == val && got.Timestamp == int64(ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	pts := []tsdb.Point{
+		tsdb.EnergyPoint(1, 2, 10, 1.5),
+		tsdb.EnergyPoint(3, 4, 20, -2.5),
+	}
+	body, err := FormatJSON(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSON(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Value != 1.5 || got[1].Tags["unit"] != "3" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	// Single-object form.
+	one, err := ParseJSON([]byte(`{"metric":"energy","timestamp":5,"value":7,"tags":{"unit":"1","sensor":"2"}}`))
+	if err != nil || len(one) != 1 || one[0].Value != 7 {
+		t.Fatalf("single object = %+v, %v", one, err)
+	}
+	// Errors.
+	if _, err := ParseJSON([]byte("{nope")); err == nil {
+		t.Fatal("bad JSON must fail")
+	}
+	if _, err := ParseJSON([]byte("[{nope")); err == nil {
+		t.Fatal("bad JSON array must fail")
+	}
+	if _, err := ParseJSON([]byte(`{"metric":"","timestamp":5,"value":7,"tags":{"a":"b"}}`)); err == nil {
+		t.Fatal("invalid point must fail validation")
+	}
+}
+
+// fmtSscan is a tiny strconv wrapper (avoids importing fmt for one call).
+func fmtSscan(s string, out *int64) (int, error) {
+	v := int64(0)
+	for _, ch := range s {
+		if ch < '0' || ch > '9' {
+			return 0, errors.New("bad int " + s)
+		}
+		v = v*10 + int64(ch-'0')
+	}
+	*out = v
+	return 1, nil
+}

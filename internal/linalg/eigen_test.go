@@ -1,0 +1,320 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	eig, v, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eig[0]-3) > 1e-10 || math.Abs(eig[1]-1) > 1e-10 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", eig)
+	}
+	// Eigenvector for λ=3 is (1,1)/√2 up to sign.
+	if math.Abs(math.Abs(v.At(0, 0))-1/math.Sqrt2) > 1e-10 {
+		t.Fatalf("eigenvector wrong: %v", v)
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a, _ := FromRows([][]float64{{5, 0, 0}, {0, -2, 0}, {0, 0, 9}})
+	eig, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{9, 5, -2}
+	for i := range want {
+		if math.Abs(eig[i]-want[i]) > 1e-12 {
+			t.Fatalf("eig = %v, want %v", eig, want)
+		}
+	}
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 5, 20, 50} {
+		// Random symmetric matrix.
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		eig, v, err := EigenSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if eig[i] > eig[i-1]+1e-12 {
+				t.Fatalf("n=%d: eigenvalues not descending: %v", n, eig)
+			}
+		}
+		// V orthonormal: VᵀV = I.
+		vtv, err := v.T().Mul(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := vtv.MaxAbsDiff(Identity(n)); d > 1e-8 {
+			t.Fatalf("n=%d: VᵀV differs from I by %v", n, d)
+		}
+		// A = V diag(eig) Vᵀ.
+		vd := v.Clone()
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				vd.Set(i, j, vd.At(i, j)*eig[j])
+			}
+		}
+		rec, err := vd.Mul(v.T())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := rec.MaxAbsDiff(a); d > 1e-8 {
+			t.Fatalf("n=%d: reconstruction error %v", n, d)
+		}
+	}
+}
+
+func TestEigenSymRejectsNonSquareAndAsymmetric(t *testing.T) {
+	if _, _, err := EigenSym(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square must error")
+	}
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := EigenSym(a); err == nil {
+		t.Fatal("asymmetric must error")
+	}
+}
+
+func TestEigenTraceAndDeterminantInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		eig, _, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		trace, sumEig := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sumEig += eig[i]
+		}
+		return math.Abs(trace-sumEig) < 1e-8*(1+math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVDTallMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randMatrix(rng, 30, 8)
+	r, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Singular values descending and non-negative.
+	for i, s := range r.S {
+		if s < 0 {
+			t.Fatalf("negative singular value %v", s)
+		}
+		if i > 0 && s > r.S[i-1]+1e-10 {
+			t.Fatalf("singular values not descending: %v", r.S)
+		}
+	}
+	rec, err := r.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rec.MaxAbsDiff(a); d > 1e-8 {
+		t.Fatalf("SVD reconstruction error %v", d)
+	}
+	// U columns orthonormal where singular values are nonzero.
+	utu, err := r.U.T().Mul(r.U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := utu.MaxAbsDiff(Identity(8)); d > 1e-8 {
+		t.Fatalf("UᵀU differs from I by %v", d)
+	}
+}
+
+func TestSVDWideMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMatrix(rng, 6, 20)
+	r, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rec.MaxAbsDiff(a); d > 1e-8 {
+		t.Fatalf("wide SVD reconstruction error %v", d)
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: second singular value must be ≈0.
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	r, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.S[1] > 1e-8 {
+		t.Fatalf("rank-1 matrix must have s2≈0, got %v", r.S[1])
+	}
+	rec, err := r.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rec.MaxAbsDiff(a); d > 1e-8 {
+		t.Fatalf("reconstruction error %v", d)
+	}
+}
+
+func TestSVDSingularValuesMatchEigen(t *testing.T) {
+	// For symmetric PSD matrices, singular values equal eigenvalues.
+	rng := rand.New(rand.NewSource(14))
+	b := randMatrix(rng, 12, 4)
+	psd, err := b.T().Mul(b) // 4x4 PSD
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceSymmetric(psd)
+	eig, _, err := EigenSym(psd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svd, err := SVD(psd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range eig {
+		if math.Abs(eig[i]-svd.S[i]) > 1e-6*(1+eig[0]) {
+			t.Fatalf("eig %v vs singular %v", eig, svd.S)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randMatrix(rng, 10, 6)
+	r, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := r.TopK(3)
+	if top.Rows != 6 || top.Cols != 3 {
+		t.Fatalf("TopK shape = %dx%d, want 6x3", top.Rows, top.Cols)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 3; j++ {
+			if top.At(i, j) != r.V.At(i, j) {
+				t.Fatal("TopK must copy leading columns of V")
+			}
+		}
+	}
+	if k := r.TopK(100); k.Cols != 6 {
+		t.Fatal("TopK must clamp to available columns")
+	}
+	if k := r.TopK(0); k.Cols != 1 {
+		t.Fatal("TopK must clamp k to ≥1")
+	}
+}
+
+func TestLargeEigenMatchesJacobi(t *testing.T) {
+	// Cross-validate the Householder+QL path against Jacobi on sizes
+	// straddling the dispatch threshold.
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{jacobiMaxN + 1, 100, 150} {
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		eig, v, err := EigenSym(a) // takes the QL path
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Orthonormal eigenvectors.
+		vtv, err := v.T().Mul(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := vtv.MaxAbsDiff(Identity(n)); d > 1e-8 {
+			t.Fatalf("n=%d: VᵀV differs from I by %v", n, d)
+		}
+		// Reconstruction.
+		vd := v.Clone()
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				vd.Set(i, j, vd.At(i, j)*eig[j])
+			}
+		}
+		rec, err := vd.Mul(v.T())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := rec.MaxAbsDiff(a); d > 1e-7*(1+a.FrobeniusNorm()) {
+			t.Fatalf("n=%d: QL reconstruction error %v", n, d)
+		}
+		// Eigenvalues descending.
+		for i := 1; i < n; i++ {
+			if eig[i] > eig[i-1]+1e-10 {
+				t.Fatalf("n=%d: eigenvalues not descending", n)
+			}
+		}
+		// Trace preserved.
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += eig[i]
+		}
+		if math.Abs(trace-sum) > 1e-8*(1+math.Abs(trace)) {
+			t.Fatalf("n=%d: trace %v vs eigensum %v", n, trace, sum)
+		}
+	}
+}
+
+func TestLargeEigenOnPSDCovariance(t *testing.T) {
+	// PSD input (the trainer's case): all eigenvalues ≥ ~0 and the
+	// dominant direction recovered.
+	rng := rand.New(rand.NewSource(78))
+	n := 120
+	b := randMatrix(rng, 300, n)
+	psd, err := b.T().Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceSymmetric(psd)
+	eig, _, err := EigenSym(psd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range eig {
+		if l < -1e-6*(1+eig[0]) {
+			t.Fatalf("PSD eigenvalue %d = %v negative", i, l)
+		}
+	}
+}

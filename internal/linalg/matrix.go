@@ -1,0 +1,363 @@
+// Package linalg implements the dense linear algebra the anomaly
+// detector needs: matrices with parallel blocked multiplication,
+// covariance estimation, symmetric eigendecomposition (cyclic Jacobi)
+// and singular value decomposition.
+//
+// The paper's offline trainer computes, per unit, the covariance matrix
+// of the sensor streams and then an SVD of that covariance; the online
+// evaluator is "a single matrix multiplication per iteration". Both hot
+// paths live here. Matrices are row-major float64 with no external
+// dependencies.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// ErrShape reports incompatible matrix dimensions.
+var ErrShape = errors.New("linalg: incompatible shapes")
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero matrix with the given shape. It panics on
+// non-positive dimensions, which are programming errors.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, ErrShape
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(r), m.Cols)
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Add returns m + other.
+func (m *Matrix) Add(other *Matrix) (*Matrix, error) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return nil, ErrShape
+	}
+	out := m.Clone()
+	for i, v := range other.Data {
+		out.Data[i] += v
+	}
+	return out, nil
+}
+
+// Sub returns m - other.
+func (m *Matrix) Sub(other *Matrix) (*Matrix, error) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return nil, ErrShape
+	}
+	out := m.Clone()
+	for i, v := range other.Data {
+		out.Data[i] -= v
+	}
+	return out, nil
+}
+
+// Scale returns s·m as a new matrix.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// Mul returns m·other using a cache-blocked, goroutine-parallel kernel.
+// Row blocks are distributed over GOMAXPROCS workers; the inner loops
+// use the ikj ordering so the innermost loop streams both operands.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.Cols != other.Rows {
+		return nil, fmt.Errorf("%w: %dx%d · %dx%d", ErrShape, m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	mulInto(out, m, other)
+	return out, nil
+}
+
+// mulInto computes out = a·b, parallelizing across row stripes when the
+// work is large enough to amortize goroutine startup.
+func mulInto(out, a, b *Matrix) {
+	n, k, p := a.Rows, a.Cols, b.Cols
+	flops := float64(n) * float64(k) * float64(p)
+	workers := runtime.GOMAXPROCS(0)
+	if flops < 1<<17 || workers < 2 {
+		mulRange(out, a, b, 0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// mulRange computes rows [lo,hi) of out = a·b with ikj ordering.
+func mulRange(out, a, b *Matrix, lo, hi int) {
+	k, p := a.Cols, b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*p : (i+1)*p]
+		for x := range orow {
+			orow[x] = 0
+		}
+		for l := 0; l < k; l++ {
+			av := arow[l]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[l*p : (l+1)*p]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulVec returns m·v for a vector v of length m.Cols.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if len(v) != m.Cols {
+		return nil, ErrShape
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 { return Norm2(m.Data) }
+
+// MaxAbsDiff returns max |m_ij - other_ij|; +Inf on shape mismatch.
+func (m *Matrix) MaxAbsDiff(other *Matrix) float64 {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return math.Inf(1)
+	}
+	max := 0.0
+	for i, v := range m.Data {
+		d := math.Abs(v - other.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Equal reports element-wise equality within tol.
+func (m *Matrix) Equal(other *Matrix, tol float64) bool {
+	return m.MaxAbsDiff(other) <= tol
+}
+
+// String renders the matrix for debugging (rows on lines, %.4g).
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ColumnMeans returns the mean of each column of m.
+func (m *Matrix) ColumnMeans() []float64 {
+	mu := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			mu[j] += v
+		}
+	}
+	inv := 1 / float64(m.Rows)
+	for j := range mu {
+		mu[j] *= inv
+	}
+	return mu
+}
+
+// Covariance returns the unbiased sample covariance matrix (Cols×Cols)
+// of the observations in m, one observation per row, along with the
+// column means. It needs at least two rows.
+func (m *Matrix) Covariance() (*Matrix, []float64, error) {
+	if m.Rows < 2 {
+		return nil, nil, fmt.Errorf("%w: covariance needs ≥2 rows, have %d", ErrShape, m.Rows)
+	}
+	mu := m.ColumnMeans()
+	d := m.Cols
+	cov := NewMatrix(d, d)
+	// Accumulate centered outer products in parallel over row stripes,
+	// each worker into a private accumulator, then reduce.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m.Rows {
+		workers = m.Rows
+	}
+	if d*d*m.Rows < 1<<15 {
+		workers = 1
+	}
+	accs := make([][]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (m.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		accs[w] = make([]float64, d*d)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := accs[w]
+			cen := make([]float64, d)
+			for i := lo; i < hi; i++ {
+				row := m.Row(i)
+				for j := range cen {
+					cen[j] = row[j] - mu[j]
+				}
+				for j := 0; j < d; j++ {
+					cj := cen[j]
+					if cj == 0 {
+						continue
+					}
+					arow := acc[j*d : (j+1)*d]
+					// Symmetric: accumulate the upper triangle only.
+					for l := j; l < d; l++ {
+						arow[l] += cj * cen[l]
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	inv := 1 / float64(m.Rows-1)
+	for _, acc := range accs {
+		if acc == nil {
+			continue
+		}
+		for i := range acc {
+			cov.Data[i] += acc[i]
+		}
+	}
+	for j := 0; j < d; j++ {
+		for l := j; l < d; l++ {
+			v := cov.Data[j*d+l] * inv
+			cov.Data[j*d+l] = v
+			cov.Data[l*d+j] = v
+		}
+	}
+	return cov, mu, nil
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// eigenSymLarge computes the symmetric eigendecomposition via
+// Householder tridiagonalization followed by the implicit-shift QL
+// algorithm — the classic tred2/tqli pair. Cost is ~(4/3)n³ flops,
+// roughly an order of magnitude faster than cyclic Jacobi at n = 1000,
+// which is the size of the paper's per-unit covariance matrices.
+//
+// Results are returned like EigenSym: eigenvalues descending with the
+// matching eigenvectors as columns of v.
+func eigenSymLarge(a *Matrix) (eig []float64, v *Matrix, err error) {
+	n := a.Rows
+	// Work on a copy; z accumulates the orthogonal transforms and ends
+	// up holding the eigenvectors.
+	z := a.Clone()
+	d := make([]float64, n) // diagonal
+	e := make([]float64, n) // off-diagonal
+	tred2(z, d, e)
+	if err := tqli(d, e, z); err != nil {
+		return nil, nil, err
+	}
+	sortEigenDescending(d, z)
+	return d, z, nil
+}
+
+// tred2 reduces the symmetric matrix stored in z to tridiagonal form
+// with accumulated transforms (Householder). On return, d holds the
+// diagonal, e the sub-diagonal (e[0] unused), and z the accumulated
+// orthogonal matrix Q with QᵀAQ tridiagonal.
+func tred2(z *Matrix, d, e []float64) {
+	n := z.Rows
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(z.At(i, k))
+			}
+			if scale == 0 {
+				e[i] = z.At(i, l)
+			} else {
+				for k := 0; k <= l; k++ {
+					zik := z.At(i, k) / scale
+					z.Set(i, k, zik)
+					h += zik * zik
+				}
+				f := z.At(i, l)
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				z.Set(i, l, f-g)
+				f = 0
+				for j := 0; j <= l; j++ {
+					z.Set(j, i, z.At(i, j)/h)
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += z.At(j, k) * z.At(i, k)
+					}
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * z.At(i, k)
+					}
+					e[j] = g / h
+					f += e[j] * z.At(i, j)
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = z.At(i, j)
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						z.Set(j, k, z.At(j, k)-f*e[k]-g*z.At(i, k))
+					}
+				}
+			}
+		} else {
+			e[i] = z.At(i, l)
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				g := 0.0
+				for k := 0; k <= l; k++ {
+					g += z.At(i, k) * z.At(k, j)
+				}
+				for k := 0; k <= l; k++ {
+					z.Set(k, j, z.At(k, j)-g*z.At(k, i))
+				}
+			}
+		}
+		d[i] = z.At(i, i)
+		z.Set(i, i, 1)
+		for j := 0; j <= l; j++ {
+			z.Set(j, i, 0)
+			z.Set(i, j, 0)
+		}
+	}
+}
+
+// tqli diagonalizes a symmetric tridiagonal matrix (d diagonal, e
+// sub-diagonal with e[0] unused) by the QL algorithm with implicit
+// shifts, accumulating the rotations into z's columns.
+func tqli(d, e []float64, z *Matrix) error {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			if iter >= 50 {
+				return fmt.Errorf("linalg: QL failed to converge at eigenvalue %d", l)
+			}
+			// Find a small off-diagonal element to split at.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-16*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				// Accumulate the rotation into the eigenvector matrix.
+				col1 := i + 1
+				for k := 0; k < n; k++ {
+					f := z.At(k, col1)
+					zki := z.At(k, i)
+					z.Set(k, col1, s*zki+c*f)
+					z.Set(k, i, c*zki-s*f)
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}

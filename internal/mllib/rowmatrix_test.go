@@ -1,0 +1,246 @@
+package mllib
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/linalg"
+)
+
+func newEngine(t *testing.T) *dataflow.Engine {
+	t.Helper()
+	e := dataflow.NewEngine(4)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func randDense(rng *rand.Rand, rows, cols int) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewRowMatrixValidation(t *testing.T) {
+	e := newEngine(t)
+	ds := dataflow.Parallelize(e, [][]float64{{1, 2}}, 1)
+	if _, err := NewRowMatrix(ds, 0); err == nil {
+		t.Fatal("cols=0 must error")
+	}
+	rm, err := NewRowMatrix(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Cols() != 2 {
+		t.Fatal("Cols wrong")
+	}
+	n, err := rm.NumRows()
+	if err != nil || n != 1 {
+		t.Fatalf("NumRows = %d, %v", n, err)
+	}
+}
+
+func TestColumnMeans(t *testing.T) {
+	e := newEngine(t)
+	rows := [][]float64{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
+	rm, err := NewRowMatrix(dataflow.Parallelize(e, rows, 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := rm.ColumnMeans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mu[0]-2.5) > 1e-12 || math.Abs(mu[1]-25) > 1e-12 {
+		t.Fatalf("means = %v", mu)
+	}
+}
+
+func TestGramianMatchesDense(t *testing.T) {
+	e := newEngine(t)
+	rng := rand.New(rand.NewSource(31))
+	m := randDense(rng, 40, 6)
+	rm, err := FromDense(e, m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gram, err := rm.Gramian()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.T().Mul(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := gram.MaxAbsDiff(want); d > 1e-9 {
+		t.Fatalf("distributed Gramian differs from XᵀX by %v", d)
+	}
+}
+
+func TestCovarianceMatchesDense(t *testing.T) {
+	e := newEngine(t)
+	rng := rand.New(rand.NewSource(32))
+	m := randDense(rng, 200, 5)
+	// Shift columns so means are far from zero — this stresses the
+	// one-pass cov = (XᵀX - nμμᵀ)/(n-1) formula.
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += float64(j+1) * 100
+		}
+	}
+	rm, err := FromDense(e, m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, mu, err := rm.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCov, wantMu, err := m.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range mu {
+		if math.Abs(mu[j]-wantMu[j]) > 1e-9 {
+			t.Fatalf("means differ: %v vs %v", mu, wantMu)
+		}
+	}
+	if d := cov.MaxAbsDiff(wantCov); d > 1e-7 {
+		t.Fatalf("distributed covariance differs from dense by %v", d)
+	}
+}
+
+func TestCovarianceInvariantToPartitioning(t *testing.T) {
+	e := newEngine(t)
+	rng := rand.New(rand.NewSource(33))
+	m := randDense(rng, 64, 4)
+	var ref *linalg.Matrix
+	for _, parts := range []int{1, 2, 7, 64} {
+		rm, err := FromDense(e, m, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov, _, err := rm.Covariance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = cov
+			continue
+		}
+		if d := cov.MaxAbsDiff(ref); d > 1e-9 {
+			t.Fatalf("covariance depends on partitioning (parts=%d, diff=%v)", parts, d)
+		}
+	}
+}
+
+func TestCovarianceErrors(t *testing.T) {
+	e := newEngine(t)
+	rm, err := NewRowMatrix(dataflow.Parallelize(e, [][]float64{{1, 2}}, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rm.Covariance(); err == nil {
+		t.Fatal("covariance of one row must error")
+	}
+	empty, err := NewRowMatrix(dataflow.Parallelize(e, [][]float64{}, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.ColumnMeans(); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty matrix means must be ErrEmpty")
+	}
+	if _, err := empty.Gramian(); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty matrix gramian must be ErrEmpty")
+	}
+}
+
+func TestRaggedRowsFailJob(t *testing.T) {
+	e := newEngine(t)
+	rm, err := NewRowMatrix(dataflow.Parallelize(e, [][]float64{{1, 2}, {3}}, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rm.Gramian(); err == nil {
+		t.Fatal("ragged rows must fail the job")
+	}
+}
+
+func TestComputeCovarianceSVD(t *testing.T) {
+	e := newEngine(t)
+	// Two strongly correlated columns plus an independent one: the top
+	// eigenvector must load on the correlated pair.
+	rng := rand.New(rand.NewSource(34))
+	n := 500
+	rows := make([][]float64, n)
+	for i := range rows {
+		z := rng.NormFloat64()
+		rows[i] = []float64{5 * z, 5 * z * 0.99, rng.NormFloat64()}
+	}
+	rm, err := NewRowMatrix(dataflow.Parallelize(e, rows, 6), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := rm.ComputeCovarianceSVD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Eigenvalues) != 3 || model.Components.Rows != 3 {
+		t.Fatal("model shape wrong")
+	}
+	if model.Eigenvalues[0] < 10*model.Eigenvalues[1] {
+		t.Fatalf("dominant eigenvalue not dominant: %v", model.Eigenvalues)
+	}
+	for i := 1; i < 3; i++ {
+		if model.Eigenvalues[i] > model.Eigenvalues[i-1] {
+			t.Fatal("eigenvalues must be descending")
+		}
+		if model.Eigenvalues[i] < 0 {
+			t.Fatal("eigenvalues must be clamped non-negative")
+		}
+	}
+	// The top component should weight columns 0 and 1 about equally and
+	// column 2 near zero.
+	v0 := math.Abs(model.Components.At(0, 0))
+	v1 := math.Abs(model.Components.At(1, 0))
+	v2 := math.Abs(model.Components.At(2, 0))
+	if v2 > 0.2 || math.Abs(v0-v1) > 0.1 {
+		t.Fatalf("top component = (%v, %v, %v), want ≈(.7, .7, 0)", v0, v1, v2)
+	}
+}
+
+func TestMultiplyGramianBy(t *testing.T) {
+	e := newEngine(t)
+	rng := rand.New(rand.NewSource(35))
+	m := randDense(rng, 30, 5)
+	rm, err := FromDense(e, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{1, -1, 2, 0.5, -0.25}
+	got, err := rm.MultiplyGramianBy(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gram, err := m.T().Mul(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gram.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("Gramian-vector product differs: %v vs %v", got, want)
+		}
+	}
+	if _, err := rm.MultiplyGramianBy([]float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}

@@ -1,0 +1,184 @@
+// Package proxy implements the buffering reverse proxy from §III-B:
+// "we built a reverse proxy to buffer requests to OpenTSDB in order to
+// limit the number of concurrent requests … This proxy also serves to
+// increase ingestion throughput by load-balancing traffic to multiple
+// ingestion processes … via a round-robin fashion."
+//
+// Mechanically it is a bounded queue in front of the TSD tier:
+//
+//   - Submit enqueues a batch, blocking the producer when the buffer
+//     is full — backpressure propagates to the data source instead of
+//     overflowing RegionServer RPC queues;
+//   - a fixed pool of senders drains the queue, capping the number of
+//     concurrent requests hitting the TSDs;
+//   - batches rotate across TSD daemons round-robin, and transient
+//     failures (queue overflow, server down during failover) are
+//     retried on the next daemon with backoff.
+package proxy
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+	"repro/internal/tsdb"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("proxy: closed")
+
+// ErrNoBackends means the proxy was built with no TSD addresses.
+var ErrNoBackends = errors.New("proxy: no backends")
+
+// Config tunes the proxy.
+type Config struct {
+	// MaxInFlight caps concurrent requests to the TSD tier (default 8).
+	MaxInFlight int
+	// BufferBatches is the queue capacity in batches (default 1024).
+	// Submit blocks while the buffer is full.
+	BufferBatches int
+	// MaxRetries bounds delivery attempts per batch (default 8).
+	MaxRetries int
+	// RetryBackoff is the pause between attempts (default 2ms, doubled
+	// per retry).
+	RetryBackoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.BufferBatches <= 0 {
+		c.BufferBatches = 1024
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Proxy is the ingestion frontend.
+type Proxy struct {
+	net   *rpc.Network
+	tsds  []string
+	cfg   Config
+	queue chan []tsdb.Point
+	rr    atomic.Uint64
+
+	closed  atomic.Bool
+	workers sync.WaitGroup
+	pending sync.WaitGroup
+
+	// Accepted counts points admitted by Submit.
+	Accepted telemetry.Counter
+	// Delivered counts points acknowledged by a TSD.
+	Delivered telemetry.Counter
+	// Dropped counts points abandoned after MaxRetries.
+	Dropped telemetry.Counter
+	// Retries counts re-sent batches.
+	Retries telemetry.Counter
+	// QueueDepth tracks buffered batches.
+	QueueDepth telemetry.Gauge
+}
+
+// New starts a proxy over the given TSD addresses.
+func New(net *rpc.Network, tsdAddrs []string, cfg Config) (*Proxy, error) {
+	if len(tsdAddrs) == 0 {
+		return nil, ErrNoBackends
+	}
+	cfg = cfg.withDefaults()
+	p := &Proxy{
+		net:   net,
+		tsds:  append([]string(nil), tsdAddrs...),
+		cfg:   cfg,
+		queue: make(chan []tsdb.Point, cfg.BufferBatches),
+	}
+	p.workers.Add(cfg.MaxInFlight)
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		go p.sender()
+	}
+	return p, nil
+}
+
+// Submit enqueues one batch for delivery, blocking while the buffer is
+// full (the backpressure contract). The batch is copied; callers may
+// reuse the slice.
+func (p *Proxy) Submit(points []tsdb.Point) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	batch := make([]tsdb.Point, len(points))
+	copy(batch, points)
+	p.pending.Add(1)
+	p.QueueDepth.Inc()
+	select {
+	case p.queue <- batch:
+	default:
+		// Buffer full: block (backpressure) unless closed mid-wait.
+		p.queue <- batch
+	}
+	p.Accepted.Add(int64(len(points)))
+	return nil
+}
+
+// sender drains the queue, delivering with round-robin + retry.
+func (p *Proxy) sender() {
+	defer p.workers.Done()
+	for batch := range p.queue {
+		p.QueueDepth.Dec()
+		p.deliver(batch)
+		p.pending.Done()
+	}
+}
+
+// deliver attempts the batch against rotating TSDs.
+func (p *Proxy) deliver(batch []tsdb.Point) {
+	backoff := p.cfg.RetryBackoff
+	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
+		addr := p.tsds[p.rr.Add(1)%uint64(len(p.tsds))]
+		_, err := p.net.Call(addr, "put", &tsdb.PutBatch{Points: batch})
+		if err == nil {
+			p.Delivered.Add(int64(len(batch)))
+			return
+		}
+		if attempt == p.cfg.MaxRetries {
+			break
+		}
+		p.Retries.Inc()
+		// Back off only on pressure signals; a dead TSD rotates
+		// immediately.
+		if errors.Is(err, rpc.ErrQueueOverflow) {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	p.Dropped.Add(int64(len(batch)))
+}
+
+// Flush blocks until every submitted batch is delivered or dropped.
+func (p *Proxy) Flush() {
+	p.pending.Wait()
+}
+
+// Close flushes and stops the senders. Submit fails afterwards.
+func (p *Proxy) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		p.pending.Wait()
+		close(p.queue)
+		p.workers.Wait()
+	}
+}
+
+// Backends returns the TSD addresses (for diagnostics).
+func (p *Proxy) Backends() []string {
+	return append([]string(nil), p.tsds...)
+}

@@ -1,0 +1,262 @@
+package proxy
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/tsdb"
+)
+
+// fakeTSDs registers n handlers that count points, optionally failing.
+func fakeTSDs(t *testing.T, n int, fail func(addr string) error) (*rpc.Network, []string, *atomic.Int64, map[string]*atomic.Int64) {
+	t.Helper()
+	net := rpc.NewNetwork(0, nil)
+	t.Cleanup(net.Close)
+	total := &atomic.Int64{}
+	per := make(map[string]*atomic.Int64)
+	var addrs []string
+	for i := 0; i < n; i++ {
+		addr := "tsd/fake-" + string(rune('a'+i))
+		cnt := &atomic.Int64{}
+		per[addr] = cnt
+		addrCopy := addr
+		_, err := net.Register(addr, func(method string, payload any) (any, error) {
+			if fail != nil {
+				if err := fail(addrCopy); err != nil {
+					return nil, err
+				}
+			}
+			pts := payload.(*tsdb.PutBatch).Points
+			cnt.Add(int64(len(pts)))
+			total.Add(int64(len(pts)))
+			return nil, nil
+		}, rpc.ServerConfig{QueueCap: 64, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, addr)
+	}
+	return net, addrs, total, per
+}
+
+func somePoints(n int) []tsdb.Point {
+	pts := make([]tsdb.Point, n)
+	for i := range pts {
+		pts[i] = tsdb.EnergyPoint(1, i, int64(i), float64(i))
+	}
+	return pts
+}
+
+func TestSubmitDeliversAll(t *testing.T) {
+	net, addrs, total, _ := fakeTSDs(t, 2, nil)
+	p, err := New(net, addrs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := p.Submit(somePoints(50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if total.Load() != 500 {
+		t.Fatalf("delivered %d points, want 500", total.Load())
+	}
+	if p.Accepted.Value() != 500 || p.Delivered.Value() != 500 || p.Dropped.Value() != 0 {
+		t.Fatalf("counters: acc=%d del=%d drop=%d", p.Accepted.Value(), p.Delivered.Value(), p.Dropped.Value())
+	}
+}
+
+func TestRoundRobinSpreadsLoad(t *testing.T) {
+	net, addrs, _, per := fakeTSDs(t, 4, nil)
+	p, err := New(net, addrs, Config{MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := p.Submit(somePoints(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	for addr, cnt := range per {
+		if cnt.Load() == 0 {
+			t.Fatalf("backend %s got no traffic", addr)
+		}
+	}
+}
+
+func TestRetryFailsOverToHealthyBackend(t *testing.T) {
+	var net *rpc.Network
+	fail := func(addr string) error {
+		if addr == "tsd/fake-a" {
+			return errors.New("backend down")
+		}
+		return nil
+	}
+	net, addrs, total, per := fakeTSDs(t, 2, fail)
+	_ = net
+	p, err := New(net, addrs, Config{MaxInFlight: 1, MaxRetries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := p.Submit(somePoints(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if total.Load() != 40 {
+		t.Fatalf("delivered %d, want 40 (retries must fail over)", total.Load())
+	}
+	if per["tsd/fake-a"].Load() != 0 {
+		t.Fatal("failing backend must not have accepted points")
+	}
+	if p.Retries.Value() == 0 {
+		t.Fatal("retries not counted")
+	}
+}
+
+func TestDropsAfterRetryBudget(t *testing.T) {
+	net, addrs, _, _ := fakeTSDs(t, 2, func(string) error { return errors.New("all down") })
+	p, err := New(net, addrs, Config{MaxInFlight: 1, MaxRetries: 2, RetryBackoff: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(somePoints(7)); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if p.Dropped.Value() != 7 {
+		t.Fatalf("Dropped = %d, want 7", p.Dropped.Value())
+	}
+	if p.Delivered.Value() != 0 {
+		t.Fatal("nothing should be delivered")
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	net, addrs, _, _ := fakeTSDs(t, 1, nil)
+	p, err := New(net, addrs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Submit(somePoints(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestEmptySubmitIsNoop(t *testing.T) {
+	net, addrs, _, _ := fakeTSDs(t, 1, nil)
+	p, err := New(net, addrs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Submit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Accepted.Value() != 0 {
+		t.Fatal("empty submit must not count")
+	}
+}
+
+func TestNoBackends(t *testing.T) {
+	net := rpc.NewNetwork(0, nil)
+	defer net.Close()
+	if _, err := New(net, nil, Config{}); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFlushWaitsForDelivery(t *testing.T) {
+	slow := make(chan struct{})
+	net := rpc.NewNetwork(0, nil)
+	defer net.Close()
+	var got atomic.Int64
+	_, err := net.Register("tsd/slow", func(method string, payload any) (any, error) {
+		<-slow
+		got.Add(int64(len(payload.(*tsdb.PutBatch).Points)))
+		return nil, nil
+	}, rpc.ServerConfig{QueueCap: 16, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(net, []string{"tsd/slow"}, Config{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(somePoints(3)); err != nil {
+		t.Fatal(err)
+	}
+	flushed := make(chan struct{})
+	go func() {
+		p.Flush()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+		t.Fatal("Flush returned before delivery")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(slow)
+	select {
+	case <-flushed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Flush never returned")
+	}
+	if got.Load() != 3 {
+		t.Fatal("batch not delivered")
+	}
+	p.Close()
+}
+
+func TestBufferBackpressureBlocksProducer(t *testing.T) {
+	block := make(chan struct{})
+	net := rpc.NewNetwork(0, nil)
+	defer net.Close()
+	_, err := net.Register("tsd/stuck", func(string, any) (any, error) {
+		<-block
+		return nil, nil
+	}, rpc.ServerConfig{QueueCap: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(net, []string{"tsd/stuck"}, Config{MaxInFlight: 1, BufferBatches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First batch occupies the sender; second fills the buffer; third
+	// must block the producer.
+	if err := p.Submit(somePoints(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(somePoints(1)); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan struct{})
+	go func() {
+		_ = p.Submit(somePoints(1))
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("third submit should have blocked (no backpressure)")
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(block)
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("producer never unblocked")
+	}
+	p.Close()
+	if got := p.Backends(); len(got) != 1 || got[0] != "tsd/stuck" {
+		t.Fatalf("Backends = %v", got)
+	}
+}

@@ -1,0 +1,287 @@
+// Package rpc is the in-process transport connecting the simulated
+// cluster's nodes: ZooKeeper, HDFS namenode/datanodes, the HBase
+// master and region servers, and the OpenTSDB daemons all expose
+// handlers on a shared Network and call each other through it.
+//
+// The transport models the two properties the paper's findings hinge
+// on:
+//
+//   - Bounded RPC queues. Every server has a finite inbound queue; a
+//     call arriving at a full queue fails with ErrQueueOverflow, and a
+//     server that overflows too often crashes (ErrServerDown) — the
+//     exact failure mode §III-B reports for HBase RegionServers before
+//     the buffering reverse proxy was added.
+//   - Configurable per-call latency, so experiments can model network
+//     round trips without real sockets.
+//
+// Handlers run on a bounded worker pool per server, mirroring an RPC
+// handler thread pool.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/telemetry"
+)
+
+// Errors surfaced by the transport.
+var (
+	ErrUnknownAddr   = errors.New("rpc: unknown address")
+	ErrQueueOverflow = errors.New("rpc: inbound queue overflow")
+	ErrServerDown    = errors.New("rpc: server down")
+	ErrServerStopped = errors.New("rpc: server stopped")
+	ErrNetworkClosed = errors.New("rpc: network closed")
+)
+
+// Handler processes one request. Implementations must be safe for
+// concurrent use (the worker pool invokes them in parallel).
+type Handler func(method string, payload any) (any, error)
+
+// ServerConfig bounds a server's inbound processing.
+type ServerConfig struct {
+	// QueueCap is the inbound queue capacity (default 256).
+	QueueCap int
+	// Workers is the handler pool size (default 4).
+	Workers int
+	// CrashOnOverflow, when > 0, crashes the server after that many
+	// cumulative queue overflows — the RegionServer failure mode from
+	// §III-B. Zero disables crashing.
+	CrashOnOverflow int64
+	// OnCrash, when set, runs (once, on its own goroutine) after the
+	// server crashes, letting the owning node drop liveness leases.
+	OnCrash func()
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	return c
+}
+
+// call is one queued request/response exchange.
+type call struct {
+	method  string
+	payload any
+	resp    chan result
+}
+
+type result struct {
+	value any
+	err   error
+}
+
+// Server is one addressable node on the Network.
+type Server struct {
+	addr    string
+	cfg     ServerConfig
+	handler Handler
+	queue   chan call
+	stopped atomic.Bool
+	crashed atomic.Bool
+	wg      sync.WaitGroup
+
+	// Telemetry.
+	Handled   telemetry.Counter
+	Overflows telemetry.Counter
+	Depth     telemetry.Gauge
+}
+
+// Addr returns the server's network address.
+func (s *Server) Addr() string { return s.addr }
+
+// Crashed reports whether the server has crashed (queue-overflow or
+// injected).
+func (s *Server) Crashed() bool { return s.crashed.Load() }
+
+// Crash marks the server dead immediately, as failure injection.
+// Queued calls fail with ErrServerDown.
+func (s *Server) Crash() {
+	if s.crashed.CompareAndSwap(false, true) {
+		s.drain()
+		if s.cfg.OnCrash != nil {
+			go s.cfg.OnCrash()
+		}
+	}
+}
+
+// drain rejects queued calls after a crash/stop.
+func (s *Server) drain() {
+	for {
+		select {
+		case c := <-s.queue:
+			c.resp <- result{err: fmt.Errorf("%w: %s", ErrServerDown, s.addr)}
+		default:
+			return
+		}
+	}
+}
+
+// stop shuts down the worker pool (used by Network.Close and Remove).
+func (s *Server) stop() {
+	if s.stopped.CompareAndSwap(false, true) {
+		close(s.queue)
+		s.wg.Wait()
+	}
+}
+
+// serve runs one worker: dequeue, handle, respond.
+func (s *Server) serve() {
+	defer s.wg.Done()
+	for c := range s.queue {
+		s.Depth.Dec()
+		if s.crashed.Load() {
+			c.resp <- result{err: fmt.Errorf("%w: %s", ErrServerDown, s.addr)}
+			continue
+		}
+		v, err := s.handler(c.method, c.payload)
+		s.Handled.Inc()
+		c.resp <- result{value: v, err: err}
+	}
+}
+
+// Network connects servers by address. It is safe for concurrent use.
+type Network struct {
+	mu      sync.RWMutex
+	servers map[string]*Server
+	latency time.Duration
+	clk     clock.Clock
+	closed  bool
+
+	// Calls counts every Call attempt, including failures.
+	Calls telemetry.Counter
+}
+
+// NewNetwork returns a network with the given per-call latency (0 for
+// none). A nil clk defaults to the real clock.
+func NewNetwork(latency time.Duration, clk clock.Clock) *Network {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Network{servers: make(map[string]*Server), latency: latency, clk: clk}
+}
+
+// Register creates and starts a server at addr. Registering an existing
+// address replaces the old server (which is stopped).
+func (n *Network) Register(addr string, handler Handler, cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{addr: addr, cfg: cfg, handler: handler, queue: make(chan call, cfg.QueueCap)}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.serve()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		s.stop()
+		return nil, ErrNetworkClosed
+	}
+	if old, ok := n.servers[addr]; ok {
+		old.Crash()
+		go old.stop()
+	}
+	n.servers[addr] = s
+	return s, nil
+}
+
+// Lookup returns the server at addr, if any.
+func (n *Network) Lookup(addr string) (*Server, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s, ok := n.servers[addr]
+	return s, ok
+}
+
+// Remove stops and deregisters the server at addr.
+func (n *Network) Remove(addr string) {
+	n.mu.Lock()
+	s, ok := n.servers[addr]
+	if ok {
+		delete(n.servers, addr)
+	}
+	n.mu.Unlock()
+	if ok {
+		s.Crash()
+		s.stop()
+	}
+}
+
+// Addrs returns the registered addresses (unordered).
+func (n *Network) Addrs() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.servers))
+	for a := range n.servers {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Close stops every server; subsequent calls fail.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	servers := make([]*Server, 0, len(n.servers))
+	for _, s := range n.servers {
+		servers = append(servers, s)
+	}
+	n.servers = make(map[string]*Server)
+	n.mu.Unlock()
+	for _, s := range servers {
+		s.Crash()
+		s.stop()
+	}
+}
+
+// Call sends a synchronous request to addr. It applies the network
+// latency, then enqueues at the destination; a full queue returns
+// ErrQueueOverflow immediately (fail-fast, like an RPC rejection) and
+// counts toward the server's crash threshold.
+func (n *Network) Call(addr, method string, payload any) (any, error) {
+	n.Calls.Inc()
+	n.mu.RLock()
+	if n.closed {
+		n.mu.RUnlock()
+		return nil, ErrNetworkClosed
+	}
+	s, ok := n.servers[addr]
+	lat := n.latency
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownAddr, addr)
+	}
+	if lat > 0 {
+		n.clk.Sleep(lat)
+	}
+	if s.crashed.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrServerDown, s.addr)
+	}
+	if s.stopped.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrServerStopped, s.addr)
+	}
+	c := call{method: method, payload: payload, resp: make(chan result, 1)}
+	select {
+	case s.queue <- c:
+		s.Depth.Inc()
+	default:
+		s.Overflows.Inc()
+		if t := s.cfg.CrashOnOverflow; t > 0 && s.Overflows.Value() >= t {
+			s.Crash()
+		}
+		return nil, fmt.Errorf("%w: %s", ErrQueueOverflow, s.addr)
+	}
+	r := <-c.resp
+	return r.value, r.err
+}

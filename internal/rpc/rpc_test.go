@@ -1,0 +1,273 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func echoHandler(method string, payload any) (any, error) {
+	return fmt.Sprintf("%s:%v", method, payload), nil
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	if _, err := n.Register("a", echoHandler, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Call("a", "ping", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ping:42" {
+		t.Fatalf("got %v", got)
+	}
+	if n.Calls.Value() != 1 {
+		t.Fatal("Calls counter wrong")
+	}
+}
+
+func TestUnknownAddress(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	if _, err := n.Call("ghost", "x", nil); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("err = %v, want ErrUnknownAddr", err)
+	}
+}
+
+func TestHandlerErrorsPropagate(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	boom := errors.New("boom")
+	_, err := n.Register("a", func(string, any) (any, error) { return nil, boom }, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Call("a", "x", nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	var handled atomic.Int64
+	_, err := n.Register("a", func(string, any) (any, error) {
+		handled.Add(1)
+		return nil, nil
+	}, ServerConfig{Workers: 8, QueueCap: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const calls = 500
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := n.Call("a", "x", nil); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if handled.Load() != calls {
+		t.Fatalf("handled %d, want %d", handled.Load(), calls)
+	}
+}
+
+func TestQueueOverflowFailsFast(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	block := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	s, err := n.Register("slow", func(string, any) (any, error) {
+		entered <- struct{}{}
+		<-block
+		return nil, nil
+	}, ServerConfig{Workers: 1, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill: 1 in-flight + 2 queued, then the next call overflows.
+	done := make(chan error, 8)
+	issue := func() {
+		go func() {
+			_, err := n.Call("slow", "x", nil)
+			done <- err
+		}()
+	}
+	issue() // occupies the worker
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("worker never started")
+	}
+	issue()
+	issue() // both sit in the queue
+	deadline := time.After(2 * time.Second)
+	for s.Depth.Value() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("queue never filled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if _, err := n.Call("slow", "x", nil); !errors.Is(err, ErrQueueOverflow) {
+		t.Fatalf("err = %v, want ErrQueueOverflow", err)
+	}
+	if s.Overflows.Value() != 1 {
+		t.Fatalf("Overflows = %d, want 1", s.Overflows.Value())
+	}
+	close(block)
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCrashOnOverflowThreshold(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	block := make(chan struct{})
+	defer close(block)
+	entered := make(chan struct{}, 4)
+	s, err := n.Register("rs", func(string, any) (any, error) {
+		entered <- struct{}{}
+		<-block
+		return nil, nil
+	}, ServerConfig{Workers: 1, QueueCap: 1, CrashOnOverflow: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single worker, then fill the queue behind it.
+	go n.Call("rs", "x", nil) //nolint:errcheck
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("worker never started")
+	}
+	go n.Call("rs", "x", nil) //nolint:errcheck
+	deadline := time.After(2 * time.Second)
+	for s.Depth.Value() < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("queue never filled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Three overflows crash the server — the §III-B RegionServer story.
+	for i := 0; i < 3; i++ {
+		if _, err := n.Call("rs", "x", nil); !errors.Is(err, ErrQueueOverflow) {
+			t.Fatalf("call %d: err = %v, want overflow", i, err)
+		}
+	}
+	if !s.Crashed() {
+		t.Fatal("server must crash after reaching the overflow threshold")
+	}
+	if _, err := n.Call("rs", "x", nil); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("err = %v, want ErrServerDown", err)
+	}
+}
+
+func TestInjectedCrash(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	s, err := n.Register("a", echoHandler, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Crash()
+	if _, err := n.Call("a", "x", nil); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("err = %v, want ErrServerDown", err)
+	}
+	if s.Addr() != "a" {
+		t.Fatal("Addr wrong")
+	}
+}
+
+func TestReRegisterReplacesServer(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	if _, err := n.Register("a", func(string, any) (any, error) { return "old", nil }, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Register("a", func(string, any) (any, error) { return "new", nil }, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Call("a", "x", nil)
+	if err != nil || got != "new" {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	if _, err := n.Register("a", echoHandler, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	n.Remove("a")
+	if _, err := n.Call("a", "x", nil); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("err = %v, want ErrUnknownAddr", err)
+	}
+	n.Remove("a") // idempotent
+	if _, ok := n.Lookup("a"); ok {
+		t.Fatal("Lookup must miss after Remove")
+	}
+}
+
+func TestNetworkClose(t *testing.T) {
+	n := NewNetwork(0, nil)
+	if _, err := n.Register("a", echoHandler, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	if _, err := n.Call("a", "x", nil); !errors.Is(err, ErrNetworkClosed) {
+		t.Fatalf("err = %v, want ErrNetworkClosed", err)
+	}
+	if _, err := n.Register("b", echoHandler, ServerConfig{}); !errors.Is(err, ErrNetworkClosed) {
+		t.Fatalf("register after close: %v", err)
+	}
+	n.Close() // idempotent
+}
+
+func TestAddrs(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	for _, a := range []string{"x", "y", "z"} {
+		if _, err := n.Register(a, echoHandler, ServerConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.Addrs(); len(got) != 3 {
+		t.Fatalf("Addrs = %v", got)
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	n := NewNetwork(20*time.Millisecond, nil)
+	defer n.Close()
+	if _, err := n.Register("a", echoHandler, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := n.Call("a", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency not applied: %v", d)
+	}
+}

@@ -1,0 +1,323 @@
+package simdata
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig() Config {
+	return Config{Units: 10, SensorsPerUnit: 40, Seed: 7, FaultFraction: 0.5, FaultOnset: 100}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	f := NewFleet(Config{Seed: 1})
+	cfg := f.Config()
+	if cfg.Units != 100 || cfg.SensorsPerUnit != 1000 {
+		t.Fatalf("defaults = %d units × %d sensors, want 100×1000 (§II-A)", cfg.Units, cfg.SensorsPerUnit)
+	}
+	if f.Units() != 100 || f.Sensors() != 1000 {
+		t.Fatal("accessors disagree with config")
+	}
+	pc := PaperConfig(1)
+	if pc.Units != 100 || pc.SensorsPerUnit != 1000 {
+		t.Fatal("PaperConfig must be 100×1000")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewFleet(smallConfig())
+	b := NewFleet(smallConfig())
+	for u := 0; u < a.Units(); u++ {
+		for s := 0; s < 5; s++ {
+			for _, ts := range []int64{0, 1, 99, 100, 5000} {
+				if a.Value(u, s, ts) != b.Value(u, s, ts) {
+					t.Fatalf("fleet not deterministic at (%d,%d,%d)", u, s, ts)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	cfg := smallConfig()
+	a := NewFleet(cfg)
+	cfg.Seed = 8
+	b := NewFleet(cfg)
+	same := 0
+	for s := 0; s < 20; s++ {
+		if a.Value(0, s, 10) == b.Value(0, s, 10) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/20 values identical across seeds; generator ignores seed?", same)
+	}
+}
+
+func TestHealthyBeforeOnset(t *testing.T) {
+	f := NewFleet(smallConfig())
+	for u := 0; u < f.Units(); u++ {
+		for s := 0; s < f.Sensors(); s++ {
+			if f.Faulty(u, s, f.Config().FaultOnset-1) {
+				t.Fatalf("unit %d sensor %d faulty before onset", u, s)
+			}
+		}
+	}
+}
+
+func TestFaultMixAndStructure(t *testing.T) {
+	f := NewFleet(Config{Units: 200, SensorsPerUnit: 100, Seed: 3, FaultFraction: 0.5})
+	var none, drift, shift int
+	for u := 0; u < f.Units(); u++ {
+		fault := f.UnitFault(u)
+		switch fault.Class {
+		case FaultNone:
+			none++
+			if fault.Sensors != nil {
+				t.Fatal("healthy unit must have no fault sensors")
+			}
+		case FaultDrift:
+			drift++
+		case FaultShift:
+			shift++
+		}
+		if fault.Class != FaultNone {
+			if len(fault.Sensors) != f.Config().FaultSensors {
+				t.Fatalf("fault touches %d sensors, want %d", len(fault.Sensors), f.Config().FaultSensors)
+			}
+			for i := 1; i < len(fault.Sensors); i++ {
+				if fault.Sensors[i] <= fault.Sensors[i-1] {
+					t.Fatal("fault sensors must be sorted and unique")
+				}
+			}
+			for _, l := range fault.Loading {
+				if l <= 0.5 || l > 1.5 {
+					t.Fatalf("loading %v outside (0.5, 1.5]", l)
+				}
+			}
+		}
+	}
+	if none < 60 || none > 140 {
+		t.Fatalf("healthy units = %d of 200, want ≈100", none)
+	}
+	if drift == 0 || shift == 0 {
+		t.Fatalf("fault classes not mixed: drift=%d shift=%d", drift, shift)
+	}
+}
+
+func TestShiftFaultMovesMean(t *testing.T) {
+	f := NewFleet(Config{Units: 50, SensorsPerUnit: 50, Seed: 5, FaultFraction: 0.9, FaultOnset: 100, ShiftSigma: 4})
+	// Find a shifted unit.
+	for u := 0; u < f.Units(); u++ {
+		fault := f.UnitFault(u)
+		if fault.Class != FaultShift {
+			continue
+		}
+		s := fault.Sensors[0]
+		_, sigma := f.Baseline(u, s)
+		var pre, post float64
+		const n = 200
+		for i := int64(0); i < n; i++ {
+			pre += f.Value(u, s, i-n+fault.Onset)
+			post += f.Value(u, s, fault.Onset+i)
+		}
+		pre /= n
+		post /= n
+		jump := (post - pre) / sigma
+		wantLoad := fault.Loading[0]
+		if math.Abs(jump-4*wantLoad) > 1.0 {
+			t.Fatalf("shift jump = %.2fσ, want ≈%.2fσ", jump, 4*wantLoad)
+		}
+		return
+	}
+	t.Fatal("no shift-fault unit found")
+}
+
+func TestDriftFaultGrows(t *testing.T) {
+	f := NewFleet(Config{Units: 50, SensorsPerUnit: 50, Seed: 6, FaultFraction: 0.9, FaultOnset: 100, DriftPerStep: 0.05})
+	for u := 0; u < f.Units(); u++ {
+		fault := f.UnitFault(u)
+		if fault.Class != FaultDrift {
+			continue
+		}
+		s := fault.Sensors[0]
+		_, sigma := f.Baseline(u, s)
+		// Average windows early and late after onset: drift must grow.
+		early, late := 0.0, 0.0
+		const n = 100
+		for i := int64(0); i < n; i++ {
+			early += f.Value(u, s, fault.Onset+i)
+			late += f.Value(u, s, fault.Onset+500+i)
+		}
+		growth := (late - early) / n / sigma
+		if growth < 10 { // 0.05σ/step × 500 steps × loading ≥ 0.5 = ≥12.5σ
+			t.Fatalf("drift growth = %.2fσ over 500 steps, too small", growth)
+		}
+		return
+	}
+	t.Fatal("no drift-fault unit found")
+}
+
+func TestCorrelatedFaultMovesAllSensorsInGroup(t *testing.T) {
+	f := NewFleet(Config{Units: 30, SensorsPerUnit: 60, Seed: 8, FaultFraction: 0.9, FaultOnset: 50, ShiftSigma: 5})
+	for u := 0; u < f.Units(); u++ {
+		fault := f.UnitFault(u)
+		if fault.Class != FaultShift {
+			continue
+		}
+		for _, s := range fault.Sensors {
+			if !f.Faulty(u, s, fault.Onset) {
+				t.Fatal("all fault-group sensors must be faulty after onset")
+			}
+		}
+		// A sensor outside the group stays healthy.
+		for s := 0; s < f.Sensors(); s++ {
+			if fault.Affects(s) == 0 && f.Faulty(u, s, fault.Onset+10) {
+				t.Fatal("sensor outside group flagged faulty")
+			}
+		}
+		return
+	}
+	t.Fatal("no shift unit")
+}
+
+func TestHealthyNoiseIsStandardized(t *testing.T) {
+	// Mean and variance of (value - mean)/sigma over healthy samples
+	// must be ≈(0,1).
+	f := NewFleet(Config{Units: 2, SensorsPerUnit: 10, Seed: 9, FaultFraction: 0.0})
+	const n = 4000
+	var sum, sum2 float64
+	mean, sigma := f.Baseline(1, 3)
+	for i := int64(0); i < n; i++ {
+		z := (f.Value(1, 3, i) - mean) / sigma
+		sum += z
+		sum2 += z * z
+	}
+	m := sum / n
+	v := sum2/n - m*m
+	if math.Abs(m) > 0.06 {
+		t.Fatalf("standardized mean = %v, want ≈0", m)
+	}
+	if math.Abs(v-1) > 0.1 {
+		t.Fatalf("standardized variance = %v, want ≈1", v)
+	}
+}
+
+func TestNoiseIsIndependentAcrossTime(t *testing.T) {
+	// Lag-1 autocorrelation of healthy noise must be ≈0.
+	f := NewFleet(Config{Units: 1, SensorsPerUnit: 5, Seed: 10, FaultFraction: 0})
+	const n = 4000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = f.Value(0, 0, int64(i))
+	}
+	var m float64
+	for _, x := range xs {
+		m += x
+	}
+	m /= n
+	var num, den float64
+	for i := 1; i < n; i++ {
+		num += (xs[i] - m) * (xs[i-1] - m)
+	}
+	for _, x := range xs {
+		den += (x - m) * (x - m)
+	}
+	if r := num / den; math.Abs(r) > 0.06 {
+		t.Fatalf("lag-1 autocorrelation = %v, want ≈0", r)
+	}
+}
+
+func TestBaselinesRespectKinds(t *testing.T) {
+	f := NewFleet(Config{Units: 3, SensorsPerUnit: 25, Seed: 11})
+	for s := 0; s < f.Sensors(); s++ {
+		mean, sigma := f.Baseline(0, s)
+		if sigma <= 0 {
+			t.Fatal("sigma must be positive")
+		}
+		switch f.Kind(s) {
+		case KindTemperature:
+			if mean < 450 || mean > 650 {
+				t.Fatalf("temperature mean %v out of range", mean)
+			}
+		case KindPressure:
+			if mean < 18 || mean > 42 {
+				t.Fatalf("pressure mean %v out of range", mean)
+			}
+		case KindSpeed:
+			if mean < 3000 || mean > 3600 {
+				t.Fatalf("speed mean %v out of range", mean)
+			}
+		}
+	}
+	if KindTemperature.Unit() != "degC" || KindSpeed.Unit() != "rpm" {
+		t.Fatal("kind units wrong")
+	}
+	if KindVibration.String() != "vibration" {
+		t.Fatal("kind string wrong")
+	}
+	if SensorKind(99).String() == "" || SensorKind(99).Unit() != "" {
+		t.Fatal("unknown kind handling wrong")
+	}
+}
+
+func TestSnapshotShapeAndContent(t *testing.T) {
+	f := NewFleet(smallConfig())
+	pts := f.Snapshot(nil, 5)
+	if len(pts) != f.Units()*f.Sensors() {
+		t.Fatalf("snapshot size = %d, want %d", len(pts), f.Units()*f.Sensors())
+	}
+	p := pts[3*f.Sensors()+7] // unit 3, sensor 7
+	if p.Unit != 3 || p.Sensor != 7 || p.Timestamp != 5 {
+		t.Fatalf("snapshot layout wrong: %+v", p)
+	}
+	if p.Value != f.Value(3, 7, 5) {
+		t.Fatal("snapshot value differs from Value")
+	}
+	// Reuse dst.
+	pts2 := f.Snapshot(pts[:0], 6)
+	if len(pts2) != len(pts) {
+		t.Fatal("snapshot with reused dst has wrong size")
+	}
+}
+
+func TestUnitWindowMatchesValues(t *testing.T) {
+	f := NewFleet(smallConfig())
+	w := f.UnitWindow(2, 10, 5)
+	if len(w) != 5 || len(w[0]) != f.Sensors() {
+		t.Fatal("window shape wrong")
+	}
+	if w[3][8] != f.Value(2, 8, 13) {
+		t.Fatal("window content wrong")
+	}
+}
+
+func TestFaultClassString(t *testing.T) {
+	if FaultNone.String() != "none" || FaultDrift.String() != "drift" || FaultShift.String() != "shift" {
+		t.Fatal("FaultClass strings wrong")
+	}
+	if FaultClass(42).String() == "" {
+		t.Fatal("unknown class must render")
+	}
+}
+
+func TestGaussianPropertyPure(t *testing.T) {
+	// Purity: same arguments, same value — across arbitrary inputs.
+	f := func(seed, unit, sensor, ts uint64) bool {
+		return gaussian(seed, unit, sensor, ts) == gaussian(seed, unit, sensor, ts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigClamping(t *testing.T) {
+	f := NewFleet(Config{Units: 2, SensorsPerUnit: 4, Seed: 1, FaultFraction: 5, FaultSensors: 100})
+	if f.Config().FaultFraction != 1 {
+		t.Fatal("FaultFraction must clamp to 1")
+	}
+	if f.Config().FaultSensors != 4 {
+		t.Fatal("FaultSensors must clamp to SensorsPerUnit")
+	}
+}

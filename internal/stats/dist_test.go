@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	approx(t, NormalCDF(0), 0.5, 1e-15, "Φ(0)")
+	approx(t, NormalCDF(1.959963984540054), 0.975, 1e-12, "Φ(1.96)")
+	approx(t, NormalCDF(-1.959963984540054), 0.025, 1e-12, "Φ(-1.96)")
+	approx(t, NormalCDF(3), 0.9986501019683699, 1e-12, "Φ(3)")
+	approx(t, NormalSF(3), 1-0.9986501019683699, 1e-12, "SF(3)")
+}
+
+func TestNormalPDF(t *testing.T) {
+	approx(t, NormalPDF(0), 1/math.Sqrt(2*math.Pi), 1e-15, "φ(0)")
+	approx(t, NormalPDF(1), math.Exp(-0.5)/math.Sqrt(2*math.Pi), 1e-15, "φ(1)")
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	approx(t, NormalQuantile(0.5), 0, 1e-12, "Q(0.5)")
+	approx(t, NormalQuantile(0.975), 1.959963984540054, 1e-9, "Q(0.975)")
+	approx(t, NormalQuantile(0.025), -1.959963984540054, 1e-9, "Q(0.025)")
+	approx(t, NormalQuantile(0.999), 3.090232306167813, 1e-9, "Q(0.999)")
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("Q(0) and Q(1) must be ∓∞")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Fatal("out-of-domain p must give NaN")
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 1)
+		if p < 1e-10 || p > 1-1e-10 {
+			return true
+		}
+		x := NormalQuantile(p)
+		return math.Abs(NormalCDF(x)-p) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLnGamma(t *testing.T) {
+	// Γ(n) = (n-1)!
+	approx(t, LnGamma(1), 0, 1e-12, "lnΓ(1)")
+	approx(t, LnGamma(2), 0, 1e-12, "lnΓ(2)")
+	approx(t, LnGamma(5), math.Log(24), 1e-10, "lnΓ(5)")
+	approx(t, LnGamma(0.5), math.Log(math.Sqrt(math.Pi)), 1e-10, "lnΓ(1/2)")
+	approx(t, LnGamma(11), math.Log(3628800), 1e-9, "lnΓ(11)")
+	if !math.IsNaN(LnGamma(0)) {
+		t.Fatal("lnΓ(0) must be NaN")
+	}
+}
+
+func TestChiSquaredCDFKnownValues(t *testing.T) {
+	// χ²(1): CDF(x) = 2Φ(√x) - 1.
+	for _, x := range []float64{0.5, 1, 2, 3.841458820694124} {
+		want := 2*NormalCDF(math.Sqrt(x)) - 1
+		approx(t, ChiSquaredCDF(x, 1), want, 1e-9, "χ²(1) CDF")
+	}
+	// χ²(2) is Exp(1/2): CDF(x) = 1 - e^{-x/2}.
+	for _, x := range []float64{0.1, 1, 5, 10} {
+		approx(t, ChiSquaredCDF(x, 2), 1-math.Exp(-x/2), 1e-10, "χ²(2) CDF")
+	}
+	// 95th percentile of χ²(10) is 18.307038.
+	approx(t, ChiSquaredCDF(18.307038053275146, 10), 0.95, 1e-8, "χ²(10) 95%")
+}
+
+func TestChiSquaredQuantileInverts(t *testing.T) {
+	for _, k := range []float64{1, 2, 5, 10, 100, 1000} {
+		for _, p := range []float64{0.01, 0.5, 0.95, 0.999} {
+			x := ChiSquaredQuantile(p, k)
+			approx(t, ChiSquaredCDF(x, k), p, 1e-8, "χ² quantile inversion")
+		}
+	}
+	if ChiSquaredQuantile(0, 5) != 0 {
+		t.Fatal("Q(0) must be 0")
+	}
+	if !math.IsInf(ChiSquaredQuantile(1, 5), 1) {
+		t.Fatal("Q(1) must be +∞")
+	}
+}
+
+func TestGammaCDF(t *testing.T) {
+	// Gamma(1, θ) is Exp(1/θ).
+	p, err := GammaCDF(2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, p, 1-math.Exp(-1), 1e-10, "Gamma(1,2) CDF at 2")
+	if _, err := GammaCDF(1, -1, 1); err == nil {
+		t.Fatal("negative shape must error")
+	}
+	p, err = GammaCDF(-5, 1, 1)
+	if err != nil || p != 0 {
+		t.Fatal("CDF at negative x must be 0")
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// t(ν→∞) approaches the normal; t(1) is the Cauchy: CDF(x) = 1/2 + atan(x)/π.
+	for _, x := range []float64{-2, -0.5, 0, 0.5, 2} {
+		want := 0.5 + math.Atan(x)/math.Pi
+		approx(t, StudentTCDF(x, 1), want, 1e-8, "t(1)=Cauchy CDF")
+	}
+	approx(t, StudentTCDF(0, 7), 0.5, 1e-12, "t CDF at 0")
+	// 97.5th percentile of t(10) is 2.228138852.
+	approx(t, StudentTCDF(2.228138851986273, 10), 0.975, 1e-8, "t(10) 97.5%")
+	// Large ν ≈ normal.
+	approx(t, StudentTCDF(1.96, 1e6), NormalCDF(1.96), 1e-5, "t(1e6)≈Φ")
+}
+
+func TestStudentTSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 50 {
+			return true
+		}
+		s := StudentTCDF(x, 5) + StudentTCDF(-x, 5)
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFMonotoneProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		if NormalCDF(lo) > NormalCDF(hi)+1e-15 {
+			return false
+		}
+		lo, hi = math.Abs(lo), math.Abs(hi)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return ChiSquaredCDF(lo, 3) <= ChiSquaredCDF(hi, 3)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

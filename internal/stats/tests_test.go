@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMeanVarianceCovariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "mean")
+	approx(t, Variance(xs), 32.0/7.0, 1e-12, "variance")
+	approx(t, StdDev(xs), math.Sqrt(32.0/7.0), 1e-12, "stddev")
+
+	ys := []float64{1, 2, 3}
+	zs := []float64{2, 4, 6}
+	approx(t, Covariance(ys, zs), 2, 1e-12, "cov(y, 2y)")
+	approx(t, Covariance(ys, ys), Variance(ys), 1e-12, "cov(y,y)=var(y)")
+}
+
+func TestMomentsDegenerate(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+	if Covariance([]float64{1, 2}, []float64{1}) != 0 {
+		t.Fatal("length mismatch must return 0")
+	}
+}
+
+func TestZTestTwoSided(t *testing.T) {
+	// Observation exactly at the 97.5th percentile: two-sided p = 0.05.
+	r := ZTestPoint(1.959963984540054, 0, 1, TwoSided)
+	approx(t, r.PValue, 0.05, 1e-9, "two-sided p at z=1.96")
+	approx(t, r.Statistic, 1.959963984540054, 1e-12, "z statistic")
+}
+
+func TestZTestTails(t *testing.T) {
+	g := ZTestPoint(2, 0, 1, Greater)
+	l := ZTestPoint(2, 0, 1, Less)
+	two := ZTestPoint(2, 0, 1, TwoSided)
+	approx(t, g.PValue, NormalSF(2), 1e-15, "greater tail")
+	approx(t, l.PValue, NormalCDF(2), 1e-15, "less tail")
+	approx(t, two.PValue, 2*NormalSF(2), 1e-15, "two-sided")
+	// Sample size sharpens the statistic by √n.
+	r := ZTest(0.5, 0, 1, 16, Greater)
+	approx(t, r.Statistic, 2, 1e-12, "z with n=16")
+}
+
+func TestZTestBadParams(t *testing.T) {
+	if r := ZTest(0, 0, 0, 10, TwoSided); !math.IsNaN(r.PValue) {
+		t.Fatal("sigma=0 must produce NaN")
+	}
+	if r := ZTest(0, 0, 1, 0, TwoSided); !math.IsNaN(r.PValue) {
+		t.Fatal("n=0 must produce NaN")
+	}
+}
+
+func TestZTestPValueUniformUnderNull(t *testing.T) {
+	// Under H0 the p-values must be ~Uniform(0,1): check mean and the
+	// fraction below 0.05.
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	var sum float64
+	below := 0
+	for i := 0; i < n; i++ {
+		p := ZTestPoint(rng.NormFloat64(), 0, 1, TwoSided).PValue
+		sum += p
+		if p < 0.05 {
+			below++
+		}
+	}
+	if m := sum / n; math.Abs(m-0.5) > 0.01 {
+		t.Fatalf("mean p under null = %v, want ≈0.5", m)
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.05) > 0.01 {
+		t.Fatalf("P(p<0.05) under null = %v, want ≈0.05", frac)
+	}
+}
+
+func TestTTestOneSample(t *testing.T) {
+	xs := []float64{5.1, 4.9, 5.0, 5.2, 4.8, 5.05}
+	r := TTestOneSample(xs, 5.0, TwoSided)
+	if r.PValue < 0.5 {
+		t.Fatalf("p = %v: sample centered on μ0 must not reject", r.PValue)
+	}
+	r = TTestOneSample(xs, 3.0, TwoSided)
+	if r.PValue > 1e-4 {
+		t.Fatalf("p = %v: sample far from μ0 must reject strongly", r.PValue)
+	}
+	gr := TTestOneSample(xs, 3.0, Greater)
+	if gr.PValue > r.PValue {
+		t.Fatal("one-sided p in the correct direction must be ≤ two-sided")
+	}
+}
+
+func TestTTestDegenerate(t *testing.T) {
+	if r := TTestOneSample([]float64{1}, 0, TwoSided); !math.IsNaN(r.PValue) {
+		t.Fatal("n<2 must give NaN")
+	}
+	r := TTestOneSample([]float64{2, 2, 2}, 2, TwoSided)
+	if r.PValue != 1 {
+		t.Fatal("constant sample equal to μ0 must give p=1")
+	}
+	r = TTestOneSample([]float64{2, 2, 2}, 1, TwoSided)
+	if r.PValue != 0 {
+		t.Fatal("constant sample unequal to μ0 must give p=0")
+	}
+}
+
+func TestChiSquaredTest(t *testing.T) {
+	r := ChiSquaredTest(18.307038053275146, 10)
+	approx(t, r.PValue, 0.05, 1e-8, "χ²(10) upper 5%")
+}
+
+func TestFWERMatchesClosedForm(t *testing.T) {
+	// The exact numbers quoted in §IV of the paper.
+	approx(t, FWER(0.05, 1), 0.05, 1e-12, "m=1")
+	approx(t, FWER(0.05, 10), 0.4012630607616213, 1e-12, "m=10 ⇒ ≈40%")
+	if f := FWER(0.05, 1000); f < 0.999999 {
+		t.Fatalf("m=1000 FWER = %v, want ≈1", f)
+	}
+	if FWER(0.05, 0) != 0 {
+		t.Fatal("m=0 must give 0")
+	}
+}
+
+func TestSidakAlpha(t *testing.T) {
+	// The Šidák-corrected level must restore FWER = α exactly.
+	for _, m := range []int{1, 10, 100, 1000} {
+		a := SidakAlpha(0.05, m)
+		approx(t, FWER(a, m), 0.05, 1e-10, "Šidák round trip")
+	}
+	if SidakAlpha(0.05, 0) != 0.05 {
+		t.Fatal("m=0 must return alpha unchanged")
+	}
+}
+
+func TestTailString(t *testing.T) {
+	if TwoSided.String() != "two-sided" || Greater.String() != "greater" || Less.String() != "less" {
+		t.Fatal("Tail.String mismatch")
+	}
+	if Tail(99).String() == "" {
+		t.Fatal("unknown tail must still render")
+	}
+}

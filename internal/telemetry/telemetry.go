@@ -1,0 +1,353 @@
+// Package telemetry provides lightweight, concurrency-safe counters,
+// gauges, histograms and rate meters used by every subsystem in the
+// repository to report throughput and latency without external
+// dependencies.
+//
+// All instruments are safe for concurrent use. Counters and gauges are
+// implemented with atomics; histograms shard their buckets behind a
+// mutex but are cheap enough for the hot paths in this codebase (the
+// ingestion benchmarks record one histogram sample per batch, not per
+// sensor sample).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta. Negative deltas are ignored so
+// that a Counter remains monotone; use a Gauge for values that go down.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero and returns the previous value.
+func (c *Counter) Reset() int64 { return c.v.Swap(0) }
+
+// Gauge is an instantaneous 64-bit value that may move in both
+// directions (queue depths, live connections, region counts).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates float64 observations and reports count, sum,
+// mean, min, max and arbitrary quantiles. It keeps every observation in
+// memory (the workloads in this repository record at most a few hundred
+// thousand samples per run), trading memory for exact quantiles, which
+// the experiment harnesses need when asserting on latency shapes.
+type Histogram struct {
+	mu     sync.Mutex
+	vals   []float64
+	sorted bool
+	sum    float64
+}
+
+// Observe records a single observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.vals = append(h.vals, v)
+	h.sorted = false
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.vals)
+}
+
+// Sum returns the sum of all recorded observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the arithmetic mean of the observations, or zero when
+// the histogram is empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.vals))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using the nearest-rank
+// method, or zero when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.vals)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.vals[0]
+	}
+	if q >= 1 {
+		return h.vals[len(h.vals)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.vals[idx]
+}
+
+// Min returns the smallest observation, or zero when empty.
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// Max returns the largest observation, or zero when empty.
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Snapshot returns a copy of the recorded observations in insertion
+// order is not guaranteed; callers receive a sorted copy.
+func (h *Histogram) Snapshot() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]float64, len(h.vals))
+	copy(out, h.vals)
+	sort.Float64s(out)
+	return out
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.vals = h.vals[:0]
+	h.sum = 0
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// RateMeter tracks an event count over wall-clock (or injected) time
+// and reports events/second. The experiment harnesses use it to produce
+// the per-second ingest series behind Figure 2 (right).
+type RateMeter struct {
+	mu      sync.Mutex
+	start   time.Time
+	now     func() time.Time
+	count   int64
+	samples []RateSample
+	lastCut time.Time
+	lastCnt int64
+}
+
+// RateSample is one point of a rate time series: the cumulative count
+// and instantaneous rate observed at Elapsed since meter start.
+type RateSample struct {
+	Elapsed    time.Duration
+	Cumulative int64
+	Rate       float64 // events/sec since the previous sample
+}
+
+// NewRateMeter returns a meter that reads time from now, which defaults
+// to time.Now when nil (tests inject a manual clock).
+func NewRateMeter(now func() time.Time) *RateMeter {
+	if now == nil {
+		now = time.Now
+	}
+	t := now()
+	return &RateMeter{start: t, now: now, lastCut: t}
+}
+
+// Add records n events.
+func (m *RateMeter) Add(n int64) {
+	m.mu.Lock()
+	m.count += n
+	m.mu.Unlock()
+}
+
+// Cut appends a sample of the series at the current instant and returns it.
+func (m *RateMeter) Cut() RateSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.now()
+	dt := t.Sub(m.lastCut)
+	s := RateSample{Elapsed: t.Sub(m.start), Cumulative: m.count}
+	if dt > 0 {
+		s.Rate = float64(m.count-m.lastCnt) / dt.Seconds()
+	}
+	m.lastCut, m.lastCnt = t, m.count
+	m.samples = append(m.samples, s)
+	return s
+}
+
+// Count returns the cumulative event count.
+func (m *RateMeter) Count() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}
+
+// OverallRate returns events/second since the meter was created.
+func (m *RateMeter) OverallRate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el := m.now().Sub(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.count) / el
+}
+
+// Series returns the samples collected by Cut, in order.
+func (m *RateMeter) Series() []RateSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]RateSample, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
+
+// Registry is a named collection of instruments, used by servers to
+// expose their internals to tests and the visualization layer.
+type Registry struct {
+	mu     sync.Mutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:   make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Dump renders all instruments as "name value" lines sorted by name,
+// for debugging and the viz status endpoints.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lines := make([]string, 0, len(r.ctrs)+len(r.gauges)+len(r.hists))
+	for n, c := range r.ctrs {
+		lines = append(lines, fmt.Sprintf("counter %s %d", n, c.Value()))
+	}
+	for n, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %d", n, g.Value()))
+	}
+	for n, h := range r.hists {
+		lines = append(lines, fmt.Sprintf("hist %s count=%d mean=%.3f p99=%.3f", n, h.Count(), h.Mean(), h.Quantile(0.99)))
+	}
+	sort.Strings(lines)
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// LinearFit fits y = a + b·x by least squares and returns the intercept,
+// slope and coefficient of determination R². The experiment harness uses
+// it to assert Figure 2's linear scale-up and stable-rate claims.
+func LinearFit(xs, ys []float64) (intercept, slope, r2 float64) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return my, 0, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return intercept, slope, 1
+	}
+	r2 = (sxy * sxy) / (sxx * syy)
+	return intercept, slope, r2
+}

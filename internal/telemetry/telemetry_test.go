@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value() = %d, want 42", got)
+	}
+	if got := c.Reset(); got != 42 {
+		t.Fatalf("Reset() = %d, want 42", got)
+	}
+	if got := c.Value(); got != 0 {
+		t.Fatalf("Value() after reset = %d, want 0", got)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	c.Add(-5)
+	if got := c.Value(); got != 10 {
+		t.Fatalf("Value() = %d, want 10 (negative add must be ignored)", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 16, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Value() = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("Value() = %d, want 2", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{5, 1, 4, 2, 3} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count() = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 15 {
+		t.Fatalf("Sum() = %v, want 15", got)
+	}
+	if got := h.Mean(); got != 3 {
+		t.Fatalf("Mean() = %v, want 3", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min() = %v, want 1", got)
+	}
+	if got := h.Max(); got != 5 {
+		t.Fatalf("Max() = %v, want 5", got)
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("Quantile(0.5) = %v, want 3", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset must clear observations")
+	}
+	h.Observe(7)
+	if h.Mean() != 7 {
+		t.Fatal("histogram must be reusable after Reset")
+	}
+}
+
+func TestHistogramQuantileProperties(t *testing.T) {
+	f := func(vals []float64) bool {
+		var h Histogram
+		ok := 0
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				h.Observe(v)
+				ok++
+			}
+		}
+		if ok == 0 {
+			return true
+		}
+		// Quantiles must be monotone and bounded by min/max.
+		q25, q50, q75 := h.Quantile(0.25), h.Quantile(0.5), h.Quantile(0.75)
+		return h.Min() <= q25 && q25 <= q50 && q50 <= q75 && q75 <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateMeterWithManualTime(t *testing.T) {
+	now := time.Unix(0, 0)
+	m := NewRateMeter(func() time.Time { return now })
+	m.Add(100)
+	now = now.Add(time.Second)
+	s := m.Cut()
+	if s.Cumulative != 100 {
+		t.Fatalf("Cumulative = %d, want 100", s.Cumulative)
+	}
+	if math.Abs(s.Rate-100) > 1e-9 {
+		t.Fatalf("Rate = %v, want 100", s.Rate)
+	}
+	m.Add(50)
+	now = now.Add(500 * time.Millisecond)
+	s = m.Cut()
+	if math.Abs(s.Rate-100) > 1e-9 {
+		t.Fatalf("interval Rate = %v, want 100", s.Rate)
+	}
+	if got := m.OverallRate(); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("OverallRate = %v, want 100", got)
+	}
+	if got := len(m.Series()); got != 2 {
+		t.Fatalf("Series length = %d, want 2", got)
+	}
+}
+
+func TestRegistryReusesInstruments(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("writes")
+	c1.Inc()
+	c2 := r.Counter("writes")
+	if c2.Value() != 1 {
+		t.Fatal("Counter must return the same instrument for the same name")
+	}
+	if r.Gauge("depth") != r.Gauge("depth") {
+		t.Fatal("Gauge must be cached by name")
+	}
+	if r.Histogram("lat") != r.Histogram("lat") {
+		t.Fatal("Histogram must be cached by name")
+	}
+	dump := r.Dump()
+	if dump == "" {
+		t.Fatal("Dump must render instruments")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{10, 15, 20, 25, 30}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 11.3*x
+	}
+	a, b, r2 := LinearFit(xs, ys)
+	if math.Abs(a-3) > 1e-9 || math.Abs(b-11.3) > 1e-9 {
+		t.Fatalf("fit = (%v, %v), want (3, 11.3)", a, b)
+	}
+	if math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("R² = %v, want 1", r2)
+	}
+}
+
+func TestLinearFitPaperFigure2(t *testing.T) {
+	// The five (nodes, throughput) points from Figure 2 (left). The paper
+	// claims linear scale-up at ~11k samples/s per node; verify the claim
+	// holds for the published numbers themselves.
+	xs := []float64{10, 15, 20, 25, 30}
+	ys := []float64{173000, 233000, 257000, 325000, 399000}
+	_, slope, r2 := LinearFit(xs, ys)
+	if slope < 10000 || slope > 12500 {
+		t.Fatalf("paper slope = %v, want ≈11k samples/s/node", slope)
+	}
+	if r2 < 0.97 {
+		t.Fatalf("paper R² = %v, want ≥ 0.97", r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, r2 := LinearFit([]float64{1}, []float64{2}); r2 != 0 {
+		t.Fatal("single-point fit must return zero R²")
+	}
+	if _, slope, _ := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); slope != 0 {
+		t.Fatal("vertical data must return zero slope")
+	}
+	_, slope, r2 := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if slope != 0 || r2 != 1 {
+		t.Fatalf("horizontal data: slope=%v r2=%v, want 0 and 1", slope, r2)
+	}
+}

@@ -1,0 +1,109 @@
+package tsdb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSourceObservations(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 4})
+	tsd := d.TSDs()[0]
+	const sensors = 5
+	var pts []Point
+	for s := 0; s < sensors; s++ {
+		for ts := int64(100); ts < 110; ts++ {
+			pts = append(pts, EnergyPoint(2, s, ts, float64(s*1000)+float64(ts)))
+		}
+	}
+	if err := tsd.Put(pts); err != nil {
+		t.Fatal(err)
+	}
+	src := &Source{TSD: tsd, Sensors: sensors}
+	rows, stamps, err := src.Observations(2, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 || len(stamps) != 10 {
+		t.Fatalf("rows=%d stamps=%d", len(rows), len(stamps))
+	}
+	for i, row := range rows {
+		if stamps[i] != 100+int64(i) {
+			t.Fatalf("stamp %d = %d", i, stamps[i])
+		}
+		for s, v := range row {
+			want := float64(s*1000) + float64(100+i)
+			if v != want {
+				t.Fatalf("row %d sensor %d = %v, want %v", i, s, v, want)
+			}
+		}
+	}
+}
+
+func TestSourceDetectsMissingSamples(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 2})
+	tsd := d.TSDs()[0]
+	// Sensor 1 is missing t=5.
+	var pts []Point
+	for s := 0; s < 2; s++ {
+		for ts := int64(0); ts < 10; ts++ {
+			if s == 1 && ts == 5 {
+				continue
+			}
+			pts = append(pts, EnergyPoint(0, s, ts, 1))
+		}
+	}
+	if err := tsd.Put(pts); err != nil {
+		t.Fatal(err)
+	}
+	src := &Source{TSD: tsd, Sensors: 2}
+	_, _, err := src.Observations(0, 0, 10)
+	if err == nil || !strings.Contains(err.Error(), "missing sample") {
+		t.Fatalf("err = %v, want missing-sample error", err)
+	}
+}
+
+func TestSourceTrainingWindow(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 2})
+	tsd := d.TSDs()[0]
+	var pts []Point
+	for s := 0; s < 3; s++ {
+		for ts := int64(50); ts < 58; ts++ {
+			pts = append(pts, EnergyPoint(1, s, ts, float64(ts)))
+		}
+	}
+	if err := tsd.Put(pts); err != nil {
+		t.Fatal(err)
+	}
+	src := &Source{TSD: tsd, Sensors: 3, TrainFrom: 50, TrainCount: 8}
+	window, err := src.TrainingWindow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(window) != 8 || len(window[0]) != 3 {
+		t.Fatalf("window shape %dx%d", len(window), len(window[0]))
+	}
+}
+
+func TestSinkWritesAnomalyMetric(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 2})
+	tsd := d.TSDs()[0]
+	sink := &Sink{TSD: tsd}
+	err := sink.WriteAnomaly(core.Anomaly{
+		Unit: 3, Sensor: 7, Timestamp: 42, Value: 99, Z: 5.5, PValue: 1e-8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := tsd.Query(Query{Metric: MetricAnomaly, Tags: EnergyTags(3, 7), Start: 0, End: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Samples) != 1 {
+		t.Fatalf("anomaly series = %+v", series)
+	}
+	if series[0].Samples[0].Value != 5.5 {
+		t.Fatalf("anomaly value = %v, want z-score 5.5", series[0].Samples[0].Value)
+	}
+}

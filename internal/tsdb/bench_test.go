@@ -1,0 +1,87 @@
+package tsdb
+
+import (
+	"testing"
+
+	"repro/internal/hbase"
+)
+
+func benchDeployment(b *testing.B, salt int) *Deployment {
+	b.Helper()
+	cluster, err := hbase.NewCluster(hbase.Config{RegionServers: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cluster.Stop)
+	d, err := NewDeployment(cluster, 1, TSDConfig{SaltBuckets: salt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.CreateTable(); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	d := benchDeployment(b, 8)
+	codec := NewCodec(d.UIDs, 8)
+	p := EnergyPoint(42, 867, 7249, 123.456)
+	// Pre-intern the names so the bench isolates the encode path.
+	if _, err := codec.Encode(&p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Encode(&p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTSDPut(b *testing.B) {
+	d := benchDeployment(b, 3)
+	tsd := d.TSDs()[0]
+	const batch = 1000
+	pts := make([]Point, batch)
+	for i := range pts {
+		pts[i] = EnergyPoint(i%20, i%100, int64(i), float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range pts {
+			pts[j].Timestamp = int64(i*batch + j)
+		}
+		if err := tsd.Put(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+func BenchmarkTSDQuery(b *testing.B) {
+	d := benchDeployment(b, 3)
+	tsd := d.TSDs()[0]
+	var pts []Point
+	for s := 0; s < 20; s++ {
+		for t := int64(0); t < 300; t++ {
+			pts = append(pts, EnergyPoint(1, s, t, float64(t)))
+		}
+	}
+	if err := tsd.Put(pts); err != nil {
+		b.Fatal(err)
+	}
+	q := Query{Metric: MetricEnergy, Tags: map[string]string{"unit": "1"}, Start: 0, End: 299}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := tsd.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 20 {
+			b.Fatalf("series = %d", len(series))
+		}
+	}
+	b.ReportMetric(float64(len(pts)*b.N)/b.Elapsed().Seconds(), "samples-read/s")
+}

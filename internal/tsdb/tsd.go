@@ -1,0 +1,388 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/hbase"
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+)
+
+// TSDConfig tunes one TSD daemon.
+type TSDConfig struct {
+	// SaltBuckets is the row-key salting width shared by every TSD in
+	// the deployment (0 disables — the ablation baseline).
+	SaltBuckets int
+	// CompactionEnabled turns on OpenTSDB-style row compaction. The
+	// paper disables it to cut RPC volume; the ablation measures why.
+	CompactionEnabled bool
+	// QueueCap bounds the TSD's own RPC queue (default 1024).
+	QueueCap int
+	// Workers is the TSD's handler pool (default 4).
+	Workers int
+	// FailFast makes the TSD's HBase client surface RegionServer queue
+	// overflows to the caller instead of absorbing them with retries —
+	// real OpenTSDB applies no backpressure toward HBase, which is the
+	// §III-B failure mode. The buffering proxy is then the only thing
+	// standing between producers and RegionServer crashes.
+	FailFast bool
+}
+
+func (c TSDConfig) withDefaults() TSDConfig {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	return c
+}
+
+// TSD is one OpenTSDB daemon: it accepts batched puts and queries,
+// translating them into HBase operations through its own client — one
+// TSD runs per storage node in the paper's deployment.
+type TSD struct {
+	name   string
+	client *hbase.Client
+	codec  *Codec
+	cfg    TSDConfig
+
+	// PointsWritten counts samples accepted.
+	PointsWritten telemetry.Counter
+	// QueriesServed counts query RPCs.
+	QueriesServed telemetry.Counter
+	// RowsCompacted counts row-compaction rewrites.
+	RowsCompacted telemetry.Counter
+}
+
+// tsdAddr names a TSD on the network.
+func tsdAddr(name string) string { return "tsd/" + name }
+
+// Deployment wires a fleet of TSDs over one HBase cluster, sharing a
+// UID table (backed by the same HBase table).
+type Deployment struct {
+	Cluster *hbase.Cluster
+	UIDs    *UIDTable
+	cfg     TSDConfig
+
+	mu   sync.Mutex
+	tsds []*TSD
+}
+
+// NewDeployment creates the shared UID table and n TSD daemons
+// ("tsd-1" …), registering each on the cluster's network.
+func NewDeployment(cluster *hbase.Cluster, n int, cfg TSDConfig) (*Deployment, error) {
+	cfg = cfg.withDefaults()
+	uidClient := cluster.NewClient(hbase.ClientConfig{})
+	d := &Deployment{
+		Cluster: cluster,
+		UIDs:    NewUIDTable(uidClient),
+		cfg:     cfg,
+	}
+	for i := 0; i < n; i++ {
+		if _, err := d.AddTSD(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// CreateTable pre-splits the HBase table to match the salt scheme.
+func (d *Deployment) CreateTable() error {
+	codec := NewCodec(d.UIDs, d.cfg.SaltBuckets)
+	return d.Cluster.CreateTable(codec.SplitKeys())
+}
+
+// AddTSD scales the TSD tier out by one daemon.
+func (d *Deployment) AddTSD() (*TSD, error) {
+	d.mu.Lock()
+	name := fmt.Sprintf("tsd-%d", len(d.tsds)+1)
+	d.mu.Unlock()
+	ccfg := hbase.ClientConfig{FailFast: d.cfg.FailFast}
+	if d.cfg.FailFast {
+		// A no-backpressure TSD must not mask outages behind long retry
+		// storms either: bound the failover retries tightly.
+		ccfg.MaxRetries = 2
+		ccfg.RetryBackoff = time.Millisecond
+	}
+	t := &TSD{
+		name:   name,
+		client: d.Cluster.NewClient(ccfg),
+		codec:  NewCodec(d.UIDs, d.cfg.SaltBuckets),
+		cfg:    d.cfg,
+	}
+	_, err := d.Cluster.Network().Register(tsdAddr(name), t.handle, rpc.ServerConfig{
+		QueueCap: d.cfg.QueueCap,
+		Workers:  d.cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.tsds = append(d.tsds, t)
+	d.mu.Unlock()
+	return t, nil
+}
+
+// TSDs returns the daemons in creation order.
+func (d *Deployment) TSDs() []*TSD {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*TSD(nil), d.tsds...)
+}
+
+// Addrs returns the TSD RPC addresses, for the proxy's round-robin.
+func (d *Deployment) Addrs() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.tsds))
+	for i, t := range d.tsds {
+		out[i] = tsdAddr(t.name)
+	}
+	return out
+}
+
+// PointsWritten sums samples accepted across the TSD tier.
+func (d *Deployment) PointsWritten() int64 {
+	var total int64
+	for _, t := range d.TSDs() {
+		total += t.PointsWritten.Value()
+	}
+	return total
+}
+
+// RPC payloads for the TSD tier.
+type (
+	// PutBatch writes a batch of points.
+	PutBatch struct {
+		Points []Point
+	}
+	// QueryRequest runs one query.
+	QueryRequest struct {
+		Query Query
+	}
+	// QueryResponse returns matching series sorted by ID.
+	QueryResponse struct {
+		Series []Series
+	}
+)
+
+// handle is the TSD RPC dispatch.
+func (t *TSD) handle(method string, payload any) (any, error) {
+	switch method {
+	case "put":
+		return nil, t.Put(payload.(*PutBatch).Points)
+	case "query":
+		series, err := t.Query(payload.(*QueryRequest).Query)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResponse{Series: series}, nil
+	case "compact":
+		n, err := t.CompactRows(payload.(int64))
+		return n, err
+	default:
+		return nil, fmt.Errorf("tsdb: %s: unknown method %q", t.name, method)
+	}
+}
+
+// Name returns the daemon name.
+func (t *TSD) Name() string { return t.name }
+
+// Put encodes and writes a batch of points through the HBase client.
+func (t *TSD) Put(points []Point) error {
+	if len(points) == 0 {
+		return nil
+	}
+	cells := make([]hbase.Cell, 0, len(points))
+	for i := range points {
+		cell, err := t.codec.Encode(&points[i])
+		if err != nil {
+			return err
+		}
+		cells = append(cells, cell)
+	}
+	if err := t.client.Put(cells); err != nil {
+		return err
+	}
+	t.PointsWritten.Add(int64(len(points)))
+	return nil
+}
+
+// Query scans the row ranges for the metric (across all salt buckets),
+// decodes, filters by tags, groups into series and optionally
+// downsamples.
+func (t *TSD) Query(q Query) ([]Series, error) {
+	t.QueriesServed.Inc()
+	mu, ok := t.codec.uids.Lookup(kindMetric, q.Metric)
+	if !ok {
+		// Unknown locally; try reloading persisted UIDs once (another
+		// TSD may have interned it).
+		if err := t.codec.uids.Reload(); err != nil {
+			return nil, err
+		}
+		if mu, ok = t.codec.uids.Lookup(kindMetric, q.Metric); !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchMetric, q.Metric)
+		}
+	}
+	grouped := make(map[string]*Series)
+	for _, rng := range t.codec.rowRanges(mu, q.Start, q.End) {
+		cells, err := t.client.Scan(rng[0], rng[1], 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, cell := range cells {
+			samples, err := t.codec.Decode(cell)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range samples {
+				if s.ts < q.Start || s.ts > q.End {
+					continue
+				}
+				if !tagsMatch(q.Tags, s.tags) {
+					continue
+				}
+				id := seriesID(s.metric, s.tags)
+				ser, ok := grouped[id]
+				if !ok {
+					ser = &Series{Metric: s.metric, Tags: s.tags}
+					grouped[id] = ser
+				}
+				ser.Samples = append(ser.Samples, Sample{Timestamp: s.ts, Value: s.value})
+			}
+		}
+	}
+	out := make([]Series, 0, len(grouped))
+	for _, ser := range grouped {
+		sort.Slice(ser.Samples, func(i, j int) bool { return ser.Samples[i].Timestamp < ser.Samples[j].Timestamp })
+		ser.Samples = dedupeSamples(ser.Samples)
+		if q.DownsampleSeconds > 0 {
+			ser.Samples = downsample(ser.Samples, q.DownsampleSeconds, q.Aggregate)
+		}
+		out = append(out, *ser)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out, nil
+}
+
+// dedupeSamples drops duplicate timestamps (a row-compacted cell can
+// coexist with a not-yet-deleted original; they carry equal values).
+func dedupeSamples(in []Sample) []Sample {
+	if len(in) < 2 {
+		return in
+	}
+	out := in[:1]
+	for _, s := range in[1:] {
+		if s.Timestamp != out[len(out)-1].Timestamp {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// tagsMatch reports whether all filter tags equal the series tags.
+func tagsMatch(filter, tags map[string]string) bool {
+	for k, v := range filter {
+		if tags[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// downsample buckets samples into fixed windows and aggregates.
+func downsample(in []Sample, width int64, agg AggFunc) []Sample {
+	if len(in) == 0 {
+		return in
+	}
+	var out []Sample
+	var vals []float64
+	cur := in[0].Timestamp - in[0].Timestamp%width
+	flush := func() {
+		if len(vals) > 0 {
+			out = append(out, Sample{Timestamp: cur, Value: agg.apply(vals)})
+			vals = vals[:0]
+		}
+	}
+	for _, s := range in {
+		b := s.Timestamp - s.Timestamp%width
+		if b != cur {
+			flush()
+			cur = b
+		}
+		vals = append(vals, s.Value)
+	}
+	flush()
+	return out
+}
+
+// CompactRows performs OpenTSDB row compaction for every data row with
+// base time strictly older than beforeBase: each row's second-columns
+// are rewritten as one wide cell and the originals are deleted. It
+// returns the number of rows compacted. This is the operation the
+// paper disabled — each compacted row costs a scan, a put and a delete
+// RPC round.
+func (t *TSD) CompactRows(beforeBase int64) (int, error) {
+	if !t.cfg.CompactionEnabled {
+		return 0, nil
+	}
+	// Scan everything below the meta prefix (data rows only).
+	cells, err := t.client.Scan(nil, []byte{metaPrefix}, 0)
+	if err != nil {
+		return 0, err
+	}
+	byRow := make(map[string][]hbase.Cell)
+	for _, c := range cells {
+		if len(c.Qual) == 2 && c.Qual[0] == 0xFF && c.Qual[1] == 0xFF {
+			continue // already compacted
+		}
+		byRow[string(c.Row)] = append(byRow[string(c.Row)], c)
+	}
+	compacted := 0
+	for _, rowCells := range byRow {
+		if len(rowCells) < 2 {
+			continue
+		}
+		base, ok := t.codec.rowBase(rowCells[0].Row)
+		if !ok || base >= beforeBase {
+			continue
+		}
+		sort.Slice(rowCells, func(i, j int) bool {
+			return binary.BigEndian.Uint16(rowCells[i].Qual) < binary.BigEndian.Uint16(rowCells[j].Qual)
+		})
+		wide := make([]byte, 0, len(rowCells)*10)
+		for _, c := range rowCells {
+			wide = append(wide, c.Qual...)
+			wide = append(wide, c.Value...)
+		}
+		wideCell := hbase.Cell{Row: rowCells[0].Row, Qual: []byte{0xFF, 0xFF}, Value: wide}
+		if err := t.client.Put([]hbase.Cell{wideCell}); err != nil {
+			return compacted, err
+		}
+		if err := t.client.Delete(rowCells); err != nil {
+			return compacted, err
+		}
+		t.RowsCompacted.Inc()
+		compacted++
+	}
+	return compacted, nil
+}
+
+// rowBase extracts the base time from a data row key.
+func (c *Codec) rowBase(key []byte) (int64, bool) {
+	if c.SaltBuckets > 0 {
+		if len(key) < 1 {
+			return 0, false
+		}
+		key = key[1:]
+	}
+	if len(key) < uidWidth+4 {
+		return 0, false
+	}
+	return int64(binary.BigEndian.Uint32(key[uidWidth : uidWidth+4])), true
+}

@@ -1,0 +1,414 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hbase"
+)
+
+func newDeployment(t *testing.T, rsCount, tsdCount int, cfg TSDConfig) *Deployment {
+	t.Helper()
+	cluster, err := hbase.NewCluster(hbase.Config{RegionServers: rsCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Stop)
+	d, err := NewDeployment(cluster, tsdCount, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateTable(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPointValidate(t *testing.T) {
+	good := EnergyPoint(1, 2, 100, 3.5)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Point{
+		{Metric: "", Tags: map[string]string{"a": "b"}, Timestamp: 1},
+		{Metric: "m", Tags: nil, Timestamp: 1},
+		{Metric: "m", Tags: map[string]string{"": "b"}, Timestamp: 1},
+		{Metric: "m", Tags: map[string]string{"a": ""}, Timestamp: 1},
+		{Metric: "m", Tags: map[string]string{"a": "b"}, Timestamp: -5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadPoint) {
+			t.Fatalf("bad point %d accepted", i)
+		}
+	}
+}
+
+func TestUIDTableRoundTripAndReload(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 4})
+	u := d.UIDs
+	id1, err := u.GetOrCreate(kindMetric, "energy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := u.GetOrCreate(kindMetric, "energy")
+	if err != nil || id2 != id1 {
+		t.Fatal("GetOrCreate must be idempotent")
+	}
+	id3, _ := u.GetOrCreate(kindMetric, "anomaly")
+	if id3 == id1 {
+		t.Fatal("distinct names must get distinct ids")
+	}
+	name, ok := u.Name(kindMetric, id1)
+	if !ok || name != "energy" {
+		t.Fatal("reverse lookup wrong")
+	}
+	// Reload from HBase: assignments must survive.
+	if err := u.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := u.Lookup(kindMetric, "energy")
+	if !ok || got != id1 {
+		t.Fatalf("after reload: %d, %v", got, ok)
+	}
+	// New allocations continue above the reloaded maximum.
+	id4, _ := u.GetOrCreate(kindMetric, "third")
+	if id4 <= id3 {
+		t.Fatalf("post-reload allocation %d must exceed %d", id4, id3)
+	}
+}
+
+func TestCodecEncodeDecodeRoundTrip(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 8})
+	codec := NewCodec(d.UIDs, 8)
+	p := EnergyPoint(42, 867, 7249, 123.456)
+	cell, err := codec.Encode(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key layout: salt(1) + metric(3) + base(4) + 2 tags × 6.
+	if len(cell.Row) != 1+3+4+12 {
+		t.Fatalf("row key length = %d", len(cell.Row))
+	}
+	got, err := codec.Decode(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d samples", len(got))
+	}
+	s := got[0]
+	if s.metric != MetricEnergy || s.ts != 7249 || s.value != 123.456 {
+		t.Fatalf("decoded = %+v", s)
+	}
+	if s.tags["unit"] != "42" || s.tags["sensor"] != "867" {
+		t.Fatalf("tags = %v", s.tags)
+	}
+}
+
+func TestCodecSaltingDeterministicPerSeries(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 16})
+	codec := NewCodec(d.UIDs, 16)
+	// Same series, consecutive seconds within one hour: same salt, same
+	// row.
+	p1 := EnergyPoint(1, 1, 1000, 1)
+	p2 := EnergyPoint(1, 1, 1001, 2)
+	c1, _ := codec.Encode(&p1)
+	c2, _ := codec.Encode(&p2)
+	if string(c1.Row) != string(c2.Row) {
+		t.Fatal("same series+hour must share a row")
+	}
+	// Different series spread across salts.
+	salts := map[byte]bool{}
+	for u := 0; u < 64; u++ {
+		p := EnergyPoint(u, 0, 1000, 1)
+		c, err := codec.Encode(&p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		salts[c.Row[0]] = true
+	}
+	if len(salts) < 8 {
+		t.Fatalf("64 series hit only %d salt buckets", len(salts))
+	}
+}
+
+func TestCodecUnsaltedKeysSharePrefix(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 0})
+	codec := NewCodec(d.UIDs, 0)
+	pa := EnergyPoint(1, 1, 1000, 1)
+	pb := EnergyPoint(99, 99, 1000, 1)
+	a, _ := codec.Encode(&pa)
+	b, _ := codec.Encode(&pb)
+	// Without salt, the first 7 bytes (metric + base hour) coincide —
+	// this is exactly the §III-B hotspot.
+	if string(a.Row[:7]) != string(b.Row[:7]) {
+		t.Fatal("unsalted keys must share the metric+time prefix")
+	}
+}
+
+func TestSplitKeysMatchSalting(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{})
+	if n := len(NewCodec(d.UIDs, 8).SplitKeys()); n != 8 {
+		t.Fatalf("salted split keys = %d, want 8 (7 salts + meta)", n)
+	}
+	if n := len(NewCodec(d.UIDs, 0).SplitKeys()); n != 1 {
+		t.Fatalf("unsalted split keys = %d, want 1 (meta only)", n)
+	}
+}
+
+func TestPutQueryRoundTrip(t *testing.T) {
+	d := newDeployment(t, 3, 2, TSDConfig{SaltBuckets: 6})
+	tsd := d.TSDs()[0]
+	var points []Point
+	for unit := 0; unit < 3; unit++ {
+		for sensor := 0; sensor < 4; sensor++ {
+			for ts := int64(0); ts < 10; ts++ {
+				points = append(points, EnergyPoint(unit, sensor, 100+ts, float64(unit*100+sensor)+float64(ts)/10))
+			}
+		}
+	}
+	if err := tsd.Put(points); err != nil {
+		t.Fatal(err)
+	}
+	// Query one unit through the OTHER tsd (shared storage).
+	other := d.TSDs()[1]
+	series, err := other.Query(Query{
+		Metric: MetricEnergy,
+		Tags:   map[string]string{"unit": "1"},
+		Start:  100,
+		End:    109,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4 sensors", len(series))
+	}
+	for _, ser := range series {
+		if len(ser.Samples) != 10 {
+			t.Fatalf("series %s has %d samples", ser.ID(), len(ser.Samples))
+		}
+		for i := 1; i < len(ser.Samples); i++ {
+			if ser.Samples[i].Timestamp <= ser.Samples[i-1].Timestamp {
+				t.Fatal("samples not sorted")
+			}
+		}
+	}
+	if d.PointsWritten() != int64(len(points)) {
+		t.Fatalf("PointsWritten = %d", d.PointsWritten())
+	}
+}
+
+func TestQueryTimeRangeAndTagFilters(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 4})
+	tsd := d.TSDs()[0]
+	var pts []Point
+	for ts := int64(0); ts < 7200; ts += 600 { // spans two row base hours
+		pts = append(pts, EnergyPoint(5, 7, ts, float64(ts)))
+	}
+	if err := tsd.Put(pts); err != nil {
+		t.Fatal(err)
+	}
+	series, err := tsd.Query(Query{Metric: MetricEnergy, Tags: EnergyTags(5, 7), Start: 600, End: 4200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series[0].Samples {
+		if s.Timestamp < 600 || s.Timestamp > 4200 {
+			t.Fatalf("sample %d outside range", s.Timestamp)
+		}
+	}
+	if len(series[0].Samples) != 7 {
+		t.Fatalf("samples = %d, want 7", len(series[0].Samples))
+	}
+	// Unknown metric errors.
+	if _, err := tsd.Query(Query{Metric: "nope", Start: 0, End: 10}); !errors.Is(err, ErrNoSuchMetric) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueryDownsampling(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 2})
+	tsd := d.TSDs()[0]
+	var pts []Point
+	for ts := int64(0); ts < 60; ts++ {
+		pts = append(pts, EnergyPoint(1, 1, ts, 2))
+	}
+	if err := tsd.Put(pts); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		agg  AggFunc
+		want float64
+	}{
+		{AggAvg, 2}, {AggSum, 20}, {AggMin, 2}, {AggMax, 2}, {AggCount, 10},
+	} {
+		series, err := tsd.Query(Query{
+			Metric: MetricEnergy, Tags: EnergyTags(1, 1),
+			Start: 0, End: 59, DownsampleSeconds: 10, Aggregate: tc.agg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series[0].Samples) != 6 {
+			t.Fatalf("%v: buckets = %d, want 6", tc.agg, len(series[0].Samples))
+		}
+		for _, s := range series[0].Samples {
+			if math.Abs(s.Value-tc.want) > 1e-12 {
+				t.Fatalf("%v: bucket value = %v, want %v", tc.agg, s.Value, tc.want)
+			}
+		}
+	}
+	if AggAvg.String() != "avg" || AggFunc(99).String() == "" {
+		t.Fatal("AggFunc strings wrong")
+	}
+}
+
+func TestRowCompactionPreservesReads(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 2, CompactionEnabled: true})
+	tsd := d.TSDs()[0]
+	var pts []Point
+	for ts := int64(0); ts < 30; ts++ {
+		pts = append(pts, EnergyPoint(1, 1, ts, float64(ts)))
+	}
+	if err := tsd.Put(pts); err != nil {
+		t.Fatal(err)
+	}
+	n, err := tsd.CompactRows(rowBaseSeconds) // everything older than hour 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("compacted %d rows, want 1", n)
+	}
+	series, err := tsd.Query(Query{Metric: MetricEnergy, Tags: EnergyTags(1, 1), Start: 0, End: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series[0].Samples) != 30 {
+		t.Fatalf("samples after compaction = %d, want 30", len(series[0].Samples))
+	}
+	for i, s := range series[0].Samples {
+		if s.Value != float64(i) {
+			t.Fatalf("sample %d = %v", i, s.Value)
+		}
+	}
+	// Disabled compaction is a no-op.
+	d2 := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 2, CompactionEnabled: false})
+	tsd2 := d2.TSDs()[0]
+	if err := tsd2.Put(pts); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tsd2.CompactRows(rowBaseSeconds); err != nil || n != 0 {
+		t.Fatalf("disabled compaction did %d rows, %v", n, err)
+	}
+}
+
+func TestCompactionReducesStoredCells(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 1, CompactionEnabled: true})
+	tsd := d.TSDs()[0]
+	var pts []Point
+	for ts := int64(0); ts < 100; ts++ {
+		pts = append(pts, EnergyPoint(1, 1, ts, 1))
+	}
+	if err := tsd.Put(pts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tsd.CompactRows(rowBaseSeconds); err != nil {
+		t.Fatal(err)
+	}
+	// After compaction + HBase major compaction, the row is one wide
+	// cell instead of 100 narrow ones.
+	series, err := tsd.Query(Query{Metric: MetricEnergy, Tags: EnergyTags(1, 1), Start: 0, End: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series[0].Samples) != 100 {
+		t.Fatalf("samples = %d", len(series[0].Samples))
+	}
+	if tsd.RowsCompacted.Value() != 1 {
+		t.Fatalf("RowsCompacted = %d", tsd.RowsCompacted.Value())
+	}
+}
+
+func TestTSDRPCInterface(t *testing.T) {
+	d := newDeployment(t, 2, 2, TSDConfig{SaltBuckets: 4})
+	net := d.Cluster.Network()
+	addrs := d.Addrs()
+	if len(addrs) != 2 || addrs[0] != "tsd/tsd-1" {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	pts := []Point{EnergyPoint(1, 1, 50, 9.5)}
+	if _, err := net.Call(addrs[0], "put", &PutBatch{Points: pts}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := net.Call(addrs[1], "query", &QueryRequest{Query: Query{
+		Metric: MetricEnergy, Tags: EnergyTags(1, 1), Start: 0, End: 100,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := resp.(*QueryResponse).Series
+	if len(series) != 1 || series[0].Samples[0].Value != 9.5 {
+		t.Fatalf("rpc query = %+v", series)
+	}
+	if _, err := net.Call(addrs[0], "bogus", nil); err == nil {
+		t.Fatal("unknown method must error")
+	}
+}
+
+func TestSeriesIDCanonical(t *testing.T) {
+	a := seriesID("m", map[string]string{"b": "2", "a": "1"})
+	b := seriesID("m", map[string]string{"a": "1", "b": "2"})
+	if a != b || a != "m{a=1,b=2}" {
+		t.Fatalf("seriesID = %q / %q", a, b)
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 10})
+	codec := NewCodec(d.UIDs, 10)
+	f := func(unit, sensor uint8, tsRaw uint32, val float64) bool {
+		if math.IsNaN(val) {
+			return true
+		}
+		ts := int64(tsRaw % 1e7)
+		p := EnergyPoint(int(unit), int(sensor), ts, val)
+		cell, err := codec.Encode(&p)
+		if err != nil {
+			return false
+		}
+		got, err := codec.Decode(cell)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0].ts == ts && got[0].value == val &&
+			got[0].tags["unit"] == fmt.Sprint(unit) && got[0].tags["sensor"] == fmt.Sprint(sensor)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetaRowsInvisibleToQueries(t *testing.T) {
+	// UID rows live above the data keyspace; a full-range data query
+	// must never decode them.
+	d := newDeployment(t, 2, 1, TSDConfig{SaltBuckets: 3})
+	tsd := d.TSDs()[0]
+	if err := tsd.Put([]Point{EnergyPoint(1, 1, 10, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	series, err := tsd.Query(Query{Metric: MetricEnergy, Start: 0, End: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("series = %d, want 1", len(series))
+	}
+}

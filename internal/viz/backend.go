@@ -1,0 +1,297 @@
+// Package viz is the interactive visualization tool from §V: a web
+// application that integrates (A) live sensor data, (B) highlighted
+// anomalies and (C) fleet-wide analytics into a single control center.
+//
+// It reproduces the three Figure-3 surfaces:
+//
+//   - the fleet overview with a status bar summarizing unit health,
+//   - the machine page showing one compact sparkline per sensor with
+//     anomalies flagged in red, and
+//   - the drill-down detail view for one sensor with the surrounding
+//     context and the anomaly list.
+//
+// Pages are server-rendered HTML with inline SVG (usable from desktop
+// and mobile, as the paper requires); every surface is also available
+// as a JSON API for programmatic use.
+package viz
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/tsdb"
+)
+
+// Status grades a unit's health for the status bar.
+type Status string
+
+// Status levels derived from recent anomaly counts.
+const (
+	StatusHealthy  Status = "healthy"
+	StatusWarning  Status = "warning"
+	StatusCritical Status = "critical"
+)
+
+// Backend assembles page data from the TSDB (sensor series from
+// "energy", flags from "anomaly" — both written by the rest of the
+// pipeline).
+type Backend struct {
+	TSD     *tsdb.TSD
+	Units   int
+	Sensors int
+	// WarnAt / CritAt are the anomaly-count thresholds grading a unit
+	// (defaults 1 and 10).
+	WarnAt, CritAt int
+}
+
+func (b *Backend) warnAt() int {
+	if b.WarnAt > 0 {
+		return b.WarnAt
+	}
+	return 1
+}
+
+func (b *Backend) critAt() int {
+	if b.CritAt > 0 {
+		return b.CritAt
+	}
+	return 10
+}
+
+// UnitSummary is one row of the fleet overview.
+type UnitSummary struct {
+	Unit      int    `json:"unit"`
+	Status    Status `json:"status"`
+	Anomalies int    `json:"anomalies"`
+	// Sensors flagged at least once in the window.
+	FlaggedSensors int `json:"flaggedSensors"`
+}
+
+// FleetSummary is the status-bar payload.
+type FleetSummary struct {
+	From, To  int64         `json:"-"`
+	Healthy   int           `json:"healthy"`
+	Warning   int           `json:"warning"`
+	Critical  int           `json:"critical"`
+	Anomalies int           `json:"anomalies"`
+	Units     []UnitSummary `json:"units"`
+}
+
+// anomaliesByUnit fetches all anomaly points in [from, to] grouped by
+// unit, then by sensor.
+func (b *Backend) anomaliesByUnit(from, to int64) (map[int]map[int][]tsdb.Sample, error) {
+	series, err := b.TSD.Query(tsdb.Query{Metric: tsdb.MetricAnomaly, Start: from, End: to})
+	if err != nil {
+		if isNoMetric(err) {
+			return map[int]map[int][]tsdb.Sample{}, nil // nothing flagged yet
+		}
+		return nil, err
+	}
+	out := make(map[int]map[int][]tsdb.Sample)
+	for _, ser := range series {
+		unit, err1 := strconv.Atoi(ser.Tags["unit"])
+		sensor, err2 := strconv.Atoi(ser.Tags["sensor"])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if out[unit] == nil {
+			out[unit] = make(map[int][]tsdb.Sample)
+		}
+		out[unit][sensor] = append(out[unit][sensor], ser.Samples...)
+	}
+	return out, nil
+}
+
+func isNoMetric(err error) bool {
+	// The anomaly metric does not exist until the first flag is
+	// written; treat that as an empty result.
+	return errors.Is(err, tsdb.ErrNoSuchMetric)
+}
+
+// Fleet builds the overview for the window [from, to].
+func (b *Backend) Fleet(from, to int64) (*FleetSummary, error) {
+	anomalies, err := b.anomaliesByUnit(from, to)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FleetSummary{From: from, To: to}
+	for u := 0; u < b.Units; u++ {
+		sum := UnitSummary{Unit: u, Status: StatusHealthy}
+		for _, samples := range anomalies[u] {
+			if len(samples) > 0 {
+				sum.FlaggedSensors++
+				sum.Anomalies += len(samples)
+			}
+		}
+		switch {
+		case sum.Anomalies >= b.critAt():
+			sum.Status = StatusCritical
+			fs.Critical++
+		case sum.Anomalies >= b.warnAt():
+			sum.Status = StatusWarning
+			fs.Warning++
+		default:
+			fs.Healthy++
+		}
+		fs.Anomalies += sum.Anomalies
+		fs.Units = append(fs.Units, sum)
+	}
+	return fs, nil
+}
+
+// SensorView is one sparkline row on the machine page.
+type SensorView struct {
+	Sensor    int           `json:"sensor"`
+	Samples   []tsdb.Sample `json:"samples"`
+	Anomalies []tsdb.Sample `json:"anomalies"`
+	Latest    float64       `json:"latest"`
+}
+
+// MachineView is the machine page payload.
+type MachineView struct {
+	Unit      int          `json:"unit"`
+	From, To  int64        `json:"-"`
+	Status    Status       `json:"status"`
+	Anomalies int          `json:"anomalies"`
+	Sensors   []SensorView `json:"sensors"`
+}
+
+// Machine builds the per-machine view: every sensor's series over the
+// window with its anomalies attached (paper: "displays all sensor
+// readings with relevant anomalies annotated directly on a compact
+// sparkline chart").
+func (b *Backend) Machine(unit int, from, to int64) (*MachineView, error) {
+	if unit < 0 || unit >= b.Units {
+		return nil, fmt.Errorf("viz: unknown unit %d", unit)
+	}
+	series, err := b.TSD.Query(tsdb.Query{
+		Metric: tsdb.MetricEnergy,
+		Tags:   map[string]string{"unit": strconv.Itoa(unit)},
+		Start:  from,
+		End:    to,
+	})
+	if err != nil && !isNoMetric(err) {
+		return nil, err
+	}
+	anomalies, err := b.anomaliesByUnit(from, to)
+	if err != nil {
+		return nil, err
+	}
+	mv := &MachineView{Unit: unit, From: from, To: to, Status: StatusHealthy}
+	bySensor := make(map[int][]tsdb.Sample)
+	for _, ser := range series {
+		s, err := strconv.Atoi(ser.Tags["sensor"])
+		if err != nil {
+			continue
+		}
+		bySensor[s] = append(bySensor[s], ser.Samples...)
+	}
+	sensorIDs := make([]int, 0, len(bySensor))
+	for s := range bySensor {
+		sensorIDs = append(sensorIDs, s)
+	}
+	sort.Ints(sensorIDs)
+	for _, s := range sensorIDs {
+		sv := SensorView{Sensor: s, Samples: bySensor[s], Anomalies: anomalies[unit][s]}
+		if n := len(sv.Samples); n > 0 {
+			sv.Latest = sv.Samples[n-1].Value
+		}
+		mv.Anomalies += len(sv.Anomalies)
+		mv.Sensors = append(mv.Sensors, sv)
+	}
+	switch {
+	case mv.Anomalies >= b.critAt():
+		mv.Status = StatusCritical
+	case mv.Anomalies >= b.warnAt():
+		mv.Status = StatusWarning
+	}
+	return mv, nil
+}
+
+// TopAnomaly is one entry of the "most concerning anomalies" ranking
+// (§V: "by selectively surfacing the most concerning anomalies, we
+// allow users to focus only on what is important").
+type TopAnomaly struct {
+	Unit      int     `json:"unit"`
+	Sensor    int     `json:"sensor"`
+	Timestamp int64   `json:"timestamp"`
+	Severity  float64 `json:"severity"` // |z|: standard deviations from benchmark
+}
+
+// TopAnomalies returns the limit most severe flags in [from, to],
+// ranked by |z| descending (ties by recency).
+func (b *Backend) TopAnomalies(from, to int64, limit int) ([]TopAnomaly, error) {
+	if limit <= 0 {
+		limit = 10
+	}
+	byUnit, err := b.anomaliesByUnit(from, to)
+	if err != nil {
+		return nil, err
+	}
+	var all []TopAnomaly
+	for unit, sensors := range byUnit {
+		for sensor, samples := range sensors {
+			for _, s := range samples {
+				sev := s.Value
+				if sev < 0 {
+					sev = -sev
+				}
+				all = append(all, TopAnomaly{Unit: unit, Sensor: sensor, Timestamp: s.Timestamp, Severity: sev})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Severity != all[j].Severity {
+			return all[i].Severity > all[j].Severity
+		}
+		if all[i].Timestamp != all[j].Timestamp {
+			return all[i].Timestamp > all[j].Timestamp
+		}
+		if all[i].Unit != all[j].Unit {
+			return all[i].Unit < all[j].Unit
+		}
+		return all[i].Sensor < all[j].Sensor
+	})
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	return all, nil
+}
+
+// SensorDetail is the drill-down payload for one sensor.
+type SensorDetail struct {
+	Unit      int           `json:"unit"`
+	Sensor    int           `json:"sensor"`
+	From, To  int64         `json:"-"`
+	Samples   []tsdb.Sample `json:"samples"`
+	Anomalies []tsdb.Sample `json:"anomalies"`
+}
+
+// Sensor builds the drill-down view (paper: "operators can click on
+// anomalies which surfaces a detailed view of the sensor data").
+func (b *Backend) Sensor(unit, sensor int, from, to int64) (*SensorDetail, error) {
+	if unit < 0 || unit >= b.Units || sensor < 0 || sensor >= b.Sensors {
+		return nil, fmt.Errorf("viz: unknown sensor %d/%d", unit, sensor)
+	}
+	series, err := b.TSD.Query(tsdb.Query{
+		Metric: tsdb.MetricEnergy,
+		Tags:   tsdb.EnergyTags(unit, sensor),
+		Start:  from,
+		End:    to,
+	})
+	if err != nil && !isNoMetric(err) {
+		return nil, err
+	}
+	det := &SensorDetail{Unit: unit, Sensor: sensor, From: from, To: to}
+	for _, ser := range series {
+		det.Samples = append(det.Samples, ser.Samples...)
+	}
+	anomalies, err := b.anomaliesByUnit(from, to)
+	if err != nil {
+		return nil, err
+	}
+	det.Anomalies = anomalies[unit][sensor]
+	return det, nil
+}

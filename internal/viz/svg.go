@@ -1,0 +1,130 @@
+package viz
+
+import (
+	"fmt"
+	"html/template"
+	"math"
+	"strings"
+
+	"repro/internal/tsdb"
+)
+
+// Sparkline renders samples as a compact inline SVG polyline with
+// anomalies drawn as red circles on top — the central visual element
+// of the Figure-3 machine page. The output is safe to inline (it
+// contains only generated numbers and fixed markup).
+func Sparkline(samples, anomalies []tsdb.Sample, width, height int) template.HTML {
+	if width <= 0 {
+		width = 160
+	}
+	if height <= 0 {
+		height = 28
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg class="spark" width="%d" height="%d" viewBox="0 0 %d %d" preserveAspectRatio="none">`, width, height, width, height)
+	if len(samples) > 0 {
+		minT, maxT := samples[0].Timestamp, samples[len(samples)-1].Timestamp
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for _, s := range samples {
+			minV = math.Min(minV, s.Value)
+			maxV = math.Max(maxV, s.Value)
+		}
+		// Anomalies can sit outside the sample range; include them so
+		// red dots stay on canvas.
+		for _, a := range anomalies {
+			if a.Timestamp < minT {
+				minT = a.Timestamp
+			}
+			if a.Timestamp > maxT {
+				maxT = a.Timestamp
+			}
+		}
+		sx := func(ts int64) float64 {
+			if maxT == minT {
+				return float64(width) / 2
+			}
+			return float64(ts-minT)/float64(maxT-minT)*float64(width-4) + 2
+		}
+		sy := func(v float64) float64 {
+			if maxV == minV {
+				return float64(height) / 2
+			}
+			// Clamp anomaly values onto the canvas.
+			frac := (v - minV) / (maxV - minV)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return float64(height-4) - frac*float64(height-8) + 2
+		}
+		b.WriteString(`<polyline fill="none" stroke="#4a90d9" stroke-width="1" points="`)
+		for i, s := range samples {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.1f,%.1f", sx(s.Timestamp), sy(s.Value))
+		}
+		b.WriteString(`"/>`)
+		for _, a := range anomalies {
+			// Red flag markers (the paper: "points where anomalies
+			// occurred are flagged in red").
+			y := float64(height) / 2
+			if len(samples) > 0 {
+				y = sy(valueAt(samples, a.Timestamp))
+			}
+			fmt.Fprintf(&b, `<circle class="anomaly" cx="%.1f" cy="%.1f" r="2.5" fill="#d94a4a"/>`, sx(a.Timestamp), y)
+		}
+	}
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String()) // #nosec G203 -- numeric content only
+}
+
+// valueAt finds the sample value at (or nearest before) ts.
+func valueAt(samples []tsdb.Sample, ts int64) float64 {
+	best := samples[0].Value
+	for _, s := range samples {
+		if s.Timestamp > ts {
+			break
+		}
+		best = s.Value
+	}
+	return best
+}
+
+// StatusBar renders the fleet/unit status strip: green/amber/red
+// segments proportional to the unit counts, as in the top of Figure 3.
+func StatusBar(healthy, warning, critical int, width, height int) template.HTML {
+	total := healthy + warning + critical
+	if width <= 0 {
+		width = 480
+	}
+	if height <= 0 {
+		height = 14
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg class="statusbar" width="%d" height="%d" role="img" aria-label="%d healthy, %d warning, %d critical">`,
+		width, height, healthy, warning, critical)
+	if total > 0 {
+		x := 0.0
+		for _, seg := range []struct {
+			n     int
+			color string
+			class string
+		}{
+			{healthy, "#3cb371", "seg-healthy"},
+			{warning, "#e8b93c", "seg-warning"},
+			{critical, "#d94a4a", "seg-critical"},
+		} {
+			if seg.n == 0 {
+				continue
+			}
+			w := float64(seg.n) / float64(total) * float64(width)
+			fmt.Fprintf(&b, `<rect class="%s" x="%.1f" y="0" width="%.1f" height="%d" fill="%s"/>`, seg.class, x, w, height, seg.color)
+			x += w
+		}
+	}
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String()) // #nosec G203 -- numeric content only
+}

@@ -1,0 +1,361 @@
+package viz
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/hbase"
+	"repro/internal/tsdb"
+)
+
+// testEnv stands up a tiny TSDB with sensor data and injected anomaly
+// flags: 3 units × 4 sensors × 60 seconds; unit 1 sensor 2 carries 12
+// anomalies (critical), unit 2 sensor 0 carries 2 (warning).
+func testEnv(t *testing.T) (*Backend, *Server) {
+	t.Helper()
+	cluster, err := hbase.NewCluster(hbase.Config{RegionServers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Stop)
+	d, err := tsdb.NewDeployment(cluster, 1, tsdb.TSDConfig{SaltBuckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateTable(); err != nil {
+		t.Fatal(err)
+	}
+	tsd := d.TSDs()[0]
+	var pts []tsdb.Point
+	for u := 0; u < 3; u++ {
+		for s := 0; s < 4; s++ {
+			for ts := int64(0); ts < 60; ts++ {
+				pts = append(pts, tsdb.EnergyPoint(u, s, ts, float64(u*10+s)+float64(ts%7)))
+			}
+		}
+	}
+	if err := tsd.Put(pts); err != nil {
+		t.Fatal(err)
+	}
+	var flags []tsdb.Point
+	for i := int64(0); i < 12; i++ {
+		flags = append(flags, tsdb.Point{
+			Metric: tsdb.MetricAnomaly, Tags: tsdb.EnergyTags(1, 2),
+			Timestamp: 10 + i, Value: 5.5,
+		})
+	}
+	flags = append(flags,
+		tsdb.Point{Metric: tsdb.MetricAnomaly, Tags: tsdb.EnergyTags(2, 0), Timestamp: 20, Value: 4.0},
+		tsdb.Point{Metric: tsdb.MetricAnomaly, Tags: tsdb.EnergyTags(2, 0), Timestamp: 21, Value: 4.2},
+	)
+	if err := tsd.Put(flags); err != nil {
+		t.Fatal(err)
+	}
+	backend := &Backend{TSD: tsd, Units: 3, Sensors: 4, WarnAt: 1, CritAt: 10}
+	server := NewServer(backend, func() int64 { return 59 })
+	return backend, server
+}
+
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestBackendFleetStatus(t *testing.T) {
+	backend, _ := testEnv(t)
+	fleet, err := backend.Fleet(0, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Healthy != 1 || fleet.Warning != 1 || fleet.Critical != 1 {
+		t.Fatalf("fleet = %d/%d/%d, want 1/1/1", fleet.Healthy, fleet.Warning, fleet.Critical)
+	}
+	if fleet.Anomalies != 14 {
+		t.Fatalf("anomalies = %d, want 14", fleet.Anomalies)
+	}
+	if fleet.Units[1].Status != StatusCritical || fleet.Units[2].Status != StatusWarning || fleet.Units[0].Status != StatusHealthy {
+		t.Fatalf("unit statuses = %+v", fleet.Units)
+	}
+	if fleet.Units[1].FlaggedSensors != 1 {
+		t.Fatalf("flagged sensors = %d", fleet.Units[1].FlaggedSensors)
+	}
+}
+
+func TestBackendMachineView(t *testing.T) {
+	backend, _ := testEnv(t)
+	mv, err := backend.Machine(1, 0, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mv.Sensors) != 4 {
+		t.Fatalf("sensors = %d", len(mv.Sensors))
+	}
+	if mv.Status != StatusCritical || mv.Anomalies != 12 {
+		t.Fatalf("machine 1 = %s/%d", mv.Status, mv.Anomalies)
+	}
+	s2 := mv.Sensors[2]
+	if len(s2.Samples) != 60 || len(s2.Anomalies) != 12 {
+		t.Fatalf("sensor 2 = %d samples, %d anomalies", len(s2.Samples), len(s2.Anomalies))
+	}
+	if _, err := backend.Machine(99, 0, 59); err == nil {
+		t.Fatal("unknown unit must error")
+	}
+}
+
+func TestBackendSensorDetail(t *testing.T) {
+	backend, _ := testEnv(t)
+	det, err := backend.Sensor(1, 2, 0, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Samples) != 60 || len(det.Anomalies) != 12 {
+		t.Fatalf("detail = %d/%d", len(det.Samples), len(det.Anomalies))
+	}
+	if _, err := backend.Sensor(0, 99, 0, 59); err == nil {
+		t.Fatal("unknown sensor must error")
+	}
+}
+
+func TestFleetPageRenders(t *testing.T) {
+	_, server := testEnv(t)
+	code, body := get(t, server, "/")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"Fleet overview",
+		`class="statusbar"`, // Figure-3 status bar
+		"seg-critical",
+		`href="/machine/1?`,
+		"1 healthy",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("fleet page missing %q", want)
+		}
+	}
+}
+
+func TestMachinePageShowsSparklinesAndRedFlags(t *testing.T) {
+	_, server := testEnv(t)
+	code, body := get(t, server, "/machine/1")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if got := strings.Count(body, `class="spark"`); got != 4 {
+		t.Fatalf("sparklines = %d, want 4 (one per sensor)", got)
+	}
+	// Red anomaly markers (fill #d94a4a) on the flagged sensor.
+	if !strings.Contains(body, `class="anomaly"`) || !strings.Contains(body, "#d94a4a") {
+		t.Fatal("machine page missing red anomaly flags")
+	}
+	// Drill-down links.
+	if !strings.Contains(body, `href="/machine/1/sensor/2?`) {
+		t.Fatal("machine page missing drill-down link")
+	}
+	if !strings.Contains(body, "critical") {
+		t.Fatal("machine page missing status")
+	}
+}
+
+func TestDrillDownPage(t *testing.T) {
+	_, server := testEnv(t)
+	code, body := get(t, server, "/machine/1/sensor/2")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"sensor 2",
+		`id="anomalies"`,
+		"anomaly-row",
+		"5.50", // severity column
+		`href="/machine/1?`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("drill-down missing %q", want)
+		}
+	}
+	if got := strings.Count(body, "anomaly-row"); got != 12 {
+		t.Fatalf("anomaly rows = %d, want 12", got)
+	}
+}
+
+func TestPageErrors(t *testing.T) {
+	_, server := testEnv(t)
+	if code, _ := get(t, server, "/machine/99"); code != 404 {
+		t.Fatalf("unknown machine status = %d", code)
+	}
+	if code, _ := get(t, server, "/machine/abc"); code != 404 {
+		t.Fatalf("bad unit status = %d", code)
+	}
+	if code, _ := get(t, server, "/nope"); code != 404 {
+		t.Fatalf("unknown path status = %d", code)
+	}
+	if code, _ := get(t, server, "/machine/1/bogus/2"); code != 404 {
+		t.Fatalf("bad subpath status = %d", code)
+	}
+}
+
+func TestJSONAPIs(t *testing.T) {
+	_, server := testEnv(t)
+	code, body := get(t, server, "/api/fleet")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var fleet FleetSummary
+	if err := json.Unmarshal([]byte(body), &fleet); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Critical != 1 || len(fleet.Units) != 3 {
+		t.Fatalf("api fleet = %+v", fleet)
+	}
+
+	code, body = get(t, server, "/api/machine/2")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var mv MachineView
+	if err := json.Unmarshal([]byte(body), &mv); err != nil {
+		t.Fatal(err)
+	}
+	if mv.Status != StatusWarning {
+		t.Fatalf("api machine 2 status = %s", mv.Status)
+	}
+
+	code, body = get(t, server, "/api/series?unit=1&sensor=2&from=0&to=59")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var det SensorDetail
+	if err := json.Unmarshal([]byte(body), &det); err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Samples) != 60 {
+		t.Fatalf("api series samples = %d", len(det.Samples))
+	}
+	if code, _ = get(t, server, "/api/series?unit=x"); code != 400 {
+		t.Fatalf("bad series request = %d", code)
+	}
+	if code, _ = get(t, server, "/api/machine/zzz"); code != 400 {
+		t.Fatalf("bad machine request = %d", code)
+	}
+	if code, _ = get(t, server, "/healthz"); code != 200 {
+		t.Fatal("healthz down")
+	}
+}
+
+func TestWindowParameters(t *testing.T) {
+	_, server := testEnv(t)
+	// Narrow window excluding all anomalies: everything healthy.
+	code, body := get(t, server, "/api/fleet?from=40&to=59")
+	if code != 200 {
+		t.Fatal("status")
+	}
+	var fleet FleetSummary
+	if err := json.Unmarshal([]byte(body), &fleet); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Critical != 0 || fleet.Healthy != 3 {
+		t.Fatalf("windowed fleet = %+v", fleet)
+	}
+}
+
+func TestSparklineRendering(t *testing.T) {
+	samples := []tsdb.Sample{{Timestamp: 0, Value: 1}, {Timestamp: 1, Value: 3}, {Timestamp: 2, Value: 2}}
+	anoms := []tsdb.Sample{{Timestamp: 1, Value: 6}}
+	svg := string(Sparkline(samples, anoms, 100, 20))
+	if !strings.Contains(svg, "<polyline") || !strings.Contains(svg, "<circle") {
+		t.Fatalf("sparkline = %s", svg)
+	}
+	// Empty samples yields an empty frame, not a panic.
+	empty := string(Sparkline(nil, nil, 0, 0))
+	if !strings.Contains(empty, "<svg") {
+		t.Fatal("empty sparkline must still be an svg")
+	}
+	// Constant series must not divide by zero.
+	flat := string(Sparkline([]tsdb.Sample{{Timestamp: 5, Value: 2}, {Timestamp: 6, Value: 2}}, nil, 50, 10))
+	if !strings.Contains(flat, "polyline") {
+		t.Fatal("flat sparkline broken")
+	}
+}
+
+func TestStatusBarRendering(t *testing.T) {
+	svg := string(StatusBar(2, 1, 1, 100, 10))
+	for _, want := range []string{"seg-healthy", "seg-warning", "seg-critical", "2 healthy, 1 warning, 1 critical"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("status bar missing %q", want)
+		}
+	}
+	if s := string(StatusBar(0, 0, 0, 0, 0)); !strings.Contains(s, "<svg") {
+		t.Fatal("empty status bar must render")
+	}
+	if s := string(StatusBar(3, 0, 0, 100, 10)); strings.Contains(s, "seg-warning") {
+		t.Fatal("zero segments must be omitted")
+	}
+}
+
+func TestTopAnomaliesRanking(t *testing.T) {
+	backend, _ := testEnv(t)
+	top, err := backend.TopAnomalies(0, 59, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("top = %d entries, want 3", len(top))
+	}
+	// Unit 1 sensor 2 flags carry severity 5.5; unit 2 sensor 0 carry
+	// 4.0/4.2 — the top entries must all be the severe ones.
+	for i, a := range top {
+		if a.Unit != 1 || a.Sensor != 2 || a.Severity != 5.5 {
+			t.Fatalf("top[%d] = %+v, want unit 1 sensor 2 severity 5.5", i, a)
+		}
+	}
+	// Severity-descending overall.
+	all, err := backend.TopAnomalies(0, 59, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 14 {
+		t.Fatalf("all = %d entries, want 14", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Severity > all[i-1].Severity {
+			t.Fatal("ranking not severity-descending")
+		}
+	}
+	// Default limit.
+	def, err := backend.TopAnomalies(0, 59, 0)
+	if err != nil || len(def) != 10 {
+		t.Fatalf("default limit = %d, %v", len(def), err)
+	}
+}
+
+func TestTopAnomaliesAPIAndFleetSection(t *testing.T) {
+	_, server := testEnv(t)
+	code, body := get(t, server, "/api/top?from=0&to=59&limit=2")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var top []TopAnomaly
+	if err := json.Unmarshal([]byte(body), &top); err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Severity != 5.5 {
+		t.Fatalf("api top = %+v", top)
+	}
+	// The fleet page surfaces the section with drill-down links.
+	code, page := get(t, server, "/")
+	if code != 200 {
+		t.Fatal("fleet page down")
+	}
+	if !strings.Contains(page, "Most concerning anomalies") || !strings.Contains(page, `id="top-anomalies"`) {
+		t.Fatal("fleet page missing the most-concerning section")
+	}
+	if !strings.Contains(page, `href="/machine/1/sensor/2?`) {
+		t.Fatal("top anomalies must link to the drill-down")
+	}
+}

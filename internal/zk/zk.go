@@ -1,0 +1,404 @@
+// Package zk is a miniature ZooKeeper: a hierarchical namespace of
+// znodes with ephemeral nodes, sequential nodes, one-shot watches and
+// sessions, plus the leader-election recipe built on top.
+//
+// The simulated HBase deployment uses it the way the paper's real one
+// does: RegionServers register ephemeral liveness nodes, the HMaster
+// and its backup race for a leader lock, and region assignment state
+// is published for clients. Watches fire asynchronously on buffered
+// channels; like real ZooKeeper they are one-shot and must be re-armed.
+package zk
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors mirroring ZooKeeper's error codes.
+var (
+	ErrNoNode        = errors.New("zk: no such znode")
+	ErrNodeExists    = errors.New("zk: znode already exists")
+	ErrNotEmpty      = errors.New("zk: znode has children")
+	ErrNoParent      = errors.New("zk: parent znode missing")
+	ErrSessionClosed = errors.New("zk: session closed")
+	ErrBadVersion    = errors.New("zk: version mismatch")
+)
+
+// EventType classifies watch events.
+type EventType int
+
+// Watch event kinds.
+const (
+	EventCreated EventType = iota
+	EventDeleted
+	EventDataChanged
+	EventChildrenChanged
+)
+
+// String implements fmt.Stringer.
+func (e EventType) String() string {
+	switch e {
+	case EventCreated:
+		return "created"
+	case EventDeleted:
+		return "deleted"
+	case EventDataChanged:
+		return "dataChanged"
+	case EventChildrenChanged:
+		return "childrenChanged"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(e))
+	}
+}
+
+// Event is delivered to watchers.
+type Event struct {
+	Type EventType
+	Path string
+}
+
+// Stat describes a znode.
+type Stat struct {
+	Version   int
+	Ephemeral bool
+	Owner     int64 // owning session id for ephemerals
+}
+
+// znode is one tree entry.
+type znode struct {
+	data    []byte
+	version int
+	owner   int64 // session id when ephemeral, else 0
+	seq     int   // sequential-child counter
+}
+
+// Server is the coordination service. All methods are safe for
+// concurrent use.
+type Server struct {
+	mu          sync.Mutex
+	nodes       map[string]*znode
+	sessions    map[int64]bool
+	nextSession int64
+	dataWatch   map[string][]chan Event
+	childWatch  map[string][]chan Event
+}
+
+// NewServer returns a server with just the root znode "/".
+func NewServer() *Server {
+	return &Server{
+		nodes:      map[string]*znode{"/": {}},
+		sessions:   make(map[int64]bool),
+		dataWatch:  make(map[string][]chan Event),
+		childWatch: make(map[string][]chan Event),
+	}
+}
+
+// Session is a client handle. Ephemeral znodes created through it are
+// removed when it closes, firing watches — the liveness mechanism.
+type Session struct {
+	srv    *Server
+	id     int64
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewSession opens a session.
+func (s *Server) NewSession() *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSession++
+	id := s.nextSession
+	s.sessions[id] = true
+	return &Session{srv: s, id: id}
+}
+
+// ID returns the session identifier.
+func (c *Session) ID() int64 { return c.id }
+
+// Close expires the session, deleting its ephemeral znodes.
+func (c *Session) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.srv.expire(c.id)
+}
+
+func (c *Session) check() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrSessionClosed
+	}
+	return nil
+}
+
+// expire removes a session and its ephemerals.
+func (s *Server) expire(id int64) {
+	s.mu.Lock()
+	var doomed []string
+	for p, n := range s.nodes {
+		if n.owner == id {
+			doomed = append(doomed, p)
+		}
+	}
+	// Delete deepest-first so parents empty out.
+	sort.Slice(doomed, func(i, j int) bool { return len(doomed[i]) > len(doomed[j]) })
+	var events []func()
+	for _, p := range doomed {
+		events = append(events, s.deleteLocked(p)...)
+	}
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	for _, fire := range events {
+		fire()
+	}
+}
+
+// normalize cleans a path; "" and "/" both mean the root.
+func normalize(p string) string {
+	if p == "" {
+		return "/"
+	}
+	p = path.Clean("/" + strings.TrimPrefix(p, "/"))
+	return p
+}
+
+// parent returns the parent path of p ("/a/b" → "/a").
+func parent(p string) string {
+	d := path.Dir(p)
+	return d
+}
+
+// Create makes a znode at p with data. The parent must exist.
+func (c *Session) Create(p string, data []byte, ephemeral bool) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	p = normalize(p)
+	c.srv.mu.Lock()
+	if _, ok := c.srv.nodes[p]; ok {
+		c.srv.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNodeExists, p)
+	}
+	par := parent(p)
+	if _, ok := c.srv.nodes[par]; !ok {
+		c.srv.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoParent, par)
+	}
+	n := &znode{data: append([]byte(nil), data...)}
+	if ephemeral {
+		n.owner = c.id
+	}
+	c.srv.nodes[p] = n
+	events := c.srv.fireLocked(p, EventCreated)
+	events = append(events, c.srv.fireChildrenLocked(par)...)
+	c.srv.mu.Unlock()
+	for _, fire := range events {
+		fire()
+	}
+	return nil
+}
+
+// CreateSequential makes a znode named prefix + zero-padded counter
+// (per parent), returning the created path. Used by the election
+// recipe.
+func (c *Session) CreateSequential(prefix string, data []byte, ephemeral bool) (string, error) {
+	if err := c.check(); err != nil {
+		return "", err
+	}
+	prefix = normalize(prefix)
+	par := parent(prefix)
+	c.srv.mu.Lock()
+	pn, ok := c.srv.nodes[par]
+	if !ok {
+		c.srv.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrNoParent, par)
+	}
+	pn.seq++
+	p := fmt.Sprintf("%s%010d", prefix, pn.seq)
+	n := &znode{data: append([]byte(nil), data...)}
+	if ephemeral {
+		n.owner = c.id
+	}
+	c.srv.nodes[p] = n
+	events := c.srv.fireLocked(p, EventCreated)
+	events = append(events, c.srv.fireChildrenLocked(par)...)
+	c.srv.mu.Unlock()
+	for _, fire := range events {
+		fire()
+	}
+	return p, nil
+}
+
+// Get returns the data and stat of the znode at p.
+func (c *Session) Get(p string) ([]byte, Stat, error) {
+	if err := c.check(); err != nil {
+		return nil, Stat{}, err
+	}
+	p = normalize(p)
+	c.srv.mu.Lock()
+	defer c.srv.mu.Unlock()
+	n, ok := c.srv.nodes[p]
+	if !ok {
+		return nil, Stat{}, fmt.Errorf("%w: %s", ErrNoNode, p)
+	}
+	return append([]byte(nil), n.data...), Stat{Version: n.version, Ephemeral: n.owner != 0, Owner: n.owner}, nil
+}
+
+// Set replaces the data at p, bumping the version. version >= 0
+// requires a match (compare-and-set); -1 skips the check.
+func (c *Session) Set(p string, data []byte, version int) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	p = normalize(p)
+	c.srv.mu.Lock()
+	n, ok := c.srv.nodes[p]
+	if !ok {
+		c.srv.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoNode, p)
+	}
+	if version >= 0 && version != n.version {
+		c.srv.mu.Unlock()
+		return fmt.Errorf("%w: %s have %d want %d", ErrBadVersion, p, n.version, version)
+	}
+	n.data = append([]byte(nil), data...)
+	n.version++
+	events := c.srv.fireLocked(p, EventDataChanged)
+	c.srv.mu.Unlock()
+	for _, fire := range events {
+		fire()
+	}
+	return nil
+}
+
+// Delete removes the znode at p, which must have no children.
+func (c *Session) Delete(p string) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	p = normalize(p)
+	c.srv.mu.Lock()
+	if _, ok := c.srv.nodes[p]; !ok {
+		c.srv.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoNode, p)
+	}
+	for q := range c.srv.nodes {
+		if parent(q) == p && q != "/" {
+			c.srv.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrNotEmpty, p)
+		}
+	}
+	events := c.srv.deleteLocked(p)
+	c.srv.mu.Unlock()
+	for _, fire := range events {
+		fire()
+	}
+	return nil
+}
+
+// deleteLocked removes p and returns the watch firings to run after
+// unlocking.
+func (s *Server) deleteLocked(p string) []func() {
+	delete(s.nodes, p)
+	events := s.fireLocked(p, EventDeleted)
+	return append(events, s.fireChildrenLocked(parent(p))...)
+}
+
+// Exists reports whether p exists.
+func (c *Session) Exists(p string) (bool, error) {
+	if err := c.check(); err != nil {
+		return false, err
+	}
+	p = normalize(p)
+	c.srv.mu.Lock()
+	defer c.srv.mu.Unlock()
+	_, ok := c.srv.nodes[p]
+	return ok, nil
+}
+
+// Children returns the sorted child names (not full paths) of p.
+func (c *Session) Children(p string) ([]string, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	p = normalize(p)
+	c.srv.mu.Lock()
+	defer c.srv.mu.Unlock()
+	if _, ok := c.srv.nodes[p]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoNode, p)
+	}
+	var kids []string
+	for q := range c.srv.nodes {
+		if q != "/" && parent(q) == p {
+			kids = append(kids, path.Base(q))
+		}
+	}
+	sort.Strings(kids)
+	return kids, nil
+}
+
+// Watch arms a one-shot watch on p's lifecycle and data. The event is
+// delivered on the returned buffered channel.
+func (c *Session) Watch(p string) (<-chan Event, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	p = normalize(p)
+	ch := make(chan Event, 1)
+	c.srv.mu.Lock()
+	c.srv.dataWatch[p] = append(c.srv.dataWatch[p], ch)
+	c.srv.mu.Unlock()
+	return ch, nil
+}
+
+// WatchChildren arms a one-shot watch for membership changes under p.
+func (c *Session) WatchChildren(p string) (<-chan Event, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	p = normalize(p)
+	ch := make(chan Event, 1)
+	c.srv.mu.Lock()
+	c.srv.childWatch[p] = append(c.srv.childWatch[p], ch)
+	c.srv.mu.Unlock()
+	return ch, nil
+}
+
+// fireLocked collects the data/lifecycle watch deliveries for p.
+func (s *Server) fireLocked(p string, t EventType) []func() {
+	chans := s.dataWatch[p]
+	delete(s.dataWatch, p)
+	if len(chans) == 0 {
+		return nil
+	}
+	ev := Event{Type: t, Path: p}
+	return []func(){func() {
+		for _, ch := range chans {
+			ch <- ev
+		}
+	}}
+}
+
+// fireChildrenLocked collects child-watch deliveries for p.
+func (s *Server) fireChildrenLocked(p string) []func() {
+	chans := s.childWatch[p]
+	delete(s.childWatch, p)
+	if len(chans) == 0 {
+		return nil
+	}
+	ev := Event{Type: EventChildrenChanged, Path: p}
+	return []func(){func() {
+		for _, ch := range chans {
+			ch <- ev
+		}
+	}}
+}

@@ -1,0 +1,282 @@
+// Package sentinel is the public face of the reproduction: an
+// integrated system for scalable anomaly detection and visualization
+// in power-generating assets (Jain et al., 2017).
+//
+// A System wires together every layer of Figure 1:
+//
+//   - a simulated fleet of power-generating assets (§II-A's synthetic
+//     dataset: units × sensors at 1 Hz with injected faults),
+//   - the storage tier — an HBase-like cluster under an OpenTSDB-like
+//     TSD tier, fronted by the buffering reverse proxy (§III),
+//   - the FDR anomaly detector — offline training on the dataflow
+//     engine, online evaluation writing flags back to storage (§IV),
+//   - and the web visualization (§V).
+//
+// Minimal use:
+//
+//	sys, _ := sentinel.New(sentinel.Config{StorageNodes: 5, Units: 10, SensorsPerUnit: 50})
+//	defer sys.Close()
+//	sys.IngestRange(0, 120)                  // stream two minutes of data
+//	sys.TrainFromTSDB(0, 100, true)          // fit per-unit models
+//	reports, _ := sys.Detect(100, 20)        // flag anomalies, write back
+//	http.ListenAndServe(":8080", sys.Viz(120)) // serve the control center
+package sentinel
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/fdr"
+	"repro/internal/hbase"
+	"repro/internal/hdfs"
+	"repro/internal/ingest"
+	"repro/internal/proxy"
+	"repro/internal/simdata"
+	"repro/internal/tsdb"
+	"repro/internal/viz"
+)
+
+// Config sizes a System. Zero values take the documented defaults.
+type Config struct {
+	// StorageNodes is the number of HBase region servers; one TSD
+	// daemon runs per node, as in the paper's deployment (default 3).
+	StorageNodes int
+	// SaltBuckets is the row-key salting width; defaults to
+	// StorageNodes (one pre-split region per node). Set to -1 to
+	// disable salting (the §III-B hotspot baseline).
+	SaltBuckets int
+
+	// Units and SensorsPerUnit shape the simulated fleet (defaults
+	// 10 × 50; the paper's full dataset is 100 × 1000).
+	Units          int
+	SensorsPerUnit int
+	// Seed drives every synthetic draw (default 42).
+	Seed uint64
+	// FaultFraction and FaultOnset control fault injection (defaults
+	// 0.3 and 600; see simdata.Config).
+	FaultFraction float64
+	FaultOnset    int64
+	// FaultSensors, DriftPerStep and ShiftSigma shape the injected
+	// faults (zero values take simdata's defaults).
+	FaultSensors int
+	DriftPerStep float64
+	ShiftSigma   float64
+
+	// Level is the FDR target for flagging (default 0.05); Procedure
+	// the correction (default Benjamini–Hochberg).
+	Level     float64
+	Procedure fdr.Procedure
+
+	// EngineWorkers sizes the dataflow engine (default GOMAXPROCS).
+	EngineWorkers int
+	// EnergyFraction and MaxComponents tune the trained subspace.
+	EnergyFraction float64
+	MaxComponents  int
+
+	// PerNodeRate, when > 0, emulates the per-node service ceiling in
+	// samples/second (the Figure-2 hardware calibration).
+	PerNodeRate float64
+	// RSQueueCap / CrashOnOverflow pass through to the region servers
+	// for the backpressure experiments.
+	RSQueueCap      int
+	CrashOnOverflow int64
+
+	// ProxyMaxInFlight / ProxyBuffer tune the ingestion proxy.
+	ProxyMaxInFlight int
+	ProxyBuffer      int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StorageNodes <= 0 {
+		c.StorageNodes = 3
+	}
+	if c.SaltBuckets == 0 {
+		c.SaltBuckets = c.StorageNodes
+	}
+	if c.SaltBuckets < 0 {
+		c.SaltBuckets = 0
+	}
+	if c.Units <= 0 {
+		c.Units = 10
+	}
+	if c.SensorsPerUnit <= 0 {
+		c.SensorsPerUnit = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Level <= 0 || c.Level >= 1 {
+		c.Level = 0.05
+	}
+	if c.Procedure == fdr.Uncorrected {
+		c.Procedure = fdr.BH
+	}
+	return c
+}
+
+// System is a running deployment of the full architecture.
+type System struct {
+	cfg Config
+
+	Fleet   *simdata.Fleet
+	Cluster *hbase.Cluster
+	TSDB    *tsdb.Deployment
+	Proxy   *proxy.Proxy
+	Engine  *dataflow.Engine
+	Catalog *core.ModelCatalog
+	Trainer *core.Trainer
+
+	pipeline *core.Pipeline
+	source   *tsdb.Source
+}
+
+// New boots a System: cluster, TSD tier, proxy, dataflow engine and an
+// HDFS-backed model catalog.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	fleet := simdata.NewFleet(simdata.Config{
+		Units:          cfg.Units,
+		SensorsPerUnit: cfg.SensorsPerUnit,
+		Seed:           cfg.Seed,
+		FaultFraction:  cfg.FaultFraction,
+		FaultOnset:     cfg.FaultOnset,
+		FaultSensors:   cfg.FaultSensors,
+		DriftPerStep:   cfg.DriftPerStep,
+		ShiftSigma:     cfg.ShiftSigma,
+	})
+	cluster, err := hbase.NewCluster(hbase.Config{
+		RegionServers:    cfg.StorageNodes,
+		RSQueueCap:       cfg.RSQueueCap,
+		CrashOnOverflow:  cfg.CrashOnOverflow,
+		ServiceRatePerRS: cfg.PerNodeRate,
+		Clock:            clock.Real{},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sentinel: boot cluster: %w", err)
+	}
+	deployment, err := tsdb.NewDeployment(cluster, cfg.StorageNodes, tsdb.TSDConfig{
+		SaltBuckets: cfg.SaltBuckets,
+	})
+	if err != nil {
+		cluster.Stop()
+		return nil, fmt.Errorf("sentinel: boot tsdb: %w", err)
+	}
+	if err := deployment.CreateTable(); err != nil {
+		cluster.Stop()
+		return nil, fmt.Errorf("sentinel: create table: %w", err)
+	}
+	px, err := proxy.New(cluster.Network(), deployment.Addrs(), proxy.Config{
+		MaxInFlight:   cfg.ProxyMaxInFlight,
+		BufferBatches: cfg.ProxyBuffer,
+	})
+	if err != nil {
+		cluster.Stop()
+		return nil, fmt.Errorf("sentinel: boot proxy: %w", err)
+	}
+	engine := dataflow.NewEngine(cfg.EngineWorkers)
+	catalog := &core.ModelCatalog{Store: &hdfs.Store{C: cluster.DFS(), Prefix: "/detector/"}}
+	trainer := core.NewTrainer(engine, core.TrainerConfig{
+		EnergyFraction: cfg.EnergyFraction,
+		MaxComponents:  cfg.MaxComponents,
+	})
+	sys := &System{
+		cfg:     cfg,
+		Fleet:   fleet,
+		Cluster: cluster,
+		TSDB:    deployment,
+		Proxy:   px,
+		Engine:  engine,
+		Catalog: catalog,
+		Trainer: trainer,
+	}
+	sys.source = &tsdb.Source{TSD: deployment.TSDs()[0], Sensors: cfg.SensorsPerUnit}
+	sys.pipeline = core.NewPipeline(
+		catalog,
+		core.EvaluatorConfig{Procedure: cfg.Procedure, Level: cfg.Level},
+		sys.source,
+		&tsdb.Sink{TSD: deployment.TSDs()[0]},
+	)
+	return sys, nil
+}
+
+// Config returns the effective configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Close releases every component.
+func (s *System) Close() {
+	s.Proxy.Close()
+	s.Engine.Close()
+	s.Cluster.Stop()
+}
+
+// IngestRange streams fleet time steps [from, from+steps) through the
+// proxy into storage and waits for delivery.
+func (s *System) IngestRange(from int64, steps int) (ingest.Stats, error) {
+	driver := ingest.NewDriver(s.Fleet, s.Proxy, ingest.DriverConfig{})
+	stats, err := driver.Run(from, steps)
+	if err != nil {
+		return stats, err
+	}
+	s.Proxy.Flush()
+	return stats, nil
+}
+
+// Units returns all unit ids.
+func (s *System) Units() []int {
+	units := make([]int, s.cfg.Units)
+	for i := range units {
+		units[i] = i
+	}
+	return units
+}
+
+// TrainFromTSDB fits per-unit models from data previously ingested
+// into storage over [from, from+count), the paper's offline batch path
+// (Spark reading the stored streams). Models are cached to HDFS.
+func (s *System) TrainFromTSDB(from int64, count int, concurrent bool) error {
+	src := &tsdb.Source{
+		TSD:        s.TSDB.TSDs()[0],
+		Sensors:    s.cfg.SensorsPerUnit,
+		TrainFrom:  from,
+		TrainCount: count,
+	}
+	_, err := s.Trainer.TrainFleet(s.Units(), src, s.Catalog, concurrent)
+	return err
+}
+
+// TrainFromFleet fits models directly from the generator (bypassing
+// storage), useful when the training range was not ingested.
+func (s *System) TrainFromFleet(from int64, count int, concurrent bool) error {
+	src := core.WindowFunc(func(unit int) ([][]float64, error) {
+		return s.Fleet.UnitWindow(unit, from, count), nil
+	})
+	_, err := s.Trainer.TrainFleet(s.Units(), src, s.Catalog, concurrent)
+	return err
+}
+
+// Detect evaluates every trained unit over [from, from+count) reading
+// observations from storage, writes flags back to the "anomaly"
+// metric, and returns the reports.
+func (s *System) Detect(from int64, count int) (map[int][]*core.Report, error) {
+	return s.pipeline.ProcessFleet(from, count)
+}
+
+// SamplesEvaluated reports the cumulative sensor samples scored by the
+// online evaluator (the §IV-A throughput unit).
+func (s *System) SamplesEvaluated() int64 {
+	return s.pipeline.SamplesEvaluated.Value()
+}
+
+// Viz returns the web application handler; now is the fleet time the
+// pages treat as "current".
+func (s *System) Viz(now int64) http.Handler {
+	backend := &viz.Backend{
+		TSD:     s.TSDB.TSDs()[0],
+		Units:   s.cfg.Units,
+		Sensors: s.cfg.SensorsPerUnit,
+	}
+	return viz.NewServer(backend, func() int64 { return now })
+}

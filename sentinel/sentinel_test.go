@@ -1,0 +1,173 @@
+package sentinel
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/fdr"
+	"repro/internal/simdata"
+)
+
+// newSmallSystem boots a laptop-scale deployment with aggressive
+// faults so the integration paths all fire.
+func newSmallSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(Config{
+		StorageNodes:   2,
+		Units:          4,
+		SensorsPerUnit: 12,
+		Seed:           7,
+		FaultFraction:  0.6,
+		FaultOnset:     60,
+		Procedure:      fdr.BH,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.StorageNodes != 3 || cfg.SaltBuckets != 3 || cfg.Units != 10 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.Procedure != fdr.BH || cfg.Level != 0.05 {
+		t.Fatal("detection defaults wrong")
+	}
+	if c := (Config{SaltBuckets: -1}).withDefaults(); c.SaltBuckets != 0 {
+		t.Fatal("SaltBuckets=-1 must disable salting")
+	}
+}
+
+func TestEndToEndIngestTrainDetectVisualize(t *testing.T) {
+	sys := newSmallSystem(t)
+
+	// Ingest 100 steps: 50 healthy (training) + post-onset faults.
+	stats, err := sys.IngestRange(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSamples := int64(4 * 12 * 100)
+	if stats.Samples != wantSamples {
+		t.Fatalf("ingested %d samples, want %d", stats.Samples, wantSamples)
+	}
+	if got := sys.TSDB.PointsWritten(); got != wantSamples {
+		t.Fatalf("TSD tier saw %d points, want %d", got, wantSamples)
+	}
+
+	// Train from the stored healthy window, concurrently (E7 mode).
+	if err := sys.TrainFromTSDB(0, 50, true); err != nil {
+		t.Fatal(err)
+	}
+	units, err := sys.Catalog.Units()
+	if err != nil || len(units) != 4 {
+		t.Fatalf("catalog units = %v, %v", units, err)
+	}
+
+	// Detect over the post-onset window.
+	reports, err := sys.Detect(80, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports for %d units", len(reports))
+	}
+	if sys.SamplesEvaluated() != int64(4*12*20) {
+		t.Fatalf("SamplesEvaluated = %d", sys.SamplesEvaluated())
+	}
+	// Every faulted unit should have flags; count write-backs through
+	// the viz backend below.
+	faulty := 0
+	flagged := 0
+	for _, u := range sys.Units() {
+		if sys.Fleet.UnitFault(u).Class == simdata.FaultNone {
+			continue
+		}
+		faulty++
+		for _, rep := range reports[u] {
+			if rep.Anomalous() {
+				flagged++
+				break
+			}
+		}
+	}
+	if faulty == 0 {
+		t.Fatal("test fleet has no faulty units; raise FaultFraction")
+	}
+	if flagged < faulty {
+		t.Fatalf("only %d of %d faulty units flagged", flagged, faulty)
+	}
+
+	// The visualization must surface the flags (Figure 3 path).
+	handler := sys.Viz(100)
+	req := httptest.NewRequest("GET", "/?from=80&to=100", nil)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("fleet page status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "statusbar") {
+		t.Fatal("fleet page missing status bar")
+	}
+	if !strings.Contains(body, "warning") && !strings.Contains(body, "critical") {
+		t.Fatal("fleet page shows no unhealthy units despite flags")
+	}
+}
+
+func TestTrainFromFleetMatchesTSDBPath(t *testing.T) {
+	sys := newSmallSystem(t)
+	if _, err := sys.IngestRange(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainFromTSDB(0, 50, false); err != nil {
+		t.Fatal(err)
+	}
+	mTSDB, err := sys.Catalog.Load(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainFromFleet(0, 50, false); err != nil {
+		t.Fatal(err)
+	}
+	mFleet, err := sys.Catalog.Load(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The TSDB round trip must preserve the data exactly, so the two
+	// models agree to floating-point equality.
+	for j := range mTSDB.Mean {
+		if mTSDB.Mean[j] != mFleet.Mean[j] {
+			t.Fatalf("sensor %d mean differs: %v vs %v", j, mTSDB.Mean[j], mFleet.Mean[j])
+		}
+	}
+}
+
+func TestDetectWithoutTrainingFails(t *testing.T) {
+	sys := newSmallSystem(t)
+	if _, err := sys.IngestRange(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Detect(0, 5); err == nil {
+		// ProcessFleet with an empty catalog returns no units — that is
+		// acceptable; but it must not invent reports.
+		reports, _ := sys.Detect(0, 5)
+		if len(reports) != 0 {
+			t.Fatal("reports produced without trained models")
+		}
+	}
+}
+
+func TestUnitsAccessor(t *testing.T) {
+	sys := newSmallSystem(t)
+	units := sys.Units()
+	if len(units) != 4 || units[3] != 3 {
+		t.Fatalf("units = %v", units)
+	}
+	if sys.Config().Units != 4 {
+		t.Fatal("Config accessor wrong")
+	}
+}
