@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build lint vet fmt test bench check
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+lint: fmt vet
+
+test:
+	$(GO) test -race ./...
+
+# Benchmark smoke: compile and run every benchmark once, no timing
+# fidelity expected — catches bit-rot, not regressions.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+check: lint build test bench

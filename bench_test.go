@@ -1,7 +1,7 @@
 package repro
 
 // The repository benchmark harness: one benchmark per figure/table in
-// the paper's evaluation (see DESIGN.md §4 for the experiment index).
+// the paper's evaluation (see README.md for the experiment index).
 //
 //	go test -bench=. -benchmem
 //
@@ -11,9 +11,11 @@ package repro
 // samples per second — are the reproduction targets.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -218,12 +220,11 @@ func BenchmarkAblationBackpressure(b *testing.B) {
 				failures = px.Dropped.Value()
 				px.Close()
 			} else {
-				var rr uint64
+				var rr atomic.Uint64
 				addrs := deploy.Addrs()
 				sink := ingest.SinkFunc(func(pts []tsdb.Point) error {
-					addr := addrs[int(rr)%len(addrs)]
-					rr++
-					_, err := cluster.Network().Call(addr, "put", &tsdb.PutBatch{Points: pts})
+					addr := addrs[int(rr.Add(1))%len(addrs)]
+					_, err := cluster.Network().Call(context.Background(), addr, "put", &tsdb.PutBatch{Points: pts})
 					return err
 				})
 				driver := ingest.NewDriver(fleet, sink, ingest.DriverConfig{BatchSize: 100, Senders: 64})
@@ -473,6 +474,67 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(samplesPerTick*float64(b.N)/time.Since(start).Seconds(), "samples/s")
+}
+
+// BenchmarkPipelinedPut is E10 — the async-fabric refactor: one
+// multi-region batch issued through the client's pipelined futures
+// versus the same cells written one region at a time, over a simulated
+// 200µs RPC wire. The pipelined path should approach a single
+// round-trip per batch regardless of the region count; the serial path
+// pays one round trip per region.
+func BenchmarkPipelinedPut(b *testing.B) {
+	const regions = 8
+	const perRegion = 64
+	for _, mode := range []string{"serial-per-region", "pipelined"} {
+		b.Run(mode, func(b *testing.B) {
+			cluster, err := hbase.NewCluster(hbase.Config{
+				RegionServers: 4,
+				NetLatency:    200 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Stop()
+			splits := make([][]byte, 0, regions-1)
+			for i := 1; i < regions; i++ {
+				splits = append(splits, []byte{byte(i * 256 / regions)})
+			}
+			if err := cluster.CreateTable(splits); err != nil {
+				b.Fatal(err)
+			}
+			cl := cluster.NewClient(hbase.ClientConfig{})
+			// One chunk of cells per region, recognisable by row prefix.
+			chunks := make([][]hbase.Cell, regions)
+			var all []hbase.Cell
+			for r := 0; r < regions; r++ {
+				prefix := byte(r * 256 / regions)
+				for i := 0; i < perRegion; i++ {
+					cell := hbase.Cell{
+						Row:   []byte{prefix, byte(i >> 8), byte(i)},
+						Qual:  []byte{0},
+						Value: []byte{byte(r)},
+					}
+					chunks[r] = append(chunks[r], cell)
+					all = append(all, cell)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "pipelined" {
+					if err := cl.Put(all); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					for _, chunk := range chunks {
+						if err := cl.Put(chunk); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(len(all))*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
 }
 
 // linearFit mirrors telemetry.LinearFit without importing it here (the

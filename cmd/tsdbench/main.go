@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/hbase"
@@ -272,12 +274,11 @@ func runBackpressure(nodes int, emulatedRate, seconds float64, units, sensors in
 			px.Close()
 		} else {
 			// Unbounded: every producer slams the TSD tier directly.
-			var rr uint64
+			var rr atomic.Uint64
 			addrs := deploy.Addrs()
 			sink := ingest.SinkFunc(func(pts []tsdb.Point) error {
-				addr := addrs[int(rr)%len(addrs)]
-				rr++
-				_, err := cluster.Network().Call(addr, "put", &tsdb.PutBatch{Points: pts})
+				addr := addrs[int(rr.Add(1))%len(addrs)]
+				_, err := cluster.Network().Call(context.Background(), addr, "put", &tsdb.PutBatch{Points: pts})
 				return err
 			})
 			driver := ingest.NewDriver(fleet, sink, ingest.DriverConfig{BatchSize: 500, Senders: writers})

@@ -8,6 +8,6 @@
 // root package carries the repository-level benchmark harness
 // (bench_test.go) and the experiment shape tests (experiments_test.go)
 // that regenerate every figure in the paper's evaluation; see
-// DESIGN.md for the experiment index and EXPERIMENTS.md for measured
-// results.
+// README.md for the build/test/bench workflow, the package map, and
+// the benchmark-to-figure index.
 package repro

@@ -1,6 +1,7 @@
 package hbase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -76,11 +77,11 @@ func (m *Master) moveRegion(ri RegionInfo, target string) error {
 		return nil
 	}
 	if ri.Server != "" {
-		if _, err := m.clu.net.Call(rsAddr(ri.Server), "close", &CloseRequest{Region: ri.ID}); err != nil && !errors.Is(err, ErrWrongRegion) {
+		if _, err := m.clu.net.Call(context.Background(), rsAddr(ri.Server), "close", &CloseRequest{Region: ri.ID}); err != nil && !errors.Is(err, ErrWrongRegion) {
 			return fmt.Errorf("hbase: move close region %d: %w", ri.ID, err)
 		}
 	}
-	if _, err := m.clu.net.Call(rsAddr(target), "open", &OpenRequest{Info: RegionInfo{ID: ri.ID, Start: ri.Start, End: ri.End}}); err != nil {
+	if _, err := m.clu.net.Call(context.Background(), rsAddr(target), "open", &OpenRequest{Info: RegionInfo{ID: ri.ID, Start: ri.Start, End: ri.End}}); err != nil {
 		return fmt.Errorf("hbase: move open region %d on %s: %w", ri.ID, target, err)
 	}
 	m.mu.Lock()

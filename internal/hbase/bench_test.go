@@ -1,6 +1,7 @@
 package hbase
 
 import (
+	"context"
 	"encoding/binary"
 	"testing"
 )
@@ -78,7 +79,7 @@ func BenchmarkMemstoreFlushReopen(b *testing.B) {
 	ri := m.Regions()[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.net.Call(rsAddr(ri.Server), "flush", &FlushRequest{Region: ri.ID}); err != nil {
+		if _, err := c.net.Call(context.Background(), rsAddr(ri.Server), "flush", &FlushRequest{Region: ri.ID}); err != nil {
 			b.Fatal(err)
 		}
 		if _, _, err := openRegion(ri, c.dfs); err != nil {

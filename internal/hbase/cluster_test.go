@@ -3,6 +3,7 @@ package hbase
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -407,5 +408,60 @@ func TestErrorsAreSentinels(t *testing.T) {
 	err := fmt.Errorf("wrap: %w", ErrWrongRegion)
 	if !errors.Is(err, ErrWrongRegion) {
 		t.Fatal("sentinel wrapping broken")
+	}
+}
+
+// TestShutdownRaceUnderLoad is the regression for the synchronous
+// fabric's "send on closed channel" panic (rpc.go's old Call): region
+// servers are crashed and the whole cluster stopped while concurrent
+// clients are mid-enqueue. Run with -race; any panic or race fails.
+func TestShutdownRaceUnderLoad(t *testing.T) {
+	c, err := NewCluster(Config{RegionServers: 3, RSQueueCap: 4, RSWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(byteSplits(6)); err != nil {
+		t.Fatal(err)
+	}
+	// Tight retry budget so writers fail fast once the cluster is gone
+	// instead of spinning through the full failover budget.
+	cl := c.NewClient(ClientConfig{FailFast: true, MaxRetries: 2, RetryBackoff: time.Millisecond})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = cl.Put([]Cell{cell(fmt.Sprintf("w%d-%d", w, i), "q", "v")})
+			}
+		}(w)
+	}
+	go func() {
+		defer close(done)
+		// Crash servers one by one under load, then stop the cluster
+		// while the writers are still hammering it.
+		for _, rs := range c.RegionServers() {
+			time.Sleep(2 * time.Millisecond)
+			_ = c.KillRegionServer(rs.Name())
+		}
+		c.Stop()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cluster stop deadlocked under concurrent load")
+	}
+	close(stop)
+	wg.Wait()
+	// The fabric must reject, not panic: a post-stop put fails cleanly.
+	if err := cl.Put([]Cell{cell("after", "q", "v")}); err == nil {
+		t.Fatal("put after cluster stop must fail")
 	}
 }

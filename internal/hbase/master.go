@@ -1,6 +1,7 @@
 package hbase
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,6 +36,9 @@ type Master struct {
 	regions map[int]*RegionInfo
 	nextID  int
 	cursor  int // round-robin assignment cursor
+
+	// recMu serialises reconcile passes (monitor vs RPC handler).
+	recMu sync.Mutex
 
 	stopCh chan struct{}
 	doneCh chan struct{}
@@ -202,27 +206,37 @@ func (m *Master) pickServerLocked(live []string) (string, error) {
 
 // reconcile reassigns regions whose server is no longer live, replaying
 // the dead server's WAL into the new assignments (the §III-B crash
-// recovery path).
+// recovery path). Passes are serialised: the monitor goroutine and the
+// RPC "reconcile" handler both call in, and interleaved passes would
+// double-assign the same orphans.
 func (m *Master) reconcile() {
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
 	live := m.liveServers()
 	liveSet := make(map[string]bool, len(live))
 	for _, s := range live {
 		liveSet[s] = true
 	}
+	// Snapshot the orphan's owner under the lock — assignRegion mutates
+	// Server concurrently with other masters' RPCs.
+	type orphan struct {
+		ri   *RegionInfo
+		prev string
+	}
 	m.mu.Lock()
-	var orphans []*RegionInfo
+	var orphans []orphan
 	for _, ri := range m.regions {
 		if ri.Server != "" && !liveSet[ri.Server] {
-			orphans = append(orphans, ri)
+			orphans = append(orphans, orphan{ri: ri, prev: ri.Server})
 		}
 	}
-	sort.Slice(orphans, func(i, j int) bool { return orphans[i].ID < orphans[j].ID })
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].ri.ID < orphans[j].ri.ID })
 	m.mu.Unlock()
 
 	deadServers := make(map[string]bool)
-	for _, ri := range orphans {
-		deadServers[ri.Server] = true
-		if err := m.assignRegion(ri, live, ri.Server); err != nil {
+	for _, o := range orphans {
+		deadServers[o.prev] = true
+		if err := m.assignRegion(o.ri, live, o.prev); err != nil {
 			// Leave it orphaned; the next membership event retries.
 			continue
 		}
@@ -257,12 +271,13 @@ func (m *Master) assignRegion(ri *RegionInfo, live []string, prevOwner string) e
 	}
 	m.mu.Lock()
 	target, err := m.pickServerLocked(live)
+	info := *ri // snapshot: Server is mutated under mu by concurrent assigns
 	m.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	req := &OpenRequest{Info: *ri, Replay: replay}
-	if _, err := m.clu.net.Call(rsAddr(target), "open", req); err != nil {
+	req := &OpenRequest{Info: info, Replay: replay}
+	if _, err := m.clu.net.Call(context.Background(), rsAddr(target), "open", req); err != nil {
 		return fmt.Errorf("hbase: open region %d on %s: %w", ri.ID, target, err)
 	}
 	m.mu.Lock()
@@ -344,7 +359,7 @@ func (m *Master) Split(regionID int, splitKey []byte) error {
 	}
 	// Flush & close the parent on its server.
 	if p.Server != "" {
-		if _, err := m.clu.net.Call(rsAddr(p.Server), "close", &CloseRequest{Region: p.ID}); err != nil && !errors.Is(err, ErrWrongRegion) {
+		if _, err := m.clu.net.Call(context.Background(), rsAddr(p.Server), "close", &CloseRequest{Region: p.ID}); err != nil && !errors.Is(err, ErrWrongRegion) {
 			return fmt.Errorf("hbase: split close: %w", err)
 		}
 	}
@@ -405,7 +420,7 @@ func (m *Master) seedRegion(ri *RegionInfo, cells []Cell) error {
 }
 
 // handle serves the master's RPC surface (used by clients).
-func (m *Master) handle(method string, payload any) (any, error) {
+func (m *Master) handle(_ context.Context, method string, payload any) (any, error) {
 	switch method {
 	case "regions":
 		if !m.IsActive() {

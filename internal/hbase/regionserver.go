@@ -1,6 +1,7 @@
 package hbase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -147,8 +148,11 @@ func (rs *RegionServer) regionIDs() []int {
 	return ids
 }
 
-// handle is the RPC dispatch.
-func (rs *RegionServer) handle(method string, payload any) (any, error) {
+// handle is the RPC dispatch. The fabric threads the caller's context
+// through (and rejects calls whose deadline lapsed while queued);
+// region ops themselves are local, in-memory and short, so once a
+// handler starts it runs to completion without consulting ctx.
+func (rs *RegionServer) handle(_ context.Context, method string, payload any) (any, error) {
 	switch method {
 	case "put":
 		return nil, rs.handlePut(payload.(*PutRequest))

@@ -14,6 +14,7 @@
 package ingest
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +32,21 @@ import (
 // direct-TSD adapters).
 type Sink interface {
 	Submit(points []tsdb.Point) error
+}
+
+// ContextSink is implemented by sinks whose submission honours a
+// deadline (the buffering proxy). The driver prefers it when present
+// so a cancelled run does not sit blocked on a full buffer.
+type ContextSink interface {
+	SubmitContext(ctx context.Context, points []tsdb.Point) error
+}
+
+// submit routes through the context-aware path when the sink has one.
+func submit(ctx context.Context, s Sink, points []tsdb.Point) error {
+	if cs, ok := s.(ContextSink); ok {
+		return cs.SubmitContext(ctx, points)
+	}
+	return s.Submit(points)
 }
 
 // SinkFunc adapts a function to Sink.
@@ -82,10 +98,17 @@ func NewDriver(fleet *simdata.Fleet, sink Sink, cfg DriverConfig) *Driver {
 	return &Driver{fleet: fleet, sink: sink, cfg: cfg.withDefaults()}
 }
 
-// Run replays time steps [from, from+steps), all units and sensors per
-// step, and returns throughput statistics. Each producer goroutine owns
-// a contiguous slice of units.
+// Run replays time steps with no deadline (see RunContext).
 func (d *Driver) Run(from int64, steps int) (Stats, error) {
+	return d.RunContext(context.Background(), from, steps)
+}
+
+// RunContext replays time steps [from, from+steps), all units and
+// sensors per step, and returns throughput statistics. Each producer
+// goroutine owns a contiguous slice of units. Cancelling ctx stops the
+// producers at the next batch boundary; the partial stats and ctx's
+// error are returned.
+func (d *Driver) RunContext(ctx context.Context, from int64, steps int) (Stats, error) {
 	cfg := d.cfg
 	units := d.fleet.Units()
 	senders := cfg.Senders
@@ -117,7 +140,6 @@ func (d *Driver) Run(from int64, steps int) (Stats, error) {
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	errCh := make(chan error, senders)
 	chunk := (units + senders - 1) / senders
 	for w := 0; w < senders; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
@@ -136,7 +158,10 @@ func (d *Driver) Run(from int64, steps int) (Stats, error) {
 				if len(batch) == 0 {
 					return true
 				}
-				if err := d.sink.Submit(batch); err != nil {
+				if err := submit(ctx, d.sink, batch); err != nil {
+					if errors.Is(err, ctx.Err()) {
+						return false // cancellation, not a delivery failure
+					}
 					failures.Inc()
 					if errors.Is(err, errStop) {
 						return false
@@ -148,6 +173,9 @@ func (d *Driver) Run(from int64, steps int) (Stats, error) {
 				return true
 			}
 			for t := from; t < from+int64(steps); t++ {
+				if ctx.Err() != nil {
+					return
+				}
 				for u := lo; u < hi; u++ {
 					for s := 0; s < sensors; s++ {
 						batch = append(batch, tsdb.EnergyPoint(u, s, t, d.fleet.Value(u, s, t)))
@@ -163,7 +191,6 @@ func (d *Driver) Run(from int64, steps int) (Stats, error) {
 		}(lo, hi)
 	}
 	wg.Wait()
-	close(errCh)
 	if cfg.SampleEvery > 0 {
 		close(stopSampler)
 		samplerDone.Wait()
@@ -179,12 +206,7 @@ func (d *Driver) Run(from int64, steps int) (Stats, error) {
 	if elapsed > 0 {
 		stats.Rate = float64(stats.Samples) / elapsed.Seconds()
 	}
-	for err := range errCh {
-		if err != nil {
-			return stats, err
-		}
-	}
-	return stats, nil
+	return stats, ctx.Err()
 }
 
 // errStop lets a sink abort the run early (tests use it).

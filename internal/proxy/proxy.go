@@ -8,15 +8,25 @@
 //
 //   - Submit enqueues a batch, blocking the producer when the buffer
 //     is full — backpressure propagates to the data source instead of
-//     overflowing RegionServer RPC queues;
+//     overflowing RegionServer RPC queues; SubmitContext bounds the
+//     wait with the caller's deadline;
 //   - a fixed pool of senders drains the queue, capping the number of
-//     concurrent requests hitting the TSDs;
+//     concurrent requests hitting the TSDs; each delivery attempt can
+//     carry a deadline that the RPC fabric propagates through the TSD
+//     into its HBase client;
 //   - batches rotate across TSD daemons round-robin, and transient
 //     failures (queue overflow, server down during failover) are
 //     retried on the next daemon with backoff.
+//
+// Shutdown follows the fabric's drain protocol: Close first turns new
+// submitters away, then unblocks any producer waiting on a full
+// buffer, and only once no submitter can be mid-send do the senders
+// flush the remaining batches and exit — the buffer channel is never
+// closed under a sender.
 package proxy
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -45,6 +55,14 @@ type Config struct {
 	// RetryBackoff is the pause between attempts (default 2ms, doubled
 	// per retry).
 	RetryBackoff time.Duration
+	// DeliveryTimeout, when > 0, bounds each delivery attempt with a
+	// deadline propagated through the TSD into the region servers.
+	// Note this makes delivery at-least-once: an attempt abandoned at
+	// the deadline may still complete server-side while the batch is
+	// retried elsewhere, so delivered/written counters can exceed the
+	// submitted count under timeouts. Point writes themselves are
+	// idempotent (same cell, same value).
+	DeliveryTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -71,9 +89,23 @@ type Proxy struct {
 	queue chan []tsdb.Point
 	rr    atomic.Uint64
 
-	closed  atomic.Bool
-	workers sync.WaitGroup
-	pending sync.WaitGroup
+	// mu guards closed against Submit's entry; submitters tracks
+	// producers between that check and their queue send so Close can
+	// wait out anyone blocked on a full buffer before stopping the
+	// senders.
+	mu         sync.RWMutex
+	closed     bool
+	submitters sync.WaitGroup
+	done       chan struct{} // closed first: unblocks waiting submitters
+	stop       chan struct{} // closed second: senders flush and exit
+	workers    sync.WaitGroup
+	pending    sync.WaitGroup
+	closeOnce  sync.Once
+
+	// drainMu/drainIdle share one idle-waiter across retried Drain
+	// calls (see rpc.Server.Drain for the rationale).
+	drainMu   sync.Mutex
+	drainIdle chan struct{}
 
 	// Accepted counts points admitted by Submit.
 	Accepted telemetry.Counter
@@ -98,6 +130,8 @@ func New(net *rpc.Network, tsdAddrs []string, cfg Config) (*Proxy, error) {
 		tsds:  append([]string(nil), tsdAddrs...),
 		cfg:   cfg,
 		queue: make(chan []tsdb.Point, cfg.BufferBatches),
+		done:  make(chan struct{}),
+		stop:  make(chan struct{}),
 	}
 	p.workers.Add(cfg.MaxInFlight)
 	for i := 0; i < cfg.MaxInFlight; i++ {
@@ -106,37 +140,68 @@ func New(net *rpc.Network, tsdAddrs []string, cfg Config) (*Proxy, error) {
 	return p, nil
 }
 
-// Submit enqueues one batch for delivery, blocking while the buffer is
-// full (the backpressure contract). The batch is copied; callers may
-// reuse the slice.
+// Submit enqueues one batch with no deadline (see SubmitContext).
 func (p *Proxy) Submit(points []tsdb.Point) error {
-	if p.closed.Load() {
-		return ErrClosed
-	}
+	return p.SubmitContext(context.Background(), points)
+}
+
+// SubmitContext enqueues one batch for delivery, blocking while the
+// buffer is full (the backpressure contract) until ctx is done or the
+// proxy closes. The batch is copied; callers may reuse the slice.
+func (p *Proxy) SubmitContext(ctx context.Context, points []tsdb.Point) error {
 	if len(points) == 0 {
 		return nil
 	}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrClosed
+	}
+	p.submitters.Add(1)
+	p.mu.RUnlock()
+	defer p.submitters.Done()
+
 	batch := make([]tsdb.Point, len(points))
 	copy(batch, points)
 	p.pending.Add(1)
 	p.QueueDepth.Inc()
 	select {
 	case p.queue <- batch:
-	default:
-		// Buffer full: block (backpressure) unless closed mid-wait.
-		p.queue <- batch
+		p.Accepted.Add(int64(len(points)))
+		return nil
+	case <-ctx.Done():
+		p.QueueDepth.Dec()
+		p.pending.Done()
+		return ctx.Err()
+	case <-p.done:
+		p.QueueDepth.Dec()
+		p.pending.Done()
+		return ErrClosed
 	}
-	p.Accepted.Add(int64(len(points)))
-	return nil
 }
 
-// sender drains the queue, delivering with round-robin + retry.
+// sender drains the queue, delivering with round-robin + retry. After
+// stop it flushes whatever remains, then exits.
 func (p *Proxy) sender() {
 	defer p.workers.Done()
-	for batch := range p.queue {
-		p.QueueDepth.Dec()
-		p.deliver(batch)
-		p.pending.Done()
+	for {
+		select {
+		case batch := <-p.queue:
+			p.QueueDepth.Dec()
+			p.deliver(batch)
+			p.pending.Done()
+		case <-p.stop:
+			for {
+				select {
+				case batch := <-p.queue:
+					p.QueueDepth.Dec()
+					p.deliver(batch)
+					p.pending.Done()
+				default:
+					return
+				}
+			}
+		}
 	}
 }
 
@@ -145,7 +210,13 @@ func (p *Proxy) deliver(batch []tsdb.Point) {
 	backoff := p.cfg.RetryBackoff
 	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
 		addr := p.tsds[p.rr.Add(1)%uint64(len(p.tsds))]
-		_, err := p.net.Call(addr, "put", &tsdb.PutBatch{Points: batch})
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if p.cfg.DeliveryTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, p.cfg.DeliveryTimeout)
+		}
+		_, err := p.net.Call(ctx, addr, "put", &tsdb.PutBatch{Points: batch})
+		cancel()
 		if err == nil {
 			p.Delivered.Add(int64(len(batch)))
 			return
@@ -165,17 +236,51 @@ func (p *Proxy) deliver(batch []tsdb.Point) {
 }
 
 // Flush blocks until every submitted batch is delivered or dropped.
+// Like Drain, it assumes producers have quiesced.
 func (p *Proxy) Flush() {
 	p.pending.Wait()
 }
 
-// Close flushes and stops the senders. Submit fails afterwards.
-func (p *Proxy) Close() {
-	if p.closed.CompareAndSwap(false, true) {
-		p.pending.Wait()
-		close(p.queue)
-		p.workers.Wait()
+// Drain blocks until the buffer empties and in-flight deliveries
+// finish, or ctx is done. The proxy stays open; pair with Close for
+// full shutdown.
+func (p *Proxy) Drain(ctx context.Context) error {
+	p.drainMu.Lock()
+	idle := p.drainIdle
+	if idle == nil {
+		idle = make(chan struct{})
+		p.drainIdle = idle
+		go func() {
+			p.pending.Wait()
+			p.drainMu.Lock()
+			p.drainIdle = nil
+			p.drainMu.Unlock()
+			close(idle)
+		}()
 	}
+	p.drainMu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close flushes and stops the senders. Submit fails afterwards, and
+// producers blocked on a full buffer are woken with ErrClosed.
+func (p *Proxy) Close() {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+		// Wake producers stuck on a full buffer, then wait until no
+		// submitter can be mid-send before stopping the senders.
+		close(p.done)
+		p.submitters.Wait()
+		close(p.stop)
+		p.workers.Wait()
+	})
 }
 
 // Backends returns the TSD addresses (for diagnostics).

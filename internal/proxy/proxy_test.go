@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -23,7 +24,7 @@ func fakeTSDs(t *testing.T, n int, fail func(addr string) error) (*rpc.Network, 
 		cnt := &atomic.Int64{}
 		per[addr] = cnt
 		addrCopy := addr
-		_, err := net.Register(addr, func(method string, payload any) (any, error) {
+		_, err := net.Register(addr, func(_ context.Context, method string, payload any) (any, error) {
 			if fail != nil {
 				if err := fail(addrCopy); err != nil {
 					return nil, err
@@ -179,7 +180,7 @@ func TestFlushWaitsForDelivery(t *testing.T) {
 	net := rpc.NewNetwork(0, nil)
 	defer net.Close()
 	var got atomic.Int64
-	_, err := net.Register("tsd/slow", func(method string, payload any) (any, error) {
+	_, err := net.Register("tsd/slow", func(_ context.Context, method string, payload any) (any, error) {
 		<-slow
 		got.Add(int64(len(payload.(*tsdb.PutBatch).Points)))
 		return nil, nil
@@ -220,7 +221,7 @@ func TestBufferBackpressureBlocksProducer(t *testing.T) {
 	block := make(chan struct{})
 	net := rpc.NewNetwork(0, nil)
 	defer net.Close()
-	_, err := net.Register("tsd/stuck", func(string, any) (any, error) {
+	_, err := net.Register("tsd/stuck", func(context.Context, string, any) (any, error) {
 		<-block
 		return nil, nil
 	}, rpc.ServerConfig{QueueCap: 1, Workers: 1})
@@ -258,5 +259,141 @@ func TestBufferBackpressureBlocksProducer(t *testing.T) {
 	p.Close()
 	if got := p.Backends(); len(got) != 1 || got[0] != "tsd/stuck" {
 		t.Fatalf("Backends = %v", got)
+	}
+}
+
+// TestSubmitContextDeadlineOnFullBuffer: a producer blocked on a full
+// buffer is released by its deadline instead of hanging.
+func TestSubmitContextDeadlineOnFullBuffer(t *testing.T) {
+	net := rpc.NewNetwork(0, nil)
+	t.Cleanup(net.Close)
+	gate := make(chan struct{})
+	_, err := net.Register("tsd/gated", func(context.Context, string, any) (any, error) {
+		<-gate
+		return nil, nil
+	}, rpc.ServerConfig{QueueCap: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(net, []string{"tsd/gated"}, Config{MaxInFlight: 1, BufferBatches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(gate); p.Close() }()
+	// First submit ends up with the (wedged) sender; the second then
+	// fills the 1-slot buffer for good — the sender can never free it.
+	if err := p.Submit(somePoints(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(somePoints(5)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.SubmitContext(ctx, somePoints(5)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCloseWakesBlockedProducer: Close must release producers stuck on
+// a full buffer with ErrClosed — the shutdown race the old proxy had.
+func TestCloseWakesBlockedProducer(t *testing.T) {
+	net := rpc.NewNetwork(0, nil)
+	t.Cleanup(net.Close)
+	gate := make(chan struct{})
+	_, err := net.Register("tsd/gated", func(context.Context, string, any) (any, error) {
+		<-gate
+		return nil, nil
+	}, rpc.ServerConfig{QueueCap: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(net, []string{"tsd/gated"}, Config{MaxInFlight: 1, BufferBatches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(somePoints(5)); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		go func() { blocked <- p.Submit(somePoints(5)) }()
+	}
+	time.Sleep(10 * time.Millisecond) // let them pile onto the buffer
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(gate) // unstick the TSD so Close can flush
+	}()
+	p.Close()
+	// All producers resolved: either delivered before the close landed
+	// or cleanly rejected — never deadlocked, never panicked.
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-blocked:
+			if err != nil && !errors.Is(err, ErrClosed) {
+				t.Fatalf("unexpected submit error: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("producer still blocked after Close")
+		}
+	}
+	if err := p.Submit(somePoints(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close submit: %v", err)
+	}
+}
+
+// TestDrainWaitsForDeliveries: Drain returns once the buffer empties,
+// and honours its context while deliveries are stuck.
+func TestDrainWaitsForDeliveries(t *testing.T) {
+	net, addrs, total, _ := fakeTSDs(t, 1, nil)
+	p, err := New(net, addrs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 8; i++ {
+		if err := p.Submit(somePoints(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 80 {
+		t.Fatalf("delivered %d, want 80", total.Load())
+	}
+}
+
+// TestDeliveryTimeoutPropagates: a DeliveryTimeout shorter than the
+// TSD's service time abandons the attempt and eventually drops.
+func TestDeliveryTimeoutPropagates(t *testing.T) {
+	net := rpc.NewNetwork(0, nil)
+	t.Cleanup(net.Close)
+	gate := make(chan struct{})
+	defer close(gate)
+	_, err := net.Register("tsd/stuck2", func(context.Context, string, any) (any, error) {
+		<-gate
+		return nil, nil
+	}, rpc.ServerConfig{QueueCap: 64, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(net, []string{"tsd/stuck2"}, Config{
+		MaxInFlight: 1, MaxRetries: 1, DeliveryTimeout: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(somePoints(3)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for p.Dropped.Value() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("delivery timeout never dropped the batch")
+		default:
+			time.Sleep(time.Millisecond)
+		}
 	}
 }

@@ -3,22 +3,41 @@
 // master and region servers, and the OpenTSDB daemons all expose
 // handlers on a shared Network and call each other through it.
 //
-// The transport models the two properties the paper's findings hinge
-// on:
+// The transport models the properties the paper's findings hinge on:
 //
 //   - Bounded RPC queues. Every server has a finite inbound queue; a
 //     call arriving at a full queue fails with ErrQueueOverflow, and a
 //     server that overflows too often crashes (ErrServerDown) — the
 //     exact failure mode §III-B reports for HBase RegionServers before
 //     the buffering reverse proxy was added.
+//   - Deadline-bounded, pipelined messaging. Call(ctx, …) honours
+//     context cancellation end to end, and Go(ctx, …) returns a Future
+//     so callers overlap many in-flight requests instead of blocking
+//     one round trip at a time — the shape that lets the storage tier
+//     absorb the paper's 120k writes/sec.
 //   - Configurable per-call latency, so experiments can model network
 //     round trips without real sockets.
 //
 // Handlers run on a bounded worker pool per server, mirroring an RPC
-// handler thread pool.
+// handler thread pool. The caller's context is threaded into the
+// handler, so a deadline set at the proxy propagates through a TSD
+// into its HBase client calls.
+//
+// # Shutdown protocol
+//
+// Servers move through running → draining → stopped. Drain (and the
+// stop underlying Remove/Close) first flips the state under a write
+// lock — enqueuers hold the read lock while sending, so once the flip
+// lands no sender can be mid-send — then flushes queued calls and
+// joins the workers. New enqueues are rejected with ErrServerDraining
+// or ErrServerStopped instead of racing a channel close; the
+// "send on closed channel" crash of the synchronous fabric is
+// impossible by construction. Crash remains the abrupt variant:
+// queued and in-flight calls fail with ErrServerDown.
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -31,16 +50,19 @@ import (
 
 // Errors surfaced by the transport.
 var (
-	ErrUnknownAddr   = errors.New("rpc: unknown address")
-	ErrQueueOverflow = errors.New("rpc: inbound queue overflow")
-	ErrServerDown    = errors.New("rpc: server down")
-	ErrServerStopped = errors.New("rpc: server stopped")
-	ErrNetworkClosed = errors.New("rpc: network closed")
+	ErrUnknownAddr    = errors.New("rpc: unknown address")
+	ErrQueueOverflow  = errors.New("rpc: inbound queue overflow")
+	ErrServerDown     = errors.New("rpc: server down")
+	ErrServerStopped  = errors.New("rpc: server stopped")
+	ErrServerDraining = errors.New("rpc: server draining")
+	ErrNetworkClosed  = errors.New("rpc: network closed")
 )
 
-// Handler processes one request. Implementations must be safe for
-// concurrent use (the worker pool invokes them in parallel).
-type Handler func(method string, payload any) (any, error)
+// Handler processes one request. The context carries the caller's
+// deadline and cancellation; handlers that issue further RPCs should
+// pass it along. Implementations must be safe for concurrent use (the
+// worker pool invokes them in parallel).
+type Handler func(ctx context.Context, method string, payload any) (any, error)
 
 // ServerConfig bounds a server's inbound processing.
 type ServerConfig struct {
@@ -67,27 +89,100 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	return c
 }
 
-// call is one queued request/response exchange.
-type call struct {
-	method  string
-	payload any
-	resp    chan result
-}
-
+// result is one call's outcome.
 type result struct {
 	value any
 	err   error
 }
+
+// Future is the handle for an asynchronous call issued with Go. It is
+// resolved exactly once; any number of goroutines may wait on it.
+type Future struct {
+	done chan struct{}
+	once sync.Once
+	res  result
+}
+
+func newFuture() *Future {
+	return &Future{done: make(chan struct{})}
+}
+
+// resolved returns a future already carrying err (enqueue-time
+// failures).
+func resolved(err error) *Future {
+	f := newFuture()
+	f.resolve(nil, err)
+	return f
+}
+
+func (f *Future) resolve(v any, err error) {
+	f.once.Do(func() {
+		f.res = result{value: v, err: err}
+		close(f.done)
+	})
+}
+
+// Done returns a channel closed when the call completes.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Result blocks until the call completes and returns its outcome.
+func (f *Future) Result() (any, error) {
+	<-f.done
+	return f.res.value, f.res.err
+}
+
+// Wait blocks until the call completes or ctx is done, whichever comes
+// first. On early cancellation the call keeps executing server-side;
+// only the wait is abandoned.
+func (f *Future) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-f.done:
+		return f.res.value, f.res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// call is one queued request.
+type call struct {
+	ctx     context.Context
+	method  string
+	payload any
+	fut     *Future
+}
+
+// serverState is the Drain/Close lifecycle.
+type serverState int32
+
+const (
+	stateRunning serverState = iota
+	stateDraining
+	stateStopped
+)
 
 // Server is one addressable node on the Network.
 type Server struct {
 	addr    string
 	cfg     ServerConfig
 	handler Handler
-	queue   chan call
-	stopped atomic.Bool
-	crashed atomic.Bool
-	wg      sync.WaitGroup
+
+	// mu guards state against enqueue: senders hold the read lock
+	// across the (state check, channel send) pair, so a state flip
+	// under the write lock proves no sender is mid-send. This is what
+	// makes closing the queue safe.
+	mu    sync.RWMutex
+	state serverState
+
+	queue    chan *call
+	crashed  atomic.Bool
+	workers  sync.WaitGroup // handler pool
+	inflight sync.WaitGroup // queued + executing calls
+
+	// drainMu/drainIdle share one idle-waiter goroutine across
+	// concurrent or retried Drain calls, so a drain that times out
+	// against a wedged server doesn't leak a goroutine per attempt.
+	drainMu   sync.Mutex
+	drainIdle chan struct{}
 
 	// Telemetry.
 	Handled   telemetry.Counter
@@ -102,49 +197,135 @@ func (s *Server) Addr() string { return s.addr }
 // injected).
 func (s *Server) Crashed() bool { return s.crashed.Load() }
 
+// enqueue admits one call, failing fast on overflow or shutdown.
+func (s *Server) enqueue(c *call) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.crashed.Load() {
+		return fmt.Errorf("%w: %s", ErrServerDown, s.addr)
+	}
+	switch s.state {
+	case stateDraining:
+		return fmt.Errorf("%w: %s", ErrServerDraining, s.addr)
+	case stateStopped:
+		return fmt.Errorf("%w: %s", ErrServerStopped, s.addr)
+	}
+	// Count the call before the send: a worker may dequeue (and Done)
+	// the instant it lands in the channel.
+	s.inflight.Add(1)
+	select {
+	case s.queue <- c:
+		s.Depth.Inc()
+		return nil
+	default:
+		s.inflight.Done()
+		s.Overflows.Inc()
+		if t := s.cfg.CrashOnOverflow; t > 0 && s.Overflows.Value() >= t {
+			s.Crash()
+		}
+		return fmt.Errorf("%w: %s", ErrQueueOverflow, s.addr)
+	}
+}
+
 // Crash marks the server dead immediately, as failure injection.
 // Queued calls fail with ErrServerDown.
 func (s *Server) Crash() {
 	if s.crashed.CompareAndSwap(false, true) {
-		s.drain()
+		s.rejectQueued()
 		if s.cfg.OnCrash != nil {
 			go s.cfg.OnCrash()
 		}
 	}
 }
 
-// drain rejects queued calls after a crash/stop.
-func (s *Server) drain() {
+// rejectQueued fails queued calls after a crash. Workers racing on the
+// same queue reject concurrently (they check crashed before handling).
+func (s *Server) rejectQueued() {
 	for {
 		select {
-		case c := <-s.queue:
-			c.resp <- result{err: fmt.Errorf("%w: %s", ErrServerDown, s.addr)}
+		case c, ok := <-s.queue:
+			if !ok {
+				return // already stopped and flushed
+			}
+			s.Depth.Dec()
+			c.fut.resolve(nil, fmt.Errorf("%w: %s", ErrServerDown, s.addr))
+			s.inflight.Done()
 		default:
 			return
 		}
 	}
 }
 
-// stop shuts down the worker pool (used by Network.Close and Remove).
-func (s *Server) stop() {
-	if s.stopped.CompareAndSwap(false, true) {
-		close(s.queue)
-		s.wg.Wait()
+// Drain gracefully quiesces the server: new enqueues are rejected with
+// ErrServerDraining while queued and executing calls run to
+// completion. It returns nil once the server is idle, or ctx.Err() if
+// the deadline expires first (the server stays draining).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.state == stateRunning {
+		s.state = stateDraining
+	}
+	s.mu.Unlock()
+	s.drainMu.Lock()
+	idle := s.drainIdle
+	if idle == nil {
+		idle = make(chan struct{})
+		s.drainIdle = idle
+		go func() {
+			s.inflight.Wait()
+			s.drainMu.Lock()
+			s.drainIdle = nil
+			s.drainMu.Unlock()
+			close(idle)
+		}()
+	}
+	s.drainMu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
-// serve runs one worker: dequeue, handle, respond.
+// stop ends the server: no new enqueues, queued calls are still
+// handled (flushed) by the workers, then the pool exits. Safe to call
+// multiple times and concurrently with enqueuers — the write lock
+// serialises against in-progress sends, so the channel close below
+// can never race a sender.
+func (s *Server) stop() {
+	s.mu.Lock()
+	if s.state == stateStopped {
+		s.mu.Unlock()
+		return
+	}
+	s.state = stateStopped
+	s.mu.Unlock()
+	close(s.queue)
+	s.workers.Wait()
+}
+
+// serve runs one worker: dequeue, handle, resolve.
 func (s *Server) serve() {
-	defer s.wg.Done()
+	defer s.workers.Done()
 	for c := range s.queue {
 		s.Depth.Dec()
 		if s.crashed.Load() {
-			c.resp <- result{err: fmt.Errorf("%w: %s", ErrServerDown, s.addr)}
+			c.fut.resolve(nil, fmt.Errorf("%w: %s", ErrServerDown, s.addr))
+			s.inflight.Done()
 			continue
 		}
-		v, err := s.handler(c.method, c.payload)
+		if err := c.ctx.Err(); err != nil {
+			// The caller's deadline expired while the call sat queued;
+			// don't burn handler time on it.
+			c.fut.resolve(nil, err)
+			s.inflight.Done()
+			continue
+		}
+		v, err := s.handler(c.ctx, c.method, c.payload)
 		s.Handled.Inc()
-		c.resp <- result{value: v, err: err}
+		c.fut.resolve(v, err)
+		s.inflight.Done()
 	}
 }
 
@@ -156,7 +337,7 @@ type Network struct {
 	clk     clock.Clock
 	closed  bool
 
-	// Calls counts every Call attempt, including failures.
+	// Calls counts every Call/Go attempt, including failures.
 	Calls telemetry.Counter
 }
 
@@ -170,11 +351,11 @@ func NewNetwork(latency time.Duration, clk clock.Clock) *Network {
 }
 
 // Register creates and starts a server at addr. Registering an existing
-// address replaces the old server (which is stopped).
+// address replaces the old server (which is crashed and stopped).
 func (n *Network) Register(addr string, handler Handler, cfg ServerConfig) (*Server, error) {
 	cfg = cfg.withDefaults()
-	s := &Server{addr: addr, cfg: cfg, handler: handler, queue: make(chan call, cfg.QueueCap)}
-	s.wg.Add(cfg.Workers)
+	s := &Server{addr: addr, cfg: cfg, handler: handler, queue: make(chan *call, cfg.QueueCap)}
+	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.serve()
 	}
@@ -200,7 +381,8 @@ func (n *Network) Lookup(addr string) (*Server, bool) {
 	return s, ok
 }
 
-// Remove stops and deregisters the server at addr.
+// Remove deregisters the server at addr and shuts it down gracefully:
+// queued calls are flushed, new ones rejected.
 func (n *Network) Remove(addr string) {
 	n.mu.Lock()
 	s, ok := n.servers[addr]
@@ -209,7 +391,6 @@ func (n *Network) Remove(addr string) {
 	}
 	n.mu.Unlock()
 	if ok {
-		s.Crash()
 		s.stop()
 	}
 }
@@ -225,7 +406,26 @@ func (n *Network) Addrs() []string {
 	return out
 }
 
-// Close stops every server; subsequent calls fail.
+// Drain quiesces every server (see Server.Drain); the network stays
+// open for lookups but servers reject new work until stopped.
+func (n *Network) Drain(ctx context.Context) error {
+	n.mu.RLock()
+	servers := make([]*Server, 0, len(n.servers))
+	for _, s := range n.servers {
+		servers = append(servers, s)
+	}
+	n.mu.RUnlock()
+	for _, s := range servers {
+		if err := s.Drain(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts every server down gracefully — queued calls are flushed,
+// not dropped — and fails subsequent Call/Go/Register with
+// ErrNetworkClosed.
 func (n *Network) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -240,48 +440,58 @@ func (n *Network) Close() {
 	n.servers = make(map[string]*Server)
 	n.mu.Unlock()
 	for _, s := range servers {
-		s.Crash()
 		s.stop()
 	}
 }
 
-// Call sends a synchronous request to addr. It applies the network
-// latency, then enqueues at the destination; a full queue returns
-// ErrQueueOverflow immediately (fail-fast, like an RPC rejection) and
-// counts toward the server's crash threshold.
-func (n *Network) Call(addr, method string, payload any) (any, error) {
+// Call sends a request to addr and blocks until the response, the
+// context's deadline, or its cancellation. A full destination queue
+// fails with ErrQueueOverflow immediately (fail-fast, like an RPC
+// rejection) and counts toward the server's crash threshold.
+func (n *Network) Call(ctx context.Context, addr, method string, payload any) (any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return n.Go(ctx, addr, method, payload).Wait(ctx)
+}
+
+// Go issues a request asynchronously and returns its Future — the
+// pipelining primitive. Enqueue failures (unknown address, overflow,
+// server down, closed network, expired context) resolve the future
+// immediately; it never blocks on the destination.
+func (n *Network) Go(ctx context.Context, addr, method string, payload any) *Future {
 	n.Calls.Inc()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return resolved(err)
+	}
 	n.mu.RLock()
 	if n.closed {
 		n.mu.RUnlock()
-		return nil, ErrNetworkClosed
+		return resolved(ErrNetworkClosed)
 	}
 	s, ok := n.servers[addr]
 	lat := n.latency
 	n.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownAddr, addr)
+		return resolved(fmt.Errorf("%w: %s", ErrUnknownAddr, addr))
 	}
+	c := &call{ctx: ctx, method: method, payload: payload, fut: newFuture()}
 	if lat > 0 {
-		n.clk.Sleep(lat)
+		// Model the wire delay off the caller's goroutine so Go stays
+		// non-blocking; the future resolves after delay + service.
+		go func() {
+			n.clk.Sleep(lat)
+			if err := s.enqueue(c); err != nil {
+				c.fut.resolve(nil, err)
+			}
+		}()
+		return c.fut
 	}
-	if s.crashed.Load() {
-		return nil, fmt.Errorf("%w: %s", ErrServerDown, s.addr)
+	if err := s.enqueue(c); err != nil {
+		return resolved(err)
 	}
-	if s.stopped.Load() {
-		return nil, fmt.Errorf("%w: %s", ErrServerStopped, s.addr)
-	}
-	c := call{method: method, payload: payload, resp: make(chan result, 1)}
-	select {
-	case s.queue <- c:
-		s.Depth.Inc()
-	default:
-		s.Overflows.Inc()
-		if t := s.cfg.CrashOnOverflow; t > 0 && s.Overflows.Value() >= t {
-			s.Crash()
-		}
-		return nil, fmt.Errorf("%w: %s", ErrQueueOverflow, s.addr)
-	}
-	r := <-c.resp
-	return r.value, r.err
+	return c.fut
 }

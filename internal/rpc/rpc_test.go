@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,9 +10,11 @@ import (
 	"time"
 )
 
-func echoHandler(method string, payload any) (any, error) {
+func echoHandler(_ context.Context, method string, payload any) (any, error) {
 	return fmt.Sprintf("%s:%v", method, payload), nil
 }
+
+func ctx() context.Context { return context.Background() }
 
 func TestCallRoundTrip(t *testing.T) {
 	n := NewNetwork(0, nil)
@@ -19,7 +22,7 @@ func TestCallRoundTrip(t *testing.T) {
 	if _, err := n.Register("a", echoHandler, ServerConfig{}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := n.Call("a", "ping", 42)
+	got, err := n.Call(ctx(), "a", "ping", 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +37,7 @@ func TestCallRoundTrip(t *testing.T) {
 func TestUnknownAddress(t *testing.T) {
 	n := NewNetwork(0, nil)
 	defer n.Close()
-	if _, err := n.Call("ghost", "x", nil); !errors.Is(err, ErrUnknownAddr) {
+	if _, err := n.Call(ctx(), "ghost", "x", nil); !errors.Is(err, ErrUnknownAddr) {
 		t.Fatalf("err = %v, want ErrUnknownAddr", err)
 	}
 }
@@ -43,12 +46,24 @@ func TestHandlerErrorsPropagate(t *testing.T) {
 	n := NewNetwork(0, nil)
 	defer n.Close()
 	boom := errors.New("boom")
-	_, err := n.Register("a", func(string, any) (any, error) { return nil, boom }, ServerConfig{})
+	_, err := n.Register("a", func(context.Context, string, any) (any, error) { return nil, boom }, ServerConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Call("a", "x", nil); !errors.Is(err, boom) {
+	if _, err := n.Call(ctx(), "a", "x", nil); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestNilContextDefaults(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	if _, err := n.Register("a", echoHandler, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	//nolint:staticcheck // exercising the nil-context tolerance on purpose
+	if _, err := n.Call(nil, "a", "x", nil); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -56,7 +71,7 @@ func TestConcurrentCalls(t *testing.T) {
 	n := NewNetwork(0, nil)
 	defer n.Close()
 	var handled atomic.Int64
-	_, err := n.Register("a", func(string, any) (any, error) {
+	_, err := n.Register("a", func(context.Context, string, any) (any, error) {
 		handled.Add(1)
 		return nil, nil
 	}, ServerConfig{Workers: 8, QueueCap: 1024})
@@ -70,7 +85,7 @@ func TestConcurrentCalls(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := n.Call("a", "x", nil); err != nil {
+			if _, err := n.Call(ctx(), "a", "x", nil); err != nil {
 				errs <- err
 			}
 		}()
@@ -85,12 +100,167 @@ func TestConcurrentCalls(t *testing.T) {
 	}
 }
 
+func TestGoPipelinesCalls(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	// A single worker with per-call service time: N pipelined calls
+	// complete without the caller blocking between enqueues.
+	if _, err := n.Register("a", echoHandler, ServerConfig{Workers: 4, QueueCap: 64}); err != nil {
+		t.Fatal(err)
+	}
+	const calls = 32
+	futs := make([]*Future, calls)
+	for i := range futs {
+		futs[i] = n.Go(ctx(), "a", "m", i)
+	}
+	for i, f := range futs {
+		v, err := f.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != fmt.Sprintf("m:%d", i) {
+			t.Fatalf("future %d = %v", i, v)
+		}
+	}
+}
+
+func TestFutureEnqueueFailureResolvesImmediately(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	f := n.Go(ctx(), "ghost", "x", nil)
+	select {
+	case <-f.Done():
+	case <-time.After(time.Second):
+		t.Fatal("future for unknown address never resolved")
+	}
+	if _, err := f.Result(); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("err = %v, want ErrUnknownAddr", err)
+	}
+}
+
+func TestFutureMultipleWaiters(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	release := make(chan struct{})
+	if _, err := n.Register("a", func(context.Context, string, any) (any, error) {
+		<-release
+		return "v", nil
+	}, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	f := n.Go(ctx(), "a", "x", nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := f.Result()
+			if err != nil || v != "v" {
+				errs <- fmt.Errorf("got %v, %v", v, err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCallContextCancelledBeforeSend(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	if _, err := n.Register("a", echoHandler, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.Call(cctx, "a", "x", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCallDeadlineWhileQueued(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	block := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	var ran atomic.Int64
+	if _, err := n.Register("slow", func(_ context.Context, method string, _ any) (any, error) {
+		if method == "y" {
+			ran.Add(1)
+		}
+		entered <- struct{}{}
+		<-block
+		return nil, nil
+	}, ServerConfig{Workers: 1, QueueCap: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single worker…
+	first := n.Go(ctx(), "slow", "x", nil)
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("worker never started")
+	}
+	// …then queue a call whose deadline lapses before service. The
+	// bounded wait surfaces the deadline immediately…
+	cctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	queued := n.Go(cctx, "slow", "y", nil)
+	if _, err := queued.Wait(cctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait err = %v, want DeadlineExceeded", err)
+	}
+	// …and once the worker frees up it must skip the expired call
+	// rather than burn handler time on it.
+	close(block)
+	if _, err := queued.Result(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Result err = %v, want DeadlineExceeded", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("expired queued call must not reach the handler")
+	}
+	if _, err := first.Result(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAbandonsButCallCompletes(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	release := make(chan struct{})
+	var handled atomic.Int64
+	if _, err := n.Register("a", func(context.Context, string, any) (any, error) {
+		<-release
+		handled.Add(1)
+		return "late", nil
+	}, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	f := n.Go(ctx(), "a", "x", nil)
+	cctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := f.Wait(cctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	// The abandoned call still runs to completion server-side.
+	if v, err := f.Result(); err != nil || v != "late" {
+		t.Fatalf("Result = %v, %v", v, err)
+	}
+	if handled.Load() != 1 {
+		t.Fatal("handler never ran")
+	}
+}
+
 func TestQueueOverflowFailsFast(t *testing.T) {
 	n := NewNetwork(0, nil)
 	defer n.Close()
 	block := make(chan struct{})
 	entered := make(chan struct{}, 4)
-	s, err := n.Register("slow", func(string, any) (any, error) {
+	s, err := n.Register("slow", func(context.Context, string, any) (any, error) {
 		entered <- struct{}{}
 		<-block
 		return nil, nil
@@ -99,21 +269,13 @@ func TestQueueOverflowFailsFast(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Fill: 1 in-flight + 2 queued, then the next call overflows.
-	done := make(chan error, 8)
-	issue := func() {
-		go func() {
-			_, err := n.Call("slow", "x", nil)
-			done <- err
-		}()
-	}
-	issue() // occupies the worker
+	futs := []*Future{n.Go(ctx(), "slow", "x", nil)}
 	select {
 	case <-entered:
 	case <-time.After(2 * time.Second):
 		t.Fatal("worker never started")
 	}
-	issue()
-	issue() // both sit in the queue
+	futs = append(futs, n.Go(ctx(), "slow", "x", nil), n.Go(ctx(), "slow", "x", nil))
 	deadline := time.After(2 * time.Second)
 	for s.Depth.Value() < 2 {
 		select {
@@ -123,15 +285,15 @@ func TestQueueOverflowFailsFast(t *testing.T) {
 			time.Sleep(time.Millisecond)
 		}
 	}
-	if _, err := n.Call("slow", "x", nil); !errors.Is(err, ErrQueueOverflow) {
+	if _, err := n.Call(ctx(), "slow", "x", nil); !errors.Is(err, ErrQueueOverflow) {
 		t.Fatalf("err = %v, want ErrQueueOverflow", err)
 	}
 	if s.Overflows.Value() != 1 {
 		t.Fatalf("Overflows = %d, want 1", s.Overflows.Value())
 	}
 	close(block)
-	for i := 0; i < 3; i++ {
-		if err := <-done; err != nil {
+	for _, f := range futs {
+		if _, err := f.Result(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -143,7 +305,7 @@ func TestCrashOnOverflowThreshold(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
 	entered := make(chan struct{}, 4)
-	s, err := n.Register("rs", func(string, any) (any, error) {
+	s, err := n.Register("rs", func(context.Context, string, any) (any, error) {
 		entered <- struct{}{}
 		<-block
 		return nil, nil
@@ -152,13 +314,13 @@ func TestCrashOnOverflowThreshold(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Occupy the single worker, then fill the queue behind it.
-	go n.Call("rs", "x", nil) //nolint:errcheck
+	n.Go(ctx(), "rs", "x", nil)
 	select {
 	case <-entered:
 	case <-time.After(2 * time.Second):
 		t.Fatal("worker never started")
 	}
-	go n.Call("rs", "x", nil) //nolint:errcheck
+	n.Go(ctx(), "rs", "x", nil)
 	deadline := time.After(2 * time.Second)
 	for s.Depth.Value() < 1 {
 		select {
@@ -170,14 +332,14 @@ func TestCrashOnOverflowThreshold(t *testing.T) {
 	}
 	// Three overflows crash the server — the §III-B RegionServer story.
 	for i := 0; i < 3; i++ {
-		if _, err := n.Call("rs", "x", nil); !errors.Is(err, ErrQueueOverflow) {
+		if _, err := n.Call(ctx(), "rs", "x", nil); !errors.Is(err, ErrQueueOverflow) {
 			t.Fatalf("call %d: err = %v, want overflow", i, err)
 		}
 	}
 	if !s.Crashed() {
 		t.Fatal("server must crash after reaching the overflow threshold")
 	}
-	if _, err := n.Call("rs", "x", nil); !errors.Is(err, ErrServerDown) {
+	if _, err := n.Call(ctx(), "rs", "x", nil); !errors.Is(err, ErrServerDown) {
 		t.Fatalf("err = %v, want ErrServerDown", err)
 	}
 }
@@ -190,7 +352,7 @@ func TestInjectedCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Crash()
-	if _, err := n.Call("a", "x", nil); !errors.Is(err, ErrServerDown) {
+	if _, err := n.Call(ctx(), "a", "x", nil); !errors.Is(err, ErrServerDown) {
 		t.Fatalf("err = %v, want ErrServerDown", err)
 	}
 	if s.Addr() != "a" {
@@ -198,16 +360,98 @@ func TestInjectedCrash(t *testing.T) {
 	}
 }
 
+func TestDrainFlushesAndRejects(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	var handled atomic.Int64
+	gate := make(chan struct{})
+	s, err := n.Register("a", func(context.Context, string, any) (any, error) {
+		<-gate
+		handled.Add(1)
+		return nil, nil
+	}, ServerConfig{Workers: 2, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const calls = 16
+	futs := make([]*Future, calls)
+	for i := range futs {
+		futs[i] = n.Go(ctx(), "a", "x", nil)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	// New work is rejected as soon as the drain begins. Poll with Go —
+	// an accepted call would block a synchronous Call forever while the
+	// workers sit gated.
+	accepted := futs
+	deadline := time.After(2 * time.Second)
+polling:
+	for {
+		f := n.Go(ctx(), "a", "x", nil)
+		select {
+		case <-f.Done():
+			_, err := f.Result()
+			if errors.Is(err, ErrServerDraining) {
+				break polling
+			}
+			if !errors.Is(err, ErrQueueOverflow) {
+				t.Fatalf("unexpected enqueue failure: %v", err)
+			}
+		default:
+			accepted = append(accepted, f) // admitted before the drain flipped
+		}
+		select {
+		case <-deadline:
+			t.Fatal("drain never started rejecting")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(gate)
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+	// Every accepted call was flushed, not dropped.
+	for _, f := range accepted {
+		if _, err := f.Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if handled.Load() < calls {
+		t.Fatalf("handled %d, want >= %d", handled.Load(), calls)
+	}
+}
+
+func TestDrainDeadline(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	block := make(chan struct{})
+	defer close(block)
+	s, err := n.Register("a", func(context.Context, string, any) (any, error) {
+		<-block
+		return nil, nil
+	}, ServerConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Go(ctx(), "a", "x", nil)
+	cctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(cctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain err = %v, want DeadlineExceeded", err)
+	}
+}
+
 func TestReRegisterReplacesServer(t *testing.T) {
 	n := NewNetwork(0, nil)
 	defer n.Close()
-	if _, err := n.Register("a", func(string, any) (any, error) { return "old", nil }, ServerConfig{}); err != nil {
+	if _, err := n.Register("a", func(context.Context, string, any) (any, error) { return "old", nil }, ServerConfig{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Register("a", func(string, any) (any, error) { return "new", nil }, ServerConfig{}); err != nil {
+	if _, err := n.Register("a", func(context.Context, string, any) (any, error) { return "new", nil }, ServerConfig{}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := n.Call("a", "x", nil)
+	got, err := n.Call(ctx(), "a", "x", nil)
 	if err != nil || got != "new" {
 		t.Fatalf("got %v, %v", got, err)
 	}
@@ -220,7 +464,7 @@ func TestRemove(t *testing.T) {
 		t.Fatal(err)
 	}
 	n.Remove("a")
-	if _, err := n.Call("a", "x", nil); !errors.Is(err, ErrUnknownAddr) {
+	if _, err := n.Call(ctx(), "a", "x", nil); !errors.Is(err, ErrUnknownAddr) {
 		t.Fatalf("err = %v, want ErrUnknownAddr", err)
 	}
 	n.Remove("a") // idempotent
@@ -235,13 +479,38 @@ func TestNetworkClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	n.Close()
-	if _, err := n.Call("a", "x", nil); !errors.Is(err, ErrNetworkClosed) {
+	if _, err := n.Call(ctx(), "a", "x", nil); !errors.Is(err, ErrNetworkClosed) {
 		t.Fatalf("err = %v, want ErrNetworkClosed", err)
 	}
 	if _, err := n.Register("b", echoHandler, ServerConfig{}); !errors.Is(err, ErrNetworkClosed) {
 		t.Fatalf("register after close: %v", err)
 	}
 	n.Close() // idempotent
+}
+
+func TestCloseFlushesQueuedCalls(t *testing.T) {
+	n := NewNetwork(0, nil)
+	var handled atomic.Int64
+	if _, err := n.Register("a", func(context.Context, string, any) (any, error) {
+		handled.Add(1)
+		return nil, nil
+	}, ServerConfig{Workers: 1, QueueCap: 64}); err != nil {
+		t.Fatal(err)
+	}
+	const calls = 32
+	futs := make([]*Future, calls)
+	for i := range futs {
+		futs[i] = n.Go(ctx(), "a", "x", nil)
+	}
+	n.Close()
+	for _, f := range futs {
+		if _, err := f.Result(); err != nil {
+			t.Fatalf("queued call dropped at close: %v", err)
+		}
+	}
+	if handled.Load() != calls {
+		t.Fatalf("handled %d, want %d", handled.Load(), calls)
+	}
 }
 
 func TestAddrs(t *testing.T) {
@@ -264,10 +533,61 @@ func TestLatencyApplied(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	if _, err := n.Call("a", "x", nil); err != nil {
+	if _, err := n.Call(ctx(), "a", "x", nil); err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d < 15*time.Millisecond {
 		t.Fatalf("latency not applied: %v", d)
 	}
+}
+
+// TestShutdownStorm is the regression for the synchronous fabric's
+// "send on closed channel" panic: servers crash, get removed,
+// re-register and finally close while callers enqueue as fast as they
+// can. Run with -race; any panic or race fails the test.
+func TestShutdownStorm(t *testing.T) {
+	n := NewNetwork(0, nil)
+	const servers = 4
+	addr := func(i int) string { return fmt.Sprintf("s%d", i) }
+	for i := 0; i < servers; i++ {
+		if _, err := n.Register(addr(i), echoHandler, ServerConfig{Workers: 2, QueueCap: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if w%2 == 0 {
+					_, _ = n.Call(ctx(), addr(i%servers), "m", i)
+				} else {
+					f := n.Go(ctx(), addr(i%servers), "m", i)
+					_, _ = f.Result()
+				}
+			}
+		}(w)
+	}
+	// Churn the server set while the callers hammer it.
+	for round := 0; round < 20; round++ {
+		i := round % servers
+		if s, ok := n.Lookup(addr(i)); ok && round%3 == 0 {
+			s.Crash()
+		}
+		n.Remove(addr(i))
+		if _, err := n.Register(addr(i), echoHandler, ServerConfig{Workers: 2, QueueCap: 8}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	n.Close()
+	close(stop)
+	wg.Wait()
 }

@@ -1,8 +1,10 @@
 package tsdb
 
 import (
+	"context"
 	"fmt"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 )
@@ -38,12 +40,25 @@ type Source struct {
 	// TrainingWindow.
 	TrainFrom  int64
 	TrainCount int
+	// Timeout, when > 0, bounds each storage query with a deadline
+	// that the RPC fabric propagates down to the region servers.
+	Timeout time.Duration
+}
+
+// deadlineCtx returns a background context bounded by d when d > 0.
+func deadlineCtx(d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.Background(), func() {}
 }
 
 // Observations implements core.SampleSource: it returns unit's sensor
 // matrix for [from, from+count) with one row per second.
 func (s *Source) Observations(unit int, from int64, count int) ([][]float64, []int64, error) {
-	series, err := s.TSD.Query(Query{
+	ctx, cancel := deadlineCtx(s.Timeout)
+	defer cancel()
+	series, err := s.TSD.QueryContext(ctx, Query{
 		Metric: MetricEnergy,
 		Tags:   map[string]string{"unit": strconv.Itoa(unit)},
 		Start:  from,
@@ -98,6 +113,8 @@ func (s *Source) TrainingWindow(unit int) ([][]float64, error) {
 // (z-score), which the visualization renders as severity.
 type Sink struct {
 	TSD *TSD
+	// Timeout, when > 0, bounds each write-back with a deadline.
+	Timeout time.Duration
 }
 
 // WriteAnomaly implements core.AnomalySink.
@@ -108,7 +125,9 @@ func (s *Sink) WriteAnomaly(a core.Anomaly) error {
 		Timestamp: a.Timestamp,
 		Value:     a.Z,
 	}
-	return s.TSD.Put([]Point{p})
+	ctx, cancel := deadlineCtx(s.Timeout)
+	defer cancel()
+	return s.TSD.PutContext(ctx, []Point{p})
 }
 
 // Compile-time interface checks against the detector's seams.

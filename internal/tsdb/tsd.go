@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -171,19 +172,22 @@ type (
 	}
 )
 
-// handle is the TSD RPC dispatch.
-func (t *TSD) handle(method string, payload any) (any, error) {
+// handle is the TSD RPC dispatch. The fabric's context — carrying the
+// original caller's deadline, e.g. the proxy's delivery timeout — is
+// threaded into the TSD's own HBase client calls, so backpressure
+// deadlines propagate through the whole storage path.
+func (t *TSD) handle(ctx context.Context, method string, payload any) (any, error) {
 	switch method {
 	case "put":
-		return nil, t.Put(payload.(*PutBatch).Points)
+		return nil, t.PutContext(ctx, payload.(*PutBatch).Points)
 	case "query":
-		series, err := t.Query(payload.(*QueryRequest).Query)
+		series, err := t.QueryContext(ctx, payload.(*QueryRequest).Query)
 		if err != nil {
 			return nil, err
 		}
 		return &QueryResponse{Series: series}, nil
 	case "compact":
-		n, err := t.CompactRows(payload.(int64))
+		n, err := t.CompactRowsContext(ctx, payload.(int64))
 		return n, err
 	default:
 		return nil, fmt.Errorf("tsdb: %s: unknown method %q", t.name, method)
@@ -193,8 +197,14 @@ func (t *TSD) handle(method string, payload any) (any, error) {
 // Name returns the daemon name.
 func (t *TSD) Name() string { return t.name }
 
-// Put encodes and writes a batch of points through the HBase client.
+// Put writes points with no deadline (see PutContext).
 func (t *TSD) Put(points []Point) error {
+	return t.PutContext(context.Background(), points)
+}
+
+// PutContext encodes and writes a batch of points through the HBase
+// client under the caller's deadline.
+func (t *TSD) PutContext(ctx context.Context, points []Point) error {
 	if len(points) == 0 {
 		return nil
 	}
@@ -206,17 +216,22 @@ func (t *TSD) Put(points []Point) error {
 		}
 		cells = append(cells, cell)
 	}
-	if err := t.client.Put(cells); err != nil {
+	if err := t.client.PutContext(ctx, cells); err != nil {
 		return err
 	}
 	t.PointsWritten.Add(int64(len(points)))
 	return nil
 }
 
-// Query scans the row ranges for the metric (across all salt buckets),
-// decodes, filters by tags, groups into series and optionally
-// downsamples.
+// Query runs q with no deadline (see QueryContext).
 func (t *TSD) Query(q Query) ([]Series, error) {
+	return t.QueryContext(context.Background(), q)
+}
+
+// QueryContext scans the row ranges for the metric (across all salt
+// buckets), decodes, filters by tags, groups into series and
+// optionally downsamples.
+func (t *TSD) QueryContext(ctx context.Context, q Query) ([]Series, error) {
 	t.QueriesServed.Inc()
 	mu, ok := t.codec.uids.Lookup(kindMetric, q.Metric)
 	if !ok {
@@ -231,7 +246,7 @@ func (t *TSD) Query(q Query) ([]Series, error) {
 	}
 	grouped := make(map[string]*Series)
 	for _, rng := range t.codec.rowRanges(mu, q.Start, q.End) {
-		cells, err := t.client.Scan(rng[0], rng[1], 0)
+		cells, err := t.client.ScanContext(ctx, rng[0], rng[1], 0)
 		if err != nil {
 			return nil, err
 		}
@@ -328,11 +343,16 @@ func downsample(in []Sample, width int64, agg AggFunc) []Sample {
 // paper disabled — each compacted row costs a scan, a put and a delete
 // RPC round.
 func (t *TSD) CompactRows(beforeBase int64) (int, error) {
+	return t.CompactRowsContext(context.Background(), beforeBase)
+}
+
+// CompactRowsContext is CompactRows under the caller's deadline.
+func (t *TSD) CompactRowsContext(ctx context.Context, beforeBase int64) (int, error) {
 	if !t.cfg.CompactionEnabled {
 		return 0, nil
 	}
 	// Scan everything below the meta prefix (data rows only).
-	cells, err := t.client.Scan(nil, []byte{metaPrefix}, 0)
+	cells, err := t.client.ScanContext(ctx, nil, []byte{metaPrefix}, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -361,10 +381,10 @@ func (t *TSD) CompactRows(beforeBase int64) (int, error) {
 			wide = append(wide, c.Value...)
 		}
 		wideCell := hbase.Cell{Row: rowCells[0].Row, Qual: []byte{0xFF, 0xFF}, Value: wide}
-		if err := t.client.Put([]hbase.Cell{wideCell}); err != nil {
+		if err := t.client.PutContext(ctx, []hbase.Cell{wideCell}); err != nil {
 			return compacted, err
 		}
-		if err := t.client.Delete(rowCells); err != nil {
+		if err := t.client.DeleteContext(ctx, rowCells); err != nil {
 			return compacted, err
 		}
 		t.RowsCompacted.Inc()

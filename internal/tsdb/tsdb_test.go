@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -345,10 +346,10 @@ func TestTSDRPCInterface(t *testing.T) {
 		t.Fatalf("addrs = %v", addrs)
 	}
 	pts := []Point{EnergyPoint(1, 1, 50, 9.5)}
-	if _, err := net.Call(addrs[0], "put", &PutBatch{Points: pts}); err != nil {
+	if _, err := net.Call(context.Background(), addrs[0], "put", &PutBatch{Points: pts}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := net.Call(addrs[1], "query", &QueryRequest{Query: Query{
+	resp, err := net.Call(context.Background(), addrs[1], "query", &QueryRequest{Query: Query{
 		Metric: MetricEnergy, Tags: EnergyTags(1, 1), Start: 0, End: 100,
 	}})
 	if err != nil {
@@ -358,7 +359,7 @@ func TestTSDRPCInterface(t *testing.T) {
 	if len(series) != 1 || series[0].Samples[0].Value != 9.5 {
 		t.Fatalf("rpc query = %+v", series)
 	}
-	if _, err := net.Call(addrs[0], "bogus", nil); err == nil {
+	if _, err := net.Call(context.Background(), addrs[0], "bogus", nil); err == nil {
 		t.Fatal("unknown method must error")
 	}
 }

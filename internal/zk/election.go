@@ -1,6 +1,7 @@
 package zk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path"
@@ -97,6 +98,45 @@ func (e *Election) Leader() (string, error) {
 // re-check IsLeader.
 func (e *Election) WatchLeadership() (<-chan Event, error) {
 	return e.session.WatchChildren(e.root)
+}
+
+// AwaitLeadership blocks until this candidate leads or ctx is done —
+// the context-aware campaign loop: check, arm a watch, re-check,
+// wait, re-arm (watches are one-shot, like real ZooKeeper). The
+// leading-already fast path arms no watch, so repeated calls from a
+// sitting leader don't pile dead channels onto the server. A watch
+// armed before blocking stays registered if ctx is cancelled (or the
+// re-check wins) until the next membership change fires it — the
+// inherent cost of one-shot watches; it is one buffered channel per
+// abandoned wait, released at the next change under the root.
+func (e *Election) AwaitLeadership(ctx context.Context) error {
+	for {
+		lead, err := e.IsLeader()
+		if err != nil {
+			return err
+		}
+		if lead {
+			return nil
+		}
+		ch, err := e.WatchLeadership()
+		if err != nil {
+			return err
+		}
+		// Re-check after arming so a change between the check and the
+		// watch registration is never missed.
+		lead, err = e.IsLeader()
+		if err != nil {
+			return err
+		}
+		if lead {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 // Resign withdraws this candidacy.

@@ -1,6 +1,7 @@
 package zk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -300,5 +301,52 @@ func must(t *testing.T, err error) {
 	t.Helper()
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAwaitLeadership(t *testing.T) {
+	srv := NewServer()
+	s1, s2 := srv.NewSession(), srv.NewSession()
+	e1, err := JoinElection(s1, "/el-await", "one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := JoinElection(s2, "/el-await", "two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first candidate leads immediately.
+	if err := e1.AwaitLeadership(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The second blocks until the leader resigns.
+	won := make(chan error, 1)
+	go func() { won <- e2.AwaitLeadership(context.Background()) }()
+	select {
+	case err := <-won:
+		t.Fatalf("follower won early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := e1.Resign(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-won:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never promoted")
+	}
+	// A bounded wait that cannot win surfaces the deadline.
+	s3 := srv.NewSession()
+	e3, err := JoinElection(s3, "/el-await", "three")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := e3.AwaitLeadership(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}
 }

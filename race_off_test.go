@@ -1,0 +1,9 @@
+//go:build !race
+
+package repro
+
+// raceEnabled reports whether the race detector instruments this
+// build. Throughput-shape experiments skip under -race: the detector's
+// ~10× slowdown flattens the wall-clock token-bucket service rates the
+// assertions depend on.
+const raceEnabled = false
