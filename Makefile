@@ -1,6 +1,13 @@
 GO ?= go
+# BENCHTIME tunes the bench-json run: the default gives stable numbers;
+# CI smoke uses BENCHTIME=1x.
+BENCHTIME ?= 1s
+# The evaluation benchmarks recorded in BENCH_evaluation.json:
+# E5 (FDR corrections), E6 (online eval throughput), E9 (end-to-end),
+# plus the in-place hot-path benches whose allocs/op are pinned.
+EVAL_BENCH = BenchmarkFDRCorrections|BenchmarkOnlineEvalThroughput|BenchmarkEndToEndPipeline
 
-.PHONY: build lint vet fmt test bench check
+.PHONY: build lint vet fmt test bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -23,5 +30,16 @@ test:
 # fidelity expected — catches bit-rot, not regressions.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# bench-json runs the evaluation benchmarks (E5/E6/E9 plus the in-place
+# core/fdr hot paths) with -benchmem and records name → samples/s,
+# ns/op, allocs/op in BENCH_evaluation.json — the committed perf
+# trajectory. See README.md "Perf methodology".
+bench-json:
+	@rm -f bench-eval.out
+	$(GO) test -run '^$$' -bench '$(EVAL_BENCH)' -benchtime $(BENCHTIME) -benchmem . > bench-eval.out
+	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateBatch|BenchmarkApplyInto' -benchtime $(BENCHTIME) -benchmem ./internal/core/ ./internal/fdr/ >> bench-eval.out
+	$(GO) run ./cmd/benchjson -out BENCH_evaluation.json < bench-eval.out
+	@rm -f bench-eval.out
 
 check: lint build test bench

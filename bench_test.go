@@ -318,6 +318,7 @@ func BenchmarkFDRCorrections(b *testing.B) {
 	for _, proc := range []fdr.Procedure{fdr.Uncorrected, fdr.Bonferroni, fdr.Holm, fdr.BH, fdr.BY} {
 		b.Run(proc.String(), func(b *testing.B) {
 			var met fdr.Metrics
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := fdr.Apply(proc, families[i%len(families)], 0.05)
@@ -355,6 +356,7 @@ func BenchmarkOnlineEvalThroughput(b *testing.B) {
 	for i := range ts {
 		ts[i] = int64(1000 + i)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
@@ -462,6 +464,7 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 		b.Fatal(err)
 	}
 	samplesPerTick := float64(8 * 50)
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench -benchmem` output on
+// stdin into the repo's BENCH_*.json perf-trajectory format: a JSON
+// object mapping each benchmark name to its ns/op, B/op, allocs/op and
+// every custom metric it reported (samples/s, GFLOPS, empirical-FDR,
+// ...), plus a small meta block identifying the host. CI and `make
+// bench-json` pipe the evaluation benchmarks through it so allocation
+// and throughput regressions are visible as a diff on a committed file.
+//
+//	go test -run '^$' -bench 'OnlineEval' -benchmem . | benchjson -out BENCH_evaluation.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's parsed result line.
+type Entry struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the whole BENCH_*.json document.
+type Output struct {
+	Meta       map[string]string `json:"meta,omitempty"`
+	Benchmarks map[string]Entry  `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Output{
+		Meta:       map[string]string{},
+		Benchmarks: map[string]Entry{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				doc.Meta[key] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Iterations: iters, Metrics: map[string]float64{}}
+		// The remainder is value/unit pairs: `1234 ns/op  5 B/op  ...`.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			default:
+				e.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(e.Metrics) == 0 {
+			e.Metrics = nil
+		}
+		doc.Benchmarks[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read stdin:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	data, err := marshalSorted(doc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(doc.Benchmarks))
+	for n := range doc.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s (%s)\n", len(names), *out, strings.Join(names, ", "))
+}
+
+// trimProcSuffix strips the trailing -GOMAXPROCS from a benchmark name
+// so the JSON key is stable across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// marshalSorted renders the document with stable key order (Go maps
+// marshal sorted already) and a trailing newline for clean diffs.
+func marshalSorted(doc Output) ([]byte, error) {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

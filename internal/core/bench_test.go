@@ -29,9 +29,48 @@ func BenchmarkEvaluateBatch(b *testing.B) {
 		xs := gaussianWindow(rng, batch, sensors, mean, sigma)
 		ts := make([]int64, batch)
 		b.Run(fmt.Sprintf("sensors=%d", sensors), func(b *testing.B) {
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := ev.EvaluateBatch(xs, ts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch*sensors)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
+// BenchmarkEvaluateBatchInto is the zero-allocation arena path: the
+// same workload as BenchmarkEvaluateBatch without the detach copies.
+func BenchmarkEvaluateBatchInto(b *testing.B) {
+	eng := dataflow.NewEngine(0)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(1))
+	for _, sensors := range []int{100, 1000} {
+		mean := constVec(sensors, 10)
+		sigma := constVec(sensors, 2)
+		tr := NewTrainer(eng, TrainerConfig{})
+		m, err := tr.TrainUnit(0, gaussianWindow(rng, 512, sensors, mean, sigma))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev, err := NewEvaluator(m, EvaluatorConfig{Procedure: fdr.BH})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const batch = 64
+		xs := gaussianWindow(rng, batch, sensors, mean, sigma)
+		ts := make([]int64, batch)
+		b.Run(fmt.Sprintf("sensors=%d", sensors), func(b *testing.B) {
+			var arena Arena
+			if _, err := ev.EvaluateBatchInto(xs, ts, &arena); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.EvaluateBatchInto(xs, ts, &arena); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -48,6 +87,7 @@ func BenchmarkTrainUnit(b *testing.B) {
 		window := gaussianWindow(rng, 512, sensors, constVec(sensors, 0), constVec(sensors, 1))
 		tr := NewTrainer(eng, TrainerConfig{})
 		b.Run(fmt.Sprintf("sensors=%d", sensors), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := tr.TrainUnit(0, window); err != nil {
 					b.Fatal(err)
@@ -68,6 +108,7 @@ func BenchmarkStreamingObserve(b *testing.B) {
 	for j := range row {
 		row[j] = rng.NormFloat64()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := st.Observe(row); err != nil {

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
+	"sync"
 
 	"repro/internal/fdr"
 	"repro/internal/linalg"
@@ -56,14 +58,52 @@ type Report struct {
 // Anomalous reports whether any sensor was flagged.
 func (r *Report) Anomalous() bool { return len(r.Flags) > 0 }
 
-// Evaluator scores observations against a trained Model. It is safe
-// for concurrent use; evaluation allocates per call and never mutates
-// the model.
+// Clone returns a deep copy whose slices are independently owned, the
+// copy-on-retain escape hatch for reports produced by EvaluateBatchInto.
+func (r *Report) Clone() *Report {
+	out := *r
+	out.PValues = slices.Clone(r.PValues)
+	out.Rejected = slices.Clone(r.Rejected)
+	out.Flags = slices.Clone(r.Flags)
+	return &out
+}
+
+// Arena is the caller-owned scratch for EvaluateBatchInto: the centered
+// batch, its projection, the p-value/rejection backings every Report
+// slices into, and the fdr working set. The zero value is ready to use;
+// every buffer grows on demand and is retained between calls, so a
+// warmed arena makes evaluation allocation-free (apart from the worker
+// goroutines the parallel multiply spawns on large batches).
+//
+// An Arena must not be used concurrently, and the reports produced from
+// it are only valid until its next use — see EvaluateBatchInto.
+type Arena struct {
+	centered linalg.Matrix
+	proj     linalg.Matrix
+	mul      linalg.MulScratch
+	res      fdr.Result
+	scr      fdr.Scratch
+
+	pvals    []float64 // batch×sensors backing for Report.PValues
+	adjusted []float64 // batch×sensors backing for SensorFlag.Adjusted
+	rejected []bool    // batch×sensors backing for Report.Rejected
+	reports  []Report
+	ptrs     []*Report
+	flags    []SensorFlag
+
+	obs1 [1][]float64 // single-observation batch for Evaluate
+	ts1  [1]int64
+}
+
+// Evaluator scores observations against a trained Model. It is safe for
+// concurrent use — each concurrent evaluation borrows a private Arena
+// from an internal sync.Pool — and never mutates the model.
 type Evaluator struct {
 	model *Model
 	cfg   EvaluatorConfig
 	// invSqrtEig caches 1/√λ for the T² projection scaling.
 	invSqrtEig []float64
+	arenas     sync.Pool // of *Arena
 }
 
 // NewEvaluator validates the model and returns an evaluator.
@@ -89,13 +129,31 @@ func NewEvaluator(m *Model, cfg EvaluatorConfig) (*Evaluator, error) {
 // Model returns the underlying model.
 func (e *Evaluator) Model() *Model { return e.model }
 
-// Evaluate scores a single observation taken at ts.
+// arena borrows a warmed Arena from the evaluator's pool.
+func (e *Evaluator) arena() *Arena {
+	a, _ := e.arenas.Get().(*Arena)
+	if a == nil {
+		a = new(Arena)
+	}
+	return a
+}
+
+// Evaluate scores a single observation taken at ts. It routes through
+// the pooled batch path — no per-call batch literals — and the returned
+// Report is caller-owned.
 func (e *Evaluator) Evaluate(x []float64, ts int64) (*Report, error) {
-	reports, err := e.EvaluateBatch([][]float64{x}, []int64{ts})
+	a := e.arena()
+	a.obs1[0] = x
+	a.ts1[0] = ts
+	reports, err := e.EvaluateBatchInto(a.obs1[:], a.ts1[:], a)
+	a.obs1[0] = nil // don't pin the caller's slice inside the pool
 	if err != nil {
+		e.arenas.Put(a)
 		return nil, err
 	}
-	return reports[0], nil
+	rep := reports[0].Clone()
+	e.arenas.Put(a)
+	return rep, nil
 }
 
 // EvaluateBatch scores a batch of observations in one shot. This is the
@@ -103,7 +161,34 @@ func (e *Evaluator) Evaluate(x []float64, ts int64) (*Report, error) {
 // matrix multiplication per iteration" — the whole batch is centered
 // and projected onto the retained eigen-subspace with one B×d · d×K
 // multiplication; everything else is element-wise.
+//
+// The heavy lifting runs on a pooled Arena, so the only allocations are
+// the handful of caller-owned backing arrays the reports are detached
+// into; the returned reports may be retained indefinitely.
 func (e *Evaluator) EvaluateBatch(xs [][]float64, ts []int64) ([]*Report, error) {
+	a := e.arena()
+	reports, err := e.EvaluateBatchInto(xs, ts, a)
+	if err != nil {
+		e.arenas.Put(a)
+		return nil, err
+	}
+	out := detachReports(reports)
+	e.arenas.Put(a)
+	return out, nil
+}
+
+// EvaluateBatchInto is the zero-allocation batch path: it scores xs
+// against the model using only the buffers held by a, growing them on
+// first use. With a warmed arena the steady state performs no heap
+// allocations (the parallel multiply's worker goroutines on large
+// batches excepted).
+//
+// Copy-on-retain contract: the returned reports and every slice they
+// reference (PValues, Rejected, Flags) are backed by the arena and are
+// valid only until the next call that uses a. Callers who keep a report
+// past that point must copy it first (Report.Clone). A nil arena is
+// equivalent to a fresh one.
+func (e *Evaluator) EvaluateBatchInto(xs [][]float64, ts []int64, a *Arena) ([]*Report, error) {
 	m := e.model
 	b := len(xs)
 	if b == 0 {
@@ -112,71 +197,163 @@ func (e *Evaluator) EvaluateBatch(xs [][]float64, ts []int64) ([]*Report, error)
 	if len(ts) != b {
 		return nil, fmt.Errorf("core: %d observations but %d timestamps", b, len(ts))
 	}
-	centered := linalg.NewMatrix(b, m.Sensors)
-	for i, x := range xs {
-		if len(x) != m.Sensors {
-			return nil, fmt.Errorf("core: observation %d has %d sensors, model has %d", i, len(x), m.Sensors)
-		}
-		row := centered.Row(i)
-		for j, v := range x {
-			row[j] = v - m.Mean[j]
-		}
+	if a == nil {
+		a = new(Arena)
 	}
-	// The single matrix multiplication per iteration.
-	proj, err := centered.Mul(m.Components) // b×K
-	if err != nil {
+	d := m.Sensors
+	a.centered.Reset(b, d)
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("core: observation %d has %d sensors, model has %d", i, len(x), d)
+		}
+		linalg.SubVecInto(a.centered.Row(i), x, m.Mean)
+	}
+	// The single matrix multiplication per iteration: batch×d · d×K.
+	a.proj.Reset(b, m.K)
+	if err := linalg.MulInto(&a.proj, &a.centered, m.Components, &a.mul); err != nil {
 		return nil, err
 	}
-	reports := make([]*Report, b)
+	a.pvals = sizeFloats(a.pvals, b*d)
+	a.adjusted = sizeFloats(a.adjusted, b*d)
+	a.rejected = sizeBools(a.rejected, b*d)
+	a.reports = sizeReports(a.reports, b)
+	if cap(a.ptrs) < b {
+		a.ptrs = make([]*Report, b)
+	}
+	a.ptrs = a.ptrs[:b]
+
+	totalFlags := 0
 	for i := 0; i < b; i++ {
-		reports[i], err = e.score(xs[i], centered.Row(i), proj.Row(i), ts[i])
-		if err != nil {
+		crow := a.centered.Row(i)
+		// Capacity-clipped so appending to one report's PValues can
+		// never spill into the next row's backing.
+		prow := a.pvals[i*d : (i+1)*d : (i+1)*d]
+		// Two-sided p-values in one vectorized pass: |z| → SF → ×2.
+		for j, c := range crow {
+			prow[j] = math.Abs(c / m.Sigma[j])
+		}
+		stats.NormalSFInto(prow, prow)
+		for j := range prow {
+			prow[j] *= 2
+		}
+		// The correction writes rejections and adjusted p-values
+		// straight into this row's slice of the arena backing.
+		a.res.Rejected = a.rejected[i*d : i*d : (i+1)*d]
+		a.res.Adjusted = a.adjusted[i*d : i*d : (i+1)*d]
+		if err := fdr.ApplyInto(e.cfg.Procedure, prow, e.cfg.Level, &a.res, &a.scr); err != nil {
 			return nil, err
 		}
-	}
-	return reports, nil
-}
-
-// score converts one centered observation and its projection into a
-// Report.
-func (e *Evaluator) score(x, centered, proj []float64, ts int64) (*Report, error) {
-	m := e.model
-	pvals := make([]float64, m.Sensors)
-	zs := make([]float64, m.Sensors)
-	for j, c := range centered {
-		z := c / m.Sigma[j]
-		zs[j] = z
-		pvals[j] = 2 * stats.NormalSF(math.Abs(z))
-	}
-	res, err := fdr.Apply(e.cfg.Procedure, pvals, e.cfg.Level)
-	if err != nil {
-		return nil, err
-	}
-	t2 := 0.0
-	for j, y := range proj {
-		s := y * e.invSqrtEig[j]
-		t2 += s * s
-	}
-	rep := &Report{
-		Unit:      m.Unit,
-		Timestamp: ts,
-		PValues:   pvals,
-		Rejected:  res.Rejected,
-		T2:        t2,
-		T2P:       stats.ChiSquaredSF(t2, float64(m.K)),
-	}
-	for j, rej := range res.Rejected {
-		if rej {
-			rep.Flags = append(rep.Flags, SensorFlag{
-				Sensor:   j,
-				Value:    x[j],
-				Z:        zs[j],
-				PValue:   pvals[j],
-				Adjusted: res.Adjusted[j],
-			})
+		totalFlags += a.res.NumReject
+		t2 := 0.0
+		for j, y := range a.proj.Row(i) {
+			s := y * e.invSqrtEig[j]
+			t2 += s * s
+		}
+		a.reports[i] = Report{
+			Unit:      m.Unit,
+			Timestamp: ts[i],
+			PValues:   prow,
+			Rejected:  a.res.Rejected,
+			T2:        t2,
+			T2P:       stats.ChiSquaredSF(t2, float64(m.K)),
 		}
 	}
-	return rep, nil
+	// Flags are laid out in one flat buffer sized up front, so growing
+	// it can never move a sub-slice out from under an earlier report.
+	if cap(a.flags) < totalFlags {
+		a.flags = make([]SensorFlag, 0, totalFlags)
+	}
+	a.flags = a.flags[:0]
+	for i := 0; i < b; i++ {
+		rep := &a.reports[i]
+		crow := a.centered.Row(i)
+		start := len(a.flags)
+		for j, rej := range rep.Rejected {
+			if rej {
+				a.flags = append(a.flags, SensorFlag{
+					Sensor:   j,
+					Value:    xs[i][j],
+					Z:        crow[j] / m.Sigma[j],
+					PValue:   rep.PValues[j],
+					Adjusted: a.adjusted[i*d+j],
+				})
+			}
+		}
+		rep.Flags = nil
+		if len(a.flags) > start {
+			rep.Flags = a.flags[start:len(a.flags):len(a.flags)]
+		}
+		a.ptrs[i] = rep
+	}
+	return a.ptrs, nil
+}
+
+// detachReports copies arena-backed reports into a handful of fresh,
+// caller-owned backing arrays (one per field, not one per report).
+func detachReports(reports []*Report) []*Report {
+	b := len(reports)
+	if b == 0 {
+		return nil
+	}
+	n := 0
+	totalFlags := 0
+	for _, r := range reports {
+		n += len(r.PValues)
+		totalFlags += len(r.Flags)
+	}
+	pvals := make([]float64, n)
+	rejected := make([]bool, n)
+	var flags []SensorFlag
+	if totalFlags > 0 {
+		flags = make([]SensorFlag, 0, totalFlags)
+	}
+	out := make([]Report, b)
+	ptrs := make([]*Report, b)
+	off := 0
+	for i, r := range reports {
+		d := len(r.PValues)
+		copy(pvals[off:off+d], r.PValues)
+		copy(rejected[off:off+d], r.Rejected)
+		out[i] = *r
+		out[i].PValues = pvals[off : off+d : off+d]
+		out[i].Rejected = rejected[off : off+d : off+d]
+		out[i].Flags = nil
+		if len(r.Flags) > 0 {
+			start := len(flags)
+			flags = append(flags, r.Flags...)
+			out[i].Flags = flags[start:len(flags):len(flags)]
+		}
+		ptrs[i] = &out[i]
+		off += d
+	}
+	return ptrs
+}
+
+// sizeFloats resizes f to n reusing capacity; contents are undefined.
+// (Unlike fdr's grow helpers, nothing here zeroes: every element is
+// overwritten before being read.)
+func sizeFloats(f []float64, n int) []float64 {
+	if cap(f) < n {
+		return make([]float64, n)
+	}
+	return f[:n]
+}
+
+// sizeBools resizes s to n reusing capacity; contents are undefined
+// (every element is overwritten by fdr.ApplyInto before being read).
+func sizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// sizeReports resizes r to n reusing capacity; contents are undefined.
+func sizeReports(r []Report, n int) []Report {
+	if cap(r) < n {
+		return make([]Report, n)
+	}
+	return r[:n]
 }
 
 // sqrt is a trivially inlinable alias used by the trainer.

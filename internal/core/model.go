@@ -17,6 +17,16 @@
 //     anything is flagged.
 //   - Pipeline glues a sample source (the TSDB), the evaluator and an
 //     anomaly sink (written back to the TSDB for the visualization).
+//
+// # Scratch reuse and report retention
+//
+// The online path is allocation-conscious. Evaluator.EvaluateBatchInto
+// evaluates into a caller-owned Arena and returns reports whose slices
+// are arena-backed: they are valid only until the arena's next use, and
+// retaining one past that point requires Report.Clone (copy-on-retain).
+// Evaluator.EvaluateBatch and Evaluator.Evaluate wrap that path with a
+// pooled arena and detach their results into a handful of fresh backing
+// arrays, so their reports are caller-owned and may be kept forever.
 package core
 
 import (

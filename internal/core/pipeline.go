@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/dataflow"
 	"repro/internal/telemetry"
 )
 
@@ -49,6 +50,13 @@ type Pipeline struct {
 	cfg     EvaluatorConfig
 	source  SampleSource
 	sink    AnomalySink
+
+	// Engine, when non-nil, fans ProcessFleet out across units on the
+	// dataflow executor pool instead of evaluating serially, so fleet
+	// throughput scales with cores. Set it once, before the first
+	// ProcessFleet call. The source and sink must tolerate concurrent
+	// use (the TSDB adapters do).
+	Engine *dataflow.Engine
 
 	mu         sync.Mutex
 	evaluators map[int]*Evaluator
@@ -129,7 +137,9 @@ func (p *Pipeline) ProcessWindow(unit int, from int64, count int) ([]*Report, er
 }
 
 // ProcessFleet runs ProcessWindow for every unit with a stored model
-// and returns the per-unit reports keyed by unit id.
+// and returns the per-unit reports keyed by unit id. With an Engine
+// configured, the units are evaluated concurrently across the executor
+// pool (one partition per unit); otherwise they run serially.
 func (p *Pipeline) ProcessFleet(from int64, count int) (map[int][]*Report, error) {
 	units, err := p.catalog.Units()
 	if err != nil {
@@ -137,6 +147,28 @@ func (p *Pipeline) ProcessFleet(from int64, count int) (map[int][]*Report, error
 	}
 	sort.Ints(units)
 	out := make(map[int][]*Report, len(units))
+	if p.Engine != nil && len(units) > 1 {
+		type unitReports struct {
+			unit    int
+			reports []*Report
+			err     error
+		}
+		ds := dataflow.Parallelize(p.Engine, units, len(units))
+		results, err := dataflow.Collect(dataflow.Map(ds, func(u int) unitReports {
+			reports, err := p.ProcessWindow(u, from, count)
+			return unitReports{unit: u, reports: reports, err: err}
+		}))
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			if r.err != nil {
+				return nil, r.err
+			}
+			out[r.unit] = r.reports
+		}
+		return out, nil
+	}
 	for _, u := range units {
 		reports, err := p.ProcessWindow(u, from, count)
 		if err != nil {

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/fdr"
+	"repro/internal/simdata"
+)
+
+// TestProcessFleetParallelMatchesSerial proves the engine-backed fan-out
+// produces exactly the reports and sink writes the serial path does.
+func TestProcessFleetParallelMatchesSerial(t *testing.T) {
+	eng := newEngine(t)
+	fleet := simdata.NewFleet(simdata.Config{
+		Units: 6, SensorsPerUnit: 25, Seed: 303,
+		FaultFraction: 0.5, FaultOnset: 300, ShiftSigma: 6,
+	})
+	src := &fleetSource{fleet: fleet, rows: 250}
+	cat := &ModelCatalog{Store: NewMemStore()}
+	tr := NewTrainer(eng, TrainerConfig{})
+	units := []int{0, 1, 2, 3, 4, 5}
+	if _, err := tr.TrainFleet(units, src, cat, true); err != nil {
+		t.Fatal(err)
+	}
+
+	type capture struct {
+		mu   sync.Mutex
+		seen []Anomaly
+	}
+	run := func(parallel bool) (map[int][]*Report, []Anomaly) {
+		t.Helper()
+		var c capture
+		sink := AnomalySinkFunc(func(a Anomaly) error {
+			c.mu.Lock()
+			c.seen = append(c.seen, a)
+			c.mu.Unlock()
+			return nil
+		})
+		p := NewPipeline(cat, EvaluatorConfig{Procedure: fdr.BH}, src, sink)
+		if parallel {
+			p.Engine = eng
+		}
+		reports, err := p.ProcessFleet(500, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(c.seen, func(i, j int) bool {
+			a, b := c.seen[i], c.seen[j]
+			if a.Unit != b.Unit {
+				return a.Unit < b.Unit
+			}
+			if a.Timestamp != b.Timestamp {
+				return a.Timestamp < b.Timestamp
+			}
+			return a.Sensor < b.Sensor
+		})
+		return reports, c.seen
+	}
+
+	serialReports, serialAnoms := run(false)
+	parallelReports, parallelAnoms := run(true)
+
+	if len(parallelReports) != len(serialReports) {
+		t.Fatalf("parallel returned %d units, serial %d", len(parallelReports), len(serialReports))
+	}
+	for u, want := range serialReports {
+		got, ok := parallelReports[u]
+		if !ok {
+			t.Fatalf("parallel run missing unit %d", u)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("unit %d: %d reports, want %d", u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Timestamp != want[i].Timestamp || got[i].T2 != want[i].T2 || len(got[i].Flags) != len(want[i].Flags) {
+				t.Fatalf("unit %d report %d differs between serial and parallel", u, i)
+			}
+			for j := range want[i].PValues {
+				if got[i].PValues[j] != want[i].PValues[j] || got[i].Rejected[j] != want[i].Rejected[j] {
+					t.Fatalf("unit %d report %d sensor %d differs between serial and parallel", u, i, j)
+				}
+			}
+		}
+	}
+	if len(parallelAnoms) != len(serialAnoms) {
+		t.Fatalf("parallel wrote %d anomalies, serial %d", len(parallelAnoms), len(serialAnoms))
+	}
+	for i := range serialAnoms {
+		if parallelAnoms[i] != serialAnoms[i] {
+			t.Fatalf("anomaly %d differs: parallel %+v, serial %+v", i, parallelAnoms[i], serialAnoms[i])
+		}
+	}
+	if len(serialAnoms) == 0 {
+		t.Fatal("no anomalies written; the fan-out sink path was not exercised")
+	}
+}
+
+// TestProcessFleetParallelPropagatesErrors checks that a unit whose
+// window read fails surfaces its error through the fan-out.
+func TestProcessFleetParallelPropagatesErrors(t *testing.T) {
+	eng := newEngine(t)
+	fleet := simdata.NewFleet(simdata.Config{Units: 3, SensorsPerUnit: 10, Seed: 11})
+	src := &fleetSource{fleet: fleet, rows: 100}
+	cat := &ModelCatalog{Store: NewMemStore()}
+	tr := NewTrainer(eng, TrainerConfig{})
+	if _, err := tr.TrainFleet([]int{0, 1, 2}, src, cat, false); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(cat, EvaluatorConfig{}, src, AnomalySinkFunc(func(Anomaly) error { return nil }))
+	p.Engine = eng
+	// Negative count makes the source hand back an empty window, which
+	// EvaluateBatch treats as no reports — not an error — so instead
+	// break one unit's model to force a failure.
+	bad := &Model{Unit: 1, Sensors: 10}
+	data, _ := bad.Encode()
+	if err := cat.Store.Put("models/unit-1", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ProcessFleet(0, 5); err == nil {
+		t.Fatal("corrupt model must fail the fleet evaluation")
+	}
+}

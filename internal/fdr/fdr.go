@@ -8,13 +8,27 @@
 // e.g. one per sensor) and a target level, and returns the set of
 // rejected hypotheses. Adjusted p-values are also exposed so callers can
 // rank anomalies for the visualization layer.
+//
+// # Scratch reuse
+//
+// The online evaluator corrects one family per sensor row per tick, so
+// this package is on the paper's §IV-A hot path. ApplyInto is the
+// allocation-free entry point: the caller owns a Result and a Scratch,
+// both of whose buffers are recycled call over call, and steady-state
+// application performs zero heap allocations. Apply remains the
+// convenient wrapper that allocates a fresh Result per call (its
+// internal scratch is pooled). A Result filled by ApplyInto is only
+// valid until the next ApplyInto call with the same Result; callers who
+// retain it across calls must copy the slices they keep.
 package fdr
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // ErrBadLevel reports a target level outside (0, 1).
@@ -86,86 +100,167 @@ type Result struct {
 	NumReject int
 }
 
+// Scratch holds the reusable working set for ApplyInto: the cleaned
+// (p-value, index) pairs the sorted procedures order, and the sorted
+// adjusted-value buffer. The zero value is ready to use; buffers grow on
+// demand and are retained between calls. A Scratch must not be used
+// concurrently.
+type Scratch struct {
+	kvs []kv
+	adj []float64
+}
+
+// kv pairs a cleaned p-value with its original hypothesis index, so the
+// argsort runs on a concrete type with no index-closure allocations.
+type kv struct {
+	p   float64
+	idx int
+}
+
+// scratchPool serves Apply and ApplyInto callers that pass nil scratch.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
 // Apply runs the procedure on pvals at the given level. The input slice
 // is not modified. P-values equal to NaN are treated as 1 (never
-// rejected).
+// rejected). The Result is freshly allocated and owned by the caller;
+// hot paths that cannot afford that should use ApplyInto.
 func Apply(proc Procedure, pvals []float64, level float64) (*Result, error) {
+	res := &Result{}
+	if err := ApplyInto(proc, pvals, level, res, nil); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ApplyInto runs the procedure on pvals at the given level, writing the
+// outcome into res and doing all intermediate work in scr. Neither
+// allocates once their buffers have grown to the family size, so
+// steady-state application is allocation-free. A nil scr borrows one
+// from an internal pool. res is fully overwritten: its Rejected and
+// Adjusted slices are resized (reusing capacity) to len(pvals). The
+// input slice is not modified; NaN p-values are treated as 1.
+func ApplyInto(proc Procedure, pvals []float64, level float64, res *Result, scr *Scratch) error {
 	if level <= 0 || level >= 1 {
-		return nil, fmt.Errorf("%w: %v", ErrBadLevel, level)
+		return fmt.Errorf("%w: %v", ErrBadLevel, level)
 	}
 	m := len(pvals)
-	res := &Result{
-		Procedure: proc,
-		Level:     level,
-		Rejected:  make([]bool, m),
-		Adjusted:  make([]float64, m),
-	}
+	res.Procedure = proc
+	res.Level = level
+	res.NumReject = 0
+	res.Rejected = growBools(res.Rejected, m)
+	res.Adjusted = growFloats(res.Adjusted, m)
 	if m == 0 {
-		return res, nil
-	}
-	clean := make([]float64, m)
-	for i, p := range pvals {
-		switch {
-		case math.IsNaN(p):
-			clean[i] = 1
-		case p < 0:
-			clean[i] = 0
-		case p > 1:
-			clean[i] = 1
-		default:
-			clean[i] = p
-		}
+		return nil
 	}
 	switch proc {
 	case Uncorrected:
-		for i, p := range clean {
+		for i, p := range pvals {
+			p = cleanP(p)
 			res.Adjusted[i] = p
 			res.Rejected[i] = p <= level
 		}
 	case Bonferroni:
 		mf := float64(m)
-		for i, p := range clean {
-			res.Adjusted[i] = math.Min(1, p*mf)
-			res.Rejected[i] = res.Adjusted[i] <= level
+		for i, p := range pvals {
+			adj := math.Min(1, cleanP(p)*mf)
+			res.Adjusted[i] = adj
+			res.Rejected[i] = adj <= level
 		}
 	case Sidak:
 		mf := float64(m)
-		for i, p := range clean {
-			res.Adjusted[i] = 1 - math.Pow(1-p, mf)
-			res.Rejected[i] = res.Adjusted[i] <= level
+		for i, p := range pvals {
+			adj := 1 - math.Pow(1-cleanP(p), mf)
+			res.Adjusted[i] = adj
+			res.Rejected[i] = adj <= level
 		}
-	case Holm:
-		applyHolm(clean, level, res)
-	case BH:
-		applyStepUp(clean, level, res, 1)
-	case BY:
-		// BY inflates the threshold by the harmonic sum c(m) = Σ 1/i.
-		cm := 0.0
-		for i := 1; i <= m; i++ {
-			cm += 1 / float64(i)
+	case Holm, BH, BY:
+		if scr == nil {
+			s := scratchPool.Get().(*Scratch)
+			defer scratchPool.Put(s)
+			scr = s
 		}
-		applyStepUp(clean, level, res, cm)
+		scr.sortClean(pvals)
+		switch proc {
+		case Holm:
+			applyHolm(scr, level, res)
+		case BH:
+			applyStepUp(scr, level, res, 1)
+		default:
+			// BY inflates the threshold by the harmonic sum c(m) = Σ 1/i.
+			cm := 0.0
+			for i := 1; i <= m; i++ {
+				cm += 1 / float64(i)
+			}
+			applyStepUp(scr, level, res, cm)
+		}
 	default:
-		return nil, fmt.Errorf("fdr: unknown procedure %v", proc)
+		return fmt.Errorf("fdr: unknown procedure %v", proc)
 	}
 	for _, r := range res.Rejected {
 		if r {
 			res.NumReject++
 		}
 	}
-	return res, nil
+	return nil
+}
+
+// cleanP clamps a p-value into [0,1], mapping NaN to 1 (never rejected).
+func cleanP(p float64) float64 {
+	switch {
+	case math.IsNaN(p):
+		return 1
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	}
+	return p
+}
+
+// sortClean fills s.kvs with the cleaned p-values paired with their
+// indices, stably sorted ascending, and sizes s.adj to match.
+func (s *Scratch) sortClean(pvals []float64) {
+	m := len(pvals)
+	if cap(s.kvs) < m {
+		s.kvs = make([]kv, m)
+	}
+	s.kvs = s.kvs[:m]
+	for i, p := range pvals {
+		s.kvs[i] = kv{p: cleanP(p), idx: i}
+	}
+	slices.SortStableFunc(s.kvs, func(a, b kv) int { return cmp.Compare(a.p, b.p) })
+	s.adj = growFloats(s.adj, m)
+}
+
+// growBools resizes b to n reusing capacity, with every element false.
+func growBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// growFloats resizes f to n reusing capacity; contents are undefined.
+func growFloats(f []float64, n int) []float64 {
+	if cap(f) < n {
+		return make([]float64, n)
+	}
+	return f[:n]
 }
 
 // applyHolm implements the Holm step-down procedure: sort ascending,
 // reject while p(i) ≤ α/(m-i) (0-based), stop at the first failure.
 // Adjusted p-values are the standard monotone max-cummax form.
-func applyHolm(pvals []float64, level float64, res *Result) {
-	m := len(pvals)
-	order := sortOrder(pvals)
-	adjSorted := make([]float64, m)
+func applyHolm(scr *Scratch, level float64, res *Result) {
+	m := len(scr.kvs)
+	adjSorted := scr.adj
 	running := 0.0
-	for rank, idx := range order {
-		adj := float64(m-rank) * pvals[idx]
+	for rank, e := range scr.kvs {
+		adj := float64(m-rank) * e.p
 		if adj > 1 {
 			adj = 1
 		}
@@ -176,10 +271,10 @@ func applyHolm(pvals []float64, level float64, res *Result) {
 		adjSorted[rank] = adj
 	}
 	stopped := false
-	for rank, idx := range order {
-		res.Adjusted[idx] = adjSorted[rank]
+	for rank, e := range scr.kvs {
+		res.Adjusted[e.idx] = adjSorted[rank]
 		if !stopped && adjSorted[rank] <= level {
-			res.Rejected[idx] = true
+			res.Rejected[e.idx] = true
 		} else {
 			stopped = true
 		}
@@ -189,14 +284,12 @@ func applyHolm(pvals []float64, level float64, res *Result) {
 // applyStepUp implements the BH/BY step-up rule: find the largest k with
 // p(k) ≤ k·α/(m·c), reject hypotheses 1..k. Adjusted p-values are the
 // standard min-cummin from the top.
-func applyStepUp(pvals []float64, level float64, res *Result, c float64) {
-	m := len(pvals)
-	order := sortOrder(pvals)
-	adjSorted := make([]float64, m)
+func applyStepUp(scr *Scratch, level float64, res *Result, c float64) {
+	m := len(scr.kvs)
+	adjSorted := scr.adj
 	running := 1.0
 	for rank := m - 1; rank >= 0; rank-- {
-		idx := order[rank]
-		adj := pvals[idx] * float64(m) * c / float64(rank+1)
+		adj := scr.kvs[rank].p * float64(m) * c / float64(rank+1)
 		if adj > 1 {
 			adj = 1
 		}
@@ -210,28 +303,17 @@ func applyStepUp(pvals []float64, level float64, res *Result, c float64) {
 	// Find the largest k with p(k) ≤ (k/m)·(α/c).
 	cut := -1
 	for rank := m - 1; rank >= 0; rank-- {
-		idx := order[rank]
-		if pvals[idx] <= float64(rank+1)/float64(m)*level/c {
+		if scr.kvs[rank].p <= float64(rank+1)/float64(m)*level/c {
 			cut = rank
 			break
 		}
 	}
-	for rank, idx := range order {
-		res.Adjusted[idx] = adjSorted[rank]
+	for rank, e := range scr.kvs {
+		res.Adjusted[e.idx] = adjSorted[rank]
 		if rank <= cut {
-			res.Rejected[idx] = true
+			res.Rejected[e.idx] = true
 		}
 	}
-}
-
-// sortOrder returns indices that sort pvals ascending (stable).
-func sortOrder(pvals []float64) []int {
-	order := make([]int, len(pvals))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool { return pvals[order[a]] < pvals[order[b]] })
-	return order
 }
 
 // Confusion tallies one trial's rejections against ground truth.
@@ -243,8 +325,14 @@ type Confusion struct {
 }
 
 // Score compares a rejection vector with the ground-truth fault vector.
+// When the lengths differ only the overlapping prefix is scored, so a
+// short truth vector can never panic the caller; positions without a
+// counterpart carry no information and are dropped from the tally.
 func Score(rejected, truth []bool) Confusion {
 	var c Confusion
+	if len(truth) < len(rejected) {
+		rejected = rejected[:len(truth)]
+	}
 	for i := range rejected {
 		switch {
 		case rejected[i] && truth[i]:

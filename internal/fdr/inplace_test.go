@@ -1,0 +1,121 @@
+package fdr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randFamily draws a p-value family with a mix of null draws, strong
+// signals and the pathological values Apply is documented to clean.
+func randFamily(rng *rand.Rand, m int) []float64 {
+	pv := make([]float64, m)
+	for i := range pv {
+		switch rng.Intn(10) {
+		case 0:
+			pv[i] = math.NaN()
+		case 1:
+			pv[i] = -0.5
+		case 2:
+			pv[i] = 1.5
+		case 3:
+			pv[i] = rng.Float64() * 1e-6 // strong signal
+		default:
+			pv[i] = rng.Float64()
+		}
+	}
+	return pv
+}
+
+// TestApplyIntoMatchesApply proves the in-place path is bit-identical
+// to the allocating API for every procedure across random family sizes,
+// while reusing one Result and one Scratch the whole way — so any stale
+// state leaking between calls would be caught.
+func TestApplyIntoMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var res Result
+	var scr Scratch
+	for _, m := range []int{1, 2, 3, 10, 97, 1000} {
+		for trial := 0; trial < 20; trial++ {
+			pv := randFamily(rng, m)
+			for _, proc := range Procedures {
+				want, err := Apply(proc, pv, 0.05)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ApplyInto(proc, pv, 0.05, &res, &scr); err != nil {
+					t.Fatal(err)
+				}
+				if res.Procedure != want.Procedure || res.Level != want.Level || res.NumReject != want.NumReject {
+					t.Fatalf("%v m=%d: header mismatch: got (%v,%v,%d) want (%v,%v,%d)",
+						proc, m, res.Procedure, res.Level, res.NumReject, want.Procedure, want.Level, want.NumReject)
+				}
+				for i := range pv {
+					if res.Rejected[i] != want.Rejected[i] {
+						t.Fatalf("%v m=%d: Rejected[%d] = %v, want %v", proc, m, i, res.Rejected[i], want.Rejected[i])
+					}
+					if res.Adjusted[i] != want.Adjusted[i] {
+						t.Fatalf("%v m=%d: Adjusted[%d] = %v, want %v", proc, m, i, res.Adjusted[i], want.Adjusted[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestApplyIntoBadLevelAndEmpty(t *testing.T) {
+	var res Result
+	if err := ApplyInto(BH, []float64{0.5}, 0, &res, nil); err == nil {
+		t.Fatal("level 0 must be rejected")
+	}
+	if err := ApplyInto(BH, nil, 0.05, &res, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 0 || len(res.Adjusted) != 0 || res.NumReject != 0 {
+		t.Fatal("empty family must produce an empty result")
+	}
+}
+
+// TestApplyIntoZeroAlloc pins the steady-state allocation count of
+// ApplyInto at zero for every procedure, the property that makes the
+// per-tick correction GC-free.
+func TestApplyIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pv := randFamily(rng, 500)
+	var res Result
+	var scr Scratch
+	for _, proc := range Procedures {
+		// Warm the buffers before measuring.
+		if err := ApplyInto(proc, pv, 0.05, &res, &scr); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if err := ApplyInto(proc, pv, 0.05, &res, &scr); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: ApplyInto allocated %v times per call, want 0", proc, allocs)
+		}
+	}
+}
+
+// TestScoreLengthMismatch covers the satellite fix: a truth vector
+// shorter than the rejection vector used to panic; now only the
+// overlap is scored, from either side.
+func TestScoreLengthMismatch(t *testing.T) {
+	rejected := []bool{true, false, true, true}
+	truth := []bool{true, true}
+	c := Score(rejected, truth)
+	if c.TruePositives != 1 || c.FalseNegatives != 1 || c.FalsePositives != 0 || c.TrueNegatives != 0 {
+		t.Fatalf("short truth: got %+v, want TP=1 FN=1 FP=0 TN=0", c)
+	}
+	c = Score(truth, rejected) // short rejected side
+	if c.TruePositives != 1 || c.FalseNegatives != 0 || c.FalsePositives != 1 || c.TrueNegatives != 0 {
+		t.Fatalf("short rejected: got %+v, want TP=1 FP=1", c)
+	}
+	c = Score(nil, truth)
+	if c != (Confusion{}) {
+		t.Fatalf("empty rejected must score nothing, got %+v", c)
+	}
+}

@@ -27,6 +27,7 @@ func BenchmarkMatrixMul(b *testing.B) {
 func BenchmarkCovariance(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	m := randMatrix(rng, 2048, 128)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := m.Covariance(); err != nil {
@@ -47,6 +48,7 @@ func BenchmarkEigenSym(b *testing.B) {
 			}
 		}
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := EigenSym(a); err != nil {
 					b.Fatal(err)
@@ -60,10 +62,35 @@ func BenchmarkSVDCovariancePath(b *testing.B) {
 	// The trainer's shape: tall data matrix → thin SVD.
 	rng := rand.New(rand.NewSource(4))
 	a := randMatrix(rng, 512, 100)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := SVD(a); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMulInto measures the packed in-place multiply on the
+// evaluator's tall-thin shape (batch×sensors · sensors×K) against a
+// warmed scratch: steady state is allocation-free on serial shapes.
+func BenchmarkMulInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	for _, shape := range [][3]int{{64, 100, 10}, {64, 1000, 10}, {256, 256, 256}} {
+		n, k, p := shape[0], shape[1], shape[2]
+		x := randMatrix(rng, n, k)
+		y := randMatrix(rng, k, p)
+		dst := NewMatrix(n, p)
+		var scr MulScratch
+		b.Run(fmt.Sprintf("%dx%dx%d", n, k, p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := MulInto(dst, x, y, &scr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			flops := 2 * float64(n) * float64(k) * float64(p)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
 	}
 }

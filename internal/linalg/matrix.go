@@ -77,6 +77,23 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Reset reshapes m to rows×cols, reusing the Data backing array when its
+// capacity suffices. The contents after Reset are undefined; callers are
+// expected to overwrite every element (as MulInto does). It panics on
+// non-positive dimensions, matching NewMatrix.
+func (m *Matrix) Reset(rows, cols int) {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
+}
+
 // T returns the transpose as a new matrix.
 func (m *Matrix) T() *Matrix {
 	t := NewMatrix(m.Cols, m.Rows)
@@ -135,13 +152,31 @@ func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
 }
 
 // mulInto computes out = a·b, parallelizing across row stripes when the
-// work is large enough to amortize goroutine startup.
+// work is large enough to amortize goroutine startup. Small products
+// call the kernel directly: the parallelRows closure would heap-escape
+// and cost an allocation even when no goroutine is ever spawned.
 func mulInto(out, a, b *Matrix) {
-	n, k, p := a.Rows, a.Cols, b.Cols
-	flops := float64(n) * float64(k) * float64(p)
+	flops := float64(a.Rows) * float64(a.Cols) * float64(b.Cols)
+	if flops < parallelFlopsMin || runtime.GOMAXPROCS(0) < 2 {
+		mulRange(out, a, b, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, flops, func(lo, hi int) {
+		mulRange(out, a, b, lo, hi)
+	})
+}
+
+// parallelFlopsMin is the work size below which row-striped kernels run
+// inline: under it, goroutine startup costs more than it saves.
+const parallelFlopsMin = 1 << 17
+
+// parallelRows runs fn over row stripes of [0, n) across GOMAXPROCS
+// goroutines when the estimated work is large enough to amortize
+// goroutine startup, and inline otherwise.
+func parallelRows(n int, flops float64, fn func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if flops < 1<<17 || workers < 2 {
-		mulRange(out, a, b, 0, n)
+	if flops < parallelFlopsMin || workers < 2 {
+		fn(0, n)
 		return
 	}
 	if workers > n {
@@ -161,10 +196,117 @@ func mulInto(out, a, b *Matrix) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			mulRange(out, a, b, lo, hi)
+			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// MulScratch holds the reusable packed operand buffer for MulInto. The
+// zero value is ready to use; buffers grow on demand and are retained
+// between calls, so a long-lived scratch makes repeated products with
+// the same shapes allocation-free.
+type MulScratch struct {
+	pack []float64 // column-major packed copy of the right operand
+}
+
+// mulScratchPool serves MulInto callers that pass a nil scratch.
+var mulScratchPool = sync.Pool{New: func() any { return new(MulScratch) }}
+
+// MulInto computes dst = a·b without allocating: dst must already have
+// shape a.Rows×b.Cols (use Reset to recycle a buffer) and must not
+// alias a or b. The right operand is packed into a column-major panel
+// held by scr — cutting cache misses on the tall-thin d×K operand the
+// evaluator multiplies by every tick — and the row stripes run in
+// parallel exactly like Mul. A nil scr uses an internal pool.
+//
+// The packed kernel accumulates each output element in the same index
+// order as Mul, so results are bit-identical to Mul's for finite
+// inputs. (Mul's kernel skips zero left-operand terms, so the two can
+// differ only when a zero multiplies a non-finite value.)
+func MulInto(dst, a, b *Matrix, scr *MulScratch) error {
+	if a.Cols != b.Rows {
+		return fmt.Errorf("%w: %dx%d · %dx%d", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return fmt.Errorf("%w: dst is %dx%d, want %dx%d", ErrShape, dst.Rows, dst.Cols, a.Rows, b.Cols)
+	}
+	if scr == nil {
+		s := mulScratchPool.Get().(*MulScratch)
+		defer mulScratchPool.Put(s)
+		scr = s
+	}
+	k, p := a.Cols, b.Cols
+	if cap(scr.pack) < k*p {
+		scr.pack = make([]float64, k*p)
+	}
+	pack := scr.pack[:k*p]
+	// Pack b column-major: pack[j*k+l] = b[l][j]. Each column of b
+	// becomes one contiguous run the dot kernel streams sequentially.
+	for l := 0; l < k; l++ {
+		brow := b.Data[l*p : (l+1)*p]
+		for j, v := range brow {
+			pack[j*k+l] = v
+		}
+	}
+	flops := float64(a.Rows) * float64(k) * float64(p)
+	// The serial path calls the kernel directly: wrapping it in the
+	// parallelRows closure would heap-allocate even when never spawning,
+	// breaking the zero-allocation steady state.
+	if flops < parallelFlopsMin || runtime.GOMAXPROCS(0) < 2 {
+		mulPackedRange(dst, a, pack, k, p, 0, a.Rows)
+		return nil
+	}
+	parallelRows(a.Rows, flops, func(lo, hi int) {
+		mulPackedRange(dst, a, pack, k, p, lo, hi)
+	})
+	return nil
+}
+
+// mulPackedRange computes rows [lo,hi) of dst = a·b from the packed
+// column-major copy of b, four output columns at a time so one pass
+// over the a-row feeds four independent accumulator chains.
+func mulPackedRange(dst, a *Matrix, pack []float64, k, p, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := dst.Data[i*p : (i+1)*p]
+		j := 0
+		for ; j+4 <= p; j += 4 {
+			b0 := pack[j*k : (j+1)*k]
+			b1 := pack[(j+1)*k : (j+2)*k]
+			b2 := pack[(j+2)*k : (j+3)*k]
+			b3 := pack[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float64
+			for l, av := range arow {
+				s0 += av * b0[l]
+				s1 += av * b1[l]
+				s2 += av * b2[l]
+				s3 += av * b3[l]
+			}
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < p; j++ {
+			bcol := pack[j*k : (j+1)*k]
+			var s float64
+			for l, av := range arow {
+				s += av * bcol[l]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// SubVecInto fills dst[i] = a[i] - b[i] in one pass. dst may alias a or
+// b; all three must share the same length. Empty input is a no-op.
+func SubVecInto(dst, a, b []float64) {
+	if len(a) == 0 {
+		return
+	}
+	_ = dst[len(a)-1]
+	_ = b[len(a)-1]
+	for i, av := range a {
+		dst[i] = av - b[i]
+	}
 }
 
 // mulRange computes rows [lo,hi) of out = a·b with ikj ordering.

@@ -28,6 +28,20 @@ func NormalSF(x float64) float64 {
 	return 0.5 * math.Erfc(x/math.Sqrt2)
 }
 
+// NormalSFInto fills dst[i] = NormalSF(xs[i]) in one vectorized pass,
+// the evaluator's per-tick p-value kernel: no per-element call overhead
+// and no allocation. dst may alias xs; both must share the same
+// length. Empty input is a no-op.
+func NormalSFInto(dst, xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	_ = dst[len(xs)-1]
+	for i, x := range xs {
+		dst[i] = 0.5 * math.Erfc(x/math.Sqrt2)
+	}
+}
+
 // NormalPDF returns the standard normal density at x.
 func NormalPDF(x float64) float64 {
 	return math.Exp(-0.5*x*x) / math.Sqrt(2*math.Pi)

@@ -155,3 +155,28 @@ func TestCDFMonotoneProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNormalSFIntoMatchesScalar(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = -5 + float64(i)*0.1
+	}
+	dst := make([]float64, len(xs))
+	NormalSFInto(dst, xs)
+	for i, x := range xs {
+		if dst[i] != NormalSF(x) {
+			t.Fatalf("NormalSFInto(%v) = %v, want %v", x, dst[i], NormalSF(x))
+		}
+	}
+	// In-place aliasing must give the same answers.
+	aliased := append([]float64(nil), xs...)
+	NormalSFInto(aliased, aliased)
+	for i := range xs {
+		if aliased[i] != dst[i] {
+			t.Fatalf("aliased NormalSFInto diverged at %d", i)
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, func() { NormalSFInto(dst, xs) }); allocs != 0 {
+		t.Fatalf("NormalSFInto allocated %v times per call, want 0", allocs)
+	}
+}

@@ -199,6 +199,9 @@ func New(cfg Config) (*System, error) {
 		sys.source,
 		&tsdb.Sink{TSD: deployment.TSDs()[0]},
 	)
+	// Online evaluation fans out across units on the same engine the
+	// offline trainer uses, so Detect throughput scales with cores.
+	sys.pipeline.Engine = engine
 	return sys, nil
 }
 
@@ -259,7 +262,8 @@ func (s *System) TrainFromFleet(from int64, count int, concurrent bool) error {
 
 // Detect evaluates every trained unit over [from, from+count) reading
 // observations from storage, writes flags back to the "anomaly"
-// metric, and returns the reports.
+// metric, and returns the reports. Units are evaluated concurrently on
+// the dataflow engine, one task per unit.
 func (s *System) Detect(from int64, count int) (map[int][]*core.Report, error) {
 	return s.pipeline.ProcessFleet(from, count)
 }
