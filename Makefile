@@ -7,7 +7,12 @@ BENCHTIME ?= 1s
 # plus the in-place hot-path benches whose allocs/op are pinned.
 EVAL_BENCH = BenchmarkFDRCorrections|BenchmarkOnlineEvalThroughput|BenchmarkEndToEndPipeline
 
-.PHONY: build lint vet fmt test bench bench-json check
+# The in-place benchmarks whose allocs/op are pinned in ALLOC_PINS and
+# gated by bench-allocs. BenchmarkBusPublish also matches
+# BenchmarkBusPublishConsume.
+ALLOC_BENCH = BenchmarkEvaluateBatchInto|BenchmarkApplyInto|BenchmarkMulInto|BenchmarkBusPublish
+
+.PHONY: build lint vet fmt test bench bench-json bench-allocs check
 
 build:
 	$(GO) build ./...
@@ -39,7 +44,19 @@ bench-json:
 	@rm -f bench-eval.out
 	$(GO) test -run '^$$' -bench '$(EVAL_BENCH)' -benchtime $(BENCHTIME) -benchmem . > bench-eval.out
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateBatch|BenchmarkApplyInto' -benchtime $(BENCHTIME) -benchmem ./internal/core/ ./internal/fdr/ >> bench-eval.out
+	$(GO) test -run '^$$' -bench 'BenchmarkBusPublishConsume|BenchmarkDetectorPoolFanout' -benchtime $(BENCHTIME) -benchmem ./internal/bus/ ./sentinel/ >> bench-eval.out
 	$(GO) run ./cmd/benchjson -out BENCH_evaluation.json < bench-eval.out
 	@rm -f bench-eval.out
 
-check: lint build test bench
+# bench-allocs gates the allocs/op pins: the in-place hot paths run
+# once (-benchtime=1x -benchmem) and cmd/allocgate fails the build if
+# any exceeds its ceiling in ALLOC_PINS. Timing-noise free, so it is a
+# gating CI step, unlike the bench-json smoke.
+bench-allocs:
+	@rm -f bench-allocs.out
+	$(GO) test -run '^$$' -bench '$(ALLOC_BENCH)' -benchtime 1x -benchmem \
+		./internal/core/ ./internal/fdr/ ./internal/linalg/ ./internal/bus/ > bench-allocs.out
+	$(GO) run ./cmd/allocgate -pins ALLOC_PINS < bench-allocs.out
+	@rm -f bench-allocs.out
+
+check: lint build test bench bench-allocs

@@ -1,0 +1,129 @@
+// Command allocgate turns the repo's allocs/op pins into a CI gate: it
+// reads `go test -bench -benchmem` output on stdin and a pin file
+// mapping benchmark-name prefixes to the maximum allowed allocs/op,
+// and exits non-zero if any pinned benchmark exceeds its ceiling — or
+// if a pin matched nothing, so a renamed benchmark cannot silently
+// un-gate itself.
+//
+//	go test -run '^$' -bench 'Into' -benchtime=1x -benchmem ./... | allocgate -pins ALLOC_PINS
+//
+// Pin file format: one `prefix max-allocs` pair per line, '#' comments
+// and blank lines ignored. The longest matching prefix wins, so a
+// family pin (`BenchmarkApplyInto 0`) can be overridden for one
+// sub-benchmark. Benchmarks with no matching prefix are ignored.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/benchparse"
+)
+
+type pin struct {
+	prefix string
+	max    float64
+	hits   int
+}
+
+func main() {
+	pinsPath := flag.String("pins", "ALLOC_PINS", "pin file (benchmark-prefix max-allocs per line)")
+	flag.Parse()
+
+	pins, err := loadPins(*pinsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocgate:", err)
+		os.Exit(1)
+	}
+
+	violations := 0
+	checked := 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		r, ok := benchparse.Parse(sc.Text())
+		if !ok || !r.HasAllocs {
+			continue
+		}
+		p := match(pins, r.Name)
+		if p == nil {
+			continue
+		}
+		p.hits++
+		checked++
+		if r.AllocsPerOp > p.max {
+			violations++
+			fmt.Fprintf(os.Stderr, "allocgate: FAIL %s: %g allocs/op > pin %g (prefix %s)\n",
+				r.Name, r.AllocsPerOp, p.max, p.prefix)
+		} else {
+			fmt.Printf("allocgate: ok   %s: %g allocs/op <= %g\n", r.Name, r.AllocsPerOp, p.max)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "allocgate: read stdin:", err)
+		os.Exit(1)
+	}
+	for _, p := range pins {
+		if p.hits == 0 {
+			violations++
+			fmt.Fprintf(os.Stderr, "allocgate: FAIL pin %q matched no benchmark (renamed? not run?)\n", p.prefix)
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "allocgate: no pinned benchmarks on stdin")
+		os.Exit(1)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "allocgate: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+	fmt.Printf("allocgate: %d benchmark(s) within pins\n", checked)
+}
+
+func loadPins(path string) ([]*pin, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pins []*pin
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s: bad pin line %q", path, line)
+		}
+		max, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad max in %q", path, line)
+		}
+		pins = append(pins, &pin{prefix: fields[0], max: max})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pins) == 0 {
+		return nil, fmt.Errorf("%s: no pins", path)
+	}
+	// Longest prefix first, so match() can take the first hit.
+	sort.Slice(pins, func(i, j int) bool { return len(pins[i].prefix) > len(pins[j].prefix) })
+	return pins, nil
+}
+
+func match(pins []*pin, name string) *pin {
+	for _, p := range pins {
+		if strings.HasPrefix(name, p.prefix) {
+			return p
+		}
+	}
+	return nil
+}

@@ -16,8 +16,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
+
+	"repro/internal/benchparse"
 )
 
 // Entry is one benchmark's parsed result line.
@@ -52,40 +53,17 @@ func main() {
 				doc.Meta[key] = v
 			}
 		}
-		if !strings.HasPrefix(line, "Benchmark") {
+		r, ok := benchparse.Parse(line)
+		if !ok {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 {
-			continue
+		doc.Benchmarks[r.Name] = Entry{
+			Iterations:  r.Iterations,
+			NsPerOp:     r.NsPerOp,
+			BytesPerOp:  r.BytesPerOp,
+			AllocsPerOp: r.AllocsPerOp,
+			Metrics:     r.Metrics,
 		}
-		name := trimProcSuffix(fields[0])
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		e := Entry{Iterations: iters, Metrics: map[string]float64{}}
-		// The remainder is value/unit pairs: `1234 ns/op  5 B/op  ...`.
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch fields[i+1] {
-			case "ns/op":
-				e.NsPerOp = v
-			case "B/op":
-				e.BytesPerOp = v
-			case "allocs/op":
-				e.AllocsPerOp = v
-			default:
-				e.Metrics[fields[i+1]] = v
-			}
-		}
-		if len(e.Metrics) == 0 {
-			e.Metrics = nil
-		}
-		doc.Benchmarks[name] = e
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read stdin:", err)
@@ -115,19 +93,6 @@ func main() {
 	}
 	sort.Strings(names)
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s (%s)\n", len(names), *out, strings.Join(names, ", "))
-}
-
-// trimProcSuffix strips the trailing -GOMAXPROCS from a benchmark name
-// so the JSON key is stable across machines.
-func trimProcSuffix(name string) string {
-	i := strings.LastIndex(name, "-")
-	if i < 0 {
-		return name
-	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
 }
 
 // marshalSorted renders the document with stable key order (Go maps

@@ -1,18 +1,22 @@
-// Command ingestd runs the ingestion frontend as an HTTP service: the
-// buffering reverse proxy over a simulated storage cluster, accepting
-// OpenTSDB-compatible writes.
+// Command ingestd runs the ingestion frontend as an HTTP service:
+// OpenTSDB-compatible writes land on a partitioned commit-log bus
+// (keyed by unit) and a consumer group of storage writers drains them
+// through the buffering reverse proxy into a simulated storage
+// cluster — the paper's producer → Kafka → OpenTSDB edge.
 //
-//	ingestd -addr :4242 -nodes 4
+//	ingestd -addr :4242 -nodes 4 -partitions 8 -workers 4
 //
 // Endpoints (mirroring OpenTSDB's HTTP API):
 //
 //	POST /api/put        JSON point or array of points
 //	POST /api/put/line   telnet "put …" lines, one per row
 //	GET  /api/query      ?metric=&unit=&sensor=&from=&to=
-//	GET  /metrics        ingestion counters
+//	GET  /metrics        ingestion and bus counters
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,17 +24,22 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/bus"
 	"repro/internal/hbase"
+	"repro/internal/ingest"
 	"repro/internal/proxy"
 	"repro/internal/tsdb"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":4242", "listen address")
-		nodes = flag.Int("nodes", 4, "storage nodes (region servers + TSDs)")
-		salt  = flag.Int("salt", -1, "salt buckets (-1: one per node, 0: disable)")
+		addr       = flag.String("addr", ":4242", "listen address")
+		nodes      = flag.Int("nodes", 4, "storage nodes (region servers + TSDs)")
+		salt       = flag.Int("salt", -1, "salt buckets (-1: one per node, 0: disable)")
+		partitions = flag.Int("partitions", 8, "commit-log partitions for the ingestion topic")
+		workers    = flag.Int("workers", 4, "storage-writer consumers draining the bus into the proxy")
 	)
 	flag.Parse()
 	buckets := *salt
@@ -55,19 +64,64 @@ func main() {
 	}
 	defer px.Close()
 
+	broker := bus.New(bus.Config{Partitions: *partitions})
+	defer broker.Close()
+	topic := broker.Topic("energy")
+	storage := topic.Group("storage")
+	writers := ingest.StartStorageWriters(context.Background(), storage, px, *workers)
+	defer writers.Stop()
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/put", handlePutJSON(px))
-	mux.HandleFunc("/api/put/line", handlePutLines(px))
+	mux.HandleFunc("/api/put", handlePutJSON(topic))
+	mux.HandleFunc("/api/put/line", handlePutLines(topic))
 	mux.HandleFunc("/api/query", handleQuery(deploy.TSDs()[0]))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "bus_published %d\nbus_polled %d\nbus_rebalances %d\nstorage_lag %d\nwriter_delivered %d\nwriter_failures %d\n",
+			broker.Published.Value(), broker.Polled.Value(), broker.Rebalances.Value(),
+			storage.Lag(), writers.Delivered.Value(), writers.Failures.Value())
 		fmt.Fprintf(w, "accepted %d\ndelivered %d\ndropped %d\nretries %d\nqueue_depth %d\n",
 			px.Accepted.Value(), px.Delivered.Value(), px.Dropped.Value(), px.Retries.Value(), px.QueueDepth.Value())
 	})
-	log.Printf("ingestd: %d nodes, salt=%d, listening on %s", *nodes, buckets, *addr)
+	log.Printf("ingestd: %d nodes, salt=%d, %d partitions, %d writers, listening on %s",
+		*nodes, buckets, *partitions, *workers, *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
-func handlePutJSON(px *proxy.Proxy) http.HandlerFunc {
+// publishTimeout bounds how long a put request may sit in publish
+// backpressure before shedding load with 504 — the bus-era analogue of
+// the old fail-fast proxy 503. Without it a stalled storage tier would
+// park handler goroutines indefinitely (http.ListenAndServe sets no
+// request deadlines of its own).
+const publishTimeout = 5 * time.Second
+
+// publish splits the request's points into per-unit batches and
+// appends them to the commit log, blocking under backpressure until
+// the deadline expires. A multi-unit request is not atomic — like any
+// multi-partition produce without transactions, an error can leave an
+// earlier unit's batch durably appended while a later one was refused.
+// That is safe to retry wholesale: point writes are idempotent (same
+// cell, same value), so clients treating 503/504 as "retry the whole
+// request" converge on exactly the intended data.
+func publish(ctx context.Context, topic *bus.Topic, points []tsdb.Point) error {
+	ctx, cancel := context.WithTimeout(ctx, publishTimeout)
+	defer cancel()
+	for key, batch := range ingest.GroupByUnit(points) {
+		if _, err := topic.Publish(ctx, key, batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// publishStatus maps a publish failure to an HTTP status.
+func publishStatus(err error) int {
+	if errors.Is(err, bus.ErrDraining) || errors.Is(err, bus.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusGatewayTimeout // backpressure outlasted the request deadline
+}
+
+func handlePutJSON(topic *bus.Topic) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -83,15 +137,15 @@ func handlePutJSON(px *proxy.Proxy) http.HandlerFunc {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := px.Submit(points); err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		if err := publish(r.Context(), topic, points); err != nil {
+			http.Error(w, err.Error(), publishStatus(err))
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	}
 }
 
-func handlePutLines(px *proxy.Proxy) http.HandlerFunc {
+func handlePutLines(topic *bus.Topic) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -107,8 +161,8 @@ func handlePutLines(px *proxy.Proxy) http.HandlerFunc {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := px.Submit(points); err != nil {
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		if err := publish(r.Context(), topic, points); err != nil {
+			http.Error(w, err.Error(), publishStatus(err))
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)

@@ -1,16 +1,24 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/bus"
 	"repro/internal/hbase"
+	"repro/internal/ingest"
 	"repro/internal/proxy"
 	"repro/internal/tsdb"
 )
 
-func testStack(t *testing.T) (*proxy.Proxy, *tsdb.TSD) {
+// testStack boots the full ingestd pipeline: bus topic → storage
+// writers → proxy → TSD. flush blocks until everything published has
+// reached storage.
+func testStack(t *testing.T) (topic *bus.Topic, tsd *tsdb.TSD, flush func()) {
 	t.Helper()
 	cluster, err := hbase.NewCluster(hbase.Config{RegionServers: 2})
 	if err != nil {
@@ -29,19 +37,33 @@ func testStack(t *testing.T) (*proxy.Proxy, *tsdb.TSD) {
 		t.Fatal(err)
 	}
 	t.Cleanup(px.Close)
-	return px, deploy.TSDs()[0]
+	broker := bus.New(bus.Config{Partitions: 4})
+	t.Cleanup(broker.Close)
+	topic = broker.Topic("energy")
+	group := topic.Group("storage")
+	writers := ingest.StartStorageWriters(context.Background(), group, px, 2)
+	t.Cleanup(writers.Stop)
+	flush = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := group.Sync(ctx); err != nil {
+			t.Fatalf("storage group never drained: %v", err)
+		}
+		px.Flush()
+	}
+	return topic, deploy.TSDs()[0], flush
 }
 
 func TestPutJSONEndpoint(t *testing.T) {
-	px, tsd := testStack(t)
-	h := handlePutJSON(px)
+	topic, tsd, flush := testStack(t)
+	h := handlePutJSON(topic)
 	body := `[{"metric":"energy","timestamp":11,"value":3.5,"tags":{"unit":"1","sensor":"2"}}]`
 	rec := httptest.NewRecorder()
 	h(rec, httptest.NewRequest("POST", "/api/put", strings.NewReader(body)))
 	if rec.Code != 204 {
 		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
 	}
-	px.Flush()
+	flush()
 	series, err := tsd.Query(tsdb.Query{Metric: "energy", Tags: tsdb.EnergyTags(1, 2), Start: 0, End: 100})
 	if err != nil || len(series) != 1 || series[0].Samples[0].Value != 3.5 {
 		t.Fatalf("stored = %+v, %v", series, err)
@@ -60,15 +82,15 @@ func TestPutJSONEndpoint(t *testing.T) {
 }
 
 func TestPutLinesEndpoint(t *testing.T) {
-	px, tsd := testStack(t)
-	h := handlePutLines(px)
+	topic, tsd, flush := testStack(t)
+	h := handlePutLines(topic)
 	body := "put energy 20 1.25 unit=4 sensor=5\n\nput energy 21 1.5 unit=4 sensor=5\n"
 	rec := httptest.NewRecorder()
 	h(rec, httptest.NewRequest("POST", "/api/put/line", strings.NewReader(body)))
 	if rec.Code != 204 {
 		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
 	}
-	px.Flush()
+	flush()
 	series, err := tsd.Query(tsdb.Query{Metric: "energy", Tags: tsdb.EnergyTags(4, 5), Start: 0, End: 100})
 	if err != nil || len(series) != 1 || len(series[0].Samples) != 2 {
 		t.Fatalf("stored = %+v, %v", series, err)
@@ -81,8 +103,7 @@ func TestPutLinesEndpoint(t *testing.T) {
 }
 
 func TestQueryEndpoint(t *testing.T) {
-	px, tsd := testStack(t)
-	_ = px
+	_, tsd, _ := testStack(t)
 	if err := tsd.Put([]tsdb.Point{tsdb.EnergyPoint(7, 8, 30, 9.75)}); err != nil {
 		t.Fatal(err)
 	}
@@ -101,5 +122,37 @@ func TestQueryEndpoint(t *testing.T) {
 	h(rec, httptest.NewRequest("GET", "/api/query?unit=7", nil))
 	if rec.Code != 400 {
 		t.Fatalf("missing to status = %d", rec.Code)
+	}
+}
+
+// TestPublishRoutesMixedUnits proves one HTTP request carrying many
+// units fans out across partitions keyed by unit.
+func TestPublishRoutesMixedUnits(t *testing.T) {
+	topic, tsd, flush := testStack(t)
+	h := handlePutLines(topic)
+	var sb strings.Builder
+	for u := 0; u < 8; u++ {
+		fmt.Fprintf(&sb, "put energy 40 2.5 unit=%d sensor=0\n", u)
+	}
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("POST", "/api/put/line", strings.NewReader(sb.String())))
+	if rec.Code != 204 {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+	}
+	touched := 0
+	for p := 0; p < topic.Partitions(); p++ {
+		if topic.HighWater(p) > 0 {
+			touched++
+		}
+	}
+	if touched < 2 {
+		t.Fatalf("8 units landed on %d partitions; want spread", touched)
+	}
+	flush()
+	for u := 0; u < 8; u++ {
+		series, err := tsd.Query(tsdb.Query{Metric: "energy", Tags: tsdb.EnergyTags(u, 0), Start: 0, End: 100})
+		if err != nil || len(series) != 1 {
+			t.Fatalf("unit %d: stored = %+v, %v", u, series, err)
+		}
 	}
 }

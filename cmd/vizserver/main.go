@@ -24,22 +24,32 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		units   = flag.Int("units", 20, "simulated units")
-		sensors = flag.Int("sensors", 60, "sensors per unit")
-		nodes   = flag.Int("nodes", 4, "storage nodes")
-		train   = flag.Int("train", 120, "training window (steps)")
-		onset   = flag.Int64("onset", 150, "fault onset step")
-		tick    = flag.Duration("tick", 2*time.Second, "live-loop interval (one fleet second per tick)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		units      = flag.Int("units", 20, "simulated units")
+		sensors    = flag.Int("sensors", 60, "sensors per unit")
+		nodes      = flag.Int("nodes", 4, "storage nodes")
+		train      = flag.Int("train", 120, "training window (steps)")
+		onset      = flag.Int64("onset", 150, "fault onset step")
+		tick       = flag.Duration("tick", 2*time.Second, "live-loop interval (one fleet second per tick)")
+		partitions = flag.Int("partitions", 0, "commit-log partitions (0: one per unit, capped at 16)")
+		workers    = flag.Int("workers", 2, "streaming detector workers (0: detect synchronously per tick)")
 	)
 	flag.Parse()
 
+	nparts := *partitions
+	if nparts <= 0 {
+		nparts = *units
+		if nparts > 16 {
+			nparts = 16
+		}
+	}
 	sys, err := sentinel.New(sentinel.Config{
 		StorageNodes:   *nodes,
 		Units:          *units,
 		SensorsPerUnit: *sensors,
 		FaultFraction:  0.4,
 		FaultOnset:     *onset,
+		Partitions:     nparts,
 	})
 	if err != nil {
 		log.Fatalf("vizserver: %v", err)
@@ -55,19 +65,31 @@ func main() {
 		log.Fatalf("vizserver: train: %v", err)
 	}
 
-	// Live loop: every tick advances fleet time one second, ingests the
-	// snapshot, runs detection on it and writes flags back.
+	// Live loop: every tick advances fleet time one second and ingests
+	// the snapshot onto the commit log. With detector workers the flags
+	// come back asynchronously — the pool's consumer group evaluates
+	// each published batch and writes flags as it goes; with -workers=0
+	// detection runs synchronously per tick (the pre-bus behaviour).
+	if *workers > 0 {
+		pool := sys.StartDetectors(*workers)
+		log.Printf("streaming detection: %d workers over %d partitions", *workers, nparts)
+		defer pool.Stop()
+	}
 	var now atomic.Int64
 	now.Store(int64(*train))
 	go func() {
-		for range time.Tick(*tick) {
+		ticker := time.NewTicker(*tick)
+		defer ticker.Stop()
+		for range ticker.C {
 			t := now.Load()
 			if _, err := sys.IngestRange(t, 1); err != nil {
 				log.Printf("vizserver: ingest tick %d: %v", t, err)
 				continue
 			}
-			if _, err := sys.Detect(t, 1); err != nil {
-				log.Printf("vizserver: detect tick %d: %v", t, err)
+			if *workers <= 0 {
+				if _, err := sys.Detect(t, 1); err != nil {
+					log.Printf("vizserver: detect tick %d: %v", t, err)
+				}
 			}
 			now.Add(1)
 		}

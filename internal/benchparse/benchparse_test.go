@@ -1,0 +1,66 @@
+package benchparse
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	r, ok := Parse("BenchmarkBusPublishConsume-8   \t  100000\t       496.6 ns/op\t   2013865 records/s\t      41 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkBusPublishConsume" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if r.Iterations != 100000 || r.NsPerOp != 496.6 || r.BytesPerOp != 41 {
+		t.Fatalf("parsed = %+v", r)
+	}
+	if !r.HasAllocs || r.AllocsPerOp != 0 {
+		t.Fatalf("allocs = %+v", r)
+	}
+	if r.Metrics["records/s"] != 2013865 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseWithoutBenchmem(t *testing.T) {
+	r, ok := Parse("BenchmarkMulInto/64x100x10-4  1000  31381 ns/op  4.134 GFLOPS")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.HasAllocs {
+		t.Fatal("HasAllocs set without allocs/op column")
+	}
+	if r.Name != "BenchmarkMulInto/64x100x10" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	if r.Metrics["GFLOPS"] != 4.134 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseRejectsNonBenchmarkLines(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro/internal/bus\t0.067s",
+		"BenchmarkTruncated 12",
+		"Benchmark notanumber 1 ns/op x",
+	} {
+		if _, ok := Parse(line); ok {
+			t.Fatalf("line %q parsed as a benchmark", line)
+		}
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":            "BenchmarkX",
+		"BenchmarkX":              "BenchmarkX",
+		"BenchmarkX/m=100-16":     "BenchmarkX/m=100",
+		"BenchmarkX/shape-a":      "BenchmarkX/shape-a",
+		"BenchmarkMul/64x10x10-4": "BenchmarkMul/64x10x10",
+	} {
+		if got := TrimProcSuffix(in); got != want {
+			t.Fatalf("TrimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

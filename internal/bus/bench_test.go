@@ -1,0 +1,131 @@
+package bus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkBusPublish measures the raw append path with no consumers
+// attached (a plain log): segment growth is the only amortized cost,
+// so steady state is allocation-free — the pin bench-allocs gates on.
+func BenchmarkBusPublish(b *testing.B) {
+	br := New(Config{Partitions: 4, SegmentRecords: 512})
+	defer br.Close()
+	topic := br.Topic("energy")
+	ctx := context.Background()
+	var payload any = &struct{ n int }{42}
+	// Warm the first segment on every partition so a 1-iteration run
+	// (the CI alloc gate) measures steady state, not setup.
+	for k := uint64(0); k < 4; k++ {
+		if _, err := topic.Publish(ctx, k, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topic.Publish(ctx, uint64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBusPublishConsume measures the full commit-log roundtrip —
+// publish, poll, commit (with retention trimming behind it) — on a
+// single goroutine, reporting records/s. The consumer reuses its poll
+// buffer, so steady state allocates only the amortized segment churn.
+func BenchmarkBusPublishConsume(b *testing.B) {
+	br := New(Config{Partitions: 4, SegmentRecords: 512})
+	defer br.Close()
+	topic := br.Topic("energy")
+	c := topic.Group("bench").Join()
+	defer c.Leave()
+	ctx := context.Background()
+	var payload any = &struct{ n int }{42}
+	buf := make([]Record, 0, 64)
+	// Warm segments and the consumer's assignment before the timer.
+	for k := uint64(0); k < 4; k++ {
+		if _, err := topic.Publish(ctx, k, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var err error
+	buf, err = c.Poll(ctx, buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.CommitPolled(buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	consumed := 0
+	for i := 0; i < b.N; i++ {
+		if _, err := topic.Publish(ctx, uint64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+		buf, err = c.Poll(ctx, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		consumed += len(buf)
+		if err := c.CommitPolled(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if consumed != b.N {
+		b.Fatalf("consumed %d of %d records", consumed, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkBusFanout measures end-to-end throughput with concurrent
+// publishers feeding a consumer group of varying size: the
+// consumer-side scaling story the detector workers build on.
+func BenchmarkBusFanout(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			br := New(Config{Partitions: 8, SegmentRecords: 512, PartitionBuffer: 4096})
+			defer br.Close()
+			topic := br.Topic("energy")
+			g := topic.Group("bench")
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				c := g.Join()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer c.Leave()
+					buf := make([]Record, 0, 256)
+					for {
+						recs, err := c.Poll(ctx, buf)
+						if err != nil {
+							return
+						}
+						_ = c.CommitPolled(recs)
+					}
+				}()
+			}
+			var payload any = &struct{ n int }{42}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := topic.Publish(ctx, uint64(i), payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := g.Sync(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			cancel()
+			wg.Wait()
+		})
+	}
+}

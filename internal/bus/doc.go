@@ -1,0 +1,35 @@
+// Package bus is an in-process partitioned commit log: the Kafka tier
+// of the paper's architecture (Figure 1's pub/sub backbone between the
+// sensor producers and the Spark/OpenTSDB consumers), scaled down to
+// one process but preserving the structural properties that make the
+// real thing the scalability joint of the pipeline:
+//
+//   - Topics split into N partitions; records are routed by key
+//     (unit id in the ingestion pipeline) so one unit's samples stay
+//     ordered within a partition while the fleet spreads across all
+//     of them.
+//   - Each partition is an append-only log of fixed-size segments.
+//     Records are addressed by offset; any retained offset can be
+//     re-read, which is what makes replay after a consumer crash a
+//     read, not a recovery protocol.
+//   - Consumer groups own committed offsets per partition. Partitions
+//     are range-assigned across the group's members and reassigned
+//     (with a generation bump) when members join or leave. A rebalance
+//     resets every member to its group's committed offsets, so records
+//     polled but not yet committed are redelivered — delivery is
+//     at-least-once, never lossy.
+//   - Publish applies bounded-buffer backpressure: once a partition's
+//     uncommitted window (high-water mark minus the slowest group's
+//     committed offset) reaches the configured buffer, producers block
+//     until consumers commit, propagating pressure to the data source
+//     exactly like the §III-B reverse proxy does for storage writes.
+//   - Segments wholly below every group's committed offset are
+//     trimmed, bounding memory to the uncommitted window plus one
+//     segment per partition.
+//
+// Shutdown follows the repo's drain discipline (running → draining →
+// stopped): Drain turns new publishes away with ErrDraining while
+// consumers keep polling and committing until every group has caught
+// up to the high-water marks; Close stops everything, waking blocked
+// publishers and pollers with ErrClosed.
+package bus

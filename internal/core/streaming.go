@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -37,7 +38,7 @@ type StreamingTrainer struct {
 // NewStreamingTrainer prepares an incremental trainer for one unit.
 func NewStreamingTrainer(unit, sensors int, cfg TrainerConfig) (*StreamingTrainer, error) {
 	if sensors <= 0 {
-		return nil, fmt.Errorf("core: streaming trainer needs sensors > 0")
+		return nil, errors.New("core: streaming trainer needs sensors > 0")
 	}
 	cfg.Partitions = 1
 	cfg = cfg.withDefaults(nil)

@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -103,7 +104,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		ds.truth[unit][ts] = tr
 	}
 	if maxSensor < 0 {
-		return nil, fmt.Errorf("ingest: csv contained no data rows")
+		return nil, errors.New("ingest: csv contained no data rows")
 	}
 	ds.sensors = maxSensor + 1
 	// Normalize row widths (sparse sensors at the tail) and index times.

@@ -117,26 +117,7 @@ func (d *Driver) RunContext(ctx context.Context, from int64, steps int) (Stats, 
 	}
 	meter := telemetry.NewRateMeter(nil)
 	var failures telemetry.Counter
-
-	// Optional background rate sampler.
-	stopSampler := make(chan struct{})
-	var samplerDone sync.WaitGroup
-	if cfg.SampleEvery > 0 {
-		samplerDone.Add(1)
-		go func() {
-			defer samplerDone.Done()
-			tick := time.NewTicker(cfg.SampleEvery)
-			defer tick.Stop()
-			for {
-				select {
-				case <-tick.C:
-					meter.Cut()
-				case <-stopSampler:
-					return
-				}
-			}
-		}()
-	}
+	stopSampler := startSampler(meter, cfg.SampleEvery)
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -191,11 +172,7 @@ func (d *Driver) RunContext(ctx context.Context, from int64, steps int) (Stats, 
 		}(lo, hi)
 	}
 	wg.Wait()
-	if cfg.SampleEvery > 0 {
-		close(stopSampler)
-		samplerDone.Wait()
-		meter.Cut()
-	}
+	stopSampler()
 	elapsed := time.Since(start)
 	stats := Stats{
 		Samples:  meter.Count(),
@@ -211,6 +188,36 @@ func (d *Driver) RunContext(ctx context.Context, from int64, steps int) (Stats, 
 
 // errStop lets a sink abort the run early (tests use it).
 var errStop = errors.New("ingest: stop")
+
+// startSampler launches the optional background rate sampler for the
+// stability series (Figure 2 right) and returns a function that stops
+// it and records the final cut. With every <= 0 it is a no-op.
+func startSampler(meter *telemetry.RateMeter, every time.Duration) (stop func()) {
+	if every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				meter.Cut()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		meter.Cut()
+	}
+}
 
 // FormatLine renders a point in the OpenTSDB telnet protocol:
 // "put <metric> <timestamp> <value> <tagk=tagv> …".

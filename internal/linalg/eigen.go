@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -24,7 +25,7 @@ func EigenSym(a *Matrix) (eig []float64, v *Matrix, err error) {
 		return nil, nil, fmt.Errorf("%w: eigen needs a square matrix, have %dx%d", ErrShape, a.Rows, a.Cols)
 	}
 	if !a.IsSymmetric(1e-9 * (1 + a.FrobeniusNorm())) {
-		return nil, nil, fmt.Errorf("linalg: EigenSym requires a symmetric matrix")
+		return nil, nil, errors.New("linalg: EigenSym requires a symmetric matrix")
 	}
 	if a.Rows > jacobiMaxN {
 		return eigenSymLarge(a)

@@ -1,0 +1,307 @@
+package sentinel
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/telemetry"
+	"repro/internal/tsdb"
+)
+
+// DetectorPool is the streaming half of the detector: a consumer group
+// of worker goroutines, each owning a subset of the ingestion topic's
+// partitions, evaluating every published unit batch against the
+// trained models and writing flags back to the "anomaly" metric. It is
+// the architecture's answer to "detection consumers must scale
+// independently of producers": workers can be added (more members →
+// rebalance) without touching the ingest or storage tiers, and a slow
+// or stopped pool never stalls storage writes because the storage
+// group commits independently.
+//
+// Each worker evaluates through core.EvaluateBatchInto with a private
+// Arena and a private row-assembly scratch, preserving the PR 2
+// zero-allocation steady state per worker. Workers are dedicated
+// goroutines, not dataflow-engine tasks: the engine's bounded executor
+// pool is shared with Detect's per-unit fan-out and the offline
+// trainer, and parking long-lived consumers there would starve those
+// batch jobs (or deadlock outright once workers outnumber executors).
+type DetectorPool struct {
+	sys    *System
+	group  *bus.Group
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+
+	mu  sync.Mutex
+	evs map[int]*core.Evaluator
+
+	// SamplesEvaluated counts sensor samples scored (the §IV-A
+	// throughput unit); AnomaliesWritten counts flags written back.
+	SamplesEvaluated telemetry.Counter
+	AnomaliesWritten telemetry.Counter
+	// Batches counts records processed; Errors counts records skipped
+	// (missing model, malformed batch, storage write failure).
+	Batches telemetry.Counter
+	Errors  telemetry.Counter
+}
+
+// AttachDetectorGroup attaches the detector consumer group at the
+// current end of the topic without starting workers: records published
+// afterwards are retained (and, once the partition buffer fills, exert
+// backpressure — set Config.BusBuffer negative for unbounded staging)
+// until a later StartDetectors consumes them. Without it,
+// StartDetectors itself attaches at the then-current end, skipping
+// history. Idempotent while a group is attached.
+func (s *System) AttachDetectorGroup() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attachDetectorGroupLocked()
+}
+
+// attachDetectorGroupLocked is AttachDetectorGroup under s.mu, shared
+// with StartDetectors so attach and pool registration happen in one
+// critical section (a concurrent Stop cannot detach the group in
+// between).
+func (s *System) attachDetectorGroupLocked() *bus.Group {
+	if s.detGroup == nil {
+		g := s.topic.Group(GroupDetectors)
+		// Skip history (typically the training range, already stored
+		// and not worth flagging); the group sees live traffic only.
+		g.SeekToEnd()
+		s.detGroup = g
+	}
+	return s.detGroup
+}
+
+// StartDetectors starts a pool of detector workers
+// (Config.DetectorWorkers when workers <= 0) consuming the detector
+// group — attached now at the end of the topic, or wherever a prior
+// AttachDetectorGroup left it. Stop the pool before Close; stopping
+// detaches the group, so records published while no pool runs are not
+// replayed to a later one.
+func (s *System) StartDetectors(workers int) *DetectorPool {
+	if workers <= 0 {
+		workers = s.cfg.DetectorWorkers
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &DetectorPool{
+		sys:    s,
+		cancel: cancel,
+		evs:    make(map[int]*core.Evaluator),
+	}
+	// Attach (or reuse) the group and register the pool atomically, so
+	// a concurrent Stop of the last running pool either sees this pool
+	// as a sharer or has fully detached before the group is resolved.
+	s.mu.Lock()
+	p.group = s.attachDetectorGroupLocked()
+	s.pools = append(s.pools, p)
+	s.mu.Unlock()
+	// Join every member before the first worker polls, so the pool
+	// starts on a settled assignment instead of rebalancing (and
+	// redelivering) its way up.
+	members := make([]*bus.Consumer, workers)
+	for i := range members {
+		members[i] = p.group.Join()
+	}
+	for _, c := range members {
+		p.wg.Add(1)
+		go p.worker(ctx, c)
+	}
+	return p
+}
+
+// Group exposes the pool's consumer group (lag, committed offsets).
+func (p *DetectorPool) Group() *bus.Group { return p.group }
+
+// Sync blocks until the pool has committed every record published so
+// far (benchmarks and the live loop use it as a barrier).
+func (p *DetectorPool) Sync(ctx context.Context) error { return p.group.Sync(ctx) }
+
+// Stop halts the workers, waits for them to finish their in-flight
+// records, and — once no other pool shares it — detaches the consumer
+// group, so stopping one pool never kills a sibling started by a
+// second StartDetectors call. Idempotent.
+func (p *DetectorPool) Stop() {
+	p.once.Do(func() {
+		p.cancel()
+		p.wg.Wait()
+		s := p.sys
+		s.mu.Lock()
+		shared := false
+		kept := s.pools[:0]
+		for _, other := range s.pools {
+			if other == p {
+				continue
+			}
+			kept = append(kept, other)
+			if other.group == p.group {
+				shared = true
+			}
+		}
+		s.pools = kept
+		if !shared {
+			if s.detGroup == p.group {
+				s.detGroup = nil
+			}
+			// Detach inside the critical section: a concurrent
+			// StartDetectors must observe either the attached group
+			// (and register as a sharer) or a fully detached topic,
+			// never join a group about to close.
+			p.group.Close()
+		}
+		s.mu.Unlock()
+	})
+}
+
+// evaluator returns (lazily constructing, shared across workers) the
+// evaluator for unit. Evaluators are safe for concurrent use and hold
+// per-call state in the caller's arena.
+func (p *DetectorPool) evaluator(unit int) (*core.Evaluator, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ev, ok := p.evs[unit]; ok {
+		return ev, nil
+	}
+	m, err := p.sys.Catalog.Load(unit)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := core.NewEvaluator(m, core.EvaluatorConfig{Procedure: p.sys.cfg.Procedure, Level: p.sys.cfg.Level})
+	if err != nil {
+		return nil, err
+	}
+	p.evs[unit] = ev
+	return ev, nil
+}
+
+// detectorScratch is one worker's private working set: the poll
+// buffer, the row-assembly buffers and the evaluation arena. All of it
+// is retained across records, so a warmed worker evaluates without
+// heap allocations.
+type detectorScratch struct {
+	arena   core.Arena
+	rows    [][]float64
+	backing []float64
+	ts      []int64
+	seen    []bool
+}
+
+// worker is one consumer-group member's loop: poll, evaluate, write
+// flags, commit. Commit happens only after the whole poll is
+// processed, so a worker lost mid-batch redelivers (at-least-once) to
+// the surviving members.
+func (p *DetectorPool) worker(ctx context.Context, c *bus.Consumer) {
+	defer p.wg.Done()
+	defer c.Leave()
+	var sc detectorScratch
+	sink := &tsdb.Sink{TSD: p.sys.TSDB.TSDs()[0]}
+	buf := make([]bus.Record, 0, 16)
+	for {
+		recs, err := c.Poll(ctx, buf)
+		if err != nil {
+			return
+		}
+		for i := range recs {
+			if err := p.process(&recs[i], sink, &sc); err != nil {
+				p.Errors.Inc()
+			}
+			p.Batches.Inc()
+		}
+		_ = c.CommitPolled(recs)
+	}
+}
+
+// process evaluates one unit batch and writes its flags back.
+func (p *DetectorPool) process(rec *bus.Record, sink core.AnomalySink, sc *detectorScratch) error {
+	batch, ok := rec.Value.(*ingest.UnitBatch)
+	if !ok {
+		return fmt.Errorf("sentinel: record %d/%d is not a unit batch", rec.Partition, rec.Offset)
+	}
+	sensors := p.sys.cfg.SensorsPerUnit
+	if err := sc.assemble(batch, sensors); err != nil {
+		return err
+	}
+	ev, err := p.evaluator(batch.Unit)
+	if err != nil {
+		return err
+	}
+	n := len(batch.Points) / sensors
+	reports, err := ev.EvaluateBatchInto(sc.rows[:n], sc.ts[:n], &sc.arena)
+	if err != nil {
+		return err
+	}
+	for _, rep := range reports {
+		p.SamplesEvaluated.Add(int64(len(rep.PValues)))
+		for _, f := range rep.Flags {
+			a := core.Anomaly{
+				Unit:      rep.Unit,
+				Sensor:    f.Sensor,
+				Timestamp: rep.Timestamp,
+				Value:     f.Value,
+				Z:         f.Z,
+				PValue:    f.PValue,
+				Adjusted:  f.Adjusted,
+			}
+			if err := sink.WriteAnomaly(a); err != nil {
+				return fmt.Errorf("sentinel: write anomaly: %w", err)
+			}
+			p.AnomaliesWritten.Inc()
+		}
+	}
+	return nil
+}
+
+// assemble unpacks a unit batch into observation rows and timestamps,
+// reusing the scratch buffers. The driver lays points out row-major
+// (all sensors of a step, then the next step); assemble validates that
+// shape rather than trusting it.
+func (sc *detectorScratch) assemble(batch *ingest.UnitBatch, sensors int) error {
+	if err := batch.Validate(sensors); err != nil {
+		return err
+	}
+	n := len(batch.Points) / sensors
+	if cap(sc.backing) < n*sensors {
+		sc.backing = make([]float64, n*sensors)
+	}
+	if cap(sc.rows) < n {
+		sc.rows = make([][]float64, n)
+	}
+	if cap(sc.ts) < n {
+		sc.ts = make([]int64, n)
+	}
+	if cap(sc.seen) < sensors {
+		sc.seen = make([]bool, sensors)
+	}
+	sc.backing = sc.backing[:n*sensors]
+	sc.rows = sc.rows[:n]
+	sc.ts = sc.ts[:n]
+	sc.seen = sc.seen[:sensors]
+	for r := 0; r < n; r++ {
+		row := sc.backing[r*sensors : (r+1)*sensors]
+		sc.rows[r] = row
+		clear(sc.seen)
+		t0 := batch.Points[r*sensors].Timestamp
+		sc.ts[r] = t0
+		for j := 0; j < sensors; j++ {
+			pt := &batch.Points[r*sensors+j]
+			if pt.Timestamp != t0 {
+				return fmt.Errorf("sentinel: unit %d batch row %d mixes timestamps %d and %d", batch.Unit, r, t0, pt.Timestamp)
+			}
+			sidx, err := strconv.Atoi(pt.Tags["sensor"])
+			if err != nil || sidx < 0 || sidx >= sensors {
+				return fmt.Errorf("sentinel: unit %d batch has bad sensor tag %q", batch.Unit, pt.Tags["sensor"])
+			}
+			if sc.seen[sidx] {
+				return fmt.Errorf("sentinel: unit %d batch row %d has sensor %d twice", batch.Unit, r, sidx)
+			}
+			sc.seen[sidx] = true
+			row[sidx] = pt.Value
+		}
+	}
+	return nil
+}

@@ -23,9 +23,12 @@
 package sentinel
 
 import (
+	"context"
 	"fmt"
 	"net/http"
+	"sync"
 
+	"repro/internal/bus"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/dataflow"
@@ -37,6 +40,17 @@ import (
 	"repro/internal/simdata"
 	"repro/internal/tsdb"
 	"repro/internal/viz"
+)
+
+// Bus topic and consumer-group names used by the ingestion pipeline.
+const (
+	// TopicEnergy carries ingest.UnitBatch records keyed by unit id.
+	TopicEnergy = "energy"
+	// GroupStorage is the consumer group writing raw samples through
+	// the proxy into the TSD tier.
+	GroupStorage = "storage"
+	// GroupDetectors is the consumer group evaluating samples online.
+	GroupDetectors = "detectors"
 )
 
 // Config sizes a System. Zero values take the documented defaults.
@@ -87,6 +101,20 @@ type Config struct {
 	// ProxyMaxInFlight / ProxyBuffer tune the ingestion proxy.
 	ProxyMaxInFlight int
 	ProxyBuffer      int
+
+	// Partitions is the commit-log partition count for the ingestion
+	// topic (default max(4, StorageNodes)); units are keyed onto
+	// partitions, so it caps useful detector-worker fan-out.
+	Partitions int
+	// StorageWriters sizes the consumer group draining the bus into
+	// the proxy (default 4).
+	StorageWriters int
+	// DetectorWorkers sizes the streaming detection pool started by
+	// StartDetectors when its argument is 0 (default 2).
+	DetectorWorkers int
+	// BusBuffer bounds each partition's uncommitted window in records
+	// before Publish blocks (default 1024; negative disables).
+	BusBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +142,18 @@ func (c Config) withDefaults() Config {
 	if c.Procedure == fdr.Uncorrected {
 		c.Procedure = fdr.BH
 	}
+	if c.Partitions <= 0 {
+		c.Partitions = c.StorageNodes
+		if c.Partitions < 4 {
+			c.Partitions = 4
+		}
+	}
+	if c.StorageWriters <= 0 {
+		c.StorageWriters = 4
+	}
+	if c.DetectorWorkers <= 0 {
+		c.DetectorWorkers = 2
+	}
 	return c
 }
 
@@ -129,8 +169,19 @@ type System struct {
 	Catalog *core.ModelCatalog
 	Trainer *core.Trainer
 
+	// Bus is the partitioned commit log decoupling producers from the
+	// storage and detection tiers; Writers drains it into the proxy.
+	Bus     *bus.Broker
+	Writers *ingest.StorageWriters
+
+	topic    *bus.Topic
+	storage  *bus.Group
 	pipeline *core.Pipeline
 	source   *tsdb.Source
+
+	mu       sync.Mutex
+	pools    []*DetectorPool
+	detGroup *bus.Group
 }
 
 // New boots a System: cluster, TSD tier, proxy, dataflow engine and an
@@ -202,26 +253,55 @@ func New(cfg Config) (*System, error) {
 	// Online evaluation fans out across units on the same engine the
 	// offline trainer uses, so Detect throughput scales with cores.
 	sys.pipeline.Engine = engine
+	// The ingestion bus: producers publish unit-keyed batches to the
+	// partitioned log; the storage consumer group drains them through
+	// the proxy into the TSD tier. Detection consumers attach
+	// independently (StartDetectors), so a slow detector never stalls
+	// storage writes — the paper's reason for the Kafka tier.
+	sys.Bus = bus.New(bus.Config{Partitions: cfg.Partitions, PartitionBuffer: cfg.BusBuffer})
+	sys.topic = sys.Bus.Topic(TopicEnergy)
+	sys.storage = sys.topic.Group(GroupStorage)
+	sys.Writers = ingest.StartStorageWriters(context.Background(), sys.storage, px, cfg.StorageWriters)
 	return sys, nil
 }
 
 // Config returns the effective configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Close releases every component.
+// Close releases every component: detector pools first, then the
+// storage writers and the bus, then the storage tier under them.
 func (s *System) Close() {
+	s.mu.Lock()
+	pools := s.pools
+	s.pools = nil
+	s.mu.Unlock()
+	for _, p := range pools {
+		p.Stop()
+	}
+	s.Writers.Stop()
+	s.Bus.Close()
 	s.Proxy.Close()
 	s.Engine.Close()
 	s.Cluster.Stop()
 }
 
-// IngestRange streams fleet time steps [from, from+steps) through the
-// proxy into storage and waits for delivery.
+// Topic returns the ingestion commit-log topic (for replay tooling and
+// custom consumers).
+func (s *System) Topic() *bus.Topic { return s.topic }
+
+// IngestRange streams fleet time steps [from, from+steps) onto the
+// commit log and waits until the storage consumer group has drained
+// them through the proxy into the TSD tier — the synchronous contract
+// the training and detection paths rely on. Detector pools consume the
+// same records asynchronously.
 func (s *System) IngestRange(from int64, steps int) (ingest.Stats, error) {
-	driver := ingest.NewDriver(s.Fleet, s.Proxy, ingest.DriverConfig{})
+	driver := ingest.NewBusDriver(s.Fleet, s.topic, ingest.DriverConfig{})
 	stats, err := driver.Run(from, steps)
 	if err != nil {
 		return stats, err
+	}
+	if err := s.storage.Sync(context.Background()); err != nil {
+		return stats, fmt.Errorf("sentinel: drain storage group: %w", err)
 	}
 	s.Proxy.Flush()
 	return stats, nil
