@@ -10,9 +10,9 @@ EVAL_BENCH = BenchmarkFDRCorrections|BenchmarkOnlineEvalThroughput|BenchmarkEndT
 # The in-place benchmarks whose allocs/op are pinned in ALLOC_PINS and
 # gated by bench-allocs. BenchmarkBusPublish also matches
 # BenchmarkBusPublishConsume.
-ALLOC_BENCH = BenchmarkEvaluateBatchInto|BenchmarkApplyInto|BenchmarkMulInto|BenchmarkBusPublish
+ALLOC_BENCH = BenchmarkEvaluateBatchInto|BenchmarkApplyInto|BenchmarkMulInto|BenchmarkBusPublish|BenchmarkQueryCacheHit
 
-.PHONY: build lint vet fmt test bench bench-json bench-allocs check
+.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs check
 
 build:
 	$(GO) build ./...
@@ -40,13 +40,22 @@ bench:
 # core/fdr hot paths) with -benchmem and records name → samples/s,
 # ns/op, allocs/op in BENCH_evaluation.json — the committed perf
 # trajectory. See README.md "Perf methodology".
-bench-json:
+bench-json: bench-query
 	@rm -f bench-eval.out
 	$(GO) test -run '^$$' -bench '$(EVAL_BENCH)' -benchtime $(BENCHTIME) -benchmem . > bench-eval.out
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateBatch|BenchmarkApplyInto' -benchtime $(BENCHTIME) -benchmem ./internal/core/ ./internal/fdr/ >> bench-eval.out
 	$(GO) test -run '^$$' -bench 'BenchmarkBusPublishConsume|BenchmarkDetectorPoolFanout' -benchtime $(BENCHTIME) -benchmem ./internal/bus/ ./sentinel/ >> bench-eval.out
 	$(GO) run ./cmd/benchjson -out BENCH_evaluation.json < bench-eval.out
 	@rm -f bench-eval.out
+
+# bench-query records the read-tier trajectory in BENCH_query.json:
+# the cold scatter-gather path, the cached hot path (whose allocs/op
+# is also pinned by bench-allocs) and LTTB bounding.
+bench-query:
+	@rm -f bench-query.out
+	$(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchtime $(BENCHTIME) -benchmem ./internal/query/ > bench-query.out
+	$(GO) run ./cmd/benchjson -out BENCH_query.json < bench-query.out
+	@rm -f bench-query.out
 
 # bench-allocs gates the allocs/op pins: the in-place hot paths run
 # once (-benchtime=1x -benchmem) and cmd/allocgate fails the build if
@@ -55,7 +64,7 @@ bench-json:
 bench-allocs:
 	@rm -f bench-allocs.out
 	$(GO) test -run '^$$' -bench '$(ALLOC_BENCH)' -benchtime 1x -benchmem \
-		./internal/core/ ./internal/fdr/ ./internal/linalg/ ./internal/bus/ > bench-allocs.out
+		./internal/core/ ./internal/fdr/ ./internal/linalg/ ./internal/bus/ ./internal/query/ > bench-allocs.out
 	$(GO) run ./cmd/allocgate -pins ALLOC_PINS < bench-allocs.out
 	@rm -f bench-allocs.out
 

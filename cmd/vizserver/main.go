@@ -18,21 +18,27 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/query"
 	"repro/internal/viz"
 	"repro/sentinel"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		units      = flag.Int("units", 20, "simulated units")
-		sensors    = flag.Int("sensors", 60, "sensors per unit")
-		nodes      = flag.Int("nodes", 4, "storage nodes")
-		train      = flag.Int("train", 120, "training window (steps)")
-		onset      = flag.Int64("onset", 150, "fault onset step")
-		tick       = flag.Duration("tick", 2*time.Second, "live-loop interval (one fleet second per tick)")
-		partitions = flag.Int("partitions", 0, "commit-log partitions (0: one per unit, capped at 16)")
-		workers    = flag.Int("workers", 2, "streaming detector workers (0: detect synchronously per tick)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		units       = flag.Int("units", 20, "simulated units")
+		sensors     = flag.Int("sensors", 60, "sensors per unit")
+		nodes       = flag.Int("nodes", 4, "storage nodes")
+		train       = flag.Int("train", 120, "training window (steps)")
+		onset       = flag.Int64("onset", 150, "fault onset step")
+		tick        = flag.Duration("tick", 2*time.Second, "live-loop interval (one fleet second per tick)")
+		partitions  = flag.Int("partitions", 0, "commit-log partitions (0: one per unit, capped at 16)")
+		workers     = flag.Int("workers", 2, "streaming detector workers (0: detect synchronously per tick)")
+		cache       = flag.Int("cache", 512, "query-tier window cache entries (negative disables)")
+		cacheBucket = flag.Int64("cachewindow", 5, "cache window bucketing in seconds (0: exact windows)")
+		maxPoints   = flag.Int("maxpoints", 400, "max rendered samples per series (LTTB; 0: unbounded)")
+		fanout      = flag.Int("fanout", 0, "TSDs the query tier fans out over (0: all)")
+		partialOK   = flag.Bool("partial", false, "serve partial results when a storage shard is down")
 	)
 	flag.Parse()
 
@@ -95,10 +101,27 @@ func main() {
 		}
 	}()
 
+	// The read path: scatter-gather across the TSD tier with a
+	// watermark-invalidated window cache and LTTB-bounded payloads.
+	addrs := sys.TSDB.Addrs()
+	if *fanout > 0 && *fanout < len(addrs) {
+		addrs = addrs[:*fanout]
+	}
+	partial := query.PartialFail
+	if *partialOK {
+		partial = query.PartialServe
+	}
+	engine := query.New(sys.Cluster.Network(), addrs, sys.TSDB.Watermarks(), query.Config{
+		MaxEntries:   *cache,
+		WindowBucket: *cacheBucket,
+		Partial:      partial,
+		Timeout:      10 * time.Second,
+	})
 	backend := &viz.Backend{
-		TSD:     sys.TSDB.TSDs()[0],
-		Units:   *units,
-		Sensors: *sensors,
+		Q:         engine,
+		Units:     *units,
+		Sensors:   *sensors,
+		MaxPoints: *maxPoints,
 	}
 	handler := viz.NewServer(backend, now.Load)
 	fmt.Printf("vizserver: fleet overview at http://localhost%s/ (faults begin at t=%d)\n", *addr, *onset)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"net/http/httptest"
 	"strings"
 
+	"repro/internal/query"
 	"repro/internal/viz"
 	"repro/sentinel"
 )
@@ -47,7 +49,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	backend := &viz.Backend{TSD: sys.TSDB.TSDs()[0], Units: 12, Sensors: 30}
+	// Reads fan out across all three TSDs through the cached query tier.
+	backend := &viz.Backend{
+		Q:         sys.QueryEngine(query.Config{MaxEntries: 128}),
+		Units:     12,
+		Sensors:   30,
+		MaxPoints: 400,
+	}
 	handler := viz.NewServer(backend, func() int64 { return 160 })
 
 	// Walk the three Figure-3 surfaces through the HTTP interface.
@@ -64,7 +72,7 @@ func main() {
 	// Find a machine with anomalies and drill in.
 	target := -1
 	for u := 0; u < 12; u++ {
-		mv, err := backend.Machine(u, 120, 160)
+		mv, err := backend.Machine(context.Background(), u, 120, 160)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,7 +88,7 @@ func main() {
 	fmt.Printf("machine %d page: %d sparklines, red flags present: %v\n",
 		target, strings.Count(machine, `class="spark"`), strings.Contains(machine, `class="anomaly"`))
 
-	mv, _ := backend.Machine(target, 120, 160)
+	mv, _ := backend.Machine(context.Background(), target, 120, 160)
 	for _, sv := range mv.Sensors {
 		if len(sv.Anomalies) == 0 {
 			continue

@@ -1,0 +1,103 @@
+package query
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/hbase"
+	"repro/internal/tsdb"
+)
+
+// benchEnv seeds units×sensors×steps energy samples behind nTSD
+// daemons and returns the deployment (cleanup via b.Cleanup).
+func benchEnv(b *testing.B, nTSD, units, sensors int, steps int64) *tsdb.Deployment {
+	b.Helper()
+	cluster, err := hbase.NewCluster(hbase.Config{RegionServers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cluster.Stop)
+	d, err := tsdb.NewDeployment(cluster, nTSD, tsdb.TSDConfig{SaltBuckets: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.CreateTable(); err != nil {
+		b.Fatal(err)
+	}
+	pts := make([]tsdb.Point, 0, units*sensors*int(steps))
+	for u := 0; u < units; u++ {
+		for s := 0; s < sensors; s++ {
+			for ts := int64(0); ts < steps; ts++ {
+				pts = append(pts, tsdb.EnergyPoint(u, s, ts, float64(u+s)+float64(ts%17)))
+			}
+		}
+	}
+	if err := d.TSDs()[0].Put(pts); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkQueryCacheHit is the hot read path: an identical repeated
+// window served straight from the LRU. Its allocs/op is pinned at 0 in
+// ALLOC_PINS — a warmed cache serves without touching the heap.
+func BenchmarkQueryCacheHit(b *testing.B) {
+	d := benchEnv(b, 2, 1, 4, 600)
+	e := NewFromDeployment(d, Config{MaxEntries: 64})
+	ctx := context.Background()
+	q := tsdb.Query{Metric: tsdb.MetricEnergy, Tags: map[string]string{"unit": "0"}, Start: 0, End: 599, MaxPoints: 200}
+	if _, err := e.QueryContext(ctx, q); err != nil { // warm the entry
+		b.Fatal(err)
+	}
+	scans := d.QueriesServed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := e.QueryContext(ctx, q)
+		if err != nil || len(series) == 0 {
+			b.Fatalf("hit failed: %v", err)
+		}
+	}
+	b.StopTimer()
+	if d.QueriesServed() != scans {
+		b.Fatalf("cache-hit benchmark touched storage: %d extra scans", d.QueriesServed()-scans)
+	}
+}
+
+// BenchmarkQueryColdScatterGather is the cold read path: every
+// iteration invalidates the metric's watermark, forcing a full
+// scatter-gather across the TSD tier.
+func BenchmarkQueryColdScatterGather(b *testing.B) {
+	d := benchEnv(b, 4, 1, 4, 600)
+	e := NewFromDeployment(d, Config{MaxEntries: 64})
+	ctx := context.Background()
+	q := tsdb.Query{Metric: tsdb.MetricEnergy, Tags: map[string]string{"unit": "0"}, Start: 0, End: 599, MaxPoints: 200}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Watermarks().Bump(tsdb.MetricEnergy)
+		if _, err := e.QueryContext(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if e.CacheHits.Value() != 0 {
+		b.Fatalf("cold benchmark hit the cache %d times", e.CacheHits.Value())
+	}
+}
+
+// BenchmarkQueryLTTB measures bounding a 100k-sample series to 400
+// render points.
+func BenchmarkQueryLTTB(b *testing.B) {
+	in := make([]tsdb.Sample, 100_000)
+	for i := range in {
+		in[i] = tsdb.Sample{Timestamp: int64(i), Value: float64(i % 997)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := LTTB(in, 400); len(out) != 400 {
+			b.Fatal("wrong size")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package query is the read/serving tier between the visualization
+// frontend and the TSD storage tier — the third tier of the paper's
+// architecture to get the scale treatment (evaluation and ingestion
+// came first). It keeps the §V control center interactive under heavy
+// traffic with three mechanisms:
+//
+//   - Scatter-gather. A query's time range is sharded into contiguous
+//     sub-windows, one per TSD daemon, and fanned out over the RPC
+//     fabric as pipelined futures under the caller's deadline. Shard
+//     failures fail over to the remaining daemons; what happens when
+//     every daemon rejects a shard is the partial-failure policy
+//     (fail the query, or serve what arrived and count it). Shard
+//     results merge into series sorted by identity with samples in
+//     timestamp order.
+//
+//   - A window cache. Results are cached in an LRU keyed on
+//     (metric, canonical tags, bucketed window, downsample spec,
+//     render bound). Concurrent identical queries collapse onto one
+//     in-flight fetch (singleflight), and entries are invalidated by
+//     the per-metric write watermark the TSD tier bumps on every put
+//     — a cached window is served only while nothing has been written
+//     to its metric since it was filled. The hit path performs zero
+//     heap allocations (pinned in ALLOC_PINS).
+//
+//   - Bounded rendering. Largest-triangle-three-buckets (LTTB)
+//     downsampling caps a series at Query.MaxPoints visually
+//     representative samples, composed after the TSD tier's own
+//     fixed-window aggregation, so a sparkline or /api/series payload
+//     stays bounded no matter how wide the requested window is. It is
+//     strictly a rendering bound, requested per query: queries that
+//     count or rank samples (fleet anomaly totals, top-N severity)
+//     leave MaxPoints 0 and stay exact.
+//
+// Returned series are shared with the cache and other callers: treat
+// them as read-only.
+package query

@@ -1,0 +1,326 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+	"repro/internal/tsdb"
+)
+
+// ErrNoBackends means the engine was built with no TSD addresses.
+var ErrNoBackends = errors.New("query: no backends")
+
+// PartialPolicy decides what happens when a shard still fails after
+// failing over across every TSD.
+type PartialPolicy int
+
+const (
+	// PartialFail fails the whole query on any unrecoverable shard —
+	// the default: never silently serve a hole in the data.
+	PartialFail PartialPolicy = iota
+	// PartialServe drops the dead shard, serves what arrived and
+	// counts the gap in Partials — availability over completeness,
+	// for dashboards that prefer a sparser chart to an error page.
+	PartialServe
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// MaxEntries is the window-cache capacity in entries (default 512;
+	// negative disables caching and singleflight).
+	MaxEntries int
+	// WindowBucket, when > 0, snaps cache windows onto a grid of this
+	// many seconds: a query for [from, to] fills (and serves from) the
+	// bucket-aligned superset window, trimmed back to the request.
+	// Nearby windows — a dashboard auto-refreshing against a moving
+	// "now" — then share entries instead of each missing.
+	WindowBucket int64
+	// Partial is the shard failure policy (default PartialFail).
+	Partial PartialPolicy
+	// Timeout, when > 0, bounds each query when the caller's context
+	// carries no deadline of its own.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxEntries == 0 {
+		c.MaxEntries = 512
+	}
+	return c
+}
+
+// Engine is the scatter-gather query tier: it fans each query's time
+// range out across the TSD daemons over the RPC fabric, merges the
+// sorted shard results, bounds them with LTTB and serves repeats from
+// the watermark-invalidated window cache. Safe for concurrent use.
+type Engine struct {
+	net   *rpc.Network
+	addrs []string
+	marks *tsdb.Watermarks
+	cfg   Config
+
+	// mu guards the cache, the singleflight table and the key scratch.
+	// It is held only for in-memory bookkeeping, never across a fetch.
+	mu     sync.Mutex
+	cache  *lru
+	flight map[string]*flight
+	key    keyScratch
+
+	// Queries counts calls; CacheHits/CacheMisses the cache outcome;
+	// Collapsed queries that waited on another's in-flight fetch.
+	Queries     telemetry.Counter
+	CacheHits   telemetry.Counter
+	CacheMisses telemetry.Counter
+	Collapsed   telemetry.Counter
+	// SubQueries counts shard RPCs issued; Failovers shard retries on
+	// another TSD; Partials shards dropped under PartialServe.
+	SubQueries telemetry.Counter
+	Failovers  telemetry.Counter
+	Partials   telemetry.Counter
+}
+
+// New builds an engine over the fabric-registered TSD addresses. marks
+// may be nil (caching then only invalidates by eviction).
+func New(net *rpc.Network, addrs []string, marks *tsdb.Watermarks, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		net:    net,
+		addrs:  append([]string(nil), addrs...),
+		marks:  marks,
+		cfg:    cfg,
+		flight: make(map[string]*flight),
+	}
+	if cfg.MaxEntries > 0 {
+		e.cache = newLRU(cfg.MaxEntries)
+	}
+	return e
+}
+
+// NewFromDeployment builds an engine spanning every TSD of d, wired to
+// its network and write watermarks.
+func NewFromDeployment(d *tsdb.Deployment, cfg Config) *Engine {
+	return New(d.Cluster.Network(), d.Addrs(), d.Watermarks(), cfg)
+}
+
+// Config returns the effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// QueryContext serves q: from cache when fresh, otherwise by
+// scatter-gathering the TSD tier (collapsing concurrent identical
+// fetches). Returned series are shared — treat them as read-only.
+func (e *Engine) QueryContext(ctx context.Context, q tsdb.Query) ([]tsdb.Series, error) {
+	e.Queries.Inc()
+	if len(e.addrs) == 0 {
+		return nil, ErrNoBackends
+	}
+	if q.End < q.Start {
+		return nil, nil
+	}
+	if e.cfg.Timeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
+			defer cancel()
+		}
+	}
+	from, to := q.Start, q.End
+	if w := e.cfg.WindowBucket; w > 0 {
+		from = tsdb.BucketStart(from, w)
+		to = tsdb.BucketStart(to, w) + w - 1
+	}
+	if e.cache == nil {
+		series, err := e.fetch(ctx, q, q.Start, q.End)
+		return series, err
+	}
+
+	ver := e.marks.Version(q.Metric)
+	e.mu.Lock()
+	key := e.key.key(&q, from, to)
+	if ent, ok := e.cache.get(key); ok && ent.version == ver {
+		e.CacheHits.Inc()
+		series := ent.series
+		e.mu.Unlock()
+		return trim(series, q.Start, q.End, from, to), nil
+	}
+	e.CacheMisses.Inc()
+	skey := string(key)
+	if fl, ok := e.flight[skey]; ok {
+		e.Collapsed.Inc()
+		e.mu.Unlock()
+		select {
+		case <-fl.done:
+			if fl.err != nil {
+				return nil, fl.err
+			}
+			return trim(fl.series, q.Start, q.End, from, to), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	e.flight[skey] = fl
+	e.mu.Unlock()
+
+	series, err := e.fetch(ctx, q, from, to)
+	fl.series, fl.err = series, err
+	e.mu.Lock()
+	delete(e.flight, skey)
+	if err == nil {
+		// ver was read before the fetch: a write racing the scan makes
+		// the entry conservatively stale rather than wrongly fresh.
+		e.cache.add(&entry{key: skey, series: series, version: ver})
+	}
+	e.mu.Unlock()
+	close(fl.done)
+	if err != nil {
+		return nil, err
+	}
+	return trim(series, q.Start, q.End, from, to), nil
+}
+
+// fetch scatter-gathers [from, to]: the window is sharded across the
+// TSD daemons, sub-queries are issued as pipelined futures, failures
+// fail over to the remaining daemons, and shard results merge into
+// ID-sorted series. A per-query MaxPoints bounds each merged series
+// via LTTB — a rendering bound; counting queries leave it 0.
+func (e *Engine) fetch(ctx context.Context, q tsdb.Query, from, to int64) ([]tsdb.Series, error) {
+	shards := shardWindow(from, to, len(e.addrs), q.DownsampleSeconds)
+	futs := make([]*rpc.Future, len(shards))
+	for i, sh := range shards {
+		sub := q
+		sub.Start, sub.End = sh[0], sh[1]
+		e.SubQueries.Inc()
+		futs[i] = e.net.Go(ctx, e.addrs[i%len(e.addrs)], "query", &tsdb.QueryRequest{Query: sub})
+	}
+	grouped := make(map[string]*tsdb.Series)
+	order := make([]string, 0, 8)
+	missing := 0
+	for i := range shards {
+		res, err := futs[i].Wait(ctx)
+		if err != nil && !errors.Is(err, tsdb.ErrNoSuchMetric) {
+			// Every TSD shares the deployment's UID table, so an
+			// unknown metric is unknown everywhere — failing over on it
+			// would burn one RPC per shard on the routine "metric not
+			// yet written" path and misreport Failovers.
+			res, err = e.failover(ctx, q, shards[i], i, err)
+		}
+		if err != nil {
+			if errors.Is(err, tsdb.ErrNoSuchMetric) {
+				missing++
+				continue
+			}
+			if e.cfg.Partial == PartialServe && ctx.Err() == nil {
+				e.Partials.Inc()
+				continue
+			}
+			return nil, fmt.Errorf("query: shard [%d,%d]: %w", shards[i][0], shards[i][1], err)
+		}
+		for _, ser := range res.(*tsdb.QueryResponse).Series {
+			id := ser.ID()
+			got, ok := grouped[id]
+			if !ok {
+				s := ser
+				grouped[id] = &s
+				order = append(order, id)
+				continue
+			}
+			// Shards are processed in ascending time order, so a plain
+			// append keeps samples sorted.
+			got.Samples = append(got.Samples, ser.Samples...)
+		}
+	}
+	if missing == len(shards) {
+		return nil, fmt.Errorf("%w: %s", tsdb.ErrNoSuchMetric, q.Metric)
+	}
+	sort.Strings(order)
+	out := make([]tsdb.Series, 0, len(order))
+	for _, id := range order {
+		ser := grouped[id]
+		if q.MaxPoints > 0 {
+			ser.Samples = LTTB(ser.Samples, q.MaxPoints)
+		}
+		out = append(out, *ser)
+	}
+	return out, nil
+}
+
+// failover retries one shard on every other TSD in turn. It returns
+// the last error when all of them reject the shard.
+func (e *Engine) failover(ctx context.Context, q tsdb.Query, sh [2]int64, i int, err error) (any, error) {
+	sub := q
+	sub.Start, sub.End = sh[0], sh[1]
+	for off := 1; off < len(e.addrs); off++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		e.Failovers.Inc()
+		e.SubQueries.Inc()
+		var res any
+		res, err = e.net.Call(ctx, e.addrs[(i+off)%len(e.addrs)], "query", &tsdb.QueryRequest{Query: sub})
+		if err == nil || errors.Is(err, tsdb.ErrNoSuchMetric) {
+			return res, err
+		}
+	}
+	return nil, err
+}
+
+// shardWindow splits the inclusive window [from, to] into at most n
+// contiguous disjoint sub-windows. Boundaries are aligned to the
+// downsample width so no aggregation bucket spans two shards (which
+// would yield two partial aggregates for one bucket after the merge).
+func shardWindow(from, to int64, n int, width int64) [][2]int64 {
+	if to < from {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	total := to - from + 1
+	if int64(n) > total {
+		n = int(total)
+	}
+	out := make([][2]int64, 0, n)
+	lo := from
+	for i := 1; i < n && lo <= to; i++ {
+		hi := from + total*int64(i)/int64(n) - 1
+		if width > 0 {
+			hi = tsdb.BucketStart(hi+1, width) - 1
+		}
+		if hi < lo {
+			continue // alignment swallowed this shard into the next
+		}
+		out = append(out, [2]int64{lo, hi})
+		lo = hi + 1
+	}
+	if lo <= to {
+		out = append(out, [2]int64{lo, to})
+	}
+	return out
+}
+
+// trim cuts series fetched for the expanded window [gotFrom, gotTo]
+// back to the requested [from, to]. The exact-match fast path returns
+// the shared slice untouched (the zero-allocation cache-hit path);
+// otherwise samples are re-sliced in place against the same backing
+// arrays.
+func trim(series []tsdb.Series, from, to, gotFrom, gotTo int64) []tsdb.Series {
+	if from <= gotFrom && to >= gotTo {
+		return series
+	}
+	out := make([]tsdb.Series, 0, len(series))
+	for _, ser := range series {
+		lo := sort.Search(len(ser.Samples), func(i int) bool { return ser.Samples[i].Timestamp >= from })
+		hi := sort.Search(len(ser.Samples), func(i int) bool { return ser.Samples[i].Timestamp > to })
+		if lo >= hi {
+			continue
+		}
+		out = append(out, tsdb.Series{Metric: ser.Metric, Tags: ser.Tags, Samples: ser.Samples[lo:hi]})
+	}
+	return out
+}

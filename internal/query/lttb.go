@@ -1,0 +1,71 @@
+package query
+
+import "repro/internal/tsdb"
+
+// LTTB downsamples a timestamp-sorted series to at most max points
+// with the largest-triangle-three-buckets algorithm (Steinarsson,
+// 2013): the first and last samples are always kept, the interior is
+// split into max-2 buckets, and each bucket contributes the point
+// forming the largest triangle with the previously selected point and
+// the next bucket's average — the selection that best preserves the
+// visual shape of the line. Input under the limit is returned as-is
+// (no copy); output timestamps are strictly increasing whenever the
+// input's are.
+func LTTB(in []tsdb.Sample, max int) []tsdb.Sample {
+	if max <= 0 || len(in) <= max {
+		return in
+	}
+	if max == 1 {
+		return in[:1:1]
+	}
+	if max == 2 {
+		return []tsdb.Sample{in[0], in[len(in)-1]}
+	}
+	out := make([]tsdb.Sample, 0, max)
+	out = append(out, in[0])
+	interior := in[1 : len(in)-1]
+	n := len(interior)
+	buckets := max - 2
+	prev := in[0]
+	for b := 0; b < buckets; b++ {
+		lo := b * n / buckets
+		hi := (b + 1) * n / buckets
+		// The anchor on the far side: the next bucket's centroid, or
+		// the final sample for the last bucket.
+		var ax, ay float64
+		if b == buckets-1 {
+			last := in[len(in)-1]
+			ax, ay = float64(last.Timestamp), last.Value
+		} else {
+			nlo := (b + 1) * n / buckets
+			nhi := (b + 2) * n / buckets
+			if nhi > n {
+				nhi = n
+			}
+			for _, s := range interior[nlo:nhi] {
+				ax += float64(s.Timestamp)
+				ay += s.Value
+			}
+			cnt := float64(nhi - nlo)
+			ax /= cnt
+			ay /= cnt
+		}
+		px, py := float64(prev.Timestamp), prev.Value
+		best, bestArea := lo, -1.0
+		for i := lo; i < hi; i++ {
+			s := interior[i]
+			// Twice the triangle area; the factor cancels in the argmax.
+			area := (px-ax)*(s.Value-py) - (px-float64(s.Timestamp))*(ay-py)
+			if area < 0 {
+				area = -area
+			}
+			if area > bestArea {
+				bestArea = area
+				best = i
+			}
+		}
+		prev = interior[best]
+		out = append(out, prev)
+	}
+	return append(out, in[len(in)-1])
+}

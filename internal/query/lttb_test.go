@@ -1,0 +1,121 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tsdb"
+)
+
+func wave(n int) []tsdb.Sample {
+	out := make([]tsdb.Sample, n)
+	for i := range out {
+		out[i] = tsdb.Sample{Timestamp: int64(i * 3), Value: math.Sin(float64(i)/9) * 40}
+	}
+	return out
+}
+
+func TestLTTBPreservesEndpointsAndOrder(t *testing.T) {
+	for _, n := range []int{3, 10, 100, 5000} {
+		for _, max := range []int{3, 7, 50, 400} {
+			in := wave(n)
+			out := LTTB(in, max)
+			if n <= max {
+				if len(out) != n {
+					t.Fatalf("n=%d max=%d: under-limit input resampled to %d", n, max, len(out))
+				}
+				continue
+			}
+			if len(out) != max {
+				t.Fatalf("n=%d max=%d: got %d points", n, max, len(out))
+			}
+			if out[0] != in[0] || out[len(out)-1] != in[n-1] {
+				t.Fatalf("n=%d max=%d: endpoints not preserved", n, max)
+			}
+			for i := 1; i < len(out); i++ {
+				if out[i].Timestamp <= out[i-1].Timestamp {
+					t.Fatalf("n=%d max=%d: timestamps not strictly increasing at %d", n, max, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLTTBSelectsInputPoints(t *testing.T) {
+	in := wave(1000)
+	byTS := make(map[int64]float64, len(in))
+	for _, s := range in {
+		byTS[s.Timestamp] = s.Value
+	}
+	for _, s := range LTTB(in, 60) {
+		v, ok := byTS[s.Timestamp]
+		if !ok || v != s.Value {
+			t.Fatalf("output point %+v is not an input point", s)
+		}
+	}
+}
+
+func TestLTTBKeepsExtremes(t *testing.T) {
+	// A flat line with one huge spike: any shape-preserving
+	// downsampler must keep the spike.
+	in := wave(0)
+	for i := 0; i < 500; i++ {
+		v := 1.0
+		if i == 250 {
+			v = 500
+		}
+		in = append(in, tsdb.Sample{Timestamp: int64(i), Value: v})
+	}
+	kept := false
+	for _, s := range LTTB(in, 20) {
+		if s.Value == 500 {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Fatal("LTTB dropped the spike")
+	}
+}
+
+func TestLTTBEdgeCases(t *testing.T) {
+	in := wave(10)
+	if out := LTTB(in, 0); len(out) != 10 {
+		t.Fatalf("max=0 must disable bounding, got %d", len(out))
+	}
+	if out := LTTB(in, 1); len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("max=1 = %v", out)
+	}
+	if out := LTTB(in, 2); len(out) != 2 || out[0] != in[0] || out[1] != in[9] {
+		t.Fatalf("max=2 = %v", out)
+	}
+	if out := LTTB(nil, 5); len(out) != 0 {
+		t.Fatal("nil input")
+	}
+}
+
+func TestLTTBRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(800)
+		in := make([]tsdb.Sample, n)
+		ts := int64(rng.Intn(100)) - 50
+		for i := range in {
+			ts += 1 + int64(rng.Intn(5))
+			in[i] = tsdb.Sample{Timestamp: ts, Value: rng.NormFloat64() * 100}
+		}
+		max := 3 + rng.Intn(n)
+		out := LTTB(in, max)
+		if len(in) <= max {
+			continue
+		}
+		if len(out) != max {
+			t.Fatalf("trial %d: len=%d want %d", trial, len(out), max)
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].Timestamp <= out[i-1].Timestamp {
+				t.Fatalf("trial %d: non-monotone output", trial)
+			}
+		}
+	}
+}

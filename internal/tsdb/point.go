@@ -92,6 +92,12 @@ type Query struct {
 	DownsampleSeconds int64
 	// Aggregate selects the downsample function (default AggAvg).
 	Aggregate AggFunc
+	// MaxPoints, when > 0, asks the read tier to bound each returned
+	// series to this many visually representative samples (LTTB). It
+	// is a *rendering* bound: queries that count or rank samples must
+	// leave it 0 for exact results. TSD daemons ignore the field; the
+	// internal/query engine enforces it after its shard merge.
+	MaxPoints int
 }
 
 // AggFunc names a downsampling aggregate.

@@ -51,11 +51,18 @@ type TSD struct {
 	client *hbase.Client
 	codec  *Codec
 	cfg    TSDConfig
+	// marks is the deployment-shared per-metric write watermark; nil
+	// for a TSD outside a deployment.
+	marks *Watermarks
 
 	// PointsWritten counts samples accepted.
 	PointsWritten telemetry.Counter
 	// QueriesServed counts query RPCs.
 	QueriesServed telemetry.Counter
+	// SamplesReturned counts samples returned by queries after tag
+	// filtering — the payload a read actually ships, as opposed to the
+	// cells its scan touched.
+	SamplesReturned telemetry.Counter
 	// RowsCompacted counts row-compaction rewrites.
 	RowsCompacted telemetry.Counter
 }
@@ -64,11 +71,13 @@ type TSD struct {
 func tsdAddr(name string) string { return "tsd/" + name }
 
 // Deployment wires a fleet of TSDs over one HBase cluster, sharing a
-// UID table (backed by the same HBase table).
+// UID table (backed by the same HBase table) and one write-watermark
+// table (the read tier's cache-invalidation signal).
 type Deployment struct {
 	Cluster *hbase.Cluster
 	UIDs    *UIDTable
 	cfg     TSDConfig
+	marks   *Watermarks
 
 	mu   sync.Mutex
 	tsds []*TSD
@@ -83,6 +92,7 @@ func NewDeployment(cluster *hbase.Cluster, n int, cfg TSDConfig) (*Deployment, e
 		Cluster: cluster,
 		UIDs:    NewUIDTable(uidClient),
 		cfg:     cfg,
+		marks:   NewWatermarks(),
 	}
 	for i := 0; i < n; i++ {
 		if _, err := d.AddTSD(); err != nil {
@@ -115,6 +125,7 @@ func (d *Deployment) AddTSD() (*TSD, error) {
 		client: d.Cluster.NewClient(ccfg),
 		codec:  NewCodec(d.UIDs, d.cfg.SaltBuckets),
 		cfg:    d.cfg,
+		marks:  d.marks,
 	}
 	_, err := d.Cluster.Network().Register(tsdAddr(name), t.handle, rpc.ServerConfig{
 		QueueCap: d.cfg.QueueCap,
@@ -155,6 +166,19 @@ func (d *Deployment) PointsWritten() int64 {
 	}
 	return total
 }
+
+// QueriesServed sums query RPCs handled across the TSD tier.
+func (d *Deployment) QueriesServed() int64 {
+	var total int64
+	for _, t := range d.TSDs() {
+		total += t.QueriesServed.Value()
+	}
+	return total
+}
+
+// Watermarks returns the deployment's shared per-metric write
+// watermark table.
+func (d *Deployment) Watermarks() *Watermarks { return d.marks }
 
 // RPC payloads for the TSD tier.
 type (
@@ -220,6 +244,15 @@ func (t *TSD) PutContext(ctx context.Context, points []Point) error {
 		return err
 	}
 	t.PointsWritten.Add(int64(len(points)))
+	// Advance the write watermark once per distinct metric in the batch
+	// (batches are near-always homogeneous, so this is one bump).
+	last := ""
+	for i := range points {
+		if points[i].Metric != last {
+			t.marks.Bump(points[i].Metric)
+			last = points[i].Metric
+		}
+	}
 	return nil
 }
 
@@ -273,14 +306,17 @@ func (t *TSD) QueryContext(ctx context.Context, q Query) ([]Series, error) {
 		}
 	}
 	out := make([]Series, 0, len(grouped))
+	var returned int64
 	for _, ser := range grouped {
 		sort.Slice(ser.Samples, func(i, j int) bool { return ser.Samples[i].Timestamp < ser.Samples[j].Timestamp })
 		ser.Samples = dedupeSamples(ser.Samples)
 		if q.DownsampleSeconds > 0 {
 			ser.Samples = downsample(ser.Samples, q.DownsampleSeconds, q.Aggregate)
 		}
+		returned += int64(len(ser.Samples))
 		out = append(out, *ser)
 	}
+	t.SamplesReturned.Add(returned)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	return out, nil
 }
@@ -310,6 +346,18 @@ func tagsMatch(filter, tags map[string]string) bool {
 	return true
 }
 
+// BucketStart returns the start of ts's width-second bucket, flooring
+// toward negative infinity. Go's % truncates toward zero, so the naive
+// ts-ts%width mis-buckets negative timestamps (e.g. -5 with width 10
+// would land in bucket 0 instead of -10).
+func BucketStart(ts, width int64) int64 {
+	b := ts / width
+	if ts%width != 0 && ts < 0 {
+		b--
+	}
+	return b * width
+}
+
 // downsample buckets samples into fixed windows and aggregates.
 func downsample(in []Sample, width int64, agg AggFunc) []Sample {
 	if len(in) == 0 {
@@ -317,7 +365,7 @@ func downsample(in []Sample, width int64, agg AggFunc) []Sample {
 	}
 	var out []Sample
 	var vals []float64
-	cur := in[0].Timestamp - in[0].Timestamp%width
+	cur := BucketStart(in[0].Timestamp, width)
 	flush := func() {
 		if len(vals) > 0 {
 			out = append(out, Sample{Timestamp: cur, Value: agg.apply(vals)})
@@ -325,7 +373,7 @@ func downsample(in []Sample, width int64, agg AggFunc) []Sample {
 		}
 	}
 	for _, s := range in {
-		b := s.Timestamp - s.Timestamp%width
+		b := BucketStart(s.Timestamp, width)
 		if b != cur {
 			flush()
 			cur = b

@@ -413,3 +413,145 @@ func TestMetaRowsInvisibleToQueries(t *testing.T) {
 		t.Fatalf("series = %d, want 1", len(series))
 	}
 }
+
+func TestBucketStartFloorsNegatives(t *testing.T) {
+	cases := []struct{ ts, width, want int64 }{
+		{0, 10, 0}, {9, 10, 0}, {10, 10, 10}, {15, 10, 10},
+		{-1, 10, -10}, {-5, 10, -10}, {-10, 10, -10}, {-11, 10, -20},
+		{-25, 7, -28}, {25, 7, 21}, {-7, 7, -7},
+	}
+	for _, c := range cases {
+		if got := BucketStart(c.ts, c.width); got != c.want {
+			t.Fatalf("BucketStart(%d, %d) = %d, want %d", c.ts, c.width, got, c.want)
+		}
+	}
+}
+
+// TestDownsampleNegativeTimestamps is the regression test for the
+// truncate-toward-zero bucketing bug: samples at t in [-5, -1] and
+// [0, 4] must land in buckets -10 and 0, not share bucket 0.
+func TestDownsampleNegativeTimestamps(t *testing.T) {
+	var in []Sample
+	for ts := int64(-5); ts < 5; ts++ {
+		in = append(in, Sample{Timestamp: ts, Value: 1})
+	}
+	out := downsample(in, 10, AggCount)
+	if len(out) != 2 {
+		t.Fatalf("buckets = %d (%v), want 2", len(out), out)
+	}
+	if out[0].Timestamp != -10 || out[0].Value != 5 {
+		t.Fatalf("bucket 0 = %+v, want {-10, 5}", out[0])
+	}
+	if out[1].Timestamp != 0 || out[1].Value != 5 {
+		t.Fatalf("bucket 1 = %+v, want {0, 5}", out[1])
+	}
+	// A width that doesn't divide the timestamps, fully negative.
+	out = downsample([]Sample{{-15, 1}, {-14, 2}, {-8, 3}}, 7, AggSum)
+	if len(out) != 2 || out[0].Timestamp != -21 || out[1].Timestamp != -14 {
+		t.Fatalf("out = %v, want buckets -21 and -14", out)
+	}
+	if out[0].Value != 1 || out[1].Value != 5 {
+		t.Fatalf("out = %v, want sums 1 and 5", out)
+	}
+}
+
+// TestDownsampleBucketInvariants property-checks bucketing: bucket
+// timestamps are width-aligned, strictly increasing, and the output
+// count under AggCount sums back to the input length.
+func TestDownsampleBucketInvariants(t *testing.T) {
+	f := func(offsets []uint16, start int32, w uint8) bool {
+		width := int64(w%50) + 1
+		in := make([]Sample, 0, len(offsets))
+		ts := int64(start)
+		for _, o := range offsets {
+			ts += int64(o % 97)
+			in = append(in, Sample{Timestamp: ts, Value: 1})
+		}
+		in = dedupeSamples(in)
+		out := downsample(in, width, AggCount)
+		var total float64
+		prev := int64(math.MinInt64)
+		for _, s := range out {
+			if BucketStart(s.Timestamp, width) != s.Timestamp {
+				return false
+			}
+			if s.Timestamp <= prev {
+				return false
+			}
+			prev = s.Timestamp
+			total += s.Value
+		}
+		return int(total) == len(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDedupeSamplesProperty property-checks dedupeSamples over sorted
+// inputs with runs of duplicate timestamps: the output keeps the
+// first sample of every run, exactly once, in order.
+func TestDedupeSamplesProperty(t *testing.T) {
+	f := func(gaps []uint8, start int32) bool {
+		in := make([]Sample, 0, len(gaps))
+		ts := int64(start)
+		for i, g := range gaps {
+			ts += int64(g % 3) // runs of duplicates (gap 0) are common
+			in = append(in, Sample{Timestamp: ts, Value: float64(i)})
+		}
+		out := dedupeSamples(in)
+		want := make(map[int64]float64)
+		order := make([]int64, 0, len(in))
+		for _, s := range in {
+			if _, ok := want[s.Timestamp]; !ok {
+				want[s.Timestamp] = s.Value
+				order = append(order, s.Timestamp)
+			}
+		}
+		if len(out) != len(order) {
+			return false
+		}
+		for i, s := range out {
+			if s.Timestamp != order[i] || s.Value != want[s.Timestamp] {
+				return false
+			}
+		}
+		// Idempotence.
+		again := dedupeSamples(out)
+		return len(again) == len(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatermarksBumpOnPut(t *testing.T) {
+	d := newDeployment(t, 2, 2, TSDConfig{SaltBuckets: 2})
+	marks := d.Watermarks()
+	if v := marks.Version(MetricEnergy); v != 0 {
+		t.Fatalf("initial version = %d", v)
+	}
+	if err := d.TSDs()[0].Put([]Point{EnergyPoint(0, 0, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if v := marks.Version(MetricEnergy); v != 1 {
+		t.Fatalf("version after put = %d, want 1", v)
+	}
+	// Any TSD of the deployment bumps the shared watermark; other
+	// metrics are untouched.
+	if err := d.TSDs()[1].Put([]Point{{Metric: MetricAnomaly, Tags: EnergyTags(0, 0), Timestamp: 2, Value: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if v := marks.Version(MetricEnergy); v != 1 {
+		t.Fatalf("energy version moved to %d on anomaly write", v)
+	}
+	if v := marks.Version(MetricAnomaly); v != 1 {
+		t.Fatalf("anomaly version = %d, want 1", v)
+	}
+	// Nil watermarks (a TSD outside a deployment) must be safe.
+	var nilMarks *Watermarks
+	nilMarks.Bump("x")
+	if nilMarks.Version("x") != 0 {
+		t.Fatal("nil watermark version")
+	}
+}

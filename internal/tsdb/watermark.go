@@ -1,0 +1,48 @@
+package tsdb
+
+import "sync"
+
+// Watermarks tracks a monotone write version per metric. Every
+// successful PutContext on any TSD of a Deployment bumps the version of
+// the metrics it wrote, so a read tier can cheaply detect that cached
+// results for a metric are stale — the invalidation signal the
+// internal/query window cache keys on. Because every write path in the
+// system (the ingestion bus via the proxy, the detector write-back
+// sink, direct puts) ultimately lands in some TSD's PutContext, the
+// watermark observes them all.
+//
+// The zero value is not usable; share one instance per Deployment via
+// NewWatermarks. All methods are safe for concurrent use and nil-safe
+// (a nil *Watermarks reports version 0 and ignores bumps), so a TSD
+// constructed without a deployment keeps working.
+type Watermarks struct {
+	mu sync.RWMutex
+	v  map[string]uint64
+}
+
+// NewWatermarks returns an empty watermark table.
+func NewWatermarks() *Watermarks {
+	return &Watermarks{v: make(map[string]uint64)}
+}
+
+// Bump advances the metric's write version by one.
+func (w *Watermarks) Bump(metric string) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.v[metric]++
+	w.mu.Unlock()
+}
+
+// Version returns the metric's current write version (0 if never
+// written).
+func (w *Watermarks) Version(metric string) uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.RLock()
+	v := w.v[metric]
+	w.mu.RUnlock()
+	return v
+}

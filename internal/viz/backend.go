@@ -13,16 +13,40 @@
 // Pages are server-rendered HTML with inline SVG (usable from desktop
 // and mobile, as the paper requires); every surface is also available
 // as a JSON API for programmatic use.
+//
+// Reads go through a Querier — normally the internal/query
+// scatter-gather tier with its window cache and LTTB bounding — so
+// page loads stay cheap and constant-size however wide the window or
+// large the fleet.
 package viz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 
+	"repro/internal/query"
+	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
+
+// Error kinds the HTTP layer maps onto status codes: ErrNotFound for
+// unknown units/sensors (404), ErrBadRequest for malformed requests
+// such as inverted windows (400). Everything else is a storage failure
+// (500).
+var (
+	ErrNotFound   = errors.New("viz: not found")
+	ErrBadRequest = errors.New("viz: bad request")
+)
+
+// Querier serves storage reads for the backend. *query.Engine is the
+// production implementation (scatter-gather + cache + bounding);
+// *tsdb.TSD satisfies it too for single-daemon setups and tests.
+type Querier interface {
+	QueryContext(ctx context.Context, q tsdb.Query) ([]tsdb.Series, error)
+}
 
 // Status grades a unit's health for the status bar.
 type Status string
@@ -38,12 +62,23 @@ const (
 // "energy", flags from "anomaly" — both written by the rest of the
 // pipeline).
 type Backend struct {
+	// Q serves reads; when nil the legacy single-daemon TSD is used.
+	Q Querier
+	// TSD is the legacy direct-daemon read path, used when Q is nil.
 	TSD     *tsdb.TSD
 	Units   int
 	Sensors int
 	// WarnAt / CritAt are the anomaly-count thresholds grading a unit
 	// (defaults 1 and 10).
 	WarnAt, CritAt int
+	// MaxPoints, when > 0, bounds every rendered series to this many
+	// samples via LTTB (the query tier may bound again server-side).
+	MaxPoints int
+
+	// IgnoredAnomalies counts anomaly samples observed for units
+	// outside [0, Units) — misconfiguration that used to be dropped
+	// silently; Fleet also surfaces the per-window count.
+	IgnoredAnomalies telemetry.Counter
 }
 
 func (b *Backend) warnAt() int {
@@ -60,6 +95,22 @@ func (b *Backend) critAt() int {
 	return 10
 }
 
+// query routes a read through the configured Querier.
+func (b *Backend) query(ctx context.Context, q tsdb.Query) ([]tsdb.Series, error) {
+	if b.Q != nil {
+		return b.Q.QueryContext(ctx, q)
+	}
+	if b.TSD != nil {
+		return b.TSD.QueryContext(ctx, q)
+	}
+	return nil, errors.New("viz: backend has no querier")
+}
+
+// bound applies the backend's render cap.
+func (b *Backend) bound(samples []tsdb.Sample) []tsdb.Sample {
+	return query.LTTB(samples, b.MaxPoints)
+}
+
 // UnitSummary is one row of the fleet overview.
 type UnitSummary struct {
 	Unit      int    `json:"unit"`
@@ -71,18 +122,23 @@ type UnitSummary struct {
 
 // FleetSummary is the status-bar payload.
 type FleetSummary struct {
-	From, To  int64         `json:"-"`
-	Healthy   int           `json:"healthy"`
-	Warning   int           `json:"warning"`
-	Critical  int           `json:"critical"`
-	Anomalies int           `json:"anomalies"`
-	Units     []UnitSummary `json:"units"`
+	From, To  int64 `json:"-"`
+	Healthy   int   `json:"healthy"`
+	Warning   int   `json:"warning"`
+	Critical  int   `json:"critical"`
+	Anomalies int   `json:"anomalies"`
+	// Ignored counts anomalies written for units outside the fleet's
+	// configured range — almost certainly a misconfigured writer.
+	Ignored int           `json:"ignoredAnomalies,omitempty"`
+	Units   []UnitSummary `json:"units"`
 }
 
-// anomaliesByUnit fetches all anomaly points in [from, to] grouped by
-// unit, then by sensor.
-func (b *Backend) anomaliesByUnit(from, to int64) (map[int]map[int][]tsdb.Sample, error) {
-	series, err := b.TSD.Query(tsdb.Query{Metric: tsdb.MetricAnomaly, Start: from, End: to})
+// anomalies fetches anomaly points in [from, to] matching the tag
+// filter (nil = fleet-wide), grouped by unit then sensor. Page
+// handlers pass the narrowest filter they can — a drill-down asks for
+// one (unit, sensor) series, not the whole fleet's flags.
+func (b *Backend) anomalies(ctx context.Context, tags map[string]string, from, to int64) (map[int]map[int][]tsdb.Sample, error) {
+	series, err := b.query(ctx, tsdb.Query{Metric: tsdb.MetricAnomaly, Tags: tags, Start: from, End: to})
 	if err != nil {
 		if isNoMetric(err) {
 			return map[int]map[int][]tsdb.Sample{}, nil // nothing flagged yet
@@ -111,12 +167,21 @@ func isNoMetric(err error) bool {
 }
 
 // Fleet builds the overview for the window [from, to].
-func (b *Backend) Fleet(from, to int64) (*FleetSummary, error) {
-	anomalies, err := b.anomaliesByUnit(from, to)
+func (b *Backend) Fleet(ctx context.Context, from, to int64) (*FleetSummary, error) {
+	anomalies, err := b.anomalies(ctx, nil, from, to)
 	if err != nil {
 		return nil, err
 	}
 	fs := &FleetSummary{From: from, To: to}
+	for unit, sensors := range anomalies {
+		if unit >= 0 && unit < b.Units {
+			continue
+		}
+		for _, samples := range sensors {
+			fs.Ignored += len(samples)
+		}
+	}
+	b.IgnoredAnomalies.Add(int64(fs.Ignored))
 	for u := 0; u < b.Units; u++ {
 		sum := UnitSummary{Unit: u, Status: StatusHealthy}
 		for _, samples := range anomalies[u] {
@@ -161,21 +226,26 @@ type MachineView struct {
 // Machine builds the per-machine view: every sensor's series over the
 // window with its anomalies attached (paper: "displays all sensor
 // readings with relevant anomalies annotated directly on a compact
-// sparkline chart").
-func (b *Backend) Machine(unit int, from, to int64) (*MachineView, error) {
+// sparkline chart"). Both reads are scoped to the unit's tag — the
+// anomaly fetch no longer scans the whole fleet's flags.
+func (b *Backend) Machine(ctx context.Context, unit int, from, to int64) (*MachineView, error) {
 	if unit < 0 || unit >= b.Units {
-		return nil, fmt.Errorf("viz: unknown unit %d", unit)
+		return nil, fmt.Errorf("%w: unknown unit %d", ErrNotFound, unit)
 	}
-	series, err := b.TSD.Query(tsdb.Query{
+	unitTag := map[string]string{"unit": strconv.Itoa(unit)}
+	series, err := b.query(ctx, tsdb.Query{
 		Metric: tsdb.MetricEnergy,
-		Tags:   map[string]string{"unit": strconv.Itoa(unit)},
+		Tags:   unitTag,
 		Start:  from,
 		End:    to,
+		// Sparkline data is render-bounded server-side; the anomaly
+		// queries below stay exact so counts and rankings are correct.
+		MaxPoints: b.MaxPoints,
 	})
 	if err != nil && !isNoMetric(err) {
 		return nil, err
 	}
-	anomalies, err := b.anomaliesByUnit(from, to)
+	anomalies, err := b.anomalies(ctx, unitTag, from, to)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +264,7 @@ func (b *Backend) Machine(unit int, from, to int64) (*MachineView, error) {
 	}
 	sort.Ints(sensorIDs)
 	for _, s := range sensorIDs {
-		sv := SensorView{Sensor: s, Samples: bySensor[s], Anomalies: anomalies[unit][s]}
+		sv := SensorView{Sensor: s, Samples: b.bound(bySensor[s]), Anomalies: anomalies[unit][s]}
 		if n := len(sv.Samples); n > 0 {
 			sv.Latest = sv.Samples[n-1].Value
 		}
@@ -221,12 +291,13 @@ type TopAnomaly struct {
 }
 
 // TopAnomalies returns the limit most severe flags in [from, to],
-// ranked by |z| descending (ties by recency).
-func (b *Backend) TopAnomalies(from, to int64, limit int) ([]TopAnomaly, error) {
+// ranked by |z| descending (ties by recency). This is the one surface
+// that legitimately reads the whole fleet's flags.
+func (b *Backend) TopAnomalies(ctx context.Context, from, to int64, limit int) ([]TopAnomaly, error) {
 	if limit <= 0 {
 		limit = 10
 	}
-	byUnit, err := b.anomaliesByUnit(from, to)
+	byUnit, err := b.anomalies(ctx, nil, from, to)
 	if err != nil {
 		return nil, err
 	}
@@ -270,16 +341,21 @@ type SensorDetail struct {
 }
 
 // Sensor builds the drill-down view (paper: "operators can click on
-// anomalies which surfaces a detailed view of the sensor data").
-func (b *Backend) Sensor(unit, sensor int, from, to int64) (*SensorDetail, error) {
+// anomalies which surfaces a detailed view of the sensor data"). Both
+// the samples and the flags are fetched with the exact (unit, sensor)
+// tag filter — a drill-down used to scan the entire fleet's anomaly
+// metric for its two lists.
+func (b *Backend) Sensor(ctx context.Context, unit, sensor int, from, to int64) (*SensorDetail, error) {
 	if unit < 0 || unit >= b.Units || sensor < 0 || sensor >= b.Sensors {
-		return nil, fmt.Errorf("viz: unknown sensor %d/%d", unit, sensor)
+		return nil, fmt.Errorf("%w: unknown sensor %d/%d", ErrNotFound, unit, sensor)
 	}
-	series, err := b.TSD.Query(tsdb.Query{
-		Metric: tsdb.MetricEnergy,
-		Tags:   tsdb.EnergyTags(unit, sensor),
-		Start:  from,
-		End:    to,
+	tags := tsdb.EnergyTags(unit, sensor)
+	series, err := b.query(ctx, tsdb.Query{
+		Metric:    tsdb.MetricEnergy,
+		Tags:      tags,
+		Start:     from,
+		End:       to,
+		MaxPoints: b.MaxPoints,
 	})
 	if err != nil && !isNoMetric(err) {
 		return nil, err
@@ -288,10 +364,16 @@ func (b *Backend) Sensor(unit, sensor int, from, to int64) (*SensorDetail, error
 	for _, ser := range series {
 		det.Samples = append(det.Samples, ser.Samples...)
 	}
-	anomalies, err := b.anomaliesByUnit(from, to)
+	det.Samples = b.bound(det.Samples)
+	flags, err := b.query(ctx, tsdb.Query{Metric: tsdb.MetricAnomaly, Tags: tags, Start: from, End: to})
 	if err != nil {
-		return nil, err
+		if !isNoMetric(err) {
+			return nil, err
+		}
+		return det, nil
 	}
-	det.Anomalies = anomalies[unit][sensor]
+	for _, ser := range flags {
+		det.Anomalies = append(det.Anomalies, ser.Samples...)
+	}
 	return det, nil
 }

@@ -2,6 +2,7 @@ package viz
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
@@ -49,8 +50,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// window resolves [from, to] from query parameters with defaults.
-func (s *Server) window(r *http.Request) (int64, int64) {
+// window resolves [from, to] from query parameters with defaults. An
+// inverted window (from after to) is rejected with ErrBadRequest
+// instead of running the full query pipeline on an empty range.
+func (s *Server) window(r *http.Request) (int64, int64, error) {
 	to := s.Now()
 	if v := r.URL.Query().Get("to"); v != "" {
 		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
@@ -66,7 +69,24 @@ func (s *Server) window(r *http.Request) (int64, int64) {
 	if from < 0 {
 		from = 0
 	}
-	return from, to
+	if from > to {
+		return 0, 0, fmt.Errorf("%w: inverted window [%d, %d]", ErrBadRequest, from, to)
+	}
+	return from, to, nil
+}
+
+// statusFor maps backend errors onto HTTP statuses: validation errors
+// are the client's fault (404/400); everything else is a storage
+// failure (500).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
@@ -74,15 +94,19 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	from, to := s.window(r)
-	fleet, err := s.backend.Fleet(from, to)
+	from, to, err := s.window(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
-	top, err := s.backend.TopAnomalies(from, to, 5)
+	fleet, err := s.backend.Fleet(r.Context(), from, to)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	top, err := s.backend.TopAnomalies(r.Context(), from, to, 5)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
 	s.render(w, "fleet", map[string]any{
@@ -123,11 +147,15 @@ func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	from, to := s.window(r)
+	from, to, err := s.window(r)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
 	if drill {
-		det, err := s.backend.Sensor(unit, sensor, from, to)
+		det, err := s.backend.Sensor(r.Context(), unit, sensor, from, to)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			http.Error(w, err.Error(), statusFor(err))
 			return
 		}
 		s.render(w, "sensor", map[string]any{
@@ -138,9 +166,9 @@ func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	mv, err := s.backend.Machine(unit, from, to)
+	mv, err := s.backend.Machine(r.Context(), unit, from, to)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
 	healthy := 0
@@ -173,8 +201,12 @@ func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) apiFleet(w http.ResponseWriter, r *http.Request) {
-	from, to := s.window(r)
-	fleet, err := s.backend.Fleet(from, to)
+	from, to, err := s.window(r)
+	if err != nil {
+		jsonError(w, err)
+		return
+	}
+	fleet, err := s.backend.Fleet(r.Context(), from, to)
 	if err != nil {
 		jsonError(w, err)
 		return
@@ -189,8 +221,12 @@ func (s *Server) apiMachine(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad unit", http.StatusBadRequest)
 		return
 	}
-	from, to := s.window(r)
-	mv, err := s.backend.Machine(unit, from, to)
+	from, to, err := s.window(r)
+	if err != nil {
+		jsonError(w, err)
+		return
+	}
+	mv, err := s.backend.Machine(r.Context(), unit, from, to)
 	if err != nil {
 		jsonError(w, err)
 		return
@@ -206,8 +242,12 @@ func (s *Server) apiSeries(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unit and sensor required", http.StatusBadRequest)
 		return
 	}
-	from, to := s.window(r)
-	det, err := s.backend.Sensor(unit, sensor, from, to)
+	from, to, err := s.window(r)
+	if err != nil {
+		jsonError(w, err)
+		return
+	}
+	det, err := s.backend.Sensor(r.Context(), unit, sensor, from, to)
 	if err != nil {
 		jsonError(w, err)
 		return
@@ -216,14 +256,18 @@ func (s *Server) apiSeries(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) apiTop(w http.ResponseWriter, r *http.Request) {
-	from, to := s.window(r)
+	from, to, err := s.window(r)
+	if err != nil {
+		jsonError(w, err)
+		return
+	}
 	limit := 10
 	if v := r.URL.Query().Get("limit"); v != "" {
 		if n, err := strconv.Atoi(v); err == nil {
 			limit = n
 		}
 	}
-	top, err := s.backend.TopAnomalies(from, to, limit)
+	top, err := s.backend.TopAnomalies(r.Context(), from, to, limit)
 	if err != nil {
 		jsonError(w, err)
 		return
@@ -238,7 +282,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func jsonError(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusInternalServerError)
+	w.WriteHeader(statusFor(err))
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 

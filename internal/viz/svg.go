@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"html/template"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/tsdb"
@@ -81,16 +82,16 @@ func Sparkline(samples, anomalies []tsdb.Sample, width, height int) template.HTM
 	return template.HTML(b.String()) // #nosec G203 -- numeric content only
 }
 
-// valueAt finds the sample value at (or nearest before) ts.
+// valueAt finds the sample value at (or nearest before) ts. Samples
+// are timestamp-sorted, so this is a binary search — the machine page
+// draws one marker per anomaly and must not rescan the series each
+// time.
 func valueAt(samples []tsdb.Sample, ts int64) float64 {
-	best := samples[0].Value
-	for _, s := range samples {
-		if s.Timestamp > ts {
-			break
-		}
-		best = s.Value
+	i := sort.Search(len(samples), func(i int) bool { return samples[i].Timestamp > ts })
+	if i == 0 {
+		return samples[0].Value
 	}
-	return best
+	return samples[i-1].Value
 }
 
 // StatusBar renders the fleet/unit status strip: green/amber/red

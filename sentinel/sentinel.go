@@ -37,6 +37,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/ingest"
 	"repro/internal/proxy"
+	"repro/internal/query"
 	"repro/internal/simdata"
 	"repro/internal/tsdb"
 	"repro/internal/viz"
@@ -354,13 +355,23 @@ func (s *System) SamplesEvaluated() int64 {
 	return s.pipeline.SamplesEvaluated.Value()
 }
 
+// QueryEngine builds a scatter-gather read tier spanning every TSD of
+// the deployment, wired to its write watermarks for cache
+// invalidation.
+func (s *System) QueryEngine(cfg query.Config) *query.Engine {
+	return query.NewFromDeployment(s.TSDB, cfg)
+}
+
 // Viz returns the web application handler; now is the fleet time the
-// pages treat as "current".
+// pages treat as "current". Reads go through the cached scatter-gather
+// query tier with render payloads LTTB-bounded to 512 points per
+// series.
 func (s *System) Viz(now int64) http.Handler {
 	backend := &viz.Backend{
-		TSD:     s.TSDB.TSDs()[0],
-		Units:   s.cfg.Units,
-		Sensors: s.cfg.SensorsPerUnit,
+		Q:         s.QueryEngine(query.Config{MaxEntries: 256}),
+		Units:     s.cfg.Units,
+		Sensors:   s.cfg.SensorsPerUnit,
+		MaxPoints: 512,
 	}
 	return viz.NewServer(backend, func() int64 { return now })
 }
