@@ -9,10 +9,11 @@ EVAL_BENCH = BenchmarkFDRCorrections|BenchmarkOnlineEvalThroughput|BenchmarkEndT
 
 # The in-place benchmarks whose allocs/op are pinned in ALLOC_PINS and
 # gated by bench-allocs. BenchmarkBusPublish also matches
-# BenchmarkBusPublishConsume.
-ALLOC_BENCH = BenchmarkEvaluateBatchInto|BenchmarkApplyInto|BenchmarkMulInto|BenchmarkBusPublish|BenchmarkQueryCacheHit
+# BenchmarkBusPublishConsume; BenchmarkGatewayPutPath pins the /api/v1
+# ingest edge through the full middleware chain.
+ALLOC_BENCH = BenchmarkEvaluateBatchInto|BenchmarkApplyInto|BenchmarkMulInto|BenchmarkBusPublish|BenchmarkQueryCacheHit|BenchmarkGatewayPutPath
 
-.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs check
+.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs conformance check
 
 build:
 	$(GO) build ./...
@@ -45,6 +46,7 @@ bench-json: bench-query
 	$(GO) test -run '^$$' -bench '$(EVAL_BENCH)' -benchtime $(BENCHTIME) -benchmem . > bench-eval.out
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateBatch|BenchmarkApplyInto' -benchtime $(BENCHTIME) -benchmem ./internal/core/ ./internal/fdr/ >> bench-eval.out
 	$(GO) test -run '^$$' -bench 'BenchmarkBusPublishConsume|BenchmarkDetectorPoolFanout' -benchtime $(BENCHTIME) -benchmem ./internal/bus/ ./sentinel/ >> bench-eval.out
+	$(GO) test -run '^$$' -bench 'BenchmarkGatewayPutPath|BenchmarkGatewayCachedQuery|BenchmarkIngestPutBaseline' -benchtime $(BENCHTIME) -benchmem ./internal/api/ >> bench-eval.out
 	$(GO) run ./cmd/benchjson -out BENCH_evaluation.json < bench-eval.out
 	@rm -f bench-eval.out
 
@@ -64,8 +66,14 @@ bench-query:
 bench-allocs:
 	@rm -f bench-allocs.out
 	$(GO) test -run '^$$' -bench '$(ALLOC_BENCH)' -benchtime 1x -benchmem \
-		./internal/core/ ./internal/fdr/ ./internal/linalg/ ./internal/bus/ ./internal/query/ > bench-allocs.out
+		./internal/core/ ./internal/fdr/ ./internal/linalg/ ./internal/bus/ ./internal/query/ ./internal/api/ > bench-allocs.out
 	$(GO) run ./cmd/allocgate -pins ALLOC_PINS < bench-allocs.out
 	@rm -f bench-allocs.out
 
-check: lint build test bench bench-allocs
+# conformance runs the /api/v1 route-contract table: every route
+# answers and every error class maps onto the documented status +
+# envelope code. Cheap, deterministic, gating in CI.
+conformance:
+	$(GO) test ./internal/api/... -run TestV1Conformance
+
+check: lint build test bench bench-allocs conformance

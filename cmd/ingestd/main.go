@@ -2,34 +2,41 @@
 // OpenTSDB-compatible writes land on a partitioned commit-log bus
 // (keyed by unit) and a consumer group of storage writers drains them
 // through the buffering reverse proxy into a simulated storage
-// cluster — the paper's producer → Kafka → OpenTSDB edge.
+// cluster — the paper's producer → Kafka → OpenTSDB edge. Reads go
+// through the cached scatter-gather query tier, never a raw TSD scan.
 //
 //	ingestd -addr :4242 -nodes 4 -partitions 8 -workers 4
 //
-// Endpoints (mirroring OpenTSDB's HTTP API):
+// The surface is the unified /api/v1 gateway (see internal/api):
 //
-//	POST /api/put        JSON point or array of points
-//	POST /api/put/line   telnet "put …" lines, one per row
-//	GET  /api/query      ?metric=&unit=&sensor=&from=&to=
-//	GET  /metrics        ingestion and bus counters
+//	POST /api/v1/points      JSON points or telnet lines (text/plain)
+//	GET  /api/v1/query       cached scatter-gather reads
+//	GET  /api/v1/metrics     unified telemetry exposition
+//	GET  /healthz, /readyz   liveness / readiness
+//
+// plus the deprecated pre-v1 shims (/api/put, /api/put/line,
+// /api/query, /metrics). SIGINT/SIGTERM shut down gracefully:
+// the listener stops, then the bus drains into storage, then the
+// proxy flushes, then the cluster stops.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"net/http"
-	"strconv"
-	"strings"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/bus"
 	"repro/internal/hbase"
 	"repro/internal/ingest"
 	"repro/internal/proxy"
+	"repro/internal/query"
+	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
 
@@ -40,6 +47,9 @@ func main() {
 		salt       = flag.Int("salt", -1, "salt buckets (-1: one per node, 0: disable)")
 		partitions = flag.Int("partitions", 8, "commit-log partitions for the ingestion topic")
 		workers    = flag.Int("workers", 4, "storage-writer consumers draining the bus into the proxy")
+		cache      = flag.Int("cache", 512, "query-tier window cache entries (negative disables)")
+		rate       = flag.Float64("rate", 0, "per-client request rate limit (req/s; 0 disables)")
+		drainFor   = flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
 	buckets := *salt
@@ -71,170 +81,95 @@ func main() {
 	writers := ingest.StartStorageWriters(context.Background(), storage, px, *workers)
 	defer writers.Stop()
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/api/put", handlePutJSON(topic))
-	mux.HandleFunc("/api/put/line", handlePutLines(topic))
-	mux.HandleFunc("/api/query", handleQuery(deploy.TSDs()[0]))
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintf(w, "bus_published %d\nbus_polled %d\nbus_rebalances %d\nstorage_lag %d\nwriter_delivered %d\nwriter_failures %d\n",
-			broker.Published.Value(), broker.Polled.Value(), broker.Rebalances.Value(),
-			storage.Lag(), writers.Delivered.Value(), writers.Failures.Value())
-		fmt.Fprintf(w, "accepted %d\ndelivered %d\ndropped %d\nretries %d\nqueue_depth %d\n",
-			px.Accepted.Value(), px.Delivered.Value(), px.Dropped.Value(), px.Retries.Value(), px.QueueDepth.Value())
+	// Reads fan out across every TSD through the cached window tier —
+	// the old direct TSDs()[0].Query path bypassed caching, failover
+	// and LTTB bounding entirely.
+	engine := query.NewFromDeployment(deploy, query.Config{
+		MaxEntries: *cache,
+		Timeout:    10 * time.Second,
 	})
+
+	reg := telemetry.NewRegistry()
+	registerMetrics(reg, broker, storage, writers, px, deploy, engine)
+
+	gw := api.New(api.Config{
+		Publisher: &api.BusPublisher{Topic: topic},
+		Query:     engine,
+		Registry:  reg,
+		Ready: []api.ReadyCheck{
+			{Name: "bus", Check: func() error {
+				if !broker.Running() {
+					return errors.New("bus not accepting publishes")
+				}
+				return nil
+			}},
+			{Name: "storage", Check: func() error {
+				if len(deploy.Addrs()) == 0 {
+					return errors.New("no TSDs")
+				}
+				return nil
+			}},
+		},
+		RatePerSec: *rate,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("ingestd: %d nodes, salt=%d, %d partitions, %d writers, listening on %s",
 		*nodes, buckets, *partitions, *workers, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
 
-// publishTimeout bounds how long a put request may sit in publish
-// backpressure before shedding load with 504 — the bus-era analogue of
-// the old fail-fast proxy 503. Without it a stalled storage tier would
-// park handler goroutines indefinitely (http.ListenAndServe sets no
-// request deadlines of its own).
-const publishTimeout = 5 * time.Second
-
-// publish splits the request's points into per-unit batches and
-// appends them to the commit log, blocking under backpressure until
-// the deadline expires. A multi-unit request is not atomic — like any
-// multi-partition produce without transactions, an error can leave an
-// earlier unit's batch durably appended while a later one was refused.
-// That is safe to retry wholesale: point writes are idempotent (same
-// cell, same value), so clients treating 503/504 as "retry the whole
-// request" converge on exactly the intended data.
-func publish(ctx context.Context, topic *bus.Topic, points []tsdb.Point) error {
-	ctx, cancel := context.WithTimeout(ctx, publishTimeout)
+	select {
+	case err := <-errc:
+		log.Fatalf("ingestd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown, in dependency order: stop accepting requests,
+	// drain the bus into storage, flush the proxy, then tear down.
+	log.Printf("ingestd: shutting down (budget %s)", *drainFor)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
-	for key, batch := range ingest.GroupByUnit(points) {
-		if _, err := topic.Publish(ctx, key, batch); err != nil {
-			return err
-		}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("ingestd: http shutdown: %v", err)
 	}
-	return nil
+	if err := broker.Drain(shutdownCtx); err != nil {
+		log.Printf("ingestd: bus drain: %v", err)
+	}
+	writers.Stop()
+	broker.Close()
+	if err := px.Drain(shutdownCtx); err != nil {
+		log.Printf("ingestd: proxy drain: %v", err)
+	}
+	log.Printf("ingestd: shutdown complete")
 }
 
-// publishStatus maps a publish failure to an HTTP status.
-func publishStatus(err error) int {
-	if errors.Is(err, bus.ErrDraining) || errors.Is(err, bus.ErrClosed) {
-		return http.StatusServiceUnavailable
-	}
-	return http.StatusGatewayTimeout // backpressure outlasted the request deadline
-}
-
-func handlePutJSON(topic *bus.Topic) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		points, err := parseJSONBody(body)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if err := publish(r.Context(), topic, points); err != nil {
-			http.Error(w, err.Error(), publishStatus(err))
-			return
-		}
-		w.WriteHeader(http.StatusNoContent)
-	}
-}
-
-func handlePutLines(topic *bus.Topic) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		points, err := parseLinesBody(string(body))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if err := publish(r.Context(), topic, points); err != nil {
-			http.Error(w, err.Error(), publishStatus(err))
-			return
-		}
-		w.WriteHeader(http.StatusNoContent)
-	}
-}
-
-func handleQuery(t *tsdb.TSD) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query()
-		metric := q.Get("metric")
-		if metric == "" {
-			metric = tsdb.MetricEnergy
-		}
-		from, _ := strconv.ParseInt(q.Get("from"), 10, 64)
-		to, err := strconv.ParseInt(q.Get("to"), 10, 64)
-		if err != nil {
-			http.Error(w, "to required", http.StatusBadRequest)
-			return
-		}
-		tags := map[string]string{}
-		if u := q.Get("unit"); u != "" {
-			tags["unit"] = u
-		}
-		if s := q.Get("sensor"); s != "" {
-			tags["sensor"] = s
-		}
-		series, err := t.Query(tsdb.Query{Metric: metric, Tags: tags, Start: from, End: to})
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprint(w, renderSeries(series))
-	}
-}
-
-// parseJSONBody and parseLinesBody are thin indirections over the
-// ingest codecs (kept separate so the handlers stay testable).
-func parseJSONBody(body []byte) ([]tsdb.Point, error) { return ingestParseJSON(body) }
-
-func parseLinesBody(body string) ([]tsdb.Point, error) {
-	var points []tsdb.Point
-	for _, line := range strings.Split(body, "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		p, err := ingestParseLine(line)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, p)
-	}
-	return points, nil
-}
-
-func renderSeries(series []tsdb.Series) string {
-	var b strings.Builder
-	b.WriteString("[")
-	for i, s := range series {
-		if i > 0 {
-			b.WriteString(",")
-		}
-		fmt.Fprintf(&b, `{"series":%q,"samples":[`, s.ID())
-		for j, sm := range s.Samples {
-			if j > 0 {
-				b.WriteString(",")
-			}
-			fmt.Fprintf(&b, `[%d,%g]`, sm.Timestamp, sm.Value)
-		}
-		b.WriteString("]}")
-	}
-	b.WriteString("]\n")
-	return b.String()
+// registerMetrics exposes every tier's counters through the single
+// registry behind /api/v1/metrics and the legacy /metrics shim —
+// replacing the hand-rolled fmt.Fprintf writer this binary used to
+// carry. Names are kept identical for scrape continuity.
+func registerMetrics(reg *telemetry.Registry, broker *bus.Broker, storage *bus.Group,
+	writers *ingest.StorageWriters, px *proxy.Proxy, deploy *tsdb.Deployment, engine *query.Engine) {
+	reg.RegisterCounter("bus_published", &broker.Published)
+	reg.RegisterCounter("bus_polled", &broker.Polled)
+	reg.RegisterCounter("bus_rebalances", &broker.Rebalances)
+	reg.RegisterFunc("storage_lag", storage.Lag)
+	reg.RegisterCounter("writer_delivered", &writers.Delivered)
+	reg.RegisterCounter("writer_failures", &writers.Failures)
+	reg.RegisterCounter("accepted", &px.Accepted)
+	reg.RegisterCounter("delivered", &px.Delivered)
+	reg.RegisterCounter("dropped", &px.Dropped)
+	reg.RegisterCounter("retries", &px.Retries)
+	reg.RegisterGauge("queue_depth", &px.QueueDepth)
+	reg.RegisterFunc("tsdb_points_written", deploy.PointsWritten)
+	reg.RegisterFunc("tsdb_queries_served", deploy.QueriesServed)
+	reg.RegisterCounter("query_cache_hits", &engine.CacheHits)
+	reg.RegisterCounter("query_cache_misses", &engine.CacheMisses)
+	reg.RegisterCounter("query_subqueries", &engine.SubQueries)
+	reg.RegisterCounter("query_failovers", &engine.Failovers)
 }

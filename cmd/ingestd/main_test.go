@@ -3,29 +3,39 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
+	"log"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/bus"
 	"repro/internal/hbase"
 	"repro/internal/ingest"
 	"repro/internal/proxy"
+	"repro/internal/query"
+	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
 
-// testStack boots the full ingestd pipeline: bus topic → storage
-// writers → proxy → TSD. flush blocks until everything published has
+// testLogger silences gateway access logs in tests.
+func testLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// testStack boots the full ingestd pipeline — bus topic → storage
+// writers → proxy → TSD tier, fronted by the /api/v1 gateway exactly
+// as main() wires it. flush blocks until everything published has
 // reached storage.
-func testStack(t *testing.T) (topic *bus.Topic, tsd *tsdb.TSD, flush func()) {
+func testStack(t *testing.T) (gw *api.Gateway, topic *bus.Topic, deploy *tsdb.Deployment, engine *query.Engine, flush func()) {
 	t.Helper()
 	cluster, err := hbase.NewCluster(hbase.Config{RegionServers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(cluster.Stop)
-	deploy, err := tsdb.NewDeployment(cluster, 1, tsdb.TSDConfig{SaltBuckets: 2})
+	deploy, err = tsdb.NewDeployment(cluster, 2, tsdb.TSDConfig{SaltBuckets: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,6 +53,15 @@ func testStack(t *testing.T) (topic *bus.Topic, tsd *tsdb.TSD, flush func()) {
 	group := topic.Group("storage")
 	writers := ingest.StartStorageWriters(context.Background(), group, px, 2)
 	t.Cleanup(writers.Stop)
+	engine = query.NewFromDeployment(deploy, query.Config{MaxEntries: 64})
+	reg := telemetry.NewRegistry()
+	registerMetrics(reg, broker, group, writers, px, deploy, engine)
+	gw = api.New(api.Config{
+		Publisher: &api.BusPublisher{Topic: topic},
+		Query:     engine,
+		Registry:  reg,
+		AccessLog: testLogger(),
+	})
 	flush = func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -51,65 +70,102 @@ func testStack(t *testing.T) (topic *bus.Topic, tsd *tsdb.TSD, flush func()) {
 		}
 		px.Flush()
 	}
-	return topic, deploy.TSDs()[0], flush
+	return gw, topic, deploy, engine, flush
+}
+
+func do(t *testing.T, gw http.Handler, method, path, body, contentType string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := httptest.NewRecorder()
+	gw.ServeHTTP(rec, req)
+	return rec
 }
 
 func TestPutJSONEndpoint(t *testing.T) {
-	topic, tsd, flush := testStack(t)
-	h := handlePutJSON(topic)
+	gw, _, deploy, _, flush := testStack(t)
 	body := `[{"metric":"energy","timestamp":11,"value":3.5,"tags":{"unit":"1","sensor":"2"}}]`
-	rec := httptest.NewRecorder()
-	h(rec, httptest.NewRequest("POST", "/api/put", strings.NewReader(body)))
-	if rec.Code != 204 {
+	rec := do(t, gw, "POST", "/api/v1/points", body, "application/json")
+	if rec.Code != 200 {
 		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
 	}
+	if !strings.Contains(rec.Body.String(), `"accepted":1`) {
+		t.Fatalf("body = %s", rec.Body)
+	}
 	flush()
-	series, err := tsd.Query(tsdb.Query{Metric: "energy", Tags: tsdb.EnergyTags(1, 2), Start: 0, End: 100})
+	series, err := deploy.TSDs()[0].Query(tsdb.Query{Metric: "energy", Tags: tsdb.EnergyTags(1, 2), Start: 0, End: 100})
 	if err != nil || len(series) != 1 || series[0].Samples[0].Value != 3.5 {
 		t.Fatalf("stored = %+v, %v", series, err)
 	}
-	// Errors.
-	rec = httptest.NewRecorder()
-	h(rec, httptest.NewRequest("GET", "/api/put", nil))
-	if rec.Code != 405 {
+	// Errors: wrong method is 405; a bad body is a 400 envelope.
+	if rec = do(t, gw, "GET", "/api/v1/points", "", ""); rec.Code != 405 {
 		t.Fatalf("GET status = %d", rec.Code)
 	}
-	rec = httptest.NewRecorder()
-	h(rec, httptest.NewRequest("POST", "/api/put", strings.NewReader("{bad")))
-	if rec.Code != 400 {
-		t.Fatalf("bad body status = %d", rec.Code)
+	rec = do(t, gw, "POST", "/api/v1/points", "{bad", "application/json")
+	if rec.Code != 400 || !strings.Contains(rec.Body.String(), `"code":"bad_request"`) {
+		t.Fatalf("bad body status = %d (%s)", rec.Code, rec.Body)
 	}
 }
 
-func TestPutLinesEndpoint(t *testing.T) {
-	topic, tsd, flush := testStack(t)
-	h := handlePutLines(topic)
-	body := "put energy 20 1.25 unit=4 sensor=5\n\nput energy 21 1.5 unit=4 sensor=5\n"
-	rec := httptest.NewRecorder()
-	h(rec, httptest.NewRequest("POST", "/api/put/line", strings.NewReader(body)))
+// TestLegacyPutShims proves the pre-v1 URLs still serve, marked
+// deprecated, with their historical 204 answer.
+func TestLegacyPutShims(t *testing.T) {
+	gw, _, deploy, _, flush := testStack(t)
+	rec := do(t, gw, "POST", "/api/put",
+		`{"metric":"energy","timestamp":12,"value":1.5,"tags":{"unit":"3","sensor":"1"}}`, "application/json")
 	if rec.Code != 204 {
-		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+		t.Fatalf("legacy put status = %d (%s)", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Deprecation") != "true" {
+		t.Fatal("legacy put not marked deprecated")
+	}
+	if !strings.Contains(rec.Header().Get("Link"), "/api/v1/points") {
+		t.Fatalf("legacy put Link = %q", rec.Header().Get("Link"))
+	}
+	rec = do(t, gw, "POST", "/api/put/line", "put energy 20 1.25 unit=4 sensor=5\n\nput energy 21 1.5 unit=4 sensor=5\n", "")
+	if rec.Code != 204 {
+		t.Fatalf("legacy line status = %d (%s)", rec.Code, rec.Body)
 	}
 	flush()
-	series, err := tsd.Query(tsdb.Query{Metric: "energy", Tags: tsdb.EnergyTags(4, 5), Start: 0, End: 100})
+	series, err := deploy.TSDs()[0].Query(tsdb.Query{Metric: "energy", Tags: tsdb.EnergyTags(4, 5), Start: 0, End: 100})
 	if err != nil || len(series) != 1 || len(series[0].Samples) != 2 {
 		t.Fatalf("stored = %+v, %v", series, err)
 	}
-	rec = httptest.NewRecorder()
-	h(rec, httptest.NewRequest("POST", "/api/put/line", strings.NewReader("bogus line\n")))
-	if rec.Code != 400 {
+	if rec = do(t, gw, "POST", "/api/put/line", "bogus line\n", ""); rec.Code != 400 {
 		t.Fatalf("bad line status = %d", rec.Code)
 	}
 }
 
-func TestQueryEndpoint(t *testing.T) {
-	_, tsd, _ := testStack(t)
-	if err := tsd.Put([]tsdb.Point{tsdb.EnergyPoint(7, 8, 30, 9.75)}); err != nil {
+// TestPutLinesV1 covers the text/plain spelling of the v1 write path.
+func TestPutLinesV1(t *testing.T) {
+	gw, _, deploy, _, flush := testStack(t)
+	rec := do(t, gw, "POST", "/api/v1/points", "put energy 30 2.25 unit=6 sensor=0\n", "text/plain")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+	}
+	flush()
+	series, err := deploy.TSDs()[0].Query(tsdb.Query{Metric: "energy", Tags: tsdb.EnergyTags(6, 0), Start: 0, End: 100})
+	if err != nil || len(series) != 1 {
+		t.Fatalf("stored = %+v, %v", series, err)
+	}
+}
+
+// TestLegacyQueryFormatPreserved pins the pre-v1 /api/query contract:
+// `to` required, hand-rolled [{"series":…,"samples":[[t,v]]}] body —
+// now served through the cached query tier.
+func TestLegacyQueryFormatPreserved(t *testing.T) {
+	gw, _, deploy, _, _ := testStack(t)
+	if err := deploy.TSDs()[0].Put([]tsdb.Point{tsdb.EnergyPoint(7, 8, 30, 9.75)}); err != nil {
 		t.Fatal(err)
 	}
-	h := handleQuery(tsd)
-	rec := httptest.NewRecorder()
-	h(rec, httptest.NewRequest("GET", "/api/query?unit=7&sensor=8&from=0&to=100", nil))
+	rec := do(t, gw, "GET", "/api/query?unit=7&sensor=8&from=0&to=100", "", "")
 	if rec.Code != 200 {
 		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
 	}
@@ -117,26 +173,134 @@ func TestQueryEndpoint(t *testing.T) {
 	if !strings.Contains(out, "energy{sensor=8,unit=7}") || !strings.Contains(out, "[30,9.75]") {
 		t.Fatalf("query body = %s", out)
 	}
+	if rec.Header().Get("Deprecation") != "true" {
+		t.Fatal("legacy query not marked deprecated")
+	}
 	// Missing 'to' is a client error.
-	rec = httptest.NewRecorder()
-	h(rec, httptest.NewRequest("GET", "/api/query?unit=7", nil))
-	if rec.Code != 400 {
+	if rec = do(t, gw, "GET", "/api/query?unit=7", "", ""); rec.Code != 400 {
 		t.Fatalf("missing to status = %d", rec.Code)
+	}
+}
+
+// TestQueryServedFromCacheNotTSD is the regression test for the old
+// /api/query handler bypassing the query tier: a repeated identical
+// query must be a cache hit — zero additional TSD scans.
+func TestQueryServedFromCacheNotTSD(t *testing.T) {
+	gw, _, deploy, engine, flush := testStack(t)
+	body := `[{"metric":"energy","timestamp":40,"value":2.5,"tags":{"unit":"1","sensor":"0"}},
+	          {"metric":"energy","timestamp":41,"value":2.75,"tags":{"unit":"1","sensor":"0"}}]`
+	if rec := do(t, gw, "POST", "/api/v1/points", body, "application/json"); rec.Code != 200 {
+		t.Fatalf("put status = %d", rec.Code)
+	}
+	flush()
+	const url = "/api/v1/query?unit=1&sensor=0&from=0&to=100"
+	rec := do(t, gw, "GET", url, "", "")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"v":2.75`) {
+		t.Fatalf("first query = %d (%s)", rec.Code, rec.Body)
+	}
+	scans := deploy.QueriesServed()
+	hits := engine.CacheHits.Value()
+	rec = do(t, gw, "GET", url, "", "")
+	if rec.Code != 200 {
+		t.Fatalf("repeat query = %d", rec.Code)
+	}
+	if got := deploy.QueriesServed(); got != scans {
+		t.Fatalf("repeated query hit storage: %d → %d TSD scans (query tier bypassed)", scans, got)
+	}
+	if engine.CacheHits.Value() <= hits {
+		t.Fatal("repeated query did not hit the window cache")
+	}
+	// The legacy shim shares the same engine and cache.
+	scans = deploy.QueriesServed()
+	if rec = do(t, gw, "GET", "/api/query?unit=1&sensor=0&from=0&to=100", "", ""); rec.Code != 200 {
+		t.Fatalf("legacy query = %d", rec.Code)
+	}
+	if got := deploy.QueriesServed(); got != scans {
+		t.Fatalf("legacy query bypassed the cache: %d → %d TSD scans", scans, got)
+	}
+}
+
+// TestMetricsUnified proves both metrics paths serve the registry
+// exposition (the hand-rolled /metrics writer is gone).
+func TestMetricsUnified(t *testing.T) {
+	gw, _, _, _, flush := testStack(t)
+	if rec := do(t, gw, "POST", "/api/v1/points",
+		`[{"metric":"energy","timestamp":1,"value":1,"tags":{"unit":"0","sensor":"0"}}]`, "application/json"); rec.Code != 200 {
+		t.Fatalf("put = %d", rec.Code)
+	}
+	flush()
+	for _, path := range []string{"/api/v1/metrics", "/metrics"} {
+		rec := do(t, gw, "GET", path, "", "")
+		if rec.Code != 200 {
+			t.Fatalf("%s status = %d", path, rec.Code)
+		}
+		body := rec.Body.String()
+		for _, want := range []string{"bus_published 1", "accepted 1", "http_requests"} {
+			if !strings.Contains(body, want) {
+				t.Fatalf("%s missing %q:\n%s", path, want, body)
+			}
+		}
+	}
+	// The legacy path is a shim: deprecated, pointing at v1.
+	rec := do(t, gw, "GET", "/metrics", "", "")
+	if rec.Header().Get("Deprecation") != "true" {
+		t.Fatal("legacy /metrics not marked deprecated")
+	}
+}
+
+// TestReadyzDistinctFromHealthz: liveness always answers; readiness
+// reflects the bus state.
+func TestReadyzDistinctFromHealthz(t *testing.T) {
+	cluster, err := hbase.NewCluster(hbase.Config{RegionServers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Stop)
+	deploy, err := tsdb.NewDeployment(cluster, 1, tsdb.TSDConfig{SaltBuckets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := deploy.CreateTable(); err != nil {
+		t.Fatal(err)
+	}
+	broker := bus.New(bus.Config{Partitions: 1})
+	gw := api.New(api.Config{
+		AccessLog: testLogger(),
+		Ready: []api.ReadyCheck{
+			{Name: "bus", Check: func() error {
+				if !broker.Running() {
+					return fmt.Errorf("bus down")
+				}
+				return nil
+			}},
+		},
+	})
+	if rec := do(t, gw, "GET", "/healthz", "", ""); rec.Code != 200 {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	if rec := do(t, gw, "GET", "/readyz", "", ""); rec.Code != 200 {
+		t.Fatalf("readyz = %d (%s)", rec.Code, rec.Body)
+	}
+	broker.Close()
+	if rec := do(t, gw, "GET", "/healthz", "", ""); rec.Code != 200 {
+		t.Fatalf("healthz after close = %d (liveness must not depend on the bus)", rec.Code)
+	}
+	rec := do(t, gw, "GET", "/readyz", "", "")
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), `"ready":false`) {
+		t.Fatalf("readyz after close = %d (%s)", rec.Code, rec.Body)
 	}
 }
 
 // TestPublishRoutesMixedUnits proves one HTTP request carrying many
 // units fans out across partitions keyed by unit.
 func TestPublishRoutesMixedUnits(t *testing.T) {
-	topic, tsd, flush := testStack(t)
-	h := handlePutLines(topic)
+	gw, topic, deploy, _, flush := testStack(t)
 	var sb strings.Builder
 	for u := 0; u < 8; u++ {
 		fmt.Fprintf(&sb, "put energy 40 2.5 unit=%d sensor=0\n", u)
 	}
-	rec := httptest.NewRecorder()
-	h(rec, httptest.NewRequest("POST", "/api/put/line", strings.NewReader(sb.String())))
-	if rec.Code != 204 {
+	rec := do(t, gw, "POST", "/api/v1/points", sb.String(), "text/plain")
+	if rec.Code != 200 {
 		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
 	}
 	touched := 0
@@ -150,7 +314,7 @@ func TestPublishRoutesMixedUnits(t *testing.T) {
 	}
 	flush()
 	for u := 0; u < 8; u++ {
-		series, err := tsd.Query(tsdb.Query{Metric: "energy", Tags: tsdb.EnergyTags(u, 0), Start: 0, End: 100})
+		series, err := deploy.TSDs()[0].Query(tsdb.Query{Metric: "energy", Tags: tsdb.EnergyTags(u, 0), Start: 0, End: 100})
 		if err != nil || len(series) != 1 {
 			t.Fatalf("unit %d: stored = %+v, %v", u, series, err)
 		}

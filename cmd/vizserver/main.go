@@ -1,24 +1,34 @@
 // Command vizserver boots the full integrated system at laptop scale —
 // simulated fleet, storage cluster, FDR detector — runs the live loop
 // (ingest → detect → write back) and serves the Figure-3 web
-// application.
+// application behind the unified /api/v1 gateway.
 //
 //	vizserver -addr :8080 -units 20 -sensors 60
 //
-// Then open http://localhost:8080/ for the fleet overview; click a
-// machine for sparklines with red anomaly flags; click a sensor for
-// the drill-down.
+// Open http://localhost:8080/ for the fleet overview; click a machine
+// for sparklines with red anomaly flags; click a sensor for the
+// drill-down. Programmatic access goes through /api/v1/* (fleet
+// pagination, raw queries, the SSE anomaly stream at
+// /api/v1/anomalies/stream) or the sentinel/client SDK; the pre-v1
+// /api/* paths still serve as deprecated shims. SIGINT/SIGTERM shuts
+// down gracefully: listener, live loop, SSE tail, detector pool, then
+// the system tiers in dependency order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/query"
+	"repro/internal/telemetry"
 	"repro/internal/viz"
 	"repro/sentinel"
 )
@@ -39,6 +49,8 @@ func main() {
 		maxPoints   = flag.Int("maxpoints", 400, "max rendered samples per series (LTTB; 0: unbounded)")
 		fanout      = flag.Int("fanout", 0, "TSDs the query tier fans out over (0: all)")
 		partialOK   = flag.Bool("partial", false, "serve partial results when a storage shard is down")
+		rate        = flag.Float64("rate", 0, "per-client request rate limit (req/s; 0 disables)")
+		drainFor    = flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
 
@@ -74,19 +86,28 @@ func main() {
 	// Live loop: every tick advances fleet time one second and ingests
 	// the snapshot onto the commit log. With detector workers the flags
 	// come back asynchronously — the pool's consumer group evaluates
-	// each published batch and writes flags as it goes; with -workers=0
+	// each published batch, writes flags to storage and publishes them
+	// onto the anomaly feed (the SSE stream's source); with -workers=0
 	// detection runs synchronously per tick (the pre-bus behaviour).
+	var pool *sentinel.DetectorPool
 	if *workers > 0 {
-		pool := sys.StartDetectors(*workers)
+		pool = sys.StartDetectors(*workers)
 		log.Printf("streaming detection: %d workers over %d partitions", *workers, nparts)
-		defer pool.Stop()
 	}
 	var now atomic.Int64
 	now.Store(int64(*train))
+	loopCtx, stopLoop := context.WithCancel(context.Background())
+	loopDone := make(chan struct{})
 	go func() {
+		defer close(loopDone)
 		ticker := time.NewTicker(*tick)
 		defer ticker.Stop()
-		for range ticker.C {
+		for {
+			select {
+			case <-loopCtx.Done():
+				return
+			case <-ticker.C:
+			}
 			t := now.Load()
 			if _, err := sys.IngestRange(t, 1); err != nil {
 				log.Printf("vizserver: ingest tick %d: %v", t, err)
@@ -123,7 +144,56 @@ func main() {
 		Sensors:   *sensors,
 		MaxPoints: *maxPoints,
 	}
-	handler := viz.NewServer(backend, now.Load)
+	tail := sys.NewAnomalyTail()
+	reg := telemetry.NewRegistry()
+	sys.RegisterMetrics(reg)
+	reg.RegisterCounter("query_cache_hits", &engine.CacheHits)
+	reg.RegisterCounter("query_cache_misses", &engine.CacheMisses)
+	reg.RegisterCounter("stream_events", &tail.Events)
+	reg.RegisterCounter("stream_dropped", &tail.Dropped)
+	gw := api.New(api.Config{
+		Backend:    backend,
+		Publisher:  &api.BusPublisher{Topic: sys.Topic()},
+		Query:      engine,
+		Tail:       tail,
+		Registry:   reg,
+		HTML:       viz.NewServer(backend, now.Load),
+		Ready:      sys.ReadyChecks(),
+		Now:        now.Load,
+		RatePerSec: *rate,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("vizserver: fleet overview at http://localhost%s/ (faults begin at t=%d)\n", *addr, *onset)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("vizserver: serve: %v", err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown in dependency order: stop the live loop (no
+	// new publishes), end SSE streams, stop the detector pool, shut
+	// the listener, then let sys.Close drain writers → bus → proxy →
+	// cluster.
+	log.Printf("vizserver: shutting down (budget %s)", *drainFor)
+	stopLoop()
+	<-loopDone
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	tail.Close()
+	if pool != nil {
+		pool.Stop()
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("vizserver: http shutdown: %v", err)
+	}
+	log.Printf("vizserver: shutdown complete")
 }

@@ -1,7 +1,8 @@
 // Fleetmonitor: the full integrated architecture from Figure 1 —
-// ingest, detect, write back, and serve the Figure-3 control center —
-// then walk the web surfaces programmatically and print what an
-// operator would see.
+// ingest, detect, write back — served through the unified /api/v1
+// gateway and driven programmatically with the sentinel/client SDK:
+// paginated fleet listing, machine and drill-down views, the severity
+// ranking, and the live SSE anomaly stream.
 //
 //	go run ./examples/fleetmonitor           # one-shot walk-through
 //	go run ./examples/fleetmonitor -serve    # keep serving on :8080
@@ -16,10 +17,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"time"
 
-	"repro/internal/query"
-	"repro/internal/viz"
+	v1 "repro/internal/api/v1"
 	"repro/sentinel"
+	"repro/sentinel/client"
 )
 
 func main() {
@@ -49,55 +51,93 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Reads fan out across all three TSDs through the cached query tier.
-	backend := &viz.Backend{
-		Q:         sys.QueryEngine(query.Config{MaxEntries: 128}),
-		Units:     12,
-		Sensors:   30,
-		MaxPoints: 400,
-	}
-	handler := viz.NewServer(backend, func() int64 { return 160 })
-
-	// Walk the three Figure-3 surfaces through the HTTP interface.
+	// One handler serves everything: /api/v1, the legacy shims and the
+	// Figure-3 HTML pages.
+	handler, tail := sys.Gateway(160, sentinel.GatewayConfig{})
+	defer tail.Close()
 	srv := httptest.NewServer(handler)
 	defer srv.Close()
 
-	fleet := fetch(srv.URL + "/api/fleet?from=120&to=160")
-	fmt.Println("fleet API:", firstLine(fleet))
+	c, err := client.New(srv.URL, client.WithHTTPClient(srv.Client()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
+	// Fleet overview through the paginated v1 listing (3 units/page).
+	fleet, err := c.FleetAll(ctx, client.FleetParams{From: 120, To: 160, Limit: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet API: %d units (%d healthy / %d warning / %d critical), %d anomalies in window\n",
+		len(fleet.Units), fleet.Healthy, fleet.Warning, fleet.Critical, fleet.Anomalies)
+
+	// The HTML surface still renders over the same backend.
 	page := fetch(srv.URL + "/?from=120&to=160")
 	fmt.Printf("fleet page: %d unit rows, status bar present: %v\n",
 		strings.Count(page, "unit-row"), strings.Contains(page, "statusbar"))
 
-	// Find a machine with anomalies and drill in.
+	// Find a machine with anomalies and drill in — all through the SDK.
 	target := -1
-	for u := 0; u < 12; u++ {
-		mv, err := backend.Machine(context.Background(), u, 120, 160)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if mv.Anomalies > 0 {
-			target = u
+	for _, u := range fleet.Units {
+		if u.Anomalies > 0 {
+			target = u.Unit
 			break
 		}
 	}
 	if target < 0 {
 		log.Fatal("no machine shows anomalies; detection failed")
 	}
-	machine := fetch(fmt.Sprintf("%s/machine/%d?from=120&to=160", srv.URL, target))
-	fmt.Printf("machine %d page: %d sparklines, red flags present: %v\n",
-		target, strings.Count(machine, `class="spark"`), strings.Contains(machine, `class="anomaly"`))
-
-	mv, _ := backend.Machine(context.Background(), target, 120, 160)
+	mv, err := c.Machine(ctx, target, 120, 160)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine %d: status %s, %d sensors, %d anomalies\n",
+		target, mv.Status, len(mv.Sensors), mv.Anomalies)
 	for _, sv := range mv.Sensors {
 		if len(sv.Anomalies) == 0 {
 			continue
 		}
-		drill := fetch(fmt.Sprintf("%s/machine/%d/sensor/%d?from=120&to=160", srv.URL, target, sv.Sensor))
-		fmt.Printf("drill-down unit %d sensor %d: %d anomaly rows\n",
-			target, sv.Sensor, strings.Count(drill, "anomaly-row"))
+		det, err := c.Sensor(ctx, target, sv.Sensor, 120, 160)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("drill-down unit %d sensor %d: %d samples, %d anomaly rows\n",
+			target, sv.Sensor, len(det.Samples), len(det.Anomalies))
 		break
 	}
+	top, err := c.TopAnomalies(ctx, 120, 160, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(top) > 0 {
+		fmt.Printf("most concerning: unit %d sensor %d severity %.1f\n",
+			top[0].Unit, top[0].Sensor, top[0].Severity)
+	}
+
+	// Live detection streamed over SSE: start the detector pool, open
+	// the stream, ingest fresh (faulty) fleet-seconds and watch flags
+	// arrive through the public API.
+	pool := sys.StartDetectors(2)
+	defer pool.Stop()
+	streamCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	stream, err := c.StreamAnomalies(streamCtx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Close()
+	go func() {
+		if _, err := sys.IngestRange(160, 5); err != nil {
+			log.Printf("live ingest: %v", err)
+		}
+	}()
+	var first v1.AnomalyEvent
+	if first, err = stream.Next(); err != nil {
+		log.Fatalf("stream: %v", err)
+	}
+	fmt.Printf("live stream: first flag unit %d sensor %d at t=%d (z=%.1f)\n",
+		first.Unit, first.Sensor, first.Timestamp, first.Z)
 
 	if *serve {
 		fmt.Println("serving on http://localhost:8080/ — Ctrl-C to stop")
@@ -119,14 +159,4 @@ func fetch(url string) string {
 		log.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
 	}
 	return string(body)
-}
-
-func firstLine(s string) string {
-	if i := strings.IndexByte(s, '\n'); i >= 0 {
-		s = s[:i]
-	}
-	if len(s) > 140 {
-		s = s[:140] + "…"
-	}
-	return s
 }

@@ -1,0 +1,63 @@
+// Package api is the unified versioned gateway: the single web-facing
+// surface of the architecture. The paper exposes ingestion, detection
+// and visualization as one coherent service; this package is that
+// front — every write, read, detection and ops route lives under
+// /api/v1/*, with the pre-v1 paths kept alive as thin deprecated
+// shims.
+//
+// # Route table
+//
+//	POST /api/v1/points                              write (JSON or telnet lines)
+//	GET  /api/v1/query                               raw series via the cached query tier
+//	GET  /api/v1/fleet                               cursor-paginated unit summaries
+//	GET  /api/v1/machines/{unit}                     per-machine view
+//	GET  /api/v1/machines/{unit}/sensors/{sensor}    drill-down
+//	GET  /api/v1/series                              drill-down (query-param spelling)
+//	GET  /api/v1/anomalies/top                       severity ranking
+//	GET  /api/v1/anomalies/stream                    SSE tail of detector flags
+//	GET  /api/v1/metrics                             telemetry exposition
+//	GET  /healthz, /readyz (+ /api/v1 aliases)       liveness / readiness
+//
+// Legacy shims: /api/put, /api/put/line, /api/query, /api/fleet,
+// /api/machine/{unit}, /api/series, /api/top, /metrics. Each answers
+// exactly as its pre-v1 implementation did (status codes and body
+// shapes preserved) while delegating to the v1 internals, and carries
+// `Deprecation: true` plus a `Link: rel="successor-version"` header
+// naming its replacement.
+//
+// # Middleware chain
+//
+// Standard routes run, outermost first:
+//
+//	RequestID → AccessLog → Recover → Timeout → ConcurrencyLimit → RateLimit → Gzip → handler
+//
+// The order is load-bearing:
+//
+//   - RequestID is outermost so every layer below it — access lines,
+//     panic logs, error envelopes — can name the request.
+//   - AccessLog wraps Recover so a panicked request is still logged
+//     and counted as a 500.
+//   - Timeout sits above the limiters so a request parked on a
+//     concurrency slot cannot wait forever.
+//   - RateLimit is inside ConcurrencyLimit: a 429 is cheap and must
+//     not consume a concurrency slot meant for real work.
+//   - Gzip is innermost so everything outside it observes the true
+//     status and byte counts.
+//
+// Streaming routes (the SSE tail) drop Timeout, ConcurrencyLimit and
+// Gzip — a tail lives for minutes by design, must not occupy a
+// request slot, and its frames have to flush per event, not per gzip
+// block — and instead respect the gateway's MaxStreams cap.
+//
+// Rejections are typed: the per-client token bucket answers 429 with
+// Retry-After, shed load (concurrency or stream caps) answers 503
+// with Retry-After, and every error body is the v1 error envelope
+// {"error":{"code","message","status"}}.
+//
+// # Hot path
+//
+// POST /api/v1/points is the ingest edge and runs the full chain;
+// BenchmarkGatewayPutPath pins its allocs/op in ALLOC_PINS so a new
+// middleware cannot silently tax ingestion. The wrappers the chain
+// allocates per request (status recorder, gzip writer) are pooled.
+package api

@@ -1,0 +1,918 @@
+package api
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	v1 "repro/internal/api/v1"
+	"repro/internal/bus"
+	"repro/internal/ingest"
+	"repro/internal/telemetry"
+	"repro/internal/tsdb"
+	"repro/internal/viz"
+)
+
+// Publisher accepts points for ingestion. BusPublisher is the
+// production implementation (the commit-log topic); tests substitute
+// fakes.
+type Publisher interface {
+	// PublishPoints durably appends points and returns how many were
+	// accepted. A multi-unit batch is not atomic — see BusPublisher.
+	PublishPoints(ctx context.Context, points []tsdb.Point) (int, error)
+}
+
+// Querier serves raw series reads; *query.Engine in production.
+type Querier interface {
+	QueryContext(ctx context.Context, q tsdb.Query) ([]tsdb.Series, error)
+}
+
+// ReadyCheck is one dependency probe behind GET /readyz.
+type ReadyCheck struct {
+	Name  string
+	Check func() error
+}
+
+// Config assembles a Gateway. Every dependency is optional: routes
+// whose dependency is nil answer 503 unavailable, so a read-only
+// deployment simply omits the Publisher.
+type Config struct {
+	// Backend assembles the fleet/machine/series/top views (the data
+	// half of internal/viz; its HTML half mounts via HTML below).
+	Backend *viz.Backend
+	// Publisher accepts writes for POST /api/v1/points.
+	Publisher Publisher
+	// Query serves GET /api/v1/query (the cached scatter-gather
+	// engine in production — never a raw TSD).
+	Query Querier
+	// Tail feeds GET /api/v1/anomalies/stream.
+	Tail *AnomalyTail
+	// Registry backs /api/v1/metrics and the per-route histograms.
+	// Nil disables both.
+	Registry *telemetry.Registry
+	// HTML, when non-nil, serves every route the API does not claim
+	// (the Figure-3 web application).
+	HTML http.Handler
+	// Ready lists the dependency probes behind /readyz.
+	Ready []ReadyCheck
+
+	// Now supplies "current" fleet time for window defaults (default:
+	// wall clock seconds).
+	Now func() int64
+	// Window is the default lookback in seconds (default 300).
+	Window int64
+	// MaxBody bounds request bodies in bytes (default 64 MiB).
+	MaxBody int64
+	// PageLimit is the default (and maximum) fleet page size
+	// (default 100).
+	PageLimit int
+
+	// RatePerSec enables per-client token-bucket rate limiting
+	// (0 disables); Burst is the bucket size (default 2×rate).
+	RatePerSec float64
+	Burst      int
+	// MaxConcurrent caps non-streaming requests in flight
+	// (0 = unlimited); MaxStreams caps live SSE tails (default 64).
+	MaxConcurrent int
+	MaxStreams    int
+	// RequestTimeout bounds each non-streaming request's context
+	// (default 30s; negative disables).
+	RequestTimeout time.Duration
+	// StreamHeartbeat is the SSE keepalive comment interval
+	// (default 15s).
+	StreamHeartbeat time.Duration
+
+	// AccessLog receives one structured line per request; nil uses the
+	// process logger. Set to log.New(io.Discard, …) to silence.
+	AccessLog *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Now == nil {
+		c.Now = func() int64 { return time.Now().Unix() }
+	}
+	if c.Window <= 0 {
+		c.Window = 300
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 64 << 20
+	}
+	if c.PageLimit <= 0 {
+		c.PageLimit = 100
+	}
+	if c.Burst <= 0 {
+		c.Burst = int(2 * c.RatePerSec)
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
+	if c.AccessLog == nil {
+		c.AccessLog = log.Default()
+	}
+	return c
+}
+
+// Gateway is the unified versioned HTTP surface: every write, read,
+// detection and ops route of the system under /api/v1/*, the legacy
+// paths as deprecated shims, and (optionally) the HTML application.
+// It implements http.Handler. See doc.go for the route table and the
+// middleware chain.
+type Gateway struct {
+	cfg     Config
+	mux     *http.ServeMux
+	limiter *RateLimiter
+	streams chan struct{}
+}
+
+// New builds a gateway from cfg.
+func New(cfg Config) *Gateway {
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		streams: make(chan struct{}, cfg.MaxStreams),
+	}
+	if cfg.RatePerSec > 0 {
+		g.limiter = NewRateLimiter(cfg.RatePerSec, cfg.Burst, nil)
+	}
+
+	// std is the full middleware chain for request/response routes;
+	// stream drops the layers that would break a long-lived SSE tail
+	// (timeout, concurrency slots, gzip). Chains wrap per-route — the
+	// mux resolves the pattern first, so AccessLog sees r.Pattern.
+	std := func(h http.HandlerFunc) http.Handler {
+		return Chain(h,
+			RequestID(),
+			AccessLog(cfg.AccessLog, cfg.Registry),
+			Recover(cfg.AccessLog),
+			Timeout(cfg.RequestTimeout),
+			ConcurrencyLimit(cfg.MaxConcurrent),
+			RateLimit(g.limiter),
+			Gzip(),
+		)
+	}
+	stream := func(h http.HandlerFunc) http.Handler {
+		return Chain(h,
+			RequestID(),
+			AccessLog(cfg.AccessLog, cfg.Registry),
+			Recover(cfg.AccessLog),
+			RateLimit(g.limiter),
+		)
+	}
+
+	// The versioned surface. handle registers the route plus a
+	// method-less fallback answering 405 with an Allow header — the
+	// catch-all below would otherwise swallow wrong-method requests
+	// into a 404.
+	handle := func(method, path string, h http.Handler) {
+		g.mux.Handle(method+" "+path, h)
+		g.mux.Handle(path, std(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", method)
+			writeError(w, &apiError{
+				status: http.StatusMethodNotAllowed,
+				code:   v1.CodeBadRequest,
+				msg:    fmt.Sprintf("method %s not allowed on %s", r.Method, path),
+			})
+		}))
+	}
+	handle("POST", "/api/v1/points", std(g.handlePut))
+	handle("GET", "/api/v1/query", std(g.handleQuery))
+	handle("GET", "/api/v1/fleet", std(g.handleFleet))
+	handle("GET", "/api/v1/machines/{unit}", std(g.handleMachine))
+	handle("GET", "/api/v1/machines/{unit}/sensors/{sensor}", std(g.handleSensorPath))
+	handle("GET", "/api/v1/series", std(g.handleSeries))
+	handle("GET", "/api/v1/anomalies/top", std(g.handleTop))
+	handle("GET", "/api/v1/anomalies/stream", stream(g.handleStream))
+	handle("GET", "/api/v1/metrics", std(g.handleMetrics))
+	handle("GET", "/api/v1/healthz", std(g.handleHealth))
+	handle("GET", "/api/v1/readyz", std(g.handleReady))
+	// Unmatched /api/v1/* paths get the envelope, not the mux's text 404.
+	g.mux.Handle("/api/v1/", std(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, errNotFound("no route %s %s", r.Method, r.URL.Path))
+	}))
+
+	// Ops endpoints at their conventional unversioned paths.
+	handle("GET", "/healthz", std(g.handleHealth))
+	handle("GET", "/readyz", std(g.handleReady))
+
+	// Legacy shims: the pre-v1 surfaces of ingestd and vizserver, kept
+	// byte-compatible for old clients and marked deprecated. Each is a
+	// thin adapter onto the v1 handler's internals. They get the same
+	// method-less 405 fallback as v1 routes — without it, a wrong-method
+	// request would fall through to the HTML catch-all and answer 200.
+	handle("POST", "/api/put", std(g.legacyPut(false)))
+	handle("POST", "/api/put/line", std(g.legacyPut(true)))
+	handle("GET", "/api/query", std(g.legacyQuery))
+	handle("GET", "/api/fleet", std(g.legacyFleet))
+	handle("GET", "/api/machine/{unit}", std(g.legacyMachine))
+	handle("GET", "/api/series", std(g.legacySeries))
+	handle("GET", "/api/top", std(g.legacyTop))
+	handle("GET", "/metrics", std(g.legacyMetrics))
+
+	if cfg.HTML != nil {
+		g.mux.Handle("/", std(cfg.HTML.ServeHTTP))
+	}
+	return g
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// Limiter exposes the rate limiter (tests and ops counters).
+func (g *Gateway) Limiter() *RateLimiter { return g.limiter }
+
+// window resolves [from, to] from ?from/?to with gateway defaults,
+// rejecting inverted windows.
+func (g *Gateway) window(r *http.Request) (int64, int64, error) {
+	to := g.cfg.Now()
+	if v := r.URL.Query().Get("to"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, 0, errBadRequest("bad to %q", v)
+		}
+		to = n
+	}
+	from := to - g.cfg.Window
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, 0, errBadRequest("bad from %q", v)
+		}
+		from = n
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from > to {
+		return 0, 0, errBadRequest("inverted window [%d, %d]", from, to)
+	}
+	return from, to, nil
+}
+
+// ---- write path -----------------------------------------------------
+
+// handlePut is POST /api/v1/points: a JSON body ({"points": […]}, a
+// bare array, or one point object) or, for text/plain, OpenTSDB
+// telnet "put" lines. Accepted points are durably on the ingestion
+// log when the 200 returns.
+func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
+	points, err := g.readPoints(r)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	n, err := g.publish(r.Context(), points)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	writeJSON(w, v1.PutResponse{Accepted: n})
+}
+
+func (g *Gateway) publish(ctx context.Context, points []tsdb.Point) (int, error) {
+	if g.cfg.Publisher == nil {
+		return 0, &apiError{status: http.StatusServiceUnavailable, code: v1.CodeUnavailable, msg: "no ingestion backend"}
+	}
+	return g.cfg.Publisher.PublishPoints(ctx, points)
+}
+
+// readPoints decodes the request body into points, honoring MaxBody.
+func (g *Gateway) readPoints(r *http.Request) ([]tsdb.Point, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, g.cfg.MaxBody))
+	if err != nil {
+		if isMaxBytes(err) {
+			return nil, err
+		}
+		return nil, errBadRequest("read body: %v", err)
+	}
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, v1.ContentTypeLines) {
+		return parsePutLines(body)
+	}
+	return parsePutJSON(body)
+}
+
+// parsePutJSON accepts the v1 envelope, a bare array, or one object.
+func parsePutJSON(body []byte) ([]tsdb.Point, error) {
+	// Peek at the first token without copying the body (hot path).
+	i := 0
+	for i < len(body) && (body[i] == ' ' || body[i] == '\t' || body[i] == '\r' || body[i] == '\n') {
+		i++
+	}
+	if i < len(body) && body[i] == '{' {
+		var req v1.PutRequest
+		if err := json.Unmarshal(body, &req); err == nil && req.Points != nil {
+			out := make([]tsdb.Point, len(req.Points))
+			for i, p := range req.Points {
+				out[i] = tsdb.Point{Metric: p.Metric, Timestamp: p.Timestamp, Value: p.Value, Tags: p.Tags}
+			}
+			return validatePoints(out)
+		}
+	}
+	pts, err := ingest.ParseJSON(body)
+	if err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	return validatePoints(pts)
+}
+
+func parsePutLines(body []byte) ([]tsdb.Point, error) {
+	var points []tsdb.Point
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		p, err := ingest.ParseLine(line)
+		if err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+		points = append(points, p)
+	}
+	return validatePoints(points)
+}
+
+func validatePoints(pts []tsdb.Point) ([]tsdb.Point, error) {
+	if len(pts) == 0 {
+		return nil, errBadRequest("no points in request")
+	}
+	for i := range pts {
+		if pts[i].Metric == "" {
+			return nil, errBadRequest("point %d has no metric", i)
+		}
+	}
+	return pts, nil
+}
+
+// BusPublisher publishes points onto the ingestion commit log, one
+// record per unit batch. A multi-unit request is not atomic — an error
+// can leave earlier units' batches appended — but point writes are
+// idempotent, so retrying the whole request wholesale converges (the
+// same contract the pre-v1 ingestd documented).
+type BusPublisher struct {
+	Topic *bus.Topic
+	// Timeout bounds publish backpressure before shedding load with a
+	// 504-mapped error (default 5s).
+	Timeout time.Duration
+}
+
+// PublishPoints implements Publisher.
+func (p *BusPublisher) PublishPoints(ctx context.Context, points []tsdb.Point) (int, error) {
+	d := p.Timeout
+	if d <= 0 {
+		d = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	for key, batch := range ingest.GroupByUnit(points) {
+		if _, err := p.Topic.Publish(ctx, key, batch); err != nil {
+			return 0, err
+		}
+	}
+	return len(points), nil
+}
+
+// ---- read path ------------------------------------------------------
+
+// handleQuery is GET /api/v1/query: raw series over the cached
+// scatter-gather tier. Parameters: metric (default energy), unit,
+// sensor, from/to (window defaults apply), maxpoints (LTTB bound).
+// Accept: application/x-ndjson streams one series per line.
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.Query == nil {
+		writeError(w, &apiError{status: http.StatusServiceUnavailable, code: v1.CodeUnavailable, msg: "no query backend"})
+		return
+	}
+	from, to, err := g.window(r)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		metric = tsdb.MetricEnergy
+	}
+	tags := map[string]string{}
+	if u := q.Get("unit"); u != "" {
+		tags["unit"] = u
+	}
+	if s := q.Get("sensor"); s != "" {
+		tags["sensor"] = s
+	}
+	maxPoints := 0
+	if v := q.Get("maxpoints"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, errBadRequest("bad maxpoints %q", v))
+			return
+		}
+		maxPoints = n
+	}
+	series, err := g.cfg.Query.QueryContext(r.Context(), tsdb.Query{
+		Metric: metric, Tags: tags, Start: from, End: to, MaxPoints: maxPoints,
+	})
+	if err != nil && !isNoMetric(err) {
+		writeError(w, mapError(err))
+		return
+	}
+	out := make([]v1.Series, len(series))
+	for i := range series {
+		out[i] = toSeries(&series[i])
+	}
+	if negotiateNDJSON(r) {
+		w.Header().Set("Content-Type", v1.ContentTypeNDJSON)
+		enc := json.NewEncoder(w)
+		for i := range out {
+			_ = enc.Encode(out[i]) // Encode appends the newline
+		}
+		return
+	}
+	writeJSON(w, v1.QueryResponse{Series: out})
+}
+
+// isNoMetric treats "metric not yet written" as an empty result, the
+// same contract the viz backend applies.
+func isNoMetric(err error) bool { return errors.Is(err, tsdb.ErrNoSuchMetric) }
+
+// negotiateNDJSON reports whether the client asked for NDJSON. Content
+// negotiation is deliberately lenient: NDJSON only on explicit
+// request, everything else serves JSON.
+func negotiateNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), v1.ContentTypeNDJSON)
+}
+
+func toSamples(ss []tsdb.Sample) []v1.Sample {
+	out := make([]v1.Sample, len(ss))
+	for i, s := range ss {
+		out[i] = v1.Sample{Timestamp: s.Timestamp, Value: s.Value}
+	}
+	return out
+}
+
+func toSeries(s *tsdb.Series) v1.Series {
+	return v1.Series{Metric: s.Metric, Tags: s.Tags, Samples: toSamples(s.Samples)}
+}
+
+// requireBackend guards the view routes.
+func (g *Gateway) requireBackend(w http.ResponseWriter) *viz.Backend {
+	if g.cfg.Backend == nil {
+		writeError(w, &apiError{status: http.StatusServiceUnavailable, code: v1.CodeUnavailable, msg: "no view backend"})
+		return nil
+	}
+	return g.cfg.Backend
+}
+
+// handleFleet is GET /api/v1/fleet: cursor-paginated unit summaries
+// with fleet-wide aggregates. ?limit bounds the page (≤ PageLimit),
+// ?cursor resumes a listing. The cursor carries the first page's
+// window, so a walk is a consistent snapshot even against a moving
+// default "now" — and every follow-up page re-reads the same window,
+// which the query tier's cache serves without new TSD scans.
+func (g *Gateway) handleFleet(w http.ResponseWriter, r *http.Request) {
+	b := g.requireBackend(w)
+	if b == nil {
+		return
+	}
+	offset, cfrom, cto, cursored, err := decodeCursor(r.URL.Query().Get("cursor"))
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	var from, to int64
+	if cursored {
+		from, to = cfrom, cto
+	} else if from, to, err = g.window(r); err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	limit := g.cfg.PageLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, errBadRequest("bad limit %q", v))
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	fleet, err := b.Fleet(r.Context(), from, to)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	page := v1.FleetPage{
+		From: from, To: to,
+		Healthy: fleet.Healthy, Warning: fleet.Warning, Critical: fleet.Critical,
+		Anomalies: fleet.Anomalies, Ignored: fleet.Ignored,
+	}
+	if offset > len(fleet.Units) {
+		offset = len(fleet.Units)
+	}
+	end := offset + limit
+	if end > len(fleet.Units) {
+		end = len(fleet.Units)
+	}
+	page.Units = make([]v1.UnitSummary, 0, end-offset)
+	for _, u := range fleet.Units[offset:end] {
+		page.Units = append(page.Units, v1.UnitSummary{
+			Unit: u.Unit, Status: string(u.Status), Anomalies: u.Anomalies, FlaggedSensors: u.FlaggedSensors,
+		})
+	}
+	if end < len(fleet.Units) {
+		page.NextCursor = encodeCursor(end, from, to)
+	}
+	writeJSON(w, page)
+}
+
+// Cursors are opaque to clients: versioned, base64url-encoded
+// "offset:from:to" triples pinning both the position and the window.
+const cursorPrefix = "u1:"
+
+func encodeCursor(offset int, from, to int64) string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte(fmt.Sprintf("%s%d:%d:%d", cursorPrefix, offset, from, to)))
+}
+
+func decodeCursor(s string) (offset int, from, to int64, ok bool, err error) {
+	if s == "" {
+		return 0, 0, 0, false, nil
+	}
+	bad := errBadRequest("bad cursor")
+	raw, derr := base64.RawURLEncoding.DecodeString(s)
+	if derr != nil {
+		return 0, 0, 0, false, bad
+	}
+	rest, found := strings.CutPrefix(string(raw), cursorPrefix)
+	if !found {
+		return 0, 0, 0, false, bad
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, false, bad
+	}
+	offset, oerr := strconv.Atoi(parts[0])
+	from, ferr := strconv.ParseInt(parts[1], 10, 64)
+	to, terr := strconv.ParseInt(parts[2], 10, 64)
+	if oerr != nil || ferr != nil || terr != nil || offset < 0 || from > to {
+		return 0, 0, 0, false, bad
+	}
+	return offset, from, to, true, nil
+}
+
+func (g *Gateway) handleMachine(w http.ResponseWriter, r *http.Request) {
+	b := g.requireBackend(w)
+	if b == nil {
+		return
+	}
+	unit, err := strconv.Atoi(r.PathValue("unit"))
+	if err != nil {
+		writeError(w, errBadRequest("bad unit %q", r.PathValue("unit")))
+		return
+	}
+	from, to, err := g.window(r)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	mv, err := b.Machine(r.Context(), unit, from, to)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	out := v1.MachineView{Unit: mv.Unit, Status: string(mv.Status), Anomalies: mv.Anomalies}
+	out.Sensors = make([]v1.SensorSeries, len(mv.Sensors))
+	for i, sv := range mv.Sensors {
+		out.Sensors[i] = v1.SensorSeries{
+			Sensor: sv.Sensor, Samples: toSamples(sv.Samples), Anomalies: toSamples(sv.Anomalies), Latest: sv.Latest,
+		}
+	}
+	writeJSON(w, out)
+}
+
+// handleSensorPath is GET /api/v1/machines/{unit}/sensors/{sensor}.
+func (g *Gateway) handleSensorPath(w http.ResponseWriter, r *http.Request) {
+	unit, err1 := strconv.Atoi(r.PathValue("unit"))
+	sensor, err2 := strconv.Atoi(r.PathValue("sensor"))
+	if err1 != nil || err2 != nil {
+		writeError(w, errBadRequest("bad unit/sensor path"))
+		return
+	}
+	g.serveSensor(w, r, unit, sensor)
+}
+
+// handleSeries is GET /api/v1/series?unit=&sensor= (the query-param
+// spelling of the drill-down, kept for symmetry with the legacy path).
+func (g *Gateway) handleSeries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	unit, err1 := strconv.Atoi(q.Get("unit"))
+	sensor, err2 := strconv.Atoi(q.Get("sensor"))
+	if err1 != nil || err2 != nil {
+		writeError(w, errBadRequest("unit and sensor required"))
+		return
+	}
+	g.serveSensor(w, r, unit, sensor)
+}
+
+func (g *Gateway) serveSensor(w http.ResponseWriter, r *http.Request, unit, sensor int) {
+	b := g.requireBackend(w)
+	if b == nil {
+		return
+	}
+	from, to, err := g.window(r)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	det, err := b.Sensor(r.Context(), unit, sensor, from, to)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	out := v1.SeriesDetail{
+		Unit: det.Unit, Sensor: det.Sensor,
+		Samples: toSamples(det.Samples), Anomalies: toSamples(det.Anomalies),
+	}
+	if negotiateNDJSON(r) {
+		// NDJSON for bulk transfer: one sample object per line, the
+		// anomaly flags as a trailing object line.
+		w.Header().Set("Content-Type", v1.ContentTypeNDJSON)
+		enc := json.NewEncoder(w)
+		for i := range out.Samples {
+			_ = enc.Encode(out.Samples[i])
+		}
+		_ = enc.Encode(map[string]any{"anomalies": out.Anomalies})
+		return
+	}
+	writeJSON(w, out)
+}
+
+func (g *Gateway) handleTop(w http.ResponseWriter, r *http.Request) {
+	top, err := g.topAnomalies(r)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	writeJSON(w, v1.TopResponse{Anomalies: top})
+}
+
+func (g *Gateway) topAnomalies(r *http.Request) ([]v1.TopAnomaly, error) {
+	b := g.cfg.Backend
+	if b == nil {
+		return nil, &apiError{status: http.StatusServiceUnavailable, code: v1.CodeUnavailable, msg: "no view backend"}
+	}
+	from, to, err := g.window(r)
+	if err != nil {
+		return nil, err
+	}
+	limit := 10
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return nil, errBadRequest("bad limit %q", v)
+		}
+		limit = n
+	}
+	top, err := b.TopAnomalies(r.Context(), from, to, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]v1.TopAnomaly, len(top))
+	for i, a := range top {
+		out[i] = v1.TopAnomaly{Unit: a.Unit, Sensor: a.Sensor, Timestamp: a.Timestamp, Severity: a.Severity}
+	}
+	return out, nil
+}
+
+// ---- ops ------------------------------------------------------------
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.Registry == nil {
+		writeError(w, &apiError{status: http.StatusServiceUnavailable, code: v1.CodeUnavailable, msg: "no metrics registry"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	g.cfg.Registry.Expose(w)
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReady runs every dependency probe: 200 only when storage, bus
+// and detector tiers all answer. Liveness (/healthz) stays a plain
+// "the process serves"; readiness gates traffic.
+func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
+	resp := v1.ReadyResponse{Ready: true}
+	for _, c := range g.cfg.Ready {
+		rc := v1.ReadyCheck{Name: c.Name, OK: true}
+		if err := c.Check(); err != nil {
+			rc.OK = false
+			rc.Error = err.Error()
+			resp.Ready = false
+		}
+		resp.Checks = append(resp.Checks, rc)
+	}
+	if !resp.Ready {
+		w.Header().Set("Content-Type", v1.ContentTypeJSON)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// ---- legacy shims ---------------------------------------------------
+
+// deprecate marks a legacy response and names the successor route.
+func deprecate(w http.ResponseWriter, successor string) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+}
+
+// legacyPut serves POST /api/put and /api/put/line: same parse, same
+// publish path as v1, but the historical 204 No Content answer.
+func (g *Gateway) legacyPut(lines bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		deprecate(w, v1.PathPrefix+"/points")
+		body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, g.cfg.MaxBody))
+		if err != nil {
+			writeError(w, mapError(err))
+			return
+		}
+		var points []tsdb.Point
+		if lines {
+			points, err = parsePutLines(body)
+		} else {
+			points, err = parsePutJSON(body)
+		}
+		if err != nil {
+			writeError(w, mapError(err))
+			return
+		}
+		if _, err := g.publish(r.Context(), points); err != nil {
+			writeError(w, mapError(err))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// legacyQuery preserves ingestd's pre-v1 /api/query contract: `to` is
+// required, and the body is the hand-rolled
+// [{"series":"id","samples":[[t,v],…]}] shape — but reads now go
+// through the cached query tier like everything else.
+func (g *Gateway) legacyQuery(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, v1.PathPrefix+"/query")
+	if g.cfg.Query == nil {
+		writeError(w, &apiError{status: http.StatusServiceUnavailable, code: v1.CodeUnavailable, msg: "no query backend"})
+		return
+	}
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		metric = tsdb.MetricEnergy
+	}
+	from, _ := strconv.ParseInt(q.Get("from"), 10, 64)
+	to, err := strconv.ParseInt(q.Get("to"), 10, 64)
+	if err != nil {
+		writeError(w, errBadRequest("to required"))
+		return
+	}
+	tags := map[string]string{}
+	if u := q.Get("unit"); u != "" {
+		tags["unit"] = u
+	}
+	if s := q.Get("sensor"); s != "" {
+		tags["sensor"] = s
+	}
+	series, err := g.cfg.Query.QueryContext(r.Context(), tsdb.Query{Metric: metric, Tags: tags, Start: from, End: to})
+	if err != nil && !isNoMetric(err) {
+		writeError(w, mapError(err))
+		return
+	}
+	w.Header().Set("Content-Type", v1.ContentTypeJSON)
+	var b strings.Builder
+	b.WriteString("[")
+	for i := range series {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"series":%q,"samples":[`, series[i].ID())
+		for j, sm := range series[i].Samples {
+			if j > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, `[%d,%g]`, sm.Timestamp, sm.Value)
+		}
+		b.WriteString("]}")
+	}
+	b.WriteString("]\n")
+	_, _ = io.WriteString(w, b.String())
+}
+
+func (g *Gateway) legacyFleet(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, v1.PathPrefix+"/fleet")
+	b := g.requireBackend(w)
+	if b == nil {
+		return
+	}
+	from, to, err := g.window(r)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	fleet, err := b.Fleet(r.Context(), from, to)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	writeJSON(w, fleet)
+}
+
+func (g *Gateway) legacyMachine(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, v1.PathPrefix+"/machines/{unit}")
+	b := g.requireBackend(w)
+	if b == nil {
+		return
+	}
+	unit, err := strconv.Atoi(r.PathValue("unit"))
+	if err != nil {
+		writeError(w, errBadRequest("bad unit"))
+		return
+	}
+	from, to, err := g.window(r)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	mv, err := b.Machine(r.Context(), unit, from, to)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	writeJSON(w, mv)
+}
+
+func (g *Gateway) legacySeries(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, v1.PathPrefix+"/series")
+	b := g.requireBackend(w)
+	if b == nil {
+		return
+	}
+	q := r.URL.Query()
+	unit, err1 := strconv.Atoi(q.Get("unit"))
+	sensor, err2 := strconv.Atoi(q.Get("sensor"))
+	if err1 != nil || err2 != nil {
+		writeError(w, errBadRequest("unit and sensor required"))
+		return
+	}
+	from, to, err := g.window(r)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	det, err := b.Sensor(r.Context(), unit, sensor, from, to)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	writeJSON(w, det)
+}
+
+func (g *Gateway) legacyTop(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, v1.PathPrefix+"/anomalies/top")
+	top, err := g.topAnomalies(r)
+	if err != nil {
+		writeError(w, mapError(err))
+		return
+	}
+	// The pre-v1 body was a bare array.
+	legacy := make([]viz.TopAnomaly, len(top))
+	for i, a := range top {
+		legacy[i] = viz.TopAnomaly{Unit: a.Unit, Sensor: a.Sensor, Timestamp: a.Timestamp, Severity: a.Severity}
+	}
+	writeJSON(w, legacy)
+}
+
+func (g *Gateway) legacyMetrics(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, v1.PathPrefix+"/metrics")
+	g.handleMetrics(w, r)
+}

@@ -1,0 +1,418 @@
+package api
+
+import (
+	"compress/gzip"
+	"context"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Middleware wraps an http.Handler with one cross-cutting concern.
+// The gateway composes them with Chain; see doc.go for the canonical
+// order and why it matters.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies mw to h so that mw[0] is the outermost layer — the
+// first to see the request and the last to see the response.
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// HeaderRequestID carries the per-request correlation id.
+const HeaderRequestID = "X-Request-ID"
+
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// RequestIDFrom returns the request id middleware attached to ctx.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+var requestSeq atomic.Uint64
+
+// RequestID assigns every request a correlation id (respecting one the
+// client already sent), exposes it on the response and in the request
+// context. Outermost layer: every log line and error below it can name
+// the request.
+func RequestID() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(HeaderRequestID)
+			if id == "" {
+				var buf [20]byte
+				b := append(buf[:0], 'r', '-')
+				id = string(strconv.AppendUint(b, requestSeq.Add(1), 36))
+			}
+			w.Header().Set(HeaderRequestID, id)
+			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id)))
+		})
+	}
+}
+
+// statusWriter records the status code and bytes written so the access
+// log and metrics see the response shape. Pooled: the put hot path
+// must not pay an allocation per layer.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards flushing so SSE streaming works through the wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog emits one structured line per request to logger (nil
+// silences it) and records per-route latency histograms plus request
+// and error counters in reg (nil disables). Route labels come from
+// ServeMux patterns (r.Pattern), so /api/v1/machines/3 and /…/7 share
+// one histogram.
+func AccessLog(logger *log.Logger, reg *telemetry.Registry) Middleware {
+	var hists sync.Map // route pattern → *telemetry.Histogram
+	var requests, errors5xx *telemetry.Counter
+	if reg != nil {
+		requests = reg.Counter("http_requests")
+		errors5xx = reg.Counter("http_5xx")
+	}
+	if logger != nil && logger.Writer() == io.Discard {
+		logger = nil // don't pay per-request formatting into a sink
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := statusWriterPool.Get().(*statusWriter)
+			sw.ResponseWriter, sw.status, sw.bytes = w, 0, 0
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			dur := time.Since(start)
+			status, bytes := sw.status, sw.bytes
+			if status == 0 {
+				status = http.StatusOK
+			}
+			sw.ResponseWriter = nil
+			statusWriterPool.Put(sw)
+			if reg != nil {
+				requests.Inc()
+				if status >= 500 {
+					errors5xx.Inc()
+				}
+				route := r.Pattern
+				if route == "" {
+					route = "unmatched"
+				}
+				h, ok := hists.Load(route)
+				if !ok {
+					h, _ = hists.LoadOrStore(route, reg.Histogram(`http_ms{route="`+route+`"}`))
+				}
+				h.(*telemetry.Histogram).Observe(float64(dur.Nanoseconds()) / 1e6)
+			}
+			if logger != nil {
+				logger.Printf("access method=%s path=%s status=%d bytes=%d dur=%s id=%s client=%s",
+					r.Method, r.URL.Path, status, bytes, dur, RequestIDFrom(r.Context()), clientKey(r))
+			}
+		})
+	}
+}
+
+// Recover turns a handler panic into a 500 error envelope instead of
+// tearing down the connection, and logs the panic with the request id.
+// It sits inside AccessLog so the 500 is still logged and counted.
+func Recover(logger *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if v := recover(); v != nil {
+					if logger != nil {
+						logger.Printf("panic id=%s path=%s: %v", RequestIDFrom(r.Context()), r.URL.Path, v)
+					}
+					writeErrorStatus(w, http.StatusInternalServerError, "internal error")
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// Timeout bounds each request's context. Handlers thread ctx into the
+// query tier and the bus, so an expired deadline surfaces as a 504
+// envelope from the error mapper rather than a wedged connection.
+// Streaming routes skip this layer — an SSE tail is supposed to live
+// for minutes.
+func Timeout(d time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		if d <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// ConcurrencyLimit caps requests in flight; excess load is shed with
+// 503 + Retry-After rather than queued without bound (the gateway-tier
+// analogue of the proxy's bounded buffer). Streaming routes get their
+// own cap (MaxStreams) instead of consuming these slots.
+func ConcurrencyLimit(max int) Middleware {
+	return func(next http.Handler) http.Handler {
+		if max <= 0 {
+			return next
+		}
+		slots := make(chan struct{}, max)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case slots <- struct{}{}:
+				defer func() { <-slots }()
+				next.ServeHTTP(w, r)
+			default:
+				w.Header().Set("Retry-After", "1")
+				writeError(w, &apiError{status: http.StatusServiceUnavailable, code: "overloaded", msg: "concurrency limit reached"})
+			}
+		})
+	}
+}
+
+// clientKey identifies the caller for rate limiting and logs: the
+// X-API-Key header when present (multi-tenant deployments hand keys
+// out), else the remote IP.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// tokenBucket is one client's refillable budget.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// RateLimiter is a per-client token bucket: each client accrues rate
+// tokens/second up to burst, and a request costs one token. Rejections
+// carry 429 + Retry-After (seconds until one token refills).
+type RateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu        sync.Mutex
+	clients   map[string]*tokenBucket
+	lastPrune time.Time
+
+	// Rejected counts requests shed with 429.
+	Rejected telemetry.Counter
+}
+
+// maxClients hard-caps the bucket table. Client keys are
+// attacker-chosen (X-API-Key is unauthenticated), so the table must
+// stay bounded in memory and O(1) per request even under a key-
+// rotation flood.
+const maxClients = 4096
+
+// NewRateLimiter builds a limiter; rate <= 0 disables it (Allow always
+// succeeds). now is injectable for tests (nil = time.Now).
+func NewRateLimiter(rate float64, burst int, now func() time.Time) *RateLimiter {
+	if burst <= 0 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &RateLimiter{rate: rate, burst: float64(burst), now: now, clients: make(map[string]*tokenBucket)}
+}
+
+// Allow spends one token of key's bucket. When the bucket is empty it
+// reports the wait until the next token.
+func (l *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, found := l.clients[key]
+	if !found {
+		if len(l.clients) >= maxClients {
+			// Reclaim idle buckets at most once a second (a full-map
+			// scan must not run per request), then hard-cap by
+			// evicting arbitrary entries — an evicted active client
+			// merely restarts with a full bucket, which is the
+			// fail-open direction.
+			if now.Sub(l.lastPrune) >= time.Second {
+				l.prune(now)
+				l.lastPrune = now
+			}
+			for k := range l.clients {
+				if len(l.clients) < maxClients {
+					break
+				}
+				delete(l.clients, k)
+			}
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.clients[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// prune drops buckets idle long enough to have refilled to burst —
+// indistinguishable from fresh ones — bounding the table under
+// rotating client keys. Called with mu held.
+func (l *RateLimiter) prune(now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	if idle < time.Minute {
+		idle = time.Minute
+	}
+	for k, b := range l.clients {
+		if now.Sub(b.last) > idle {
+			delete(l.clients, k)
+		}
+	}
+}
+
+// RateLimit applies l per clientKey; nil or disabled limiters pass
+// everything through.
+func RateLimit(l *RateLimiter) Middleware {
+	return func(next http.Handler) http.Handler {
+		if l == nil || l.rate <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ok, retry := l.Allow(clientKey(r))
+			if !ok {
+				l.Rejected.Inc()
+				secs := int(retry/time.Second) + 1
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeError(w, &apiError{
+					status: http.StatusTooManyRequests,
+					code:   "rate_limited",
+					msg:    "rate limit exceeded",
+					retry:  secs,
+				})
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// gzipWriter wraps the response, deciding at header time whether to
+// compress: the Content-Encoding header must be set before the status
+// line flushes, including on explicit WriteHeader calls (error
+// envelopes). Header-only responses (204 from the legacy put shim)
+// never touch the gzip pool.
+type gzipWriter struct {
+	http.ResponseWriter
+	gz          *gzip.Writer
+	wroteHeader bool
+	encode      bool
+}
+
+var gzipPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+func (gw *gzipWriter) WriteHeader(code int) {
+	if !gw.wroteHeader {
+		gw.wroteHeader = true
+		// Bodyless statuses must not claim an encoding.
+		if code != http.StatusNoContent && code != http.StatusNotModified &&
+			gw.Header().Get("Content-Encoding") == "" {
+			gw.Header().Set("Content-Encoding", "gzip")
+			gw.Header().Del("Content-Length")
+			gw.encode = true
+		}
+	}
+	gw.ResponseWriter.WriteHeader(code)
+}
+
+func (gw *gzipWriter) Write(p []byte) (int, error) {
+	if !gw.wroteHeader {
+		gw.WriteHeader(http.StatusOK)
+	}
+	if !gw.encode {
+		return gw.ResponseWriter.Write(p)
+	}
+	if gw.gz == nil {
+		gw.gz = gzipPool.Get().(*gzip.Writer)
+		gw.gz.Reset(gw.ResponseWriter)
+	}
+	return gw.gz.Write(p)
+}
+
+func (gw *gzipWriter) close() {
+	if gw.gz != nil {
+		_ = gw.gz.Close()
+		gzipPool.Put(gw.gz)
+		gw.gz = nil
+	}
+}
+
+// Gzip compresses response bodies when the client accepts it.
+// Innermost layer: everything outside it (logs, limits) sees the
+// uncompressed status and the route untouched. Streaming routes skip
+// it — SSE frames must flush per event, not per gzip block.
+func Gzip() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+				next.ServeHTTP(w, r)
+				return
+			}
+			gw := &gzipWriter{ResponseWriter: w}
+			defer gw.close()
+			next.ServeHTTP(gw, r)
+		})
+	}
+}

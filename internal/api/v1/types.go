@@ -1,0 +1,196 @@
+// Package v1 defines the wire contract of the /api/v1 gateway: the
+// request and response DTOs, the error envelope and the content types.
+// It is shared by the server (internal/api) and the Go SDK
+// (sentinel/client) so the two cannot drift, and it deliberately
+// depends on nothing but the standard library — the types here ARE the
+// public surface, free of storage-tier concretions.
+package v1
+
+import "fmt"
+
+// PathPrefix is the mount point of the versioned API.
+const PathPrefix = "/api/v1"
+
+// Content types negotiated by the gateway.
+const (
+	ContentTypeJSON   = "application/json"
+	ContentTypeNDJSON = "application/x-ndjson"
+	ContentTypeSSE    = "text/event-stream"
+	// ContentTypeLines is the OpenTSDB telnet "put" line protocol,
+	// accepted by POST /api/v1/points for text/plain bodies.
+	ContentTypeLines = "text/plain"
+)
+
+// Machine-readable error codes carried in the error envelope.
+const (
+	CodeBadRequest  = "bad_request"
+	CodeNotFound    = "not_found"
+	CodeTooLarge    = "payload_too_large"
+	CodeRateLimited = "rate_limited"
+	CodeOverloaded  = "overloaded"
+	CodeUnavailable = "unavailable"
+	CodeTimeout     = "timeout"
+	CodeInternal    = "internal"
+)
+
+// Error is the typed error every non-2xx gateway response carries,
+// wrapped in an ErrorEnvelope. The client SDK returns it verbatim so
+// callers switch on Code rather than parsing messages.
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+	// Status is the HTTP status the server sent.
+	Status int `json:"status"`
+	// RetryAfterSeconds echoes the Retry-After header on 429/503
+	// responses, when the server set one.
+	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// ErrorEnvelope is the body of every error response.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// Point is one sample to write. Tags identify the series; the
+// ingestion pipeline routes on the "unit" tag.
+type Point struct {
+	Metric    string            `json:"metric"`
+	Timestamp int64             `json:"timestamp"`
+	Value     float64           `json:"value"`
+	Tags      map[string]string `json:"tags"`
+}
+
+// PutRequest is the body of POST /api/v1/points. A bare JSON array of
+// points (the OpenTSDB idiom) is also accepted.
+type PutRequest struct {
+	Points []Point `json:"points"`
+}
+
+// PutResponse acknowledges a write.
+type PutResponse struct {
+	// Accepted is the number of points durably appended to the
+	// ingestion log.
+	Accepted int `json:"accepted"`
+}
+
+// Sample is one (timestamp, value) observation.
+type Sample struct {
+	Timestamp int64   `json:"t"`
+	Value     float64 `json:"v"`
+}
+
+// Series is one tagged time series of a query response.
+type Series struct {
+	Metric  string            `json:"metric"`
+	Tags    map[string]string `json:"tags"`
+	Samples []Sample          `json:"samples"`
+}
+
+// QueryResponse is the body of GET /api/v1/query.
+type QueryResponse struct {
+	Series []Series `json:"series"`
+}
+
+// UnitSummary is one row of the fleet listing.
+type UnitSummary struct {
+	Unit           int    `json:"unit"`
+	Status         string `json:"status"`
+	Anomalies      int    `json:"anomalies"`
+	FlaggedSensors int    `json:"flaggedSensors"`
+}
+
+// FleetPage is the body of GET /api/v1/fleet: one cursor-bounded page
+// of unit summaries plus window-wide aggregates (the aggregates cover
+// the whole fleet regardless of the page bounds).
+type FleetPage struct {
+	From      int64 `json:"from"`
+	To        int64 `json:"to"`
+	Healthy   int   `json:"healthy"`
+	Warning   int   `json:"warning"`
+	Critical  int   `json:"critical"`
+	Anomalies int   `json:"anomalies"`
+	// Ignored counts anomaly flags written for units outside the
+	// configured fleet.
+	Ignored int           `json:"ignoredAnomalies,omitempty"`
+	Units   []UnitSummary `json:"units"`
+	// NextCursor, when non-empty, fetches the next page; pass it back
+	// as ?cursor=. The cursor pins the first page's [from, to] window,
+	// so a paged walk is a consistent snapshot even against a moving
+	// default "now".
+	NextCursor string `json:"nextCursor,omitempty"`
+}
+
+// SensorSeries is one sensor of a machine view.
+type SensorSeries struct {
+	Sensor    int      `json:"sensor"`
+	Samples   []Sample `json:"samples"`
+	Anomalies []Sample `json:"anomalies"`
+	Latest    float64  `json:"latest"`
+}
+
+// MachineView is the body of GET /api/v1/machines/{unit}.
+type MachineView struct {
+	Unit      int            `json:"unit"`
+	Status    string         `json:"status"`
+	Anomalies int            `json:"anomalies"`
+	Sensors   []SensorSeries `json:"sensors"`
+}
+
+// SeriesDetail is the body of GET /api/v1/series (and of the
+// per-sensor drill-down): one sensor's samples and anomaly flags.
+type SeriesDetail struct {
+	Unit      int      `json:"unit"`
+	Sensor    int      `json:"sensor"`
+	Samples   []Sample `json:"samples"`
+	Anomalies []Sample `json:"anomalies"`
+}
+
+// TopAnomaly is one entry of the severity ranking.
+type TopAnomaly struct {
+	Unit      int     `json:"unit"`
+	Sensor    int     `json:"sensor"`
+	Timestamp int64   `json:"timestamp"`
+	Severity  float64 `json:"severity"`
+}
+
+// TopResponse is the body of GET /api/v1/anomalies/top.
+type TopResponse struct {
+	Anomalies []TopAnomaly `json:"anomalies"`
+}
+
+// AnomalyEvent is one server-sent event on GET
+// /api/v1/anomalies/stream: a flag the detector pool just wrote,
+// tailed live off the commit-log bus.
+type AnomalyEvent struct {
+	Unit      int     `json:"unit"`
+	Sensor    int     `json:"sensor"`
+	Timestamp int64   `json:"timestamp"`
+	Value     float64 `json:"value"`
+	Z         float64 `json:"z"`
+	PValue    float64 `json:"pValue"`
+	Adjusted  float64 `json:"adjusted"`
+}
+
+// EventAnomaly is the SSE event name AnomalyEvent rides under.
+const EventAnomaly = "anomaly"
+
+// ReadyCheck is one dependency's contribution to GET /api/v1/readyz.
+type ReadyCheck struct {
+	Name  string `json:"name"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// ReadyResponse is the body of GET /api/v1/readyz. Ready is the AND of
+// every check; the HTTP status is 200 when ready, 503 otherwise.
+type ReadyResponse struct {
+	Ready  bool         `json:"ready"`
+	Checks []ReadyCheck `json:"checks"`
+}

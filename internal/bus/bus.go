@@ -193,6 +193,10 @@ func (b *Broker) Close() {
 	})
 }
 
+// Running reports whether the broker accepts publishes — false once
+// draining or stopped. Readiness probes use it.
+func (b *Broker) Running() bool { return b.state.Load() == stateRunning }
+
 // publishable translates broker state into a publisher-side error.
 func (b *Broker) publishable() error {
 	switch b.state.Load() {

@@ -132,6 +132,16 @@ func (t *Topic) HighWater(part int) int64 { return t.partitions[part].highWater(
 // LowWater returns the oldest retained offset.
 func (t *Topic) LowWater(part int) int64 { return t.partitions[part].lowWater() }
 
+// HasGroups reports whether any consumer group is attached. Producers
+// of best-effort feeds use it to skip publishing entirely when nobody
+// consumes: a group-less topic is never trimmed (trimming is driven by
+// committed offsets), so feeding one forever would grow without bound.
+func (t *Topic) HasGroups() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.groups) > 0
+}
+
 // groupList snapshots the attached groups.
 func (t *Topic) groupList() []*Group {
 	t.mu.RLock()

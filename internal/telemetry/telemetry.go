@@ -12,6 +12,7 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"sync"
@@ -241,12 +242,17 @@ func (m *RateMeter) Series() []RateSample {
 }
 
 // Registry is a named collection of instruments, used by servers to
-// expose their internals to tests and the visualization layer.
+// expose their internals to tests and the visualization layer. Besides
+// owning instruments created through Counter/Gauge/Histogram, it can
+// adopt externally owned ones (RegisterCounter/RegisterGauge) and lazy
+// values (RegisterFunc), so one registry exposes every subsystem's
+// counters through a single endpoint.
 type Registry struct {
 	mu     sync.Mutex
 	ctrs   map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	funcs  map[string]func() int64
 }
 
 // NewRegistry returns an empty registry.
@@ -255,6 +261,7 @@ func NewRegistry() *Registry {
 		ctrs:   make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
+		funcs:  make(map[string]func() int64),
 	}
 }
 
@@ -294,6 +301,79 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// RegisterCounter adopts an externally owned counter under name (the
+// proxy's Accepted, the broker's Published, …), replacing any previous
+// registration.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	r.mu.Lock()
+	r.ctrs[name] = c
+	r.mu.Unlock()
+}
+
+// RegisterGauge adopts an externally owned gauge under name.
+func (r *Registry) RegisterGauge(name string, g *Gauge) {
+	r.mu.Lock()
+	r.gauges[name] = g
+	r.mu.Unlock()
+}
+
+// RegisterFunc exposes a value computed at scrape time (consumer-group
+// lag, queue depths derived from several parts).
+func (r *Registry) RegisterFunc(name string, f func() int64) {
+	r.mu.Lock()
+	r.funcs[name] = f
+	r.mu.Unlock()
+}
+
+// Expose writes the exposition format served on /metrics: one
+// "name value" line per counter, gauge and func, plus
+// "name_count/_mean/_p99" lines per histogram, sorted by name. It is
+// the single metrics writer every server shares — ingestd's
+// hand-rolled fmt.Fprintf writer is gone.
+func (r *Registry) Expose(w io.Writer) {
+	// Snapshot under the lock, read values after releasing it: funcs
+	// and instruments may themselves take locks (consumer-group lag)
+	// and must not do so under r.mu.
+	r.mu.Lock()
+	ctrs := make(map[string]*Counter, len(r.ctrs))
+	for n, c := range r.ctrs {
+		ctrs[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for n, f := range r.funcs {
+		funcs[n] = f
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+	lines := make([]string, 0, len(ctrs)+len(gauges)+len(funcs)+3*len(hists))
+	for n, c := range ctrs {
+		lines = append(lines, fmt.Sprintf("%s %d", n, c.Value()))
+	}
+	for n, g := range gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", n, g.Value()))
+	}
+	for n, f := range funcs {
+		lines = append(lines, fmt.Sprintf("%s %d", n, f()))
+	}
+	for n, h := range hists {
+		lines = append(lines,
+			fmt.Sprintf("%s_count %d", n, h.Count()),
+			fmt.Sprintf("%s_mean %.3f", n, h.Mean()),
+			fmt.Sprintf("%s_p99 %.3f", n, h.Quantile(0.99)))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
 }
 
 // Dump renders all instruments as "name value" lines sorted by name,

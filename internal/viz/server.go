@@ -1,7 +1,6 @@
 package viz
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"html/template"
@@ -10,8 +9,11 @@ import (
 	"strings"
 )
 
-// Server is the web application: HTML pages plus JSON APIs over a
-// Backend. It implements http.Handler.
+// Server is the web application's HTML half: the three Figure-3 pages
+// rendered over a Backend. It implements http.Handler. The JSON
+// surfaces that used to live here are served by the /api/v1 gateway
+// (internal/api), which mounts this server for everything it does not
+// claim.
 type Server struct {
 	backend *Backend
 	mux     *http.ServeMux
@@ -35,13 +37,6 @@ func NewServer(backend *Backend, now func() int64) *Server {
 	}
 	s.mux.HandleFunc("/", s.handleFleet)
 	s.mux.HandleFunc("/machine/", s.handleMachine)
-	s.mux.HandleFunc("/api/fleet", s.apiFleet)
-	s.mux.HandleFunc("/api/machine/", s.apiMachine)
-	s.mux.HandleFunc("/api/series", s.apiSeries)
-	s.mux.HandleFunc("/api/top", s.apiTop)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
 	return s
 }
 
@@ -198,92 +193,6 @@ func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) {
 		"From":      from,
 		"To":        to,
 	})
-}
-
-func (s *Server) apiFleet(w http.ResponseWriter, r *http.Request) {
-	from, to, err := s.window(r)
-	if err != nil {
-		jsonError(w, err)
-		return
-	}
-	fleet, err := s.backend.Fleet(r.Context(), from, to)
-	if err != nil {
-		jsonError(w, err)
-		return
-	}
-	writeJSON(w, fleet)
-}
-
-func (s *Server) apiMachine(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/api/machine/")
-	unit, err := strconv.Atoi(rest)
-	if err != nil {
-		http.Error(w, "bad unit", http.StatusBadRequest)
-		return
-	}
-	from, to, err := s.window(r)
-	if err != nil {
-		jsonError(w, err)
-		return
-	}
-	mv, err := s.backend.Machine(r.Context(), unit, from, to)
-	if err != nil {
-		jsonError(w, err)
-		return
-	}
-	writeJSON(w, mv)
-}
-
-func (s *Server) apiSeries(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	unit, err1 := strconv.Atoi(q.Get("unit"))
-	sensor, err2 := strconv.Atoi(q.Get("sensor"))
-	if err1 != nil || err2 != nil {
-		http.Error(w, "unit and sensor required", http.StatusBadRequest)
-		return
-	}
-	from, to, err := s.window(r)
-	if err != nil {
-		jsonError(w, err)
-		return
-	}
-	det, err := s.backend.Sensor(r.Context(), unit, sensor, from, to)
-	if err != nil {
-		jsonError(w, err)
-		return
-	}
-	writeJSON(w, det)
-}
-
-func (s *Server) apiTop(w http.ResponseWriter, r *http.Request) {
-	from, to, err := s.window(r)
-	if err != nil {
-		jsonError(w, err)
-		return
-	}
-	limit := 10
-	if v := r.URL.Query().Get("limit"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			limit = n
-		}
-	}
-	top, err := s.backend.TopAnomalies(r.Context(), from, to, limit)
-	if err != nil {
-		jsonError(w, err)
-		return
-	}
-	writeJSON(w, top)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func jsonError(w http.ResponseWriter, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(statusFor(err))
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
 func funcMap() template.FuncMap {

@@ -2,7 +2,6 @@ package viz
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"net/http/httptest"
 	"strings"
@@ -203,63 +202,14 @@ func TestPageErrors(t *testing.T) {
 	}
 }
 
-func TestJSONAPIs(t *testing.T) {
-	_, server := testEnv(t)
-	code, body := get(t, server, "/api/fleet")
-	if code != 200 {
-		t.Fatalf("status = %d", code)
-	}
-	var fleet FleetSummary
-	if err := json.Unmarshal([]byte(body), &fleet); err != nil {
-		t.Fatal(err)
-	}
-	if fleet.Critical != 1 || len(fleet.Units) != 3 {
-		t.Fatalf("api fleet = %+v", fleet)
-	}
-
-	code, body = get(t, server, "/api/machine/2")
-	if code != 200 {
-		t.Fatalf("status = %d", code)
-	}
-	var mv MachineView
-	if err := json.Unmarshal([]byte(body), &mv); err != nil {
-		t.Fatal(err)
-	}
-	if mv.Status != StatusWarning {
-		t.Fatalf("api machine 2 status = %s", mv.Status)
-	}
-
-	code, body = get(t, server, "/api/series?unit=1&sensor=2&from=0&to=59")
-	if code != 200 {
-		t.Fatalf("status = %d", code)
-	}
-	var det SensorDetail
-	if err := json.Unmarshal([]byte(body), &det); err != nil {
-		t.Fatal(err)
-	}
-	if len(det.Samples) != 60 {
-		t.Fatalf("api series samples = %d", len(det.Samples))
-	}
-	if code, _ = get(t, server, "/api/series?unit=x"); code != 400 {
-		t.Fatalf("bad series request = %d", code)
-	}
-	if code, _ = get(t, server, "/api/machine/zzz"); code != 400 {
-		t.Fatalf("bad machine request = %d", code)
-	}
-	if code, _ = get(t, server, "/healthz"); code != 200 {
-		t.Fatal("healthz down")
-	}
-}
+// The JSON API surfaces formerly tested here migrated into the
+// /api/v1 gateway; their contract tests live in internal/api now.
 
 func TestWindowParameters(t *testing.T) {
-	_, server := testEnv(t)
+	backend, _ := testEnv(t)
 	// Narrow window excluding all anomalies: everything healthy.
-	code, body := get(t, server, "/api/fleet?from=40&to=59")
-	if code != 200 {
-		t.Fatal("status")
-	}
-	var fleet FleetSummary
-	if err := json.Unmarshal([]byte(body), &fleet); err != nil {
+	fleet, err := backend.Fleet(context.Background(), 40, 59)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if fleet.Critical != 0 || fleet.Healthy != 3 {
@@ -412,38 +362,23 @@ func TestDrillDownScansDontScaleWithFleet(t *testing.T) {
 
 func TestInvertedWindowRejected(t *testing.T) {
 	_, server := testEnv(t)
-	if code, _ := get(t, server, "/api/fleet?from=50&to=10"); code != 400 {
-		t.Fatalf("inverted JSON window status = %d, want 400", code)
-	}
 	if code, _ := get(t, server, "/?from=50&to=10"); code != 400 {
 		t.Fatalf("inverted HTML window status = %d, want 400", code)
 	}
 	if code, _ := get(t, server, "/machine/1?from=50&to=10"); code != 400 {
 		t.Fatalf("inverted machine window status = %d, want 400", code)
 	}
-	if code, _ := get(t, server, "/api/series?unit=1&sensor=2&from=50&to=10"); code != 400 {
-		t.Fatalf("inverted series window status = %d, want 400", code)
-	}
 }
 
 func TestErrorStatusMapping(t *testing.T) {
 	_, server := testEnv(t)
 	// Unknown unit/sensor are the client's fault: 404, not 500.
-	if code, _ := get(t, server, "/api/machine/99"); code != 404 {
-		t.Fatalf("unknown unit JSON status = %d, want 404", code)
-	}
-	if code, _ := get(t, server, "/api/series?unit=0&sensor=99"); code != 404 {
-		t.Fatalf("unknown sensor JSON status = %d, want 404", code)
-	}
 	if code, _ := get(t, server, "/machine/0/sensor/99"); code != 404 {
 		t.Fatalf("unknown sensor HTML status = %d, want 404", code)
 	}
 	// A storage failure stays 500: drop the backend's querier.
 	backend := &Backend{Units: 3, Sensors: 4}
 	broken := NewServer(backend, func() int64 { return 59 })
-	if code, _ := get(t, broken, "/api/fleet"); code != 500 {
-		t.Fatalf("storage failure JSON status = %d, want 500", code)
-	}
 	if code, _ := get(t, broken, "/machine/1"); code != 500 {
 		t.Fatalf("storage failure HTML status = %d, want 500", code)
 	}
@@ -594,13 +529,9 @@ func TestMachinePageBoundedAndCached(t *testing.T) {
 	if got := strings.Count(body, `class="spark"`); got != sensors {
 		t.Fatalf("sparklines = %d, want %d", got, sensors)
 	}
-	// The JSON surface proves the per-sensor bound.
-	code, body = get(t, server, "/api/machine/0?from=0&to=24999")
-	if code != 200 {
-		t.Fatalf("api status = %d", code)
-	}
-	var mv MachineView
-	if err := json.Unmarshal([]byte(body), &mv); err != nil {
+	// The backend view proves the per-sensor bound.
+	mv, err := backend.Machine(context.Background(), 0, 0, 24999)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(mv.Sensors) != sensors {
@@ -626,19 +557,8 @@ func TestMachinePageBoundedAndCached(t *testing.T) {
 	}
 }
 
-func TestTopAnomaliesAPIAndFleetSection(t *testing.T) {
+func TestTopAnomaliesFleetSection(t *testing.T) {
 	_, server := testEnv(t)
-	code, body := get(t, server, "/api/top?from=0&to=59&limit=2")
-	if code != 200 {
-		t.Fatalf("status = %d", code)
-	}
-	var top []TopAnomaly
-	if err := json.Unmarshal([]byte(body), &top); err != nil {
-		t.Fatal(err)
-	}
-	if len(top) != 2 || top[0].Severity != 5.5 {
-		t.Fatalf("api top = %+v", top)
-	}
 	// The fleet page surfaces the section with drill-down links.
 	code, page := get(t, server, "/")
 	if code != 200 {

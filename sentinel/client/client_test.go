@@ -1,0 +1,214 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	v1 "repro/internal/api/v1"
+)
+
+// noSleep replaces backoff waits with a recorder.
+func noSleep(waits *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*waits = append(*waits, d)
+		return nil
+	}
+}
+
+func TestRetryOnBackpressure(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(429)
+			_ = json.NewEncoder(w).Encode(v1.ErrorEnvelope{Error: &v1.Error{
+				Code: v1.CodeRateLimited, Message: "slow down", Status: 429, RetryAfterSeconds: 7,
+			}})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(v1.PutResponse{Accepted: 1})
+	}))
+	defer srv.Close()
+	c, err := New(srv.URL, WithHTTPClient(srv.Client()), WithRetry(3, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var waits []time.Duration
+	c.sleep = noSleep(&waits)
+	n, err := c.PutPoints(context.Background(), []v1.Point{{Metric: "energy", Timestamp: 1, Value: 2}})
+	if err != nil || n != 1 {
+		t.Fatalf("put = %d, %v", n, err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("attempts = %d, want 3", calls.Load())
+	}
+	// The server's Retry-After (7s) outweighs the base backoff.
+	for i, w := range waits {
+		if w < 7*time.Second {
+			t.Fatalf("wait %d = %s, want ≥ 7s (Retry-After honored)", i, w)
+		}
+	}
+}
+
+func TestRetriesExhaustedSurfaceTypedError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(503)
+		_ = json.NewEncoder(w).Encode(v1.ErrorEnvelope{Error: &v1.Error{
+			Code: v1.CodeUnavailable, Message: "bus draining", Status: 503,
+		}})
+	}))
+	defer srv.Close()
+	c, _ := New(srv.URL, WithHTTPClient(srv.Client()), WithRetry(2, time.Millisecond))
+	var waits []time.Duration
+	c.sleep = noSleep(&waits)
+	_, err := c.Fleet(context.Background(), FleetParams{})
+	var ae *v1.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *v1.Error", err)
+	}
+	if ae.Code != v1.CodeUnavailable || ae.Status != 503 {
+		t.Fatalf("typed error = %+v", ae)
+	}
+	if len(waits) != 2 {
+		t.Fatalf("retried %d times, want 2", len(waits))
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(404)
+		_ = json.NewEncoder(w).Encode(v1.ErrorEnvelope{Error: &v1.Error{
+			Code: v1.CodeNotFound, Message: "unknown unit 99", Status: 404,
+		}})
+	}))
+	defer srv.Close()
+	c, _ := New(srv.URL, WithHTTPClient(srv.Client()))
+	_, err := c.Machine(context.Background(), 99, 0, 10)
+	var ae *v1.Error
+	if !errors.As(err, &ae) || ae.Code != v1.CodeNotFound {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("client retried a 404 (%d calls)", calls.Load())
+	}
+}
+
+func TestNonEnvelopeErrorSynthesized(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain text failure", 500)
+	}))
+	defer srv.Close()
+	c, _ := New(srv.URL, WithHTTPClient(srv.Client()))
+	_, err := c.Fleet(context.Background(), FleetParams{})
+	var ae *v1.Error
+	if !errors.As(err, &ae) || ae.Status != 500 || ae.Message != "plain text failure" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestReadyReturnsNotReadyDetail: a 503 from /readyz is the answer,
+// not backpressure — no retries, and the per-check detail comes back.
+func TestReadyReturnsNotReadyDetail(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(503)
+		_ = json.NewEncoder(w).Encode(v1.ReadyResponse{
+			Ready:  false,
+			Checks: []v1.ReadyCheck{{Name: "bus", OK: false, Error: "draining"}},
+		})
+	}))
+	defer srv.Close()
+	c, _ := New(srv.URL, WithHTTPClient(srv.Client()))
+	ready, err := c.Ready(context.Background())
+	if err != nil {
+		t.Fatalf("Ready = %v, want the not-ready detail", err)
+	}
+	if ready.Ready || len(ready.Checks) != 1 || ready.Checks[0].Name != "bus" {
+		t.Fatalf("detail = %+v", ready)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("Ready retried a 503 (%d calls)", calls.Load())
+	}
+}
+
+func TestAPIKeyHeaderSent(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-API-Key") != "tenant-7" {
+			w.WriteHeader(400)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(v1.ReadyResponse{Ready: true})
+	}))
+	defer srv.Close()
+	c, _ := New(srv.URL, WithHTTPClient(srv.Client()), WithAPIKey("tenant-7"))
+	ready, err := c.Ready(context.Background())
+	if err != nil || !ready.Ready {
+		t.Fatalf("ready = %+v, %v", ready, err)
+	}
+}
+
+func TestStreamParsesEvents(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", v1.ContentTypeSSE)
+		fl := w.(http.Flusher)
+		fmt.Fprint(w, ": connected\n\n")
+		fl.Flush()
+		fmt.Fprint(w, ": ping\n\n")
+		for i := 0; i < 2; i++ {
+			ev := v1.AnomalyEvent{Unit: i, Sensor: 3, Timestamp: int64(100 + i), Z: 5.5}
+			data, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "event: anomaly\nid: %d\ndata: %s\n\n", i+1, data)
+			fl.Flush()
+		}
+	}))
+	defer srv.Close()
+	c, _ := New(srv.URL, WithHTTPClient(srv.Client()))
+	stream, err := c.StreamAnomalies(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	for i := 0; i < 2; i++ {
+		ev, err := stream.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev.Unit != i || ev.Sensor != 3 || ev.Z != 5.5 {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	if _, err := stream.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("end of stream err = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamRejectsNonSSE(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]string{"not": "a stream"})
+	}))
+	defer srv.Close()
+	c, _ := New(srv.URL, WithHTTPClient(srv.Client()))
+	if _, err := c.StreamAnomalies(context.Background()); err == nil {
+		t.Fatal("accepted a non-SSE response")
+	}
+}
+
+func TestBadBaseURL(t *testing.T) {
+	if _, err := New("not a url"); err == nil {
+		t.Fatal("accepted a bad base URL")
+	}
+	if _, err := New(""); err == nil {
+		t.Fatal("accepted an empty base URL")
+	}
+}

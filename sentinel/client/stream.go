@@ -1,0 +1,87 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	v1 "repro/internal/api/v1"
+)
+
+// Stream is a live anomaly feed from GET /api/v1/anomalies/stream.
+// Read events with Next; Close (or cancelling the context passed to
+// StreamAnomalies) ends it.
+type Stream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+// StreamAnomalies opens the SSE tail. The stream lives until ctx is
+// cancelled, Close is called, or the server shuts the feed down.
+func (c *Client) StreamAnomalies(ctx context.Context) (*Stream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+v1.PathPrefix+"/anomalies/stream", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Accept", v1.ContentTypeSSE)
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, v1.ContentTypeSSE) {
+		resp.Body.Close()
+		return nil, fmt.Errorf("client: not an event stream (got %q)", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &Stream{body: resp.Body, sc: sc}, nil
+}
+
+// Next blocks for the next anomaly event, skipping heartbeats. It
+// returns io.EOF once the stream ends cleanly (server shutdown) and
+// the context's error when the stream's context is cancelled.
+func (s *Stream) Next() (v1.AnomalyEvent, error) {
+	var (
+		ev    v1.AnomalyEvent
+		event string
+		data  strings.Builder
+	)
+	for s.sc.Scan() {
+		line := s.sc.Text()
+		switch {
+		case line == "":
+			// Frame boundary: dispatch when we hold a data payload.
+			if event == v1.EventAnomaly && data.Len() > 0 {
+				if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+					return ev, fmt.Errorf("client: bad event payload: %w", err)
+				}
+				return ev, nil
+			}
+			event = ""
+			data.Reset()
+		case strings.HasPrefix(line, ":"):
+			// Heartbeat comment.
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		return ev, err
+	}
+	return ev, io.EOF
+}
+
+// Close ends the stream.
+func (s *Stream) Close() error { return s.body.Close() }

@@ -48,6 +48,12 @@ type DetectorPool struct {
 	// (missing model, malformed batch, storage write failure).
 	Batches telemetry.Counter
 	Errors  telemetry.Counter
+	// FlagsPublished counts anomalies published onto the flag-feed
+	// topic (the SSE tail's source); FlagPublishErrors counts feed
+	// publishes that failed. The feed is best-effort: a failed publish
+	// never fails the batch — the flag is already durable in storage.
+	FlagsPublished    telemetry.Counter
+	FlagPublishErrors telemetry.Counter
 }
 
 // AttachDetectorGroup attaches the detector consumer group at the
@@ -207,7 +213,7 @@ func (p *DetectorPool) worker(ctx context.Context, c *bus.Consumer) {
 			return
 		}
 		for i := range recs {
-			if err := p.process(&recs[i], sink, &sc); err != nil {
+			if err := p.process(ctx, &recs[i], sink, &sc); err != nil {
 				p.Errors.Inc()
 			}
 			p.Batches.Inc()
@@ -217,7 +223,7 @@ func (p *DetectorPool) worker(ctx context.Context, c *bus.Consumer) {
 }
 
 // process evaluates one unit batch and writes its flags back.
-func (p *DetectorPool) process(rec *bus.Record, sink core.AnomalySink, sc *detectorScratch) error {
+func (p *DetectorPool) process(ctx context.Context, rec *bus.Record, sink core.AnomalySink, sc *detectorScratch) error {
 	batch, ok := rec.Value.(*ingest.UnitBatch)
 	if !ok {
 		return fmt.Errorf("sentinel: record %d/%d is not a unit batch", rec.Partition, rec.Offset)
@@ -251,6 +257,20 @@ func (p *DetectorPool) process(rec *bus.Record, sink core.AnomalySink, sc *detec
 				return fmt.Errorf("sentinel: write anomaly: %w", err)
 			}
 			p.AnomaliesWritten.Inc()
+			// Feed the live stream — only while a tail (consumer
+			// group) is attached: a group-less topic is never trimmed,
+			// so publishing into one would retain every flag forever.
+			// The check races benignly with tail attach/detach (the
+			// stream is live; a flag written during the race is simply
+			// not streamed). Failures are counted, not fatal — the
+			// flag is already durable in the TSDB.
+			if p.sys.flags.HasGroups() {
+				if _, err := p.sys.flags.Publish(ctx, uint64(a.Unit), a); err != nil {
+					p.FlagPublishErrors.Inc()
+				} else {
+					p.FlagsPublished.Inc()
+				}
+			}
 		}
 	}
 	return nil

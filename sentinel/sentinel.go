@@ -24,10 +24,14 @@ package sentinel
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/api"
 	"repro/internal/bus"
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -39,6 +43,7 @@ import (
 	"repro/internal/proxy"
 	"repro/internal/query"
 	"repro/internal/simdata"
+	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 	"repro/internal/viz"
 )
@@ -47,11 +52,22 @@ import (
 const (
 	// TopicEnergy carries ingest.UnitBatch records keyed by unit id.
 	TopicEnergy = "energy"
+	// TopicAnomalies carries core.Anomaly records, published by
+	// detector workers as they write flags — the feed behind the
+	// gateway's SSE endpoint.
+	TopicAnomalies = "anomalies"
 	// GroupStorage is the consumer group writing raw samples through
 	// the proxy into the TSD tier.
 	GroupStorage = "storage"
 	// GroupDetectors is the consumer group evaluating samples online.
 	GroupDetectors = "detectors"
+	// GroupStream prefixes the consumer groups anomaly tails drain
+	// TopicAnomalies with. Each tail gets its own group
+	// (NewAnomalyTail appends a sequence number): consumer groups
+	// split partitions among members, so two tails sharing one group
+	// would each see only part of the fleet's flags — and the first
+	// Close would detach the group under the other.
+	GroupStream = "stream"
 )
 
 // Config sizes a System. Zero values take the documented defaults.
@@ -176,6 +192,7 @@ type System struct {
 	Writers *ingest.StorageWriters
 
 	topic    *bus.Topic
+	flags    *bus.Topic
 	storage  *bus.Group
 	pipeline *core.Pipeline
 	source   *tsdb.Source
@@ -183,6 +200,8 @@ type System struct {
 	mu       sync.Mutex
 	pools    []*DetectorPool
 	detGroup *bus.Group
+
+	streamSeq atomic.Int64
 }
 
 // New boots a System: cluster, TSD tier, proxy, dataflow engine and an
@@ -261,6 +280,12 @@ func New(cfg Config) (*System, error) {
 	// storage writes — the paper's reason for the Kafka tier.
 	sys.Bus = bus.New(bus.Config{Partitions: cfg.Partitions, PartitionBuffer: cfg.BusBuffer})
 	sys.topic = sys.Bus.Topic(TopicEnergy)
+	// The flag feed: detector workers publish every anomaly they write
+	// so the gateway's SSE endpoint can tail detection live. Workers
+	// publish only while a tail's consumer group is attached — a
+	// group-less topic is never trimmed, so feeding it with nobody
+	// consuming would retain flags forever.
+	sys.flags = sys.Bus.Topic(TopicAnomalies)
 	sys.storage = sys.topic.Group(GroupStorage)
 	sys.Writers = ingest.StartStorageWriters(context.Background(), sys.storage, px, cfg.StorageWriters)
 	return sys, nil
@@ -289,6 +314,17 @@ func (s *System) Close() {
 // Topic returns the ingestion commit-log topic (for replay tooling and
 // custom consumers).
 func (s *System) Topic() *bus.Topic { return s.topic }
+
+// AnomalyTopic returns the flag-feed topic detector workers publish
+// onto (the SSE tail's source).
+func (s *System) AnomalyTopic() *bus.Topic { return s.flags }
+
+// NewAnomalyTail attaches a live tail to the flag feed under its own
+// consumer group, so every tail sees every flag and closing one never
+// detaches another's. Close the tail before System.Close.
+func (s *System) NewAnomalyTail() *api.AnomalyTail {
+	return api.NewAnomalyTail(s.flags, fmt.Sprintf("%s-%d", GroupStream, s.streamSeq.Add(1)))
+}
 
 // IngestRange streams fleet time steps [from, from+steps) onto the
 // commit log and waits until the storage consumer group has drained
@@ -362,16 +398,120 @@ func (s *System) QueryEngine(cfg query.Config) *query.Engine {
 	return query.NewFromDeployment(s.TSDB, cfg)
 }
 
-// Viz returns the web application handler; now is the fleet time the
-// pages treat as "current". Reads go through the cached scatter-gather
-// query tier with render payloads LTTB-bounded to 512 points per
-// series.
-func (s *System) Viz(now int64) http.Handler {
+// GatewayConfig tunes the handler Gateway assembles. Zero values take
+// the api package defaults.
+type GatewayConfig struct {
+	// Now supplies "current" fleet time (nil: the fixed now passed to
+	// Gateway).
+	Now func() int64
+	// MaxPoints bounds rendered series via LTTB (default 512).
+	MaxPoints int
+	// CacheEntries sizes the query tier's window cache (default 256).
+	CacheEntries int
+	// RatePerSec/Burst enable per-client rate limiting (0 disables).
+	RatePerSec float64
+	Burst      int
+	// AccessLog overrides the gateway's access logger.
+	AccessLog *log.Logger
+}
+
+// Gateway returns the full web surface of the system as one handler:
+// the /api/v1 tier (writes onto the ingestion bus, reads through a
+// cached scatter-gather engine, the SSE anomaly stream, metrics and
+// readiness), the legacy shim paths, and the Figure-3 HTML
+// application. now is the fleet time pages treat as "current" when
+// cfg.Now is nil. Close the returned tail before System.Close.
+func (s *System) Gateway(now int64, cfg GatewayConfig) (http.Handler, *api.AnomalyTail) {
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return now }
+	}
+	if cfg.MaxPoints <= 0 {
+		cfg.MaxPoints = 512
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	engine := s.QueryEngine(query.Config{MaxEntries: cfg.CacheEntries})
 	backend := &viz.Backend{
-		Q:         s.QueryEngine(query.Config{MaxEntries: 256}),
+		Q:         engine,
 		Units:     s.cfg.Units,
 		Sensors:   s.cfg.SensorsPerUnit,
-		MaxPoints: 512,
+		MaxPoints: cfg.MaxPoints,
 	}
-	return viz.NewServer(backend, func() int64 { return now })
+	tail := s.NewAnomalyTail()
+	reg := telemetry.NewRegistry()
+	s.RegisterMetrics(reg)
+	gw := api.New(api.Config{
+		Backend:    backend,
+		Publisher:  &api.BusPublisher{Topic: s.topic},
+		Query:      engine,
+		Tail:       tail,
+		Registry:   reg,
+		HTML:       viz.NewServer(backend, cfg.Now),
+		Ready:      s.ReadyChecks(),
+		Now:        cfg.Now,
+		RatePerSec: cfg.RatePerSec,
+		Burst:      cfg.Burst,
+		AccessLog:  cfg.AccessLog,
+	})
+	return gw, tail
+}
+
+// Viz returns the web application handler; now is the fleet time the
+// pages treat as "current".
+//
+// Deprecated: Viz serves the gateway without exposing its anomaly
+// tail, which therefore lives until System.Close. Use Gateway for
+// shutdown control.
+func (s *System) Viz(now int64) http.Handler {
+	h, _ := s.Gateway(now, GatewayConfig{})
+	return h
+}
+
+// RegisterMetrics exposes the system's counters on reg under the
+// names the /metrics endpoints serve.
+func (s *System) RegisterMetrics(reg *telemetry.Registry) {
+	reg.RegisterCounter("bus_published", &s.Bus.Published)
+	reg.RegisterCounter("bus_polled", &s.Bus.Polled)
+	reg.RegisterCounter("bus_rebalances", &s.Bus.Rebalances)
+	reg.RegisterFunc("storage_lag", s.storage.Lag)
+	reg.RegisterCounter("writer_delivered", &s.Writers.Delivered)
+	reg.RegisterCounter("writer_failures", &s.Writers.Failures)
+	reg.RegisterCounter("proxy_accepted", &s.Proxy.Accepted)
+	reg.RegisterCounter("proxy_delivered", &s.Proxy.Delivered)
+	reg.RegisterCounter("proxy_dropped", &s.Proxy.Dropped)
+	reg.RegisterCounter("proxy_retries", &s.Proxy.Retries)
+	reg.RegisterGauge("proxy_queue_depth", &s.Proxy.QueueDepth)
+	reg.RegisterFunc("samples_evaluated", s.SamplesEvaluated)
+	reg.RegisterFunc("tsdb_points_written", s.TSDB.PointsWritten)
+	reg.RegisterFunc("tsdb_queries_served", s.TSDB.QueriesServed)
+}
+
+// ReadyChecks probes the tiers a serving gateway depends on: the bus
+// accepting publishes, the storage group draining it, and a detector
+// pool attached (detection running). Liveness is weaker — see
+// /healthz vs /readyz in internal/api.
+func (s *System) ReadyChecks() []api.ReadyCheck {
+	return []api.ReadyCheck{
+		{Name: "bus", Check: func() error {
+			if !s.Bus.Running() {
+				return errors.New("bus not accepting publishes")
+			}
+			return nil
+		}},
+		{Name: "storage", Check: func() error {
+			if len(s.TSDB.Addrs()) == 0 {
+				return errors.New("no TSDs")
+			}
+			return nil
+		}},
+		{Name: "detectors", Check: func() error {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.detGroup == nil {
+				return errors.New("no detector pool attached")
+			}
+			return nil
+		}},
+	}
 }

@@ -1,6 +1,8 @@
 package sentinel
 
 import (
+	"io"
+	"log"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -101,8 +103,10 @@ func TestEndToEndIngestTrainDetectVisualize(t *testing.T) {
 		t.Fatalf("only %d of %d faulty units flagged", flagged, faulty)
 	}
 
-	// The visualization must surface the flags (Figure 3 path).
-	handler := sys.Viz(100)
+	// The visualization must surface the flags (Figure 3 path), served
+	// through the gateway like production.
+	handler, tail := sys.Gateway(100, GatewayConfig{AccessLog: log.New(io.Discard, "", 0)})
+	defer tail.Close()
 	req := httptest.NewRequest("GET", "/?from=80&to=100", nil)
 	rec := httptest.NewRecorder()
 	handler.ServeHTTP(rec, req)
