@@ -49,6 +49,7 @@ func main() {
 		workers    = flag.Int("workers", 4, "storage-writer consumers draining the bus into the proxy")
 		cache      = flag.Int("cache", 512, "query-tier window cache entries (negative disables)")
 		rate       = flag.Float64("rate", 0, "per-client request rate limit (req/s; 0 disables)")
+		apiKeys    = flag.String("api-keys", "", "comma-separated X-API-Key values granted their own rate-limit bucket (unlisted keys fall back to per-IP)")
 		drainFor   = flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -111,6 +112,7 @@ func main() {
 			}},
 		},
 		RatePerSec: *rate,
+		APIKeys:    api.SplitKeys(*apiKeys),
 	})
 
 	srv := &http.Server{

@@ -50,6 +50,7 @@ func main() {
 		fanout      = flag.Int("fanout", 0, "TSDs the query tier fans out over (0: all)")
 		partialOK   = flag.Bool("partial", false, "serve partial results when a storage shard is down")
 		rate        = flag.Float64("rate", 0, "per-client request rate limit (req/s; 0 disables)")
+		apiKeys     = flag.String("api-keys", "", "comma-separated X-API-Key values granted their own rate-limit bucket (unlisted keys fall back to per-IP)")
 		drainFor    = flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -161,6 +162,7 @@ func main() {
 		Ready:      sys.ReadyChecks(),
 		Now:        now.Load,
 		RatePerSec: *rate,
+		APIKeys:    api.SplitKeys(*apiKeys),
 	})
 
 	srv := &http.Server{

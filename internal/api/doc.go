@@ -54,6 +54,18 @@
 // with Retry-After, and every error body is the v1 error envelope
 // {"error":{"code","message","status"}}.
 //
+// Rate-limit identity is the remote IP, unless the request presents an
+// X-API-Key matching Config.APIKeys — only validated keys earn their
+// own bucket. Unrecognized keys deliberately do NOT: the header is
+// attacker-chosen, and keying on raw values would let any client mint
+// a fresh full bucket per request by rotating keys.
+//
+// The per-route latency histograms AccessLog feeds are windowed
+// (telemetry.Histogram.SetWindow): count and sum are cumulative, but
+// only the most recent observations are retained, so a long-running
+// daemon's memory and /metrics scrape cost stay bounded regardless of
+// request volume.
+//
 // # Hot path
 //
 // POST /api/v1/points is the ingest edge and runs the full chain;

@@ -79,6 +79,12 @@ type Config struct {
 	// (0 disables); Burst is the bucket size (default 2×rate).
 	RatePerSec float64
 	Burst      int
+	// APIKeys lists the keys clients may present via X-API-Key to get
+	// their own rate-limit bucket (multi-tenant deployments behind a
+	// shared NAT). An unrecognized or absent key falls back to
+	// per-remote-IP identity — unvalidated header values must not mint
+	// buckets, or rotating keys would bypass the limiter entirely.
+	APIKeys []string
 	// MaxConcurrent caps non-streaming requests in flight
 	// (0 = unlimited); MaxStreams caps live SSE tails (default 64).
 	MaxConcurrent int
@@ -93,6 +99,18 @@ type Config struct {
 	// AccessLog receives one structured line per request; nil uses the
 	// process logger. Set to log.New(io.Discard, …) to silence.
 	AccessLog *log.Logger
+}
+
+// SplitKeys parses a comma-separated API-key list (the daemons'
+// -api-keys flag) into Config.APIKeys form, dropping blanks.
+func SplitKeys(s string) []string {
+	var keys []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +153,7 @@ type Gateway struct {
 	cfg     Config
 	mux     *http.ServeMux
 	limiter *RateLimiter
+	apiKeys map[string]struct{}
 	streams chan struct{}
 }
 
@@ -145,6 +164,12 @@ func New(cfg Config) *Gateway {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		streams: make(chan struct{}, cfg.MaxStreams),
+	}
+	if len(cfg.APIKeys) > 0 {
+		g.apiKeys = make(map[string]struct{}, len(cfg.APIKeys))
+		for _, k := range cfg.APIKeys {
+			g.apiKeys[k] = struct{}{}
+		}
 	}
 	if cfg.RatePerSec > 0 {
 		g.limiter = NewRateLimiter(cfg.RatePerSec, cfg.Burst, nil)
@@ -161,7 +186,7 @@ func New(cfg Config) *Gateway {
 			Recover(cfg.AccessLog),
 			Timeout(cfg.RequestTimeout),
 			ConcurrencyLimit(cfg.MaxConcurrent),
-			RateLimit(g.limiter),
+			RateLimit(g.limiter, g.apiKeys),
 			Gzip(),
 		)
 	}
@@ -170,7 +195,7 @@ func New(cfg Config) *Gateway {
 			RequestID(),
 			AccessLog(cfg.AccessLog, cfg.Registry),
 			Recover(cfg.AccessLog),
-			RateLimit(g.limiter),
+			RateLimit(g.limiter, g.apiKeys),
 		)
 	}
 

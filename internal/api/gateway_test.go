@@ -391,11 +391,13 @@ func TestContentNegotiation(t *testing.T) {
 }
 
 // TestRateLimit429RetryAfter: the per-client token bucket sheds with
-// 429 + Retry-After; distinct clients have distinct buckets.
+// 429 + Retry-After; distinct configured clients have distinct
+// buckets, and unvalidated X-API-Key values cannot mint fresh ones.
 func TestRateLimit429RetryAfter(t *testing.T) {
 	gw := testGateway(t, func(c *Config) {
 		c.RatePerSec = 0.001 // effectively no refill within the test
 		c.Burst = 2
+		c.APIKeys = []string{"tenant-a"}
 	})
 	for i := 0; i < 2; i++ {
 		if rec := get(t, gw, "/api/v1/fleet?from=0&to=59"); rec.Code != 200 {
@@ -417,9 +419,16 @@ func TestRateLimit429RetryAfter(t *testing.T) {
 	if rec.Header().Get(HeaderRequestID) == "" {
 		t.Fatal("429 without request id")
 	}
-	// A different client key has its own bucket.
-	if rec := get(t, gw, "/api/v1/fleet?from=0&to=59", "X-API-Key", "other"); rec.Code != 200 {
-		t.Fatalf("other client = %d, want 200", rec.Code)
+	// A configured API key has its own bucket.
+	if rec := get(t, gw, "/api/v1/fleet?from=0&to=59", "X-API-Key", "tenant-a"); rec.Code != 200 {
+		t.Fatalf("configured key = %d, want 200", rec.Code)
+	}
+	// Rotating unrecognized keys must NOT evade the limit: identity
+	// falls back to the remote IP, whose bucket is already empty.
+	for _, bogus := range []string{"made-up-1", "made-up-2"} {
+		if rec := get(t, gw, "/api/v1/fleet?from=0&to=59", "X-API-Key", bogus); rec.Code != 429 {
+			t.Fatalf("rotated key %q = %d, want 429 (limiter bypassed)", bogus, rec.Code)
+		}
 	}
 }
 

@@ -98,11 +98,21 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
+// routeLatencyWindow bounds each per-route latency histogram to the
+// most recent observations: the daemons mounting the gateway run
+// indefinitely, so retaining every request's latency would grow
+// without bound and make each /metrics scrape sort the full history
+// under the histogram mutex. Count and sum stay cumulative; quantiles
+// cover the trailing window.
+const routeLatencyWindow = 2048
+
 // AccessLog emits one structured line per request to logger (nil
-// silences it) and records per-route latency histograms plus request
-// and error counters in reg (nil disables). Route labels come from
-// ServeMux patterns (r.Pattern), so /api/v1/machines/3 and /…/7 share
-// one histogram.
+// silences it) and records per-route latency histograms (bounded to
+// routeLatencyWindow recent samples) plus request and error counters
+// in reg (nil disables). Route labels come from ServeMux patterns
+// (r.Pattern), so /api/v1/machines/3 and /…/7 share one histogram.
+// The logged client is the remote IP — X-API-Key is a credential and
+// stays out of log lines.
 func AccessLog(logger *log.Logger, reg *telemetry.Registry) Middleware {
 	var hists sync.Map // route pattern → *telemetry.Histogram
 	var requests, errors5xx *telemetry.Counter
@@ -118,33 +128,39 @@ func AccessLog(logger *log.Logger, reg *telemetry.Registry) Middleware {
 			sw := statusWriterPool.Get().(*statusWriter)
 			sw.ResponseWriter, sw.status, sw.bytes = w, 0, 0
 			start := time.Now()
+			// Bookkeeping is deferred: Recover (one layer inside)
+			// re-panics http.ErrAbortHandler, and an aborted request
+			// must still return its wrapper to the pool, count, and
+			// leave a log line.
+			defer func() {
+				dur := time.Since(start)
+				status, bytes := sw.status, sw.bytes
+				if status == 0 {
+					status = http.StatusOK
+				}
+				sw.ResponseWriter = nil
+				statusWriterPool.Put(sw)
+				if reg != nil {
+					requests.Inc()
+					if status >= 500 {
+						errors5xx.Inc()
+					}
+					route := r.Pattern
+					if route == "" {
+						route = "unmatched"
+					}
+					h, ok := hists.Load(route)
+					if !ok {
+						h, _ = hists.LoadOrStore(route, reg.WindowHistogram(`http_ms{route="`+route+`"}`, routeLatencyWindow))
+					}
+					h.(*telemetry.Histogram).Observe(float64(dur.Nanoseconds()) / 1e6)
+				}
+				if logger != nil {
+					logger.Printf("access method=%s path=%s status=%d bytes=%d dur=%s id=%s client=%s",
+						r.Method, r.URL.Path, status, bytes, dur, RequestIDFrom(r.Context()), remoteIP(r))
+				}
+			}()
 			next.ServeHTTP(sw, r)
-			dur := time.Since(start)
-			status, bytes := sw.status, sw.bytes
-			if status == 0 {
-				status = http.StatusOK
-			}
-			sw.ResponseWriter = nil
-			statusWriterPool.Put(sw)
-			if reg != nil {
-				requests.Inc()
-				if status >= 500 {
-					errors5xx.Inc()
-				}
-				route := r.Pattern
-				if route == "" {
-					route = "unmatched"
-				}
-				h, ok := hists.Load(route)
-				if !ok {
-					h, _ = hists.LoadOrStore(route, reg.Histogram(`http_ms{route="`+route+`"}`))
-				}
-				h.(*telemetry.Histogram).Observe(float64(dur.Nanoseconds()) / 1e6)
-			}
-			if logger != nil {
-				logger.Printf("access method=%s path=%s status=%d bytes=%d dur=%s id=%s client=%s",
-					r.Method, r.URL.Path, status, bytes, dur, RequestIDFrom(r.Context()), clientKey(r))
-			}
 		})
 	}
 }
@@ -152,11 +168,18 @@ func AccessLog(logger *log.Logger, reg *telemetry.Registry) Middleware {
 // Recover turns a handler panic into a 500 error envelope instead of
 // tearing down the connection, and logs the panic with the request id.
 // It sits inside AccessLog so the 500 is still logged and counted.
+// http.ErrAbortHandler is re-panicked untouched: net/http defines that
+// sentinel as "abort the response" (connection torn down, no stack
+// trace), and writing a 500 envelope onto a possibly half-written
+// response would corrupt it.
 func Recover(logger *log.Logger) Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			defer func() {
 				if v := recover(); v != nil {
+					if v == http.ErrAbortHandler {
+						panic(v)
+					}
 					if logger != nil {
 						logger.Printf("panic id=%s path=%s: %v", RequestIDFrom(r.Context()), r.URL.Path, v)
 					}
@@ -209,18 +232,29 @@ func ConcurrencyLimit(max int) Middleware {
 	}
 }
 
-// clientKey identifies the caller for rate limiting and logs: the
-// X-API-Key header when present (multi-tenant deployments hand keys
-// out), else the remote IP.
-func clientKey(r *http.Request) string {
-	if k := r.Header.Get("X-API-Key"); k != "" {
-		return k
-	}
+// remoteIP extracts the caller's network address without the port.
+func remoteIP(r *http.Request) string {
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
 		return r.RemoteAddr
 	}
 	return host
+}
+
+// clientKey identifies the caller for rate limiting: the X-API-Key
+// header when it matches a configured key (multi-tenant deployments
+// hand keys out), else the remote IP. An unrecognized or absent key
+// never grants its own bucket — X-API-Key is attacker-chosen, and
+// honoring arbitrary values would let any client mint a fresh full
+// bucket per request by rotating keys. The "key:" prefix keeps a key
+// that happens to look like an IP from colliding with real IP buckets.
+func clientKey(r *http.Request, keys map[string]struct{}) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		if _, ok := keys[k]; ok {
+			return "key:" + k
+		}
+	}
+	return remoteIP(r)
 }
 
 // tokenBucket is one client's refillable budget.
@@ -245,10 +279,10 @@ type RateLimiter struct {
 	Rejected telemetry.Counter
 }
 
-// maxClients hard-caps the bucket table. Client keys are
-// attacker-chosen (X-API-Key is unauthenticated), so the table must
-// stay bounded in memory and O(1) per request even under a key-
-// rotation flood.
+// maxClients hard-caps the bucket table. Identities are validated
+// keys or remote IPs — not freely attacker-mintable — but a widely
+// distributed caller population can still be large, so the table must
+// stay bounded in memory and O(1) per request.
 const maxClients = 4096
 
 // NewRateLimiter builds a limiter; rate <= 0 disables it (Allow always
@@ -323,15 +357,16 @@ func (l *RateLimiter) prune(now time.Time) {
 	}
 }
 
-// RateLimit applies l per clientKey; nil or disabled limiters pass
+// RateLimit applies l per clientKey — the validated X-API-Key when it
+// is in keys, else the remote IP; nil or disabled limiters pass
 // everything through.
-func RateLimit(l *RateLimiter) Middleware {
+func RateLimit(l *RateLimiter, keys map[string]struct{}) Middleware {
 	return func(next http.Handler) http.Handler {
 		if l == nil || l.rate <= 0 {
 			return next
 		}
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			ok, retry := l.Allow(clientKey(r))
+			ok, retry := l.Allow(clientKey(r, keys))
 			if !ok {
 				l.Rejected.Inc()
 				secs := int(retry/time.Second) + 1
@@ -402,10 +437,14 @@ func (gw *gzipWriter) close() {
 // Gzip compresses response bodies when the client accepts it.
 // Innermost layer: everything outside it (logs, limits) sees the
 // uncompressed status and the route untouched. Streaming routes skip
-// it — SSE frames must flush per event, not per gzip block.
+// it — SSE frames must flush per event, not per gzip block. Every
+// response carries Vary: Accept-Encoding (compressed or not) so a
+// shared cache never serves a gzip body to a client that didn't ask
+// for one.
 func Gzip() Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Add("Vary", "Accept-Encoding")
 			if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
 				next.ServeHTTP(w, r)
 				return

@@ -65,31 +65,76 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Histogram accumulates float64 observations and reports count, sum,
-// mean, min, max and arbitrary quantiles. It keeps every observation in
-// memory (the workloads in this repository record at most a few hundred
-// thousand samples per run), trading memory for exact quantiles, which
-// the experiment harnesses need when asserting on latency shapes.
+// mean, min, max and arbitrary quantiles. By default it keeps every
+// observation in memory (the experiment harnesses record at most a few
+// hundred thousand samples per run and need exact quantiles). Long-
+// running servers must bound it with SetWindow: count and sum stay
+// cumulative, but quantiles are computed over a ring of the most recent
+// observations, so memory and per-scrape sort cost stay O(window)
+// regardless of how many requests the process has served.
 type Histogram struct {
-	mu     sync.Mutex
-	vals   []float64
-	sorted bool
-	sum    float64
+	mu      sync.Mutex
+	vals    []float64 // retained observations, always in arrival order
+	sorted  bool      // scratch currently mirrors vals, sorted
+	sum     float64
+	count   int64
+	window  int       // > 0: vals is a ring of the most recent window observations
+	head    int       // next ring slot to overwrite (window > 0 only)
+	scratch []float64 // sort buffer so quantiles never disturb arrival order
+}
+
+// SetWindow bounds the histogram to the most recent n observations
+// (n <= 0 restores the unbounded default). Safe to call repeatedly
+// with the same n — Registry callers re-resolve instruments by name.
+func (h *Histogram) SetWindow(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// The trim below rearranges vals, so any cached sort is stale.
+	h.sorted = false
+	if n <= 0 {
+		h.window, h.head = 0, 0
+		return
+	}
+	if h.window > 0 && h.head > 0 {
+		// Unroll a wrapped ring to chronological order so the trim
+		// below keeps the most recent observations, not whatever
+		// happened to sit at the highest slice positions.
+		unrolled := make([]float64, 0, len(h.vals))
+		unrolled = append(unrolled, h.vals[h.head:]...)
+		unrolled = append(unrolled, h.vals[:h.head]...)
+		h.vals = unrolled
+	}
+	h.head = 0
+	if len(h.vals) > n {
+		h.vals = append(h.vals[:0], h.vals[len(h.vals)-n:]...)
+	}
+	h.window = n
 }
 
 // Observe records a single observation.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
-	h.vals = append(h.vals, v)
-	h.sorted = false
+	h.count++
 	h.sum += v
+	if h.window > 0 && len(h.vals) >= h.window {
+		h.vals[h.head] = v
+		h.head++
+		if h.head >= h.window {
+			h.head = 0
+		}
+	} else {
+		h.vals = append(h.vals, v)
+	}
+	h.sorted = false
 	h.mu.Unlock()
 }
 
-// Count returns the number of recorded observations.
+// Count returns the number of observations ever recorded (cumulative,
+// even when a window bounds the retained samples).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.vals)
+	return int(h.count)
 }
 
 // Sum returns the sum of all recorded observations.
@@ -99,40 +144,52 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
-// Mean returns the arithmetic mean of the observations, or zero when
-// the histogram is empty.
+// Mean returns the arithmetic mean of all observations ever recorded,
+// or zero when the histogram is empty.
 func (h *Histogram) Mean() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.vals) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	return h.sum / float64(len(h.vals))
+	return h.sum / float64(h.count)
+}
+
+// sortedVals returns the retained observations in ascending order,
+// sorting a scratch copy so vals keeps its arrival order — SetWindow's
+// "most recent n" contract depends on it in both modes. Repeated
+// quantile reads between observations reuse the sorted scratch.
+// Called with mu held.
+func (h *Histogram) sortedVals() []float64 {
+	if !h.sorted {
+		h.scratch = append(h.scratch[:0], h.vals...)
+		sort.Float64s(h.scratch)
+		h.sorted = true
+	}
+	return h.scratch
 }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) using the nearest-rank
-// method, or zero when the histogram is empty.
+// method over the retained observations (all of them, or the most
+// recent window), or zero when the histogram is empty.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.vals) == 0 {
 		return 0
 	}
-	if !h.sorted {
-		sort.Float64s(h.vals)
-		h.sorted = true
-	}
+	vals := h.sortedVals()
 	if q <= 0 {
-		return h.vals[0]
+		return vals[0]
 	}
 	if q >= 1 {
-		return h.vals[len(h.vals)-1]
+		return vals[len(vals)-1]
 	}
-	idx := int(math.Ceil(q*float64(len(h.vals)))) - 1
+	idx := int(math.Ceil(q*float64(len(vals)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	return h.vals[idx]
+	return vals[idx]
 }
 
 // Min returns the smallest observation, or zero when empty.
@@ -141,8 +198,7 @@ func (h *Histogram) Min() float64 { return h.Quantile(0) }
 // Max returns the largest observation, or zero when empty.
 func (h *Histogram) Max() float64 { return h.Quantile(1) }
 
-// Snapshot returns a copy of the recorded observations in insertion
-// order is not guaranteed; callers receive a sorted copy.
+// Snapshot returns a sorted copy of the retained observations.
 func (h *Histogram) Snapshot() []float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -152,11 +208,13 @@ func (h *Histogram) Snapshot() []float64 {
 	return out
 }
 
-// Reset discards all observations.
+// Reset discards all observations (the window setting survives).
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	h.vals = h.vals[:0]
 	h.sum = 0
+	h.count = 0
+	h.head = 0
 	h.sorted = false
 	h.mu.Unlock()
 }
@@ -300,6 +358,17 @@ func (r *Registry) Histogram(name string) *Histogram {
 		h = &Histogram{}
 		r.hists[name] = h
 	}
+	return h
+}
+
+// WindowHistogram returns the histogram registered under name, created
+// on first use and bounded to the most recent window observations —
+// the form servers use for per-route latency, where the process lives
+// indefinitely and an unbounded histogram would grow with request
+// count.
+func (r *Registry) WindowHistogram(name string, window int) *Histogram {
+	h := r.Histogram(name)
+	h.SetWindow(window)
 	return h
 }
 

@@ -107,6 +107,111 @@ func TestHistogramReset(t *testing.T) {
 	}
 }
 
+// TestHistogramWindow: a windowed histogram retains only the most
+// recent observations (bounded memory in long-running servers) while
+// count and sum stay cumulative.
+func TestHistogramWindow(t *testing.T) {
+	var h Histogram
+	h.SetWindow(100)
+	for i := 0; i < 5000; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != 5000 {
+		t.Fatalf("Count() = %d, want cumulative 5000", got)
+	}
+	if got := h.Sum(); got != 5000*4999/2 {
+		t.Fatalf("Sum() = %v, want cumulative %d", got, 5000*4999/2)
+	}
+	if got := len(h.Snapshot()); got != 100 {
+		t.Fatalf("retained %d observations, want window of 100", got)
+	}
+	// Quantiles cover the trailing window [4900, 4999].
+	if min, max := h.Min(), h.Max(); min != 4900 || max != 4999 {
+		t.Fatalf("window = [%v, %v], want [4900, 4999]", min, max)
+	}
+	// Quantile must not disturb the ring: more observations keep
+	// rotating the same bounded buffer.
+	h.Observe(5000)
+	if got := len(h.Snapshot()); got != 100 {
+		t.Fatalf("retained %d after post-sort observe, want 100", got)
+	}
+	if min, max := h.Min(), h.Max(); min != 4901 || max != 5000 {
+		t.Fatalf("window after rotation = [%v, %v], want [4901, 5000]", min, max)
+	}
+	// Reset clears data but keeps the bound.
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset must clear cumulative stats")
+	}
+	for i := 0; i < 300; i++ {
+		h.Observe(1)
+	}
+	if got := len(h.Snapshot()); got != 100 {
+		t.Fatalf("window lost across Reset: retained %d", got)
+	}
+}
+
+// TestHistogramSetWindowTransitions: changing the window on a live
+// histogram must keep the chronologically most recent observations
+// and never leave a stale sort flag across the mode switch.
+func TestHistogramSetWindowTransitions(t *testing.T) {
+	// Shrink a wrapped ring: the retained samples must be the newest
+	// observations, not whatever sat at the highest slice positions.
+	var h Histogram
+	h.SetWindow(4)
+	for i := 0; i <= 5; i++ {
+		h.Observe(float64(i)) // ring holds {2,3,4,5}, wrapped
+	}
+	h.SetWindow(2)
+	if min, max := h.Min(), h.Max(); min != 4 || max != 5 {
+		t.Fatalf("shrunk window = [%v, %v], want most recent [4, 5]", min, max)
+	}
+	// Windowed → unbounded: a quantile in windowed mode (which sorts a
+	// scratch copy) must not leave sorted=true behind, or unbounded
+	// quantiles would index the unsorted ring.
+	var g Histogram
+	g.SetWindow(4)
+	for _, v := range []float64{5, 1, 9, 3} {
+		g.Observe(v)
+	}
+	if q := g.Quantile(0.5); q != 3 {
+		t.Fatalf("windowed median = %v, want 3", q)
+	}
+	g.SetWindow(0)
+	if max := g.Max(); max != 9 {
+		t.Fatalf("Max after un-windowing = %v, want 9", max)
+	}
+	// Growing the window keeps observing chronologically.
+	var w Histogram
+	w.SetWindow(2)
+	for i := 0; i <= 3; i++ {
+		w.Observe(float64(i)) // ring holds {2,3}
+	}
+	w.SetWindow(3)
+	w.Observe(10)
+	if min, max := w.Min(), w.Max(); min != 2 || max != 10 {
+		t.Fatalf("grown window = [%v, %v], want [2, 10]", min, max)
+	}
+	w.Observe(11) // full again: evicts 2
+	if min := w.Min(); min != 3 {
+		t.Fatalf("grown ring evicted %v first, want oldest (2) gone, min 3", min)
+	}
+	// Unbounded → windowed AFTER a quantile read: quantiles must not
+	// disturb arrival order, or the trim would keep the N largest
+	// observations instead of the N most recent.
+	var u Histogram
+	for _, v := range []float64{5, 1, 9, 3} {
+		u.Observe(v)
+	}
+	if q := u.Quantile(0.5); q != 3 {
+		t.Fatalf("unbounded median = %v, want 3", q)
+	}
+	u.SetWindow(2)
+	if min, max := u.Min(), u.Max(); min != 3 || max != 9 {
+		t.Fatalf("bounded after quantile = [%v, %v], want most recent [3, 9]", min, max)
+	}
+}
+
 func TestHistogramQuantileProperties(t *testing.T) {
 	f := func(vals []float64) bool {
 		var h Histogram
