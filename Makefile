@@ -10,10 +10,11 @@ EVAL_BENCH = BenchmarkFDRCorrections|BenchmarkOnlineEvalThroughput|BenchmarkEndT
 # The in-place benchmarks whose allocs/op are pinned in ALLOC_PINS and
 # gated by bench-allocs. BenchmarkBusPublish also matches
 # BenchmarkBusPublishConsume; BenchmarkGatewayPutPath pins the /api/v1
-# ingest edge through the full middleware chain.
-ALLOC_BENCH = BenchmarkEvaluateBatchInto|BenchmarkApplyInto|BenchmarkMulInto|BenchmarkBusPublish|BenchmarkQueryCacheHit|BenchmarkGatewayPutPath
+# ingest edge through the full middleware chain; BenchmarkDetectorBatch
+# matches every detector family's warmed batch path.
+ALLOC_BENCH = BenchmarkEvaluateBatchInto|BenchmarkApplyInto|BenchmarkMulInto|BenchmarkBusPublish|BenchmarkQueryCacheHit|BenchmarkGatewayPutPath|BenchmarkDetectorBatch
 
-.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs conformance check
+.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs backtest conformance check
 
 build:
 	$(GO) build ./...
@@ -66,9 +67,17 @@ bench-query:
 bench-allocs:
 	@rm -f bench-allocs.out
 	$(GO) test -run '^$$' -bench '$(ALLOC_BENCH)' -benchtime 1x -benchmem \
-		./internal/core/ ./internal/fdr/ ./internal/linalg/ ./internal/bus/ ./internal/query/ ./internal/api/ > bench-allocs.out
+		./internal/core/ ./internal/fdr/ ./internal/linalg/ ./internal/bus/ ./internal/query/ ./internal/api/ ./internal/mllib/ > bench-allocs.out
 	$(GO) run ./cmd/allocgate -pins ALLOC_PINS < bench-allocs.out
 	@rm -f bench-allocs.out
+
+# backtest scores every registered detector family against the
+# simulated fleet's injected-fault scenarios (stuck-at, drift, spike,
+# correlated shift) and records precision / recall / detection latency
+# per (detector, scenario) in BENCH_detectors.json. The spike-recall
+# gate is the committed floor the CI smoke step also enforces.
+backtest:
+	$(GO) run ./cmd/backtest -gate spike:0.30 -out BENCH_detectors.json
 
 # conformance runs the /api/v1 route-contract table: every route
 # answers and every error class maps onto the documented status +
@@ -76,4 +85,4 @@ bench-allocs:
 conformance:
 	$(GO) test ./internal/api/... -run TestV1Conformance
 
-check: lint build test bench bench-allocs conformance
+check: lint build test bench bench-allocs backtest conformance

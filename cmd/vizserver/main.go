@@ -160,6 +160,7 @@ func main() {
 		Registry:   reg,
 		HTML:       viz.NewServer(backend, now.Load),
 		Ready:      sys.ReadyChecks(),
+		Detectors:  sys.DetectorStatus,
 		Now:        now.Load,
 		RatePerSec: *rate,
 		APIKeys:    api.SplitKeys(*apiKeys),

@@ -34,6 +34,10 @@ func main() {
 		SensorsPerUnit: 30,
 		FaultFraction:  0.4,
 		FaultOnset:     100,
+		// Run the streaming CUSUM family in shadow mode beside the
+		// primary MGD evaluator: it scores the same batches and counts
+		// agreements without emitting flags.
+		ShadowDetectors: []string{"cusum"},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -136,8 +140,25 @@ func main() {
 	if first, err = stream.Next(); err != nil {
 		log.Fatalf("stream: %v", err)
 	}
-	fmt.Printf("live stream: first flag unit %d sensor %d at t=%d (z=%.1f)\n",
-		first.Unit, first.Sensor, first.Timestamp, first.Z)
+	fmt.Printf("live stream: first flag unit %d sensor %d at t=%d (detector=%s score=%.1f)\n",
+		first.Unit, first.Sensor, first.Timestamp, first.Detector, first.Score)
+
+	// The detector tier over the typed SDK: which families run as
+	// primary or shadow, and how often the shadows agreed.
+	if err := pool.DrainShadows(ctx); err != nil {
+		log.Fatal(err)
+	}
+	ds, err := c.Detectors(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range ds.Detectors {
+		if d.Mode == "off" {
+			continue
+		}
+		fmt.Printf("detector %s: mode=%s flags=%d agreements=%d disagreements=%d\n",
+			d.Name, d.Mode, d.Flags, d.Agreements, d.Disagreements)
+	}
 
 	if *serve {
 		fmt.Println("serving on http://localhost:8080/ — Ctrl-C to stop")

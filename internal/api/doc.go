@@ -15,6 +15,7 @@
 //	GET  /api/v1/series                              drill-down (query-param spelling)
 //	GET  /api/v1/anomalies/top                       severity ranking
 //	GET  /api/v1/anomalies/stream                    SSE tail of detector flags
+//	GET  /api/v1/detectors                           detector tier status (primary / shadows / ensemble)
 //	GET  /api/v1/metrics                             telemetry exposition
 //	GET  /healthz, /readyz (+ /api/v1 aliases)       liveness / readiness
 //

@@ -63,6 +63,10 @@ type Config struct {
 	HTML http.Handler
 	// Ready lists the dependency probes behind /readyz.
 	Ready []ReadyCheck
+	// Detectors snapshots the detector tier for GET /api/v1/detectors
+	// (mode, flag and shadow-agreement counters, ensemble config). Nil
+	// answers 503 unavailable.
+	Detectors func() v1.DetectorsResponse
 
 	// Now supplies "current" fleet time for window defaults (default:
 	// wall clock seconds).
@@ -222,6 +226,7 @@ func New(cfg Config) *Gateway {
 	handle("GET", "/api/v1/series", std(g.handleSeries))
 	handle("GET", "/api/v1/anomalies/top", std(g.handleTop))
 	handle("GET", "/api/v1/anomalies/stream", stream(g.handleStream))
+	handle("GET", "/api/v1/detectors", std(g.handleDetectors))
 	handle("GET", "/api/v1/metrics", std(g.handleMetrics))
 	handle("GET", "/api/v1/healthz", std(g.handleHealth))
 	handle("GET", "/api/v1/readyz", std(g.handleReady))
@@ -726,6 +731,17 @@ func (g *Gateway) topAnomalies(r *http.Request) ([]v1.TopAnomaly, error) {
 }
 
 // ---- ops ------------------------------------------------------------
+
+// handleDetectors reports the detector tier: every registered family,
+// its mode (primary / shadow / off), flag and shadow-comparison
+// counters, and the effective ensemble configuration.
+func (g *Gateway) handleDetectors(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.Detectors == nil {
+		writeError(w, &apiError{status: http.StatusServiceUnavailable, code: v1.CodeUnavailable, msg: "no detector tier"})
+		return
+	}
+	writeJSON(w, g.cfg.Detectors())
+}
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if g.cfg.Registry == nil {

@@ -121,6 +121,16 @@ func TestV1Conformance(t *testing.T) {
 			return len(pts), nil
 		})
 		c.MaxBody = 1 << 10
+		c.Detectors = func() v1.DetectorsResponse {
+			return v1.DetectorsResponse{
+				Primary: "mgd",
+				Detectors: []v1.DetectorInfo{
+					{Name: "mgd", Mode: "primary", Flags: 7},
+					{Name: "cusum", Mode: "shadow", Agreements: 3, Disagreements: 1},
+				},
+				Ensemble: v1.EnsembleConfig{Members: []string{"cusum", "zscore"}, MinVotes: 2},
+			}
+		}
 	})
 	okCases := []struct {
 		path string
@@ -133,6 +143,7 @@ func TestV1Conformance(t *testing.T) {
 		{"/api/v1/series?unit=1&sensor=2&from=0&to=59", `"sensor":2`},
 		{"/api/v1/query?unit=1&sensor=2&from=0&to=59", `"series"`},
 		{"/api/v1/anomalies/top?from=0&to=59", `"anomalies"`},
+		{"/api/v1/detectors", `"mode":"primary"`},
 		{"/api/v1/metrics", "http_requests"},
 		{"/api/v1/healthz", "ok"},
 		{"/api/v1/readyz", `"ready":true`},
@@ -201,7 +212,7 @@ func TestV1Conformance(t *testing.T) {
 		t.Errorf("storage failure = %d (%s), want 500 internal", rec.Code, rec.Body)
 	}
 	// 503: routes whose dependency is absent.
-	for _, path := range []string{"/api/v1/anomalies/stream", "/api/v1/metrics"} {
+	for _, path := range []string{"/api/v1/anomalies/stream", "/api/v1/detectors", "/api/v1/metrics"} {
 		rec := get(t, broken, path)
 		if rec.Code != 503 || envelope(t, rec).Code != v1.CodeUnavailable {
 			t.Errorf("GET %s without dependency = %d, want 503 unavailable", path, rec.Code)

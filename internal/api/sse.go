@@ -88,6 +88,7 @@ func (t *AnomalyTail) run(ctx context.Context, c *bus.Consumer) {
 			t.broadcast(v1.AnomalyEvent{
 				Unit: a.Unit, Sensor: a.Sensor, Timestamp: a.Timestamp,
 				Value: a.Value, Z: a.Z, PValue: a.PValue, Adjusted: a.Adjusted,
+				Detector: a.Detector, Score: a.Score,
 			})
 		}
 		_ = c.CommitPolled(recs)

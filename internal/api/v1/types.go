@@ -176,6 +176,12 @@ type AnomalyEvent struct {
 	Z         float64 `json:"z"`
 	PValue    float64 `json:"pValue"`
 	Adjusted  float64 `json:"adjusted"`
+	// Detector and Score identify the family that raised the flag and
+	// its family-specific severity. Both are omitted on payloads from
+	// servers predating the detector tier, so clients must treat them
+	// as optional.
+	Detector string  `json:"detector,omitempty"`
+	Score    float64 `json:"score,omitempty"`
 }
 
 // EventAnomaly is the SSE event name AnomalyEvent rides under.
@@ -193,4 +199,38 @@ type ReadyCheck struct {
 type ReadyResponse struct {
 	Ready  bool         `json:"ready"`
 	Checks []ReadyCheck `json:"checks"`
+}
+
+// DetectorInfo describes one registered detector family on GET
+// /api/v1/detectors. Mode is "primary" (evaluating and emitting
+// flags), "shadow" (evaluating silently, counted against the primary)
+// or "off" (registered but not running).
+type DetectorInfo struct {
+	Name string `json:"name"`
+	Mode string `json:"mode"`
+	// Flags counts flags raised: written-back anomalies for the
+	// primary, would-have-flagged rows for shadows, 0 when off.
+	Flags int64 `json:"flags"`
+	// Agreements and Disagreements count evaluated rows where this
+	// shadow's verdict matched / differed from the primary's, over
+	// rows at least one of the two flagged. Always 0 for the primary.
+	Agreements    int64 `json:"agreements,omitempty"`
+	Disagreements int64 `json:"disagreements,omitempty"`
+	// Shed counts batches the shadow runner dropped rather than
+	// backpressure the primary path.
+	Shed int64 `json:"shed,omitempty"`
+}
+
+// EnsembleConfig is the effective configuration of the "ensemble"
+// family: its member families and the row-level voting threshold.
+type EnsembleConfig struct {
+	Members  []string `json:"members"`
+	MinVotes int      `json:"minVotes"`
+}
+
+// DetectorsResponse is the body of GET /api/v1/detectors.
+type DetectorsResponse struct {
+	Primary   string         `json:"primary"`
+	Detectors []DetectorInfo `json:"detectors"`
+	Ensemble  EnsembleConfig `json:"ensemble"`
 }

@@ -79,6 +79,48 @@ func BenchmarkEvaluateBatchInto(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectorBatchMGD pins the detector-interface adapter: the
+// zero-allocation contract of EvaluateBatchInto must survive the
+// mllib.Detector wrapping (adapter-owned arena, flags copied into the
+// caller's warmed Detections buffer).
+func BenchmarkDetectorBatchMGD(b *testing.B) {
+	eng := dataflow.NewEngine(0)
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(1))
+	const sensors = 200
+	mean := constVec(sensors, 10)
+	sigma := constVec(sensors, 2)
+	tr := NewTrainer(eng, TrainerConfig{})
+	m, err := tr.TrainUnit(0, gaussianWindow(rng, 512, sensors, mean, sigma))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := NewMGDDetector(m, EvaluatorConfig{Procedure: fdr.BH})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	xs := gaussianWindow(rng, batch, sensors, mean, sigma)
+	ts := make([]int64, batch)
+	var det Detections
+	// Two warm calls: the first grows the arena, the second settles the
+	// FDR scratch the arena only sizes after seeing a full batch.
+	for w := 0; w < 2; w++ {
+		if err := d.DetectBatchInto(xs, ts, &det); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.DetectBatchInto(xs, ts, &det); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(batch*sensors)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
 func BenchmarkTrainUnit(b *testing.B) {
 	eng := dataflow.NewEngine(0)
 	defer eng.Close()

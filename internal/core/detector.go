@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fdr"
+	"repro/internal/mllib"
+)
+
+// MGDDetector adapts the trained-model MGD+FDR Evaluator to the
+// pluggable mllib.Detector interface, making the paper's evaluator the
+// first registered family ("mgd") of the detector tier. The adapter
+// owns its Arena, so the zero-allocation batch contract of
+// EvaluateBatchInto carries through DetectBatchInto unchanged: a
+// warmed adapter scores a batch without heap allocations.
+type MGDDetector struct {
+	ev    *Evaluator
+	arena Arena
+}
+
+// NewMGDDetector wraps a trained model in the detector interface.
+func NewMGDDetector(m *Model, cfg EvaluatorConfig) (*MGDDetector, error) {
+	ev, err := NewEvaluator(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MGDDetector{ev: ev}, nil
+}
+
+// Name implements mllib.Detector.
+func (d *MGDDetector) Name() string { return "mgd" }
+
+// DetectBatchInto implements mllib.Detector. Each FDR-rejected sensor
+// becomes one flag with Score = |z| and the raw/adjusted p-values
+// carried through; Reports are consumed before the arena is reused, so
+// nothing is retained.
+func (d *MGDDetector) DetectBatchInto(xs [][]float64, ts []int64, out *Detections) error {
+	out.Reset()
+	reports, err := d.ev.EvaluateBatchInto(xs, ts, &d.arena)
+	if err != nil {
+		return err
+	}
+	for r, rep := range reports {
+		for i := range rep.Flags {
+			f := &rep.Flags[i]
+			out.Add(mllib.DetectorFlag{
+				Row:      r,
+				Sensor:   f.Sensor,
+				Score:    math.Abs(f.Z),
+				PValue:   f.PValue,
+				Adjusted: f.Adjusted,
+			})
+		}
+	}
+	return nil
+}
+
+// Detections re-exports mllib.Detections so pure-core callers (and the
+// adapter's own tests) don't need a second import for the buffer type.
+type Detections = mllib.Detections
+
+func init() {
+	mllib.Register("mgd", func(c mllib.Context) (mllib.Detector, error) {
+		if c.LoadModel == nil {
+			return nil, fmt.Errorf("core: mgd detector for unit %d needs a trained model (Context.LoadModel is nil)", c.Unit)
+		}
+		v, err := c.LoadModel()
+		if err != nil {
+			return nil, fmt.Errorf("core: mgd detector: load model for unit %d: %w", c.Unit, err)
+		}
+		m, ok := v.(*Model)
+		if !ok {
+			return nil, fmt.Errorf("core: mgd detector: unit %d model is %T, want *core.Model", c.Unit, v)
+		}
+		return NewMGDDetector(m, EvaluatorConfig{
+			Level:     c.Param("level", 0.05),
+			Procedure: fdr.Procedure(int(c.Param("procedure", float64(fdr.BH)))),
+		})
+	})
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -11,7 +12,8 @@ import (
 
 // Anomaly is a flagged (unit, sensor, time) event written back to
 // storage for the visualization layer, as in Figure 1's feedback arrow
-// from the detector to OpenTSDB.
+// from the detector to OpenTSDB. Sensor is -1 for a unit-level flag
+// (the detector scored the whole observation vector).
 type Anomaly struct {
 	Unit      int
 	Sensor    int
@@ -20,6 +22,12 @@ type Anomaly struct {
 	Z         float64
 	PValue    float64
 	Adjusted  float64
+	// Detector names the family that raised the flag ("" on paths
+	// predating the detector tier); Score is its family-specific
+	// severity (|z|, the normalized CUSUM statistic, the isolation
+	// score).
+	Detector string
+	Score    float64
 }
 
 // AnomalySink receives flagged anomalies; implemented by the TSDB
@@ -124,6 +132,8 @@ func (p *Pipeline) ProcessWindow(unit int, from int64, count int) ([]*Report, er
 				Z:         f.Z,
 				PValue:    f.PValue,
 				Adjusted:  f.Adjusted,
+				Detector:  "mgd",
+				Score:     math.Abs(f.Z),
 			}
 			if p.sink != nil {
 				if err := p.sink.WriteAnomaly(a); err != nil {

@@ -1,0 +1,144 @@
+package mllib
+
+import (
+	"fmt"
+	"math"
+)
+
+// CUSUM is a streaming per-sensor two-sided CUSUM change-point
+// detector (Page, 1954). During a warmup window it learns each
+// sensor's baseline mean and variance with Welford's recurrence; the
+// baseline then freezes and every subsequent reading contributes its
+// standardized deviation z to the classic pair of one-sided sums
+//
+//	pos = max(0, pos + z - k)    neg = max(0, neg - z - k)
+//
+// A sensor is flagged when either sum crosses the decision threshold
+// h, after which that sensor's sums restart from zero (the standard
+// post-alarm reset), so a persistent shift re-alarms at the detection
+// cadence rather than every step. The reference value k sets the
+// smallest shift (in σ, roughly 2k) the chart is tuned to catch;
+// small sustained drifts accumulate until they cross h, which is what
+// makes the family complementary to the MGD evaluator's per-tick
+// outlier tests.
+type CUSUM struct {
+	k, h   float64
+	warmup int
+
+	n          int // warmup rows consumed
+	mean, m2   []float64
+	pos, neg   []float64
+	sigma      []float64 // frozen after warmup
+	calibrated bool
+}
+
+// CUSUM tuning defaults: k catches ≥1σ sustained shifts, h ≈ the
+// usual 5σ decision interval, and the warmup matches the simulated
+// fleet's healthy prefix granularity.
+const (
+	defaultCUSUMK      = 0.5
+	defaultCUSUMH      = 5.0
+	defaultCUSUMWarmup = 60
+)
+
+// NewCUSUM builds a detector for sensors channels. k, h and warmup
+// take the documented defaults when <= 0.
+func NewCUSUM(sensors int, k, h float64, warmup int) (*CUSUM, error) {
+	if sensors <= 0 {
+		return nil, fmt.Errorf("mllib: cusum needs a positive sensor count, got %d", sensors)
+	}
+	if k <= 0 {
+		k = defaultCUSUMK
+	}
+	if h <= 0 {
+		h = defaultCUSUMH
+	}
+	if warmup <= 1 {
+		warmup = defaultCUSUMWarmup
+	}
+	return &CUSUM{
+		k: k, h: h, warmup: warmup,
+		mean:  make([]float64, sensors),
+		m2:    make([]float64, sensors),
+		pos:   make([]float64, sensors),
+		neg:   make([]float64, sensors),
+		sigma: make([]float64, sensors),
+	}, nil
+}
+
+// Name implements Detector.
+func (c *CUSUM) Name() string { return "cusum" }
+
+// Reset zeroes the accumulated change statistics of every sensor,
+// keeping the learned baseline — the post-maintenance restart.
+func (c *CUSUM) Reset() {
+	for i := range c.pos {
+		c.pos[i], c.neg[i] = 0, 0
+	}
+}
+
+// Warmed reports whether the baseline has been learned.
+func (c *CUSUM) Warmed() bool { return c.calibrated }
+
+// DetectBatchInto implements Detector.
+func (c *CUSUM) DetectBatchInto(xs [][]float64, ts []int64, out *Detections) error {
+	out.Reset()
+	if len(ts) != len(xs) {
+		return fmt.Errorf("mllib: cusum: %d rows but %d timestamps", len(xs), len(ts))
+	}
+	d := len(c.mean)
+	for r, x := range xs {
+		if len(x) != d {
+			return fmt.Errorf("mllib: cusum: row %d has %d sensors, detector has %d", r, len(x), d)
+		}
+		if !c.calibrated {
+			c.n++
+			for j, v := range x {
+				delta := v - c.mean[j]
+				c.mean[j] += delta / float64(c.n)
+				c.m2[j] += delta * (v - c.mean[j])
+			}
+			if c.n >= c.warmup {
+				for j := range c.sigma {
+					s := math.Sqrt(c.m2[j] / float64(c.n-1))
+					if s < 1e-12 {
+						s = 1e-12 // constant channel: any motion is a shift
+					}
+					c.sigma[j] = s
+				}
+				c.calibrated = true
+			}
+			continue
+		}
+		for j, v := range x {
+			z := (v - c.mean[j]) / c.sigma[j]
+			p := c.pos[j] + z - c.k
+			if p < 0 {
+				p = 0
+			}
+			n := c.neg[j] - z - c.k
+			if n < 0 {
+				n = 0
+			}
+			if p > c.h || n > c.h {
+				s := p
+				if n > s {
+					s = n
+				}
+				out.Add(DetectorFlag{Row: r, Sensor: j, Score: s / c.h})
+				p, n = 0, 0 // post-alarm restart
+			}
+			c.pos[j], c.neg[j] = p, n
+		}
+	}
+	return nil
+}
+
+func init() {
+	Register("cusum", func(c Context) (Detector, error) {
+		return NewCUSUM(c.Sensors,
+			c.Param("k", defaultCUSUMK),
+			c.Param("h", defaultCUSUMH),
+			int(c.Param("warmup", defaultCUSUMWarmup)))
+	})
+}

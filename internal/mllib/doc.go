@@ -1,0 +1,46 @@
+// Package mllib is the analytics library tier of the architecture: the
+// pieces of Spark MLlib the paper's pipeline leans on, grown in two
+// layers.
+//
+// # Distributed matrices (the offline trainer's substrate)
+//
+// RowMatrix provides distributed matrix computations on top of the
+// dataflow engine, mirroring the slice of MLlib the offline trainer
+// uses: a row-distributed matrix with column statistics,
+// Gramian/covariance computation and SVD.
+//
+// The computation pattern is MLlib's: each partition accumulates a
+// local Gramian (XᵀX) and column sums with a per-partition sequential
+// pass, the per-partition accumulators are combined tree-style by the
+// engine, and the small d×d result is decomposed locally with the
+// dense solver from internal/linalg. For the paper's workload (units
+// with up to 1000 sensors) this is exactly how Spark sizes it: the
+// row dimension is distributed, the covariance fits on one node.
+//
+// # The detector tier (the streaming evaluators)
+//
+// Detector is the pluggable interface the bus-fed batch path scores
+// through: DetectBatchInto consumes a batch of observation rows and
+// appends flags into a caller-owned Detections buffer, so a warmed
+// detector runs allocation-free (the BenchmarkDetectorBatch* pins).
+// One instance serves one unit and is called by one goroutine at a
+// time — the unit-keyed bus partitions guarantee exactly that.
+//
+// Families register themselves by name (Register/New/Registered):
+//
+//   - "cusum": per-sensor two-sided CUSUM change-point charts —
+//     small sustained shifts and drifts.
+//   - "zscore": per-regime z-scores with an online load-regime
+//     assignment — regime-conditional outliers.
+//   - "iforest": a streaming isolation forest over a sliding window —
+//     unit-level multivariate excursions (flags carry Sensor == -1).
+//   - "ensemble": row-level voting over member families with
+//     per-sensor score dedup.
+//   - "mgd": the paper's MGD+FDR evaluator, registered by
+//     internal/core (which builds models with the matrix layer above —
+//     the reason the interface lives here, below core, not beside it).
+//
+// The sentinel detector pool runs one family as primary and any
+// number of others in shadow mode (scored, counted, never emitted);
+// internal/backtest scores every family against injected faults.
+package mllib

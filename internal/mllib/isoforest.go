@@ -1,0 +1,290 @@
+package mllib
+
+import (
+	"fmt"
+	"math"
+)
+
+// IsolationForest is a streaming variant of Liu, Ting & Zhou's
+// isolation forest: anomalous observation vectors are easier to
+// isolate with random axis-parallel splits, so their expected path
+// length through an ensemble of random trees is short.
+//
+// Rows stream into a fixed-size ring-buffer window; once the window
+// holds a subsample's worth of history the forest is (re)built from
+// it, and thereafter rebuilt every rebuildEvery rows so the notion of
+// "normal" tracks the recent regime. Each incoming row is scored
+// against the current forest before being admitted to the window:
+//
+//	score = 2^(-E[pathlen] / c(sample))
+//
+// with c(n) the average BST unsuccessful-search depth. Scores near 1
+// mean "isolated immediately — anomalous"; 0.5 is the expectation for
+// an average point. Rows scoring above the threshold are flagged at
+// unit level (Sensor == -1): the forest isolates whole observation
+// vectors and does not attribute the anomaly to single channels.
+//
+// Construction is driven entirely by a splitmix64 stream seeded from
+// Context.Seed, so two instances fed the same rows flag identically.
+type IsolationForest struct {
+	sensors      int
+	trees        int
+	sample       int
+	window       int
+	rebuildEvery int
+	threshold    float64
+
+	rng rngState
+
+	win        []float64 // window*sensors ring backing
+	wn, wpos   int       // rows held, next write slot
+	sinceBuild int
+	built      bool
+	forest     []ifTree
+
+	idx []int // subsample scratch
+}
+
+// ifNode is one node of a flat-stored random tree. Leaves have
+// feature == -1 and size = the subsample rows they hold.
+type ifNode struct {
+	feature     int
+	split       float64
+	left, right int32
+	size        int32
+}
+
+type ifTree struct{ nodes []ifNode }
+
+// Isolation-forest defaults, following the paper's ψ=64/t=50 with a
+// window a few subsamples deep and the conventional 0.6 alert line.
+const (
+	defaultIFTrees     = 50
+	defaultIFSample    = 64
+	defaultIFWindow    = 256
+	defaultIFRebuild   = 256
+	defaultIFThreshold = 0.6
+)
+
+// NewIsolationForest builds a streaming forest for sensors channels.
+// Non-positive arguments take the documented defaults.
+func NewIsolationForest(sensors, trees, sample, window, rebuildEvery int, threshold float64, seed uint64) (*IsolationForest, error) {
+	if sensors <= 0 {
+		return nil, fmt.Errorf("mllib: iforest needs a positive sensor count, got %d", sensors)
+	}
+	if trees <= 0 {
+		trees = defaultIFTrees
+	}
+	if sample <= 1 {
+		sample = defaultIFSample
+	}
+	if window < sample {
+		window = defaultIFWindow
+		if window < sample {
+			window = sample
+		}
+	}
+	if rebuildEvery <= 0 {
+		rebuildEvery = defaultIFRebuild
+	}
+	if threshold <= 0 || threshold >= 1 {
+		threshold = defaultIFThreshold
+	}
+	return &IsolationForest{
+		sensors:      sensors,
+		trees:        trees,
+		sample:       sample,
+		window:       window,
+		rebuildEvery: rebuildEvery,
+		threshold:    threshold,
+		rng:          newRNG(seed),
+		win:          make([]float64, window*sensors),
+		idx:          make([]int, window),
+		forest:       make([]ifTree, 0, trees),
+	}, nil
+}
+
+// Name implements Detector.
+func (f *IsolationForest) Name() string { return "iforest" }
+
+// Built reports whether a forest exists yet (scoring is active).
+func (f *IsolationForest) Built() bool { return f.built }
+
+// Score returns the isolation score of one row against the current
+// forest, or 0 before the first build.
+func (f *IsolationForest) Score(x []float64) float64 {
+	if !f.built {
+		return 0
+	}
+	total := 0.0
+	for t := range f.forest {
+		total += f.forest[t].pathLen(x)
+	}
+	avg := total / float64(len(f.forest))
+	return math.Exp2(-avg / avgPathLen(f.sample))
+}
+
+// DetectBatchInto implements Detector.
+func (f *IsolationForest) DetectBatchInto(xs [][]float64, ts []int64, out *Detections) error {
+	out.Reset()
+	if len(ts) != len(xs) {
+		return fmt.Errorf("mllib: iforest: %d rows but %d timestamps", len(xs), len(ts))
+	}
+	for r, x := range xs {
+		if len(x) != f.sensors {
+			return fmt.Errorf("mllib: iforest: row %d has %d sensors, detector has %d", r, len(x), f.sensors)
+		}
+		if f.built {
+			if s := f.Score(x); s > f.threshold {
+				out.Add(DetectorFlag{Row: r, Sensor: -1, Score: s})
+				// Flagged rows stay out of the window: admitting them
+				// would teach the forest that the fault is normal.
+				continue
+			}
+		}
+		copy(f.win[f.wpos*f.sensors:(f.wpos+1)*f.sensors], x)
+		f.wpos = (f.wpos + 1) % f.window
+		if f.wn < f.window {
+			f.wn++
+		}
+		f.sinceBuild++
+		if f.wn >= f.sample && (!f.built || f.sinceBuild >= f.rebuildEvery) {
+			f.rebuild()
+		}
+	}
+	return nil
+}
+
+// rebuild grows a fresh forest from the current window.
+func (f *IsolationForest) rebuild() {
+	f.forest = f.forest[:0]
+	depthLimit := int(math.Ceil(math.Log2(float64(f.sample))))
+	for t := 0; t < f.trees; t++ {
+		// Draw the subsample: a partial Fisher–Yates over the window.
+		idx := f.idx[:f.wn]
+		for i := range idx {
+			idx[i] = i
+		}
+		for i := 0; i < f.sample; i++ {
+			j := i + int(f.rng.next()%uint64(f.wn-i))
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		tree := ifTree{nodes: make([]ifNode, 0, 2*f.sample)}
+		f.buildNode(&tree, idx[:f.sample], 0, depthLimit)
+		f.forest = append(f.forest, tree)
+	}
+	f.built = true
+	f.sinceBuild = 0
+}
+
+// buildNode recursively partitions rows (window indices) and returns
+// the node's index in the tree's flat node slice.
+func (f *IsolationForest) buildNode(t *ifTree, rows []int, depth, limit int) int32 {
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, ifNode{feature: -1, size: int32(len(rows))})
+	if depth >= limit || len(rows) <= 1 {
+		return id
+	}
+	// Pick a feature with spread; give up after a few tries (all-equal
+	// subsamples become leaves).
+	var feature int
+	var lo, hi float64
+	found := false
+	for try := 0; try < 8 && !found; try++ {
+		feature = int(f.rng.next() % uint64(f.sensors))
+		lo, hi = f.at(rows[0], feature), f.at(rows[0], feature)
+		for _, ri := range rows[1:] {
+			v := f.at(ri, feature)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		found = hi > lo
+	}
+	if !found {
+		return id
+	}
+	split := lo + f.rng.float()*(hi-lo)
+	// Partition rows in place: left < split, right >= split.
+	i, j := 0, len(rows)-1
+	for i <= j {
+		if f.at(rows[i], feature) < split {
+			i++
+		} else {
+			rows[i], rows[j] = rows[j], rows[i]
+			j--
+		}
+	}
+	if i == 0 || i == len(rows) {
+		return id // degenerate split: keep as leaf
+	}
+	left := f.buildNode(t, rows[:i], depth+1, limit)
+	right := f.buildNode(t, rows[i:], depth+1, limit)
+	t.nodes[id] = ifNode{feature: feature, split: split, left: left, right: right, size: int32(len(rows))}
+	return id
+}
+
+// at reads window row ri's feature j.
+func (f *IsolationForest) at(ri, j int) float64 { return f.win[ri*f.sensors+j] }
+
+// pathLen walks x to a leaf and returns depth + c(leafSize).
+func (t *ifTree) pathLen(x []float64) float64 {
+	id, depth := int32(0), 0
+	for {
+		n := &t.nodes[id]
+		if n.feature < 0 {
+			return float64(depth) + avgPathLen(int(n.size))
+		}
+		if x[n.feature] < n.split {
+			id = n.left
+		} else {
+			id = n.right
+		}
+		depth++
+	}
+}
+
+// avgPathLen is c(n), the average unsuccessful-search depth of a BST
+// with n nodes: 2·H(n−1) − 2(n−1)/n.
+func avgPathLen(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649015329
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+// rngState is a splitmix64 stream (the same generator simdata uses
+// for counter-mode draws, here in sequence mode).
+type rngState struct{ s uint64 }
+
+func newRNG(seed uint64) rngState {
+	return rngState{s: seed ^ 0x9E3779B97F4A7C15}
+}
+
+func (r *rngState) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rngState) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+func init() {
+	Register("iforest", func(c Context) (Detector, error) {
+		return NewIsolationForest(c.Sensors,
+			int(c.Param("trees", defaultIFTrees)),
+			int(c.Param("sample", defaultIFSample)),
+			int(c.Param("window", defaultIFWindow)),
+			int(c.Param("rebuild", defaultIFRebuild)),
+			c.Param("threshold", defaultIFThreshold),
+			c.Seed)
+	})
+}

@@ -1,0 +1,133 @@
+package mllib
+
+import "testing"
+
+// ifRow builds a deterministic in-range observation for the forest
+// tests; shift moves every channel off the healthy cloud.
+func ifRow(step, sensors int, shift float64) []float64 {
+	row := make([]float64, sensors)
+	for s := range row {
+		row[s] = noise(step, s) + shift
+	}
+	return row
+}
+
+// TestIForestDeterminism: construction is driven entirely by the
+// seeded splitmix64 stream, so two instances with the same seed fed
+// the same rows must flag identically, and a different seed must
+// build a measurably different forest.
+func TestIForestDeterminism(t *testing.T) {
+	const sensors = 8
+	build := func(seed uint64) (*IsolationForest, []DetectorFlag) {
+		f, err := NewIsolationForest(sensors, 0, 0, 128, 0, 0.55, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var det Detections
+		var flagged []DetectorFlag
+		for i := 0; i < 160; i++ {
+			row := ifRow(i, sensors, 0)
+			if i >= 140 && i%4 == 0 {
+				row = ifRow(i, sensors, 12) // periodic all-channel excursions
+			}
+			if err := f.DetectBatchInto([][]float64{row}, []int64{int64(i)}, &det); err != nil {
+				t.Fatal(err)
+			}
+			for _, fl := range det.Flags {
+				fl.Row = i
+				flagged = append(flagged, fl)
+			}
+		}
+		return f, flagged
+	}
+	fa, flagsA := build(5)
+	fb, flagsB := build(5)
+	if len(flagsA) == 0 {
+		t.Fatal("no excursion flagged; the determinism comparison is vacuous")
+	}
+	if len(flagsA) != len(flagsB) {
+		t.Fatalf("same seed, different flag counts: %d vs %d", len(flagsA), len(flagsB))
+	}
+	for i := range flagsA {
+		if flagsA[i] != flagsB[i] {
+			t.Fatalf("same seed diverged at flag %d: %+v vs %+v", i, flagsA[i], flagsB[i])
+		}
+	}
+	probe := ifRow(999, sensors, 6)
+	if sa, sb := fa.Score(probe), fb.Score(probe); sa != sb {
+		t.Fatalf("same seed, different probe scores: %v vs %v", sa, sb)
+	}
+	fc, _ := build(6)
+	if fa.Score(probe) == fc.Score(probe) {
+		t.Fatalf("seeds 5 and 6 built byte-identical forests (score %v)", fa.Score(probe))
+	}
+}
+
+// TestIForestSeparatesExcursions: after building on healthy rows the
+// forest scores an all-channel excursion above the healthy cloud,
+// flags it at unit level (Sensor == -1), and keeps it out of the
+// window so a sustained excursion keeps flagging instead of becoming
+// the new normal.
+func TestIForestSeparatesExcursions(t *testing.T) {
+	const sensors = 8
+	f, err := NewIsolationForest(sensors, 0, 0, 128, 32, 0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var det Detections
+	for i := 0; i < 128; i++ {
+		if err := f.DetectBatchInto([][]float64{ifRow(i, sensors, 0)}, []int64{int64(i)}, &det); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !f.Built() {
+		t.Fatal("forest not built after a full window of rows")
+	}
+
+	normal, excursion := ifRow(500, sensors, 0), ifRow(500, sensors, 12)
+	if sn, se := f.Score(normal), f.Score(excursion); se <= sn {
+		t.Fatalf("excursion score %v not above normal score %v", se, sn)
+	}
+
+	// A mixed batch: the excursion row flags at unit level, the
+	// healthy neighbours don't.
+	batch := [][]float64{ifRow(600, sensors, 0), excursion, ifRow(601, sensors, 0)}
+	if err := f.DetectBatchInto(batch, []int64{600, 601, 602}, &det); err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Flags) != 1 || det.Flags[0].Row != 1 || det.Flags[0].Sensor != -1 {
+		t.Fatalf("mixed batch flags = %+v, want exactly {Row:1 Sensor:-1}", det.Flags)
+	}
+	if det.Flags[0].Score <= 0.6 {
+		t.Fatalf("flagged score %v not above the threshold", det.Flags[0].Score)
+	}
+
+	// Sustained excursion: rebuildEvery is 32, so if flagged rows were
+	// admitted to the window the forest would rebuild around them and
+	// normalize the fault. They are excluded, so every repeat flags.
+	for i := 0; i < 64; i++ {
+		if err := f.DetectBatchInto([][]float64{excursion}, []int64{int64(700 + i)}, &det); err != nil {
+			t.Fatal(err)
+		}
+		if len(det.Flags) != 1 {
+			t.Fatalf("sustained excursion absorbed after %d repeats: %+v", i, det.Flags)
+		}
+	}
+}
+
+func TestIForestShapeErrors(t *testing.T) {
+	f, _ := NewIsolationForest(4, 0, 0, 0, 0, 0, 1)
+	var det Detections
+	if err := f.DetectBatchInto([][]float64{{1, 2}}, []int64{0}, &det); err == nil {
+		t.Fatal("accepted a row with the wrong sensor count")
+	}
+	if err := f.DetectBatchInto([][]float64{{1, 2, 3, 4}}, nil, &det); err == nil {
+		t.Fatal("accepted mismatched timestamps")
+	}
+	if _, err := NewIsolationForest(0, 0, 0, 0, 0, 0, 1); err == nil {
+		t.Fatal("accepted zero sensors")
+	}
+	if f.Score([]float64{1, 2, 3, 4}) != 0 {
+		t.Fatal("unbuilt forest returned a nonzero score")
+	}
+}

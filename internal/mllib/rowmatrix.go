@@ -1,15 +1,3 @@
-// Package mllib provides distributed matrix computations on top of the
-// dataflow engine, mirroring the slice of Spark MLlib the paper's
-// offline trainer uses: a row-distributed matrix with column statistics,
-// Gramian/covariance computation and SVD.
-//
-// The computation pattern is MLlib's: each partition accumulates a
-// local Gramian (XᵀX) and column sums with a per-partition sequential
-// pass, the per-partition accumulators are combined tree-style by the
-// engine, and the small d×d result is decomposed locally with the
-// dense solver from internal/linalg. For the paper's workload (units
-// with up to 1000 sensors) this is exactly how Spark sizes it: the
-// row dimension is distributed, the covariance fits on one node.
 package mllib
 
 import (

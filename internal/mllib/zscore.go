@@ -1,0 +1,168 @@
+package mllib
+
+import (
+	"fmt"
+	"math"
+)
+
+// RegimeZScore is a streaming per-regime z-score detector, the
+// context-aware baseline of Park & Pandey's regime-aware family: a
+// gas turbine at base load and at part load has different "normal"
+// for the same channel, so a single global baseline either misses
+// regime-conditional faults or alarms on every regime change.
+//
+// The regime signal is the observation row's mean level. Its long-run
+// mean and variance are tracked online; each row is assigned to one
+// of R regimes by bucketing the signal's standardized deviation
+// (for R = 3: low / normal / high load). Every regime keeps its own
+// per-sensor Welford mean and variance. A sensor is flagged when its
+// reading deviates more than z·σ from its regime's baseline — but
+// only once that regime has seen minCount rows, so a freshly entered
+// regime is learned, not alarmed on. Baselines update only from
+// non-flagged readings, keeping sustained faults from absorbing into
+// the baseline.
+type RegimeZScore struct {
+	sensors  int
+	regimes  int
+	z        float64
+	minCount int
+	warmup   int
+
+	// regime signal (row mean) long-run statistics
+	rn         int
+	rmean, rm2 float64
+	// per-regime per-sensor baselines, regime-major layout
+	cnt        []int // rows seen per regime
+	mean, m2   []float64
+	lastRegime int
+}
+
+// RegimeZScore defaults: three load regimes, a 4σ flag threshold,
+// and enough per-regime history that variance estimates settle.
+const (
+	defaultZRegimes  = 3
+	defaultZThresh   = 4.0
+	defaultZMinCount = 30
+	defaultZWarmup   = 30
+)
+
+// NewRegimeZScore builds a detector for sensors channels with R
+// regimes and flag threshold z. Non-positive arguments take defaults.
+func NewRegimeZScore(sensors, regimes int, z float64, minCount, warmup int) (*RegimeZScore, error) {
+	if sensors <= 0 {
+		return nil, fmt.Errorf("mllib: zscore needs a positive sensor count, got %d", sensors)
+	}
+	if regimes <= 0 {
+		regimes = defaultZRegimes
+	}
+	if z <= 0 {
+		z = defaultZThresh
+	}
+	if minCount <= 1 {
+		minCount = defaultZMinCount
+	}
+	if warmup <= 1 {
+		warmup = defaultZWarmup
+	}
+	return &RegimeZScore{
+		sensors:    sensors,
+		regimes:    regimes,
+		z:          z,
+		minCount:   minCount,
+		warmup:     warmup,
+		cnt:        make([]int, regimes),
+		mean:       make([]float64, regimes*sensors),
+		m2:         make([]float64, regimes*sensors),
+		lastRegime: -1,
+	}, nil
+}
+
+// Name implements Detector.
+func (d *RegimeZScore) Name() string { return "zscore" }
+
+// Regime returns the regime index the most recent row was assigned
+// to, or -1 before any row (regime-boundary tests observe it).
+func (d *RegimeZScore) Regime() int { return d.lastRegime }
+
+// regimeOf buckets the standardized regime signal into [0, regimes).
+func (d *RegimeZScore) regimeOf(signal float64) int {
+	sigma := math.Sqrt(d.rm2 / float64(max(d.rn-1, 1)))
+	if sigma < 1e-12 {
+		sigma = 1e-12
+	}
+	rz := (signal - d.rmean) / sigma
+	r := int(math.Floor(rz + float64(d.regimes)/2))
+	if r < 0 {
+		r = 0
+	}
+	if r >= d.regimes {
+		r = d.regimes - 1
+	}
+	return r
+}
+
+// DetectBatchInto implements Detector.
+func (d *RegimeZScore) DetectBatchInto(xs [][]float64, ts []int64, out *Detections) error {
+	out.Reset()
+	if len(ts) != len(xs) {
+		return fmt.Errorf("mllib: zscore: %d rows but %d timestamps", len(xs), len(ts))
+	}
+	for r, x := range xs {
+		if len(x) != d.sensors {
+			return fmt.Errorf("mllib: zscore: row %d has %d sensors, detector has %d", r, len(x), d.sensors)
+		}
+		signal := 0.0
+		for _, v := range x {
+			signal += v
+		}
+		signal /= float64(d.sensors)
+
+		// Track the regime signal first, then assign: the very first
+		// rows define "normal" load before any bucketing can be
+		// meaningful, so the warmup learns regime 0-centered stats.
+		d.rn++
+		delta := signal - d.rmean
+		d.rmean += delta / float64(d.rn)
+		d.rm2 += delta * (signal - d.rmean)
+		regime := 0
+		if d.rn > d.warmup {
+			regime = d.regimeOf(signal)
+		}
+		d.lastRegime = regime
+
+		base := regime * d.sensors
+		learned := d.cnt[regime] >= d.minCount
+		d.cnt[regime]++
+		n := d.cnt[regime]
+		for j, v := range x {
+			flagged := false
+			if learned {
+				sigma := math.Sqrt(d.m2[base+j] / float64(n-2))
+				if sigma < 1e-12 {
+					sigma = 1e-12
+				}
+				z := (v - d.mean[base+j]) / sigma
+				if math.Abs(z) > d.z {
+					out.Add(DetectorFlag{Row: r, Sensor: j, Score: math.Abs(z)})
+					flagged = true
+				}
+			}
+			if !flagged {
+				dj := v - d.mean[base+j]
+				d.mean[base+j] += dj / float64(n)
+				d.m2[base+j] += dj * (v - d.mean[base+j])
+			}
+		}
+	}
+	return nil
+}
+
+func init() {
+	Register("zscore", func(c Context) (Detector, error) {
+		return NewRegimeZScore(c.Sensors,
+			int(c.Param("regimes", defaultZRegimes)),
+			c.Param("z", defaultZThresh),
+			int(c.Param("mincount", defaultZMinCount)),
+			int(c.Param("warmup", defaultZWarmup)))
+	})
+}

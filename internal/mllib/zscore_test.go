@@ -1,0 +1,116 @@
+package mllib
+
+import "testing"
+
+// TestZScoreRegimeBoundary walks the detector across a two-load fleet
+// profile and checks the regime-aware contract at each boundary:
+// a freshly entered regime is learned rather than alarmed, alternating
+// between learned regimes stays quiet, a within-regime outlier flags,
+// and a value that is perfectly normal in the high-load regime flags
+// when it appears in a low-load row.
+func TestZScoreRegimeBoundary(t *testing.T) {
+	const (
+		sensors  = 8
+		minCount = 20
+		warmup   = 20
+		loLoad   = 0.0
+		hiLoad   = 10.0
+	)
+	d, err := NewRegimeZScore(sensors, 3, 4, minCount, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var det Detections
+	step := 0
+	push := func(load float64, perturb map[int]float64) []DetectorFlag {
+		row := make([]float64, sensors)
+		for s := range row {
+			row[s] = load + 0.3*noise(step, s)
+			if p, ok := perturb[s]; ok {
+				row[s] += p
+			}
+		}
+		if err := d.DetectBatchInto([][]float64{row}, []int64{int64(step)}, &det); err != nil {
+			t.Fatal(err)
+		}
+		step++
+		return det.Flags
+	}
+
+	// Warmup at low load: the regime signal's own baseline settles.
+	for i := 0; i < warmup; i++ {
+		if flags := push(loLoad, nil); len(flags) > 0 {
+			t.Fatalf("flagged during warmup at step %d: %+v", step-1, flags)
+		}
+	}
+
+	// Regime boundary #1: the first high-load rows enter a regime with
+	// no history. Exactly minCount of them must pass unflagged — the
+	// regime is being learned, not alarmed on.
+	for i := 0; i < minCount; i++ {
+		if flags := push(hiLoad, nil); len(flags) > 0 {
+			t.Fatalf("alarmed on freshly entered high-load regime (row %d of %d): %+v",
+				i, minCount, flags)
+		}
+	}
+	hiRegime := d.Regime()
+
+	// Alternating between two learned regimes is the steady state:
+	// no boundary crossing may alarm.
+	var loRegime int
+	for i := 0; i < 40; i++ {
+		if flags := push(loLoad, nil); len(flags) > 0 {
+			t.Fatalf("low-load row flagged in steady state (step %d): %+v", step-1, flags)
+		}
+		loRegime = d.Regime()
+		if flags := push(hiLoad, nil); len(flags) > 0 {
+			t.Fatalf("high-load row flagged in steady state (step %d): %+v", step-1, flags)
+		}
+		if got := d.Regime(); got != hiRegime {
+			t.Fatalf("high load migrated from regime %d to %d", hiRegime, got)
+		}
+	}
+	if loRegime == hiRegime {
+		t.Fatalf("both loads collapsed into regime %d; the boundary test is vacuous", loRegime)
+	}
+
+	// Within-regime outlier: one sensor far off its high-load baseline.
+	flags := push(hiLoad, map[int]float64{3: 5})
+	if len(flags) != 1 || flags[0].Sensor != 3 {
+		t.Fatalf("within-regime outlier flags = %+v, want exactly sensor 3", flags)
+	}
+
+	// Cross-regime: sensor 3 reads hiLoad — normal under high load —
+	// inside an otherwise low-load row. The regime assignment must
+	// stay low (one deviant channel barely moves the row mean) and the
+	// reading must flag against the low regime's baseline.
+	flags = push(loLoad, map[int]float64{3: hiLoad})
+	if got := d.Regime(); got != loRegime {
+		t.Fatalf("cross-regime row assigned to regime %d, want low regime %d", got, loRegime)
+	}
+	if len(flags) != 1 || flags[0].Sensor != 3 {
+		t.Fatalf("cross-regime flags = %+v, want exactly sensor 3", flags)
+	}
+
+	// Sustained fault: flagged readings must not be absorbed into the
+	// baseline, so the same deviation keeps flagging indefinitely.
+	for i := 0; i < 25; i++ {
+		if flags := push(loLoad, map[int]float64{3: hiLoad}); len(flags) != 1 {
+			t.Fatalf("sustained fault absorbed into baseline after %d repeats: %+v", i, flags)
+		}
+	}
+}
+
+func TestZScoreShapeErrors(t *testing.T) {
+	d, _ := NewRegimeZScore(4, 0, 0, 0, 0)
+	var det Detections
+	if err := d.DetectBatchInto([][]float64{{1, 2}}, []int64{0}, &det); err == nil {
+		t.Fatal("accepted a row with the wrong sensor count")
+	}
+	if err := d.DetectBatchInto([][]float64{{1, 2, 3, 4}}, nil, &det); err == nil {
+		t.Fatal("accepted mismatched timestamps")
+	}
+	if _, err := NewRegimeZScore(0, 0, 0, 0, 0); err == nil {
+		t.Fatal("accepted zero sensors")
+	}
+}

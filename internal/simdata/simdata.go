@@ -28,11 +28,15 @@ import (
 // FaultClass labels the three §II-A fault categories.
 type FaultClass int
 
-// The fault taxonomy from the paper.
+// The fault taxonomy: the paper's three §II-A categories plus the two
+// sensor-failure modes the backtest harness injects (a transducer
+// sticking at a fixed reading, and intermittent spikes).
 const (
 	FaultNone  FaultClass = iota // pure random noise
 	FaultDrift                   // noise + gradual degradation signal
 	FaultShift                   // noise + sharp shift
+	FaultStuck                   // sensor frozen at an offset constant
+	FaultSpike                   // periodic transient spikes
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +48,10 @@ func (f FaultClass) String() string {
 		return "drift"
 	case FaultShift:
 		return "shift"
+	case FaultStuck:
+		return "stuck"
+	case FaultSpike:
+		return "spike"
 	default:
 		return fmt.Sprintf("FaultClass(%d)", int(f))
 	}
@@ -132,6 +140,20 @@ type Config struct {
 	// ShiftSigma is the sharp-shift magnitude in baseline standard
 	// deviations at loading 1. Defaults to 4.
 	ShiftSigma float64
+	// StuckSigma is the offset, in baseline standard deviations at
+	// loading 1, a FaultStuck sensor freezes at. Defaults to 3.
+	StuckSigma float64
+	// SpikeSigma is the FaultSpike transient magnitude in baseline
+	// standard deviations at loading 1. Defaults to 8.
+	SpikeSigma float64
+	// SpikePeriod is the number of steps between FaultSpike transients.
+	// Defaults to 30.
+	SpikePeriod int64
+	// Classes restricts which fault classes faulty units draw from.
+	// Nil keeps the paper's legacy behavior (an even drift/shift
+	// split); a single-class slice makes every faulty unit that class,
+	// which is how the backtest harness builds per-scenario fleets.
+	Classes []FaultClass
 }
 
 // PaperConfig returns the evaluation configuration from §II-A: 100
@@ -171,6 +193,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShiftSigma == 0 {
 		c.ShiftSigma = 4
+	}
+	if c.StuckSigma == 0 {
+		c.StuckSigma = 3
+	}
+	if c.SpikeSigma == 0 {
+		c.SpikeSigma = 8
+	}
+	if c.SpikePeriod <= 0 {
+		c.SpikePeriod = 30
 	}
 	return c
 }
@@ -225,9 +256,16 @@ func (f *Fleet) makeFault(u int) Fault {
 	if r.float() >= f.cfg.FaultFraction {
 		return Fault{Class: FaultNone}
 	}
+	// The class draw consumes exactly one uniform on both paths, so
+	// setting Classes never shifts which units are faulty or which
+	// sensors a fault touches for a given seed.
+	draw := r.float()
 	class := FaultDrift
-	if r.float() < 0.5 {
+	if draw < 0.5 {
 		class = FaultShift
+	}
+	if len(f.cfg.Classes) > 0 {
+		class = f.cfg.Classes[int(draw*float64(len(f.cfg.Classes)))]
 	}
 	// Pick a correlated block of sensors starting at a random offset —
 	// physically adjacent channels (same subsystem) fail together.
@@ -309,15 +347,31 @@ func (f *Fleet) Value(unit, sensor int, t int64) float64 {
 		v += load * f.cfg.DriftPerStep * float64(t-fault.Onset) * sigma
 	case FaultShift:
 		v += load * f.cfg.ShiftSigma * sigma
+	case FaultStuck:
+		// A stuck transducer reports a constant: the noise disappears
+		// and the reading freezes offset from the healthy mean.
+		v = mean + load*f.cfg.StuckSigma*sigma
+	case FaultSpike:
+		if (t-fault.Onset)%f.cfg.SpikePeriod == 0 {
+			v += load * f.cfg.SpikeSigma * sigma
+		}
 	}
 	return v
 }
 
 // Faulty reports whether (unit, sensor) carries fault signal at step t
-// — the ground truth the detection experiments score against.
+// — the ground truth the detection experiments score against. For
+// FaultSpike only the spike steps themselves count as faulty; the
+// in-between steps are clean readings.
 func (f *Fleet) Faulty(unit, sensor int, t int64) bool {
 	fault := &f.faults[unit]
-	return fault.Class != FaultNone && t >= fault.Onset && fault.Affects(sensor) != 0
+	if fault.Class == FaultNone || t < fault.Onset || fault.Affects(sensor) == 0 {
+		return false
+	}
+	if fault.Class == FaultSpike {
+		return (t-fault.Onset)%f.cfg.SpikePeriod == 0
+	}
+	return true
 }
 
 // Point returns the full sample for (unit, sensor, t).

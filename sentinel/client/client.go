@@ -370,6 +370,17 @@ func (c *Client) TopAnomalies(ctx context.Context, from, to int64, limit int) ([
 	return out.Anomalies, nil
 }
 
+// Detectors fetches the detector tier status: every registered
+// family with its mode (primary / shadow / off), flag and
+// shadow-agreement counters, and the effective ensemble config.
+func (c *Client) Detectors(ctx context.Context) (*v1.DetectorsResponse, error) {
+	var out v1.DetectorsResponse
+	if err := c.getJSON(ctx, v1.PathPrefix+"/detectors", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Health probes liveness.
 func (c *Client) Health(ctx context.Context) error {
 	resp, err := c.do(ctx, http.MethodGet, "/healthz", "", nil, "")

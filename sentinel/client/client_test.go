@@ -103,6 +103,39 @@ func TestNoRetryOnClientError(t *testing.T) {
 	}
 }
 
+func TestDetectorsTyped(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/detectors" {
+			http.NotFound(w, r)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(v1.DetectorsResponse{
+			Primary: "mgd",
+			Detectors: []v1.DetectorInfo{
+				{Name: "mgd", Mode: "primary", Flags: 12},
+				{Name: "cusum", Mode: "shadow", Flags: 9, Agreements: 8, Disagreements: 1},
+				{Name: "iforest", Mode: "off"},
+			},
+			Ensemble: v1.EnsembleConfig{Members: []string{"cusum", "zscore", "iforest"}, MinVotes: 2},
+		})
+	}))
+	defer srv.Close()
+	c, _ := New(srv.URL, WithHTTPClient(srv.Client()))
+	ds, err := c.Detectors(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Primary != "mgd" || len(ds.Detectors) != 3 {
+		t.Fatalf("unexpected response: %+v", ds)
+	}
+	if ds.Detectors[1].Mode != "shadow" || ds.Detectors[1].Agreements != 8 {
+		t.Fatalf("shadow counters lost: %+v", ds.Detectors[1])
+	}
+	if ds.Ensemble.MinVotes != 2 || len(ds.Ensemble.Members) != 3 {
+		t.Fatalf("ensemble config lost: %+v", ds.Ensemble)
+	}
+}
+
 func TestNonEnvelopeErrorSynthesized(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "plain text failure", 500)

@@ -9,36 +9,51 @@ import (
 	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/mllib"
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
 
 // DetectorPool is the streaming half of the detector: a consumer group
 // of worker goroutines, each owning a subset of the ingestion topic's
-// partitions, evaluating every published unit batch against the
-// trained models and writing flags back to the "anomaly" metric. It is
-// the architecture's answer to "detection consumers must scale
-// independently of producers": workers can be added (more members →
-// rebalance) without touching the ingest or storage tiers, and a slow
-// or stopped pool never stalls storage writes because the storage
-// group commits independently.
+// partitions, scoring every published unit batch through the
+// configured primary detector family and writing flags back to the
+// "anomaly" metric. It is the architecture's answer to "detection
+// consumers must scale independently of producers": workers can be
+// added (more members → rebalance) without touching the ingest or
+// storage tiers, and a slow or stopped pool never stalls storage
+// writes because the storage group commits independently.
 //
-// Each worker evaluates through core.EvaluateBatchInto with a private
-// Arena and a private row-assembly scratch, preserving the PR 2
-// zero-allocation steady state per worker. Workers are dedicated
-// goroutines, not dataflow-engine tasks: the engine's bounded executor
-// pool is shared with Detect's per-unit fan-out and the offline
-// trainer, and parking long-lived consumers there would starve those
-// batch jobs (or deadlock outright once workers outnumber executors).
+// Detection goes through the pluggable mllib.Detector interface
+// (Config.PrimaryDetector; default "mgd", the trained MGD+FDR
+// evaluator). Each worker owns its unit's detector instances and a
+// private row-assembly scratch, preserving the zero-allocation steady
+// state per worker — streaming families (cusum, zscore, iforest)
+// carry per-unit state, and unit-keyed partitions guarantee a unit's
+// batches reach one worker at a time, in order. On a rebalance a
+// reassigned unit's streaming state restarts from its warmup on the
+// new owner; the model-based family is stateless across batches and
+// unaffected.
+//
+// When Config.ShadowDetectors is set the pool also runs those
+// families in shadow mode: every evaluated batch is copied to an
+// asynchronous runner that scores the shadows and counts row-level
+// agreements and disagreements against the primary, without ever
+// emitting flags or backpressuring the primary path (a slow shadow
+// sheds batches instead).
+//
+// Workers are dedicated goroutines, not dataflow-engine tasks: the
+// engine's bounded executor pool is shared with Detect's per-unit
+// fan-out and the offline trainer, and parking long-lived consumers
+// there would starve those batch jobs (or deadlock outright once
+// workers outnumber executors).
 type DetectorPool struct {
 	sys    *System
 	group  *bus.Group
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	once   sync.Once
-
-	mu  sync.Mutex
-	evs map[int]*core.Evaluator
+	shadow *shadowRunner
 
 	// SamplesEvaluated counts sensor samples scored (the §IV-A
 	// throughput unit); AnomaliesWritten counts flags written back.
@@ -98,7 +113,9 @@ func (s *System) StartDetectors(workers int) *DetectorPool {
 	p := &DetectorPool{
 		sys:    s,
 		cancel: cancel,
-		evs:    make(map[int]*core.Evaluator),
+	}
+	if len(s.cfg.ShadowDetectors) > 0 {
+		p.shadow = newShadowRunner(s, s.cfg.ShadowDetectors, s.cfg.ShadowBuffer)
 	}
 	// Attach (or reuse) the group and register the pool atomically, so
 	// a concurrent Stop of the last running pool either sees this pool
@@ -125,17 +142,46 @@ func (s *System) StartDetectors(workers int) *DetectorPool {
 func (p *DetectorPool) Group() *bus.Group { return p.group }
 
 // Sync blocks until the pool has committed every record published so
-// far (benchmarks and the live loop use it as a barrier).
+// far (benchmarks and the live loop use it as a barrier). It does not
+// wait for the asynchronous shadow runner — see DrainShadows.
 func (p *DetectorPool) Sync(ctx context.Context) error { return p.group.Sync(ctx) }
 
+// DrainShadows blocks until every batch offered to the shadow runner
+// has been evaluated and counted (or ctx is done). A no-op without
+// shadows. Call after Sync for a full barrier.
+func (p *DetectorPool) DrainShadows(ctx context.Context) error {
+	if p.shadow == nil {
+		return nil
+	}
+	return p.shadow.drain(ctx)
+}
+
+// ShadowStats returns each shadow family's comparison counters, keyed
+// by family name. Empty without shadows.
+func (p *DetectorPool) ShadowStats() map[string]ShadowStats {
+	if p.shadow == nil {
+		return nil
+	}
+	out := make(map[string]ShadowStats, len(p.shadow.names))
+	for i, name := range p.shadow.names {
+		out[name] = p.shadow.snapshot(i)
+	}
+	return out
+}
+
 // Stop halts the workers, waits for them to finish their in-flight
-// records, and — once no other pool shares it — detaches the consumer
-// group, so stopping one pool never kills a sibling started by a
-// second StartDetectors call. Idempotent.
+// records, stops the shadow runner, and — once no other pool shares it
+// — detaches the consumer group, so stopping one pool never kills a
+// sibling started by a second StartDetectors call. Idempotent.
 func (p *DetectorPool) Stop() {
 	p.once.Do(func() {
 		p.cancel()
 		p.wg.Wait()
+		if p.shadow != nil {
+			// After wg.Wait no worker can offer again, so the queue can
+			// close safely.
+			p.shadow.stop()
+		}
 		s := p.sys
 		s.mu.Lock()
 		shared := false
@@ -164,37 +210,33 @@ func (p *DetectorPool) Stop() {
 	})
 }
 
-// evaluator returns (lazily constructing, shared across workers) the
-// evaluator for unit. Evaluators are safe for concurrent use and hold
-// per-call state in the caller's arena.
-func (p *DetectorPool) evaluator(unit int) (*core.Evaluator, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if ev, ok := p.evs[unit]; ok {
-		return ev, nil
-	}
-	m, err := p.sys.Catalog.Load(unit)
-	if err != nil {
-		return nil, err
-	}
-	ev, err := core.NewEvaluator(m, core.EvaluatorConfig{Procedure: p.sys.cfg.Procedure, Level: p.sys.cfg.Level})
-	if err != nil {
-		return nil, err
-	}
-	p.evs[unit] = ev
-	return ev, nil
+// detectorScratch is one worker's private working set: the poll
+// buffer, the row-assembly buffers, the detector instances of the
+// units this worker currently owns, and the detection result buffer.
+// All of it is retained across records, so a warmed worker evaluates
+// without heap allocations.
+type detectorScratch struct {
+	dets     map[int]mllib.Detector
+	det      mllib.Detections
+	rows     [][]float64
+	backing  []float64
+	ts       []int64
+	seen     []bool
+	rowFlags []bool
 }
 
-// detectorScratch is one worker's private working set: the poll
-// buffer, the row-assembly buffers and the evaluation arena. All of it
-// is retained across records, so a warmed worker evaluates without
-// heap allocations.
-type detectorScratch struct {
-	arena   core.Arena
-	rows    [][]float64
-	backing []float64
-	ts      []int64
-	seen    []bool
+// detector returns (lazily constructing) this worker's instance of the
+// primary family for unit.
+func (p *DetectorPool) detector(sc *detectorScratch, unit int) (mllib.Detector, error) {
+	if d, ok := sc.dets[unit]; ok {
+		return d, nil
+	}
+	d, err := p.sys.newDetector(p.sys.cfg.PrimaryDetector, unit)
+	if err != nil {
+		return nil, err
+	}
+	sc.dets[unit] = d
+	return d, nil
 }
 
 // worker is one consumer-group member's loop: poll, evaluate, write
@@ -204,7 +246,7 @@ type detectorScratch struct {
 func (p *DetectorPool) worker(ctx context.Context, c *bus.Consumer) {
 	defer p.wg.Done()
 	defer c.Leave()
-	var sc detectorScratch
+	sc := detectorScratch{dets: make(map[int]mllib.Detector)}
 	sink := &tsdb.Sink{TSD: p.sys.TSDB.TSDs()[0]}
 	buf := make([]bus.Record, 0, 16)
 	for {
@@ -222,7 +264,8 @@ func (p *DetectorPool) worker(ctx context.Context, c *bus.Consumer) {
 	}
 }
 
-// process evaluates one unit batch and writes its flags back.
+// process scores one unit batch through the primary detector, writes
+// its flags back, and hands a copy to the shadow runner.
 func (p *DetectorPool) process(ctx context.Context, rec *bus.Record, sink core.AnomalySink, sc *detectorScratch) error {
 	batch, ok := rec.Value.(*ingest.UnitBatch)
 	if !ok {
@@ -232,46 +275,57 @@ func (p *DetectorPool) process(ctx context.Context, rec *bus.Record, sink core.A
 	if err := sc.assemble(batch, sensors); err != nil {
 		return err
 	}
-	ev, err := p.evaluator(batch.Unit)
+	d, err := p.detector(sc, batch.Unit)
 	if err != nil {
 		return err
 	}
 	n := len(batch.Points) / sensors
-	reports, err := ev.EvaluateBatchInto(sc.rows[:n], sc.ts[:n], &sc.arena)
-	if err != nil {
+	if err := d.DetectBatchInto(sc.rows[:n], sc.ts[:n], &sc.det); err != nil {
 		return err
 	}
-	for _, rep := range reports {
-		p.SamplesEvaluated.Add(int64(len(rep.PValues)))
-		for _, f := range rep.Flags {
-			a := core.Anomaly{
-				Unit:      rep.Unit,
-				Sensor:    f.Sensor,
-				Timestamp: rep.Timestamp,
-				Value:     f.Value,
-				Z:         f.Z,
-				PValue:    f.PValue,
-				Adjusted:  f.Adjusted,
-			}
-			if err := sink.WriteAnomaly(a); err != nil {
-				return fmt.Errorf("sentinel: write anomaly: %w", err)
-			}
-			p.AnomaliesWritten.Inc()
-			// Feed the live stream — only while a tail (consumer
-			// group) is attached: a group-less topic is never trimmed,
-			// so publishing into one would retain every flag forever.
-			// The check races benignly with tail attach/detach (the
-			// stream is live; a flag written during the race is simply
-			// not streamed). Failures are counted, not fatal — the
-			// flag is already durable in the TSDB.
-			if p.sys.flags.HasGroups() {
-				if _, err := p.sys.flags.Publish(ctx, uint64(a.Unit), a); err != nil {
-					p.FlagPublishErrors.Inc()
-				} else {
-					p.FlagsPublished.Inc()
-				}
+	p.SamplesEvaluated.Add(int64(n * sensors))
+	if cap(sc.rowFlags) < n {
+		sc.rowFlags = make([]bool, n)
+	}
+	sc.rowFlags = sc.rowFlags[:n]
+	clear(sc.rowFlags)
+	primary := p.sys.cfg.PrimaryDetector
+	for _, f := range sc.det.Flags {
+		sc.rowFlags[f.Row] = true
+		a := core.Anomaly{
+			Unit:      batch.Unit,
+			Sensor:    f.Sensor,
+			Timestamp: sc.ts[f.Row],
+			Z:         f.Score,
+			PValue:    f.PValue,
+			Adjusted:  f.Adjusted,
+			Detector:  primary,
+			Score:     f.Score,
+		}
+		if f.Sensor >= 0 {
+			a.Value = sc.rows[f.Row][f.Sensor]
+		}
+		if err := sink.WriteAnomaly(a); err != nil {
+			return fmt.Errorf("sentinel: write anomaly: %w", err)
+		}
+		p.AnomaliesWritten.Inc()
+		// Feed the live stream — only while a tail (consumer
+		// group) is attached: a group-less topic is never trimmed,
+		// so publishing into one would retain every flag forever.
+		// The check races benignly with tail attach/detach (the
+		// stream is live; a flag written during the race is simply
+		// not streamed). Failures are counted, not fatal — the
+		// flag is already durable in the TSDB.
+		if p.sys.flags.HasGroups() {
+			if _, err := p.sys.flags.Publish(ctx, uint64(a.Unit), a); err != nil {
+				p.FlagPublishErrors.Inc()
+			} else {
+				p.FlagsPublished.Inc()
 			}
 		}
+	}
+	if p.shadow != nil {
+		p.shadow.offer(batch.Unit, sc.rows[:n], sc.ts[:n], sc.rowFlags)
 	}
 	return nil
 }

@@ -34,6 +34,9 @@ func TestEndToEndThroughPublicAPI(t *testing.T) {
 		// Fault onset far beyond the test horizon: the only anomalies
 		// are the ones injected through the API below.
 		FaultOnset: 1 << 20,
+		// A streaming family shadows the primary so the detectors
+		// endpoint exercises the full mode taxonomy.
+		ShadowDetectors: []string{"cusum"},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -137,6 +140,37 @@ func TestEndToEndThroughPublicAPI(t *testing.T) {
 	}
 	if ev.Z == 0 {
 		t.Fatalf("streamed event carries no severity: %+v", ev)
+	}
+	if ev.Detector != "mgd" || ev.Score == 0 {
+		t.Fatalf("streamed event missing detector attribution: %+v", ev)
+	}
+
+	// --- Detector tier status over the typed SDK. ---
+	if err := pool.DrainShadows(ctx); err != nil {
+		t.Fatalf("drain shadows: %v", err)
+	}
+	ds, err := c.Detectors(ctx)
+	if err != nil {
+		t.Fatalf("detectors: %v", err)
+	}
+	if ds.Primary != "mgd" {
+		t.Fatalf("primary = %q, want mgd", ds.Primary)
+	}
+	modes := map[string]string{}
+	var shadowBatches int64
+	for _, d := range ds.Detectors {
+		modes[d.Name] = d.Mode
+		if d.Name == "cusum" {
+			shadowBatches = d.Agreements + d.Disagreements
+		}
+	}
+	if modes["mgd"] != "primary" || modes["cusum"] != "shadow" || modes["iforest"] != "off" {
+		t.Fatalf("detector modes = %v", modes)
+	}
+	// The primary flagged rows; the shadow compared them (agreement or
+	// not — cusum is still warming up on this short horizon).
+	if shadowBatches == 0 {
+		t.Fatalf("shadow never compared a flagged row: %+v", ds.Detectors)
 	}
 
 	// --- Query: raw series reads come back through the cached tier. ---

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/api"
+	v1 "repro/internal/api/v1"
 	"repro/internal/bus"
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/hbase"
 	"repro/internal/hdfs"
 	"repro/internal/ingest"
+	"repro/internal/mllib"
 	"repro/internal/proxy"
 	"repro/internal/query"
 	"repro/internal/simdata"
@@ -132,6 +134,24 @@ type Config struct {
 	// BusBuffer bounds each partition's uncommitted window in records
 	// before Publish blocks (default 1024; negative disables).
 	BusBuffer int
+
+	// PrimaryDetector is the registered family the detector pool
+	// evaluates and emits flags from (default "mgd", the trained
+	// MGD+FDR evaluator — the behavior predating the detector tier).
+	PrimaryDetector string
+	// ShadowDetectors run asynchronously beside the primary on the
+	// same batches, counting row-level agreements and disagreements
+	// without emitting flags. A slow shadow never backpressures the
+	// primary path: batches it cannot keep up with are shed (counted).
+	ShadowDetectors []string
+	// ShadowBuffer bounds the queue of batches waiting for the shadow
+	// runner before shedding begins (default 64).
+	ShadowBuffer int
+	// EnsembleMembers and EnsembleMinVotes configure the "ensemble"
+	// family when it is selected as primary or shadow (defaults: the
+	// registry's — cusum+zscore+iforest at 2 votes).
+	EnsembleMembers  []string
+	EnsembleMinVotes int
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +190,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DetectorWorkers <= 0 {
 		c.DetectorWorkers = 2
+	}
+	if c.PrimaryDetector == "" {
+		c.PrimaryDetector = "mgd"
+	}
+	if c.ShadowBuffer <= 0 {
+		c.ShadowBuffer = 64
 	}
 	return c
 }
@@ -377,6 +403,78 @@ func (s *System) TrainFromFleet(from int64, count int, concurrent bool) error {
 	return err
 }
 
+// newDetector builds one unit's instance of the named registered
+// family, wiring the system's model catalog, seed and ensemble
+// configuration into the factory context.
+func (s *System) newDetector(name string, unit int) (mllib.Detector, error) {
+	return mllib.New(name, mllib.Context{
+		Unit:    unit,
+		Sensors: s.cfg.SensorsPerUnit,
+		Seed:    s.cfg.Seed ^ uint64(unit)<<1,
+		Members: s.cfg.EnsembleMembers,
+		Params: map[string]float64{
+			"level":     s.cfg.Level,
+			"procedure": float64(s.cfg.Procedure),
+			"minvotes":  float64(max(s.cfg.EnsembleMinVotes, 2)),
+		},
+		LoadModel: func() (any, error) { return s.Catalog.Load(unit) },
+	})
+}
+
+// DetectorStatus reports every registered detector family with its
+// role in this system (primary / shadow / off), its flag and
+// shadow-comparison counters aggregated across running pools, and the
+// effective ensemble configuration — the /api/v1/detectors payload.
+func (s *System) DetectorStatus() v1.DetectorsResponse {
+	shadowNames := make(map[string]bool, len(s.cfg.ShadowDetectors))
+	for _, n := range s.cfg.ShadowDetectors {
+		shadowNames[n] = true
+	}
+	var primaryFlags int64
+	shadow := make(map[string]ShadowStats)
+	s.mu.Lock()
+	for _, p := range s.pools {
+		primaryFlags += p.AnomaliesWritten.Value()
+		for name, st := range p.ShadowStats() {
+			agg := shadow[name]
+			agg.Batches += st.Batches
+			agg.Flags += st.Flags
+			agg.Agreements += st.Agreements
+			agg.Disagreements += st.Disagreements
+			agg.Shed += st.Shed
+			agg.Errors += st.Errors
+			shadow[name] = agg
+		}
+	}
+	s.mu.Unlock()
+	resp := v1.DetectorsResponse{Primary: s.cfg.PrimaryDetector}
+	members := s.cfg.EnsembleMembers
+	if len(members) == 0 {
+		members = []string{"cusum", "zscore", "iforest"}
+	}
+	resp.Ensemble = v1.EnsembleConfig{
+		Members:  members,
+		MinVotes: max(s.cfg.EnsembleMinVotes, 2),
+	}
+	for _, name := range mllib.Registered() {
+		info := v1.DetectorInfo{Name: name, Mode: "off"}
+		switch {
+		case name == s.cfg.PrimaryDetector:
+			info.Mode = "primary"
+			info.Flags = primaryFlags
+		case shadowNames[name]:
+			info.Mode = "shadow"
+			st := shadow[name]
+			info.Flags = st.Flags
+			info.Agreements = st.Agreements
+			info.Disagreements = st.Disagreements
+			info.Shed = st.Shed
+		}
+		resp.Detectors = append(resp.Detectors, info)
+	}
+	return resp
+}
+
 // Detect evaluates every trained unit over [from, from+count) reading
 // observations from storage, writes flags back to the "anomaly"
 // metric, and returns the reports. Units are evaluated concurrently on
@@ -450,6 +548,7 @@ func (s *System) Gateway(now int64, cfg GatewayConfig) (http.Handler, *api.Anoma
 		HTML:       viz.NewServer(backend, cfg.Now),
 		Ready:      s.ReadyChecks(),
 		Now:        cfg.Now,
+		Detectors:  s.DetectorStatus,
 		RatePerSec: cfg.RatePerSec,
 		Burst:      cfg.Burst,
 		AccessLog:  cfg.AccessLog,

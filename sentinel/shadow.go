@@ -1,0 +1,221 @@
+package sentinel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mllib"
+)
+
+// ShadowStats is one shadow family's comparison counters, aggregated
+// at row granularity against the primary detector: an agreement is a
+// row both flagged, a disagreement a row exactly one flagged. Rows
+// neither flagged (the overwhelming majority) count as neither.
+type ShadowStats struct {
+	// Batches is the number of unit batches the shadow evaluated;
+	// Flags the number of flags it would have raised.
+	Batches int64
+	Flags   int64
+	// Agreements / Disagreements count evaluated rows where the
+	// primary and the shadow verdicts matched / differed, over rows
+	// where at least one of the two flagged.
+	Agreements    int64
+	Disagreements int64
+	// Shed counts batches dropped because the shadow queue was full —
+	// the cost of never letting a slow shadow backpressure the primary
+	// path. Shed batches are not evaluated or compared.
+	Shed int64
+	// Errors counts batches the shadow failed on (construction or
+	// evaluation error).
+	Errors int64
+}
+
+// shadowJob is one unit batch copied out of a worker's scratch (the
+// scratch is reused for the next record, so the shadow must own its
+// rows) together with the primary's row verdicts.
+type shadowJob struct {
+	unit    int
+	n       int
+	backing []float64
+	rows    [][]float64
+	ts      []int64
+	primary []bool // primary flagged row i
+}
+
+// shadowRunner evaluates the configured shadow families on a single
+// goroutine fed by a bounded queue. The worker side only ever does a
+// non-blocking send: when the runner falls behind, batches are shed
+// and counted, so a pathologically slow shadow detector can never
+// stall, backpressure or corrupt the primary path.
+type shadowRunner struct {
+	sys     *System
+	names   []string
+	jobs    chan *shadowJob
+	free    sync.Pool
+	pending atomic.Int64
+	done    chan struct{}
+
+	// stats is indexed like names; counters are atomic so DetectorStatus
+	// can read them while the runner writes.
+	stats []shadowCounters
+
+	// runner-goroutine-private state
+	dets []map[int]mllib.Detector // per name, per unit
+	det  mllib.Detections
+	rf   []bool // shadow row-flag scratch
+}
+
+type shadowCounters struct {
+	batches, flags, agreements, disagreements, shed, errors atomic.Int64
+}
+
+func newShadowRunner(sys *System, names []string, buffer int) *shadowRunner {
+	r := &shadowRunner{
+		sys:   sys,
+		names: names,
+		jobs:  make(chan *shadowJob, buffer),
+		done:  make(chan struct{}),
+		stats: make([]shadowCounters, len(names)),
+		dets:  make([]map[int]mllib.Detector, len(names)),
+	}
+	for i := range r.dets {
+		r.dets[i] = make(map[int]mllib.Detector)
+	}
+	go r.run()
+	return r
+}
+
+// offer hands the runner a copy of one evaluated batch. It never
+// blocks: when the queue is full the batch is shed against every
+// shadow family.
+func (r *shadowRunner) offer(unit int, rows [][]float64, ts []int64, primary []bool) {
+	job, _ := r.free.Get().(*shadowJob)
+	if job == nil {
+		job = &shadowJob{}
+	}
+	n := len(rows)
+	sensors := 0
+	if n > 0 {
+		sensors = len(rows[0])
+	}
+	if cap(job.backing) < n*sensors {
+		job.backing = make([]float64, n*sensors)
+	}
+	if cap(job.rows) < n {
+		job.rows = make([][]float64, n)
+	}
+	if cap(job.ts) < n {
+		job.ts = make([]int64, n)
+	}
+	if cap(job.primary) < n {
+		job.primary = make([]bool, n)
+	}
+	job.unit, job.n = unit, n
+	job.backing = job.backing[:n*sensors]
+	job.rows = job.rows[:n]
+	job.ts = job.ts[:n]
+	job.primary = job.primary[:n]
+	for i, row := range rows {
+		dst := job.backing[i*sensors : (i+1)*sensors]
+		copy(dst, row)
+		job.rows[i] = dst
+	}
+	copy(job.ts, ts)
+	copy(job.primary, primary)
+	r.pending.Add(1)
+	select {
+	case r.jobs <- job:
+	default:
+		r.pending.Add(-1)
+		r.free.Put(job)
+		for i := range r.stats {
+			r.stats[i].shed.Add(1)
+		}
+	}
+}
+
+// run is the shadow goroutine: drain jobs, evaluate every shadow
+// family, count agreements. It owns r.dets, r.det and r.rf.
+func (r *shadowRunner) run() {
+	defer close(r.done)
+	for job := range r.jobs {
+		for i, name := range r.names {
+			r.evalShadow(i, name, job)
+		}
+		r.pending.Add(-1)
+		r.free.Put(job)
+	}
+}
+
+func (r *shadowRunner) evalShadow(i int, name string, job *shadowJob) {
+	st := &r.stats[i]
+	d, ok := r.dets[i][job.unit]
+	if !ok {
+		var err error
+		d, err = r.sys.newDetector(name, job.unit)
+		if err != nil {
+			st.errors.Add(1)
+			return
+		}
+		r.dets[i][job.unit] = d
+	}
+	if err := d.DetectBatchInto(job.rows[:job.n], job.ts[:job.n], &r.det); err != nil {
+		st.errors.Add(1)
+		return
+	}
+	st.batches.Add(1)
+	st.flags.Add(int64(len(r.det.Flags)))
+	if cap(r.rf) < job.n {
+		r.rf = make([]bool, job.n)
+	}
+	r.rf = r.rf[:job.n]
+	clear(r.rf)
+	for _, f := range r.det.Flags {
+		r.rf[f.Row] = true
+	}
+	for row := 0; row < job.n; row++ {
+		p, s := job.primary[row], r.rf[row]
+		switch {
+		case p && s:
+			st.agreements.Add(1)
+		case p != s:
+			st.disagreements.Add(1)
+		}
+	}
+}
+
+// stop closes the queue and waits for in-flight jobs to finish. The
+// caller must guarantee no further offer calls (the pool stops its
+// workers first).
+func (r *shadowRunner) stop() {
+	close(r.jobs)
+	<-r.done
+}
+
+// drain blocks until every offered batch has been evaluated (or ctx
+// is done) — the deterministic barrier shadow tests assert through.
+func (r *shadowRunner) drain(ctx context.Context) error {
+	for r.pending.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// snapshot copies the counters for one family.
+func (r *shadowRunner) snapshot(i int) ShadowStats {
+	st := &r.stats[i]
+	return ShadowStats{
+		Batches:       st.batches.Load(),
+		Flags:         st.flags.Load(),
+		Agreements:    st.agreements.Load(),
+		Disagreements: st.disagreements.Load(),
+		Shed:          st.shed.Load(),
+		Errors:        st.errors.Load(),
+	}
+}

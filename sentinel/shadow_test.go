@@ -1,0 +1,168 @@
+package sentinel
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/fdr"
+	"repro/internal/mllib"
+)
+
+// init registers a pathologically slow detector family for the
+// isolation test: every batch takes longer than the whole test's
+// ingest window, so without shedding it could never keep up.
+func init() {
+	mllib.Register("slowshadow", func(c mllib.Context) (mllib.Detector, error) {
+		return &slowDetector{}, nil
+	})
+}
+
+type slowDetector struct{}
+
+func (d *slowDetector) Name() string { return "slowshadow" }
+
+func (d *slowDetector) DetectBatchInto(xs [][]float64, ts []int64, out *mllib.Detections) error {
+	out.Reset()
+	time.Sleep(20 * time.Millisecond)
+	return nil
+}
+
+// newShadowTestSystem builds a small trained system with the given
+// shadow configuration and returns it with its started pool.
+func newShadowTestSystem(t *testing.T, shadows []string, buffer int) (*System, *DetectorPool) {
+	t.Helper()
+	sys, err := New(Config{
+		StorageNodes:    2,
+		Units:           4,
+		SensorsPerUnit:  12,
+		Seed:            7,
+		FaultFraction:   0.6,
+		FaultOnset:      60,
+		ShiftSigma:      8,
+		Procedure:       fdr.BH,
+		Partitions:      4,
+		ShadowDetectors: shadows,
+		ShadowBuffer:    buffer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if _, err := sys.IngestRange(0, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainFromTSDB(0, 60, true); err != nil {
+		t.Fatal(err)
+	}
+	pool := sys.StartDetectors(2)
+	t.Cleanup(pool.Stop)
+	return sys, pool
+}
+
+// TestSlowShadowNeverBackpressuresPrimary proves the shadow-mode
+// isolation contract under the race detector: a shadow detector that
+// takes 20ms per batch, behind a one-slot queue, must not slow, stall
+// or corrupt the primary path — the primary run produces exactly the
+// flags a shadow-free run does, and the overflow is shed and counted.
+func TestSlowShadowNeverBackpressuresPrimary(t *testing.T) {
+	const steps = 20
+	ctx := context.Background()
+
+	// Baseline: same fleet, same seed, no shadows.
+	base, basePool := newShadowTestSystem(t, nil, 0)
+	if _, err := base.IngestRange(60, steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := basePool.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wantFlags := basePool.AnomaliesWritten.Value()
+	if wantFlags == 0 {
+		t.Fatal("baseline run flagged nothing; the comparison is vacuous")
+	}
+
+	// Shadowed: the 20ms-per-batch family behind a single-slot queue.
+	sys, pool := newShadowTestSystem(t, []string{"slowshadow"}, 1)
+	start := time.Now()
+	if _, err := sys.IngestRange(60, steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if got := pool.AnomaliesWritten.Value(); got != wantFlags {
+		t.Fatalf("shadowed primary wrote %d flags, baseline wrote %d", got, wantFlags)
+	}
+	if pool.Errors.Value() != 0 {
+		t.Fatalf("shadowed primary hit %d errors", pool.Errors.Value())
+	}
+	// 4 units × 20 steps = 80 batches at 20ms each ≈ 1.6s if the
+	// primary ever waited on the shadow. The bound is generous so slow
+	// CI machines don't flake, while still proving no serialization.
+	if elapsed > 1200*time.Millisecond {
+		t.Fatalf("primary path took %v with a slow shadow attached", elapsed)
+	}
+
+	// The runner could not keep up: overflow was shed, not queued.
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := pool.DrainShadows(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.ShadowStats()["slowshadow"]
+	if st.Shed == 0 {
+		t.Fatalf("slow shadow shed nothing (stats %+v) — was it really behind a bounded queue?", st)
+	}
+	if st.Batches+st.Shed == 0 {
+		t.Fatalf("shadow saw no batches at all: %+v", st)
+	}
+}
+
+// TestShadowSelfAgreement runs the primary family in its own shadow:
+// every flagged row must count as an agreement and none as a
+// disagreement — the sanity anchor for the comparison counters.
+func TestShadowSelfAgreement(t *testing.T) {
+	const steps = 20
+	ctx := context.Background()
+	sys, pool := newShadowTestSystem(t, []string{"mgd"}, 0)
+	if _, err := sys.IngestRange(60, steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := pool.DrainShadows(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.ShadowStats()["mgd"]
+	if st.Shed != 0 {
+		// Shed batches would make the counters incomparable; the
+		// default buffer must absorb this tiny run.
+		t.Fatalf("self-shadow shed %d batches", st.Shed)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("self-shadow errored %d times", st.Errors)
+	}
+	if pool.AnomaliesWritten.Value() == 0 || st.Agreements == 0 {
+		t.Fatalf("nothing compared: primary=%d stats=%+v", pool.AnomaliesWritten.Value(), st)
+	}
+	if st.Disagreements != 0 {
+		t.Fatalf("the same family disagreed with itself: %+v", st)
+	}
+
+	// The status endpoint payload reflects the same counters.
+	ds := sys.DetectorStatus()
+	for _, d := range ds.Detectors {
+		if d.Name == "mgd" {
+			// mgd is primary AND shadow; primary mode wins the listing.
+			if d.Mode != "primary" {
+				t.Fatalf("mgd mode = %s", d.Mode)
+			}
+		}
+	}
+}
