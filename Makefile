@@ -14,7 +14,7 @@ EVAL_BENCH = BenchmarkFDRCorrections|BenchmarkOnlineEvalThroughput|BenchmarkEndT
 # matches every detector family's warmed batch path.
 ALLOC_BENCH = BenchmarkEvaluateBatchInto|BenchmarkApplyInto|BenchmarkMulInto|BenchmarkBusPublish|BenchmarkQueryCacheHit|BenchmarkGatewayPutPath|BenchmarkDetectorBatch
 
-.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs backtest conformance check
+.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs backtest chaos conformance check
 
 build:
 	$(GO) build ./...
@@ -79,10 +79,21 @@ bench-allocs:
 backtest:
 	$(GO) run ./cmd/backtest -gate spike:0.30 -out BENCH_detectors.json
 
+# chaos runs the seeded fault-injection soak under the race detector:
+# a full System endures a TSD crash/restart, an RPC error burst, a
+# stalled proxy edge and a storage blackout, and must come out with
+# zero acked-sample loss, zero failed reader queries (degraded-marked
+# stale answers are legal), every breaker cycled back to closed and
+# recovery inside the budget. The verdict and counters land in
+# BENCH_chaos.json. Seeded and gating: ~30s, no timing assertions
+# beyond the generous recovery budget.
+chaos:
+	$(GO) run -race ./cmd/chaossoak -seed 42 -duration 20s -out BENCH_chaos.json
+
 # conformance runs the /api/v1 route-contract table: every route
 # answers and every error class maps onto the documented status +
 # envelope code. Cheap, deterministic, gating in CI.
 conformance:
 	$(GO) test ./internal/api/... -run TestV1Conformance
 
-check: lint build test bench bench-allocs backtest conformance
+check: lint build test bench bench-allocs backtest chaos conformance

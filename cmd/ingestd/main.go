@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os/signal"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/proxy"
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
@@ -69,7 +71,10 @@ func main() {
 	if err := deploy.CreateTable(); err != nil {
 		log.Fatalf("ingestd: %v", err)
 	}
-	px, err := proxy.New(cluster.Network(), deploy.Addrs(), proxy.Config{})
+	// One breaker group shared by the proxy's write path and the query
+	// tier's read path: both see a single health view per TSD.
+	breakers := resilience.NewGroup(resilience.BreakerConfig{})
+	px, err := proxy.New(cluster.Network(), deploy.Addrs(), proxy.Config{Breakers: breakers})
 	if err != nil {
 		log.Fatalf("ingestd: %v", err)
 	}
@@ -88,10 +93,13 @@ func main() {
 	engine := query.NewFromDeployment(deploy, query.Config{
 		MaxEntries: *cache,
 		Timeout:    10 * time.Second,
+		Breakers:   breakers,
+		HedgeDelay: 25 * time.Millisecond,
+		ServeStale: true,
 	})
 
 	reg := telemetry.NewRegistry()
-	registerMetrics(reg, broker, storage, writers, px, deploy, engine)
+	registerMetrics(reg, broker, storage, writers, px, deploy, engine, breakers)
 
 	gw := api.New(api.Config{
 		Publisher: &api.BusPublisher{Topic: topic},
@@ -105,8 +113,16 @@ func main() {
 				return nil
 			}},
 			{Name: "storage", Check: func() error {
-				if len(deploy.Addrs()) == 0 {
+				n := len(deploy.Addrs())
+				if n == 0 {
 					return errors.New("no TSDs")
+				}
+				// Some-but-not-all open circuits is degraded (stale
+				// serving still answers); all open is down.
+				if open := breakers.OpenCount(); open >= n {
+					return fmt.Errorf("all %d backend circuits open", n)
+				} else if open > 0 {
+					return api.Degraded(fmt.Errorf("%d of %d backend circuits open", open, n))
 				}
 				return nil
 			}},
@@ -156,13 +172,16 @@ func main() {
 // replacing the hand-rolled fmt.Fprintf writer this binary used to
 // carry. Names are kept identical for scrape continuity.
 func registerMetrics(reg *telemetry.Registry, broker *bus.Broker, storage *bus.Group,
-	writers *ingest.StorageWriters, px *proxy.Proxy, deploy *tsdb.Deployment, engine *query.Engine) {
+	writers *ingest.StorageWriters, px *proxy.Proxy, deploy *tsdb.Deployment, engine *query.Engine,
+	breakers *resilience.Group) {
 	reg.RegisterCounter("bus_published", &broker.Published)
 	reg.RegisterCounter("bus_polled", &broker.Polled)
 	reg.RegisterCounter("bus_rebalances", &broker.Rebalances)
 	reg.RegisterFunc("storage_lag", storage.Lag)
 	reg.RegisterCounter("writer_delivered", &writers.Delivered)
 	reg.RegisterCounter("writer_failures", &writers.Failures)
+	reg.RegisterCounter("writer_parks", &writers.Parks)
+	reg.RegisterGauge("writer_parked", &writers.Parked)
 	reg.RegisterCounter("accepted", &px.Accepted)
 	reg.RegisterCounter("delivered", &px.Delivered)
 	reg.RegisterCounter("dropped", &px.Dropped)
@@ -174,4 +193,11 @@ func registerMetrics(reg *telemetry.Registry, broker *bus.Broker, storage *bus.G
 	reg.RegisterCounter("query_cache_misses", &engine.CacheMisses)
 	reg.RegisterCounter("query_subqueries", &engine.SubQueries)
 	reg.RegisterCounter("query_failovers", &engine.Failovers)
+	reg.RegisterCounter("query_hedged", &engine.Hedged)
+	reg.RegisterCounter("query_hedge_wins", &engine.HedgeWins)
+	reg.RegisterCounter("query_degraded_serves", &engine.DegradedServes)
+	reg.RegisterCounter("breaker_opens", &breakers.Opens)
+	reg.RegisterCounter("breaker_half_opens", &breakers.HalfOpens)
+	reg.RegisterCounter("breaker_closes", &breakers.Closes)
+	reg.RegisterFunc("breakers_open", func() int64 { return int64(breakers.OpenCount()) })
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/proxy"
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
@@ -55,7 +56,7 @@ func testStack(t *testing.T) (gw *api.Gateway, topic *bus.Topic, deploy *tsdb.De
 	t.Cleanup(writers.Stop)
 	engine = query.NewFromDeployment(deploy, query.Config{MaxEntries: 64})
 	reg := telemetry.NewRegistry()
-	registerMetrics(reg, broker, group, writers, px, deploy, engine)
+	registerMetrics(reg, broker, group, writers, px, deploy, engine, resilience.NewGroup(resilience.BreakerConfig{}))
 	gw = api.New(api.Config{
 		Publisher: &api.BusPublisher{Topic: topic},
 		Query:     engine,

@@ -16,6 +16,7 @@ import (
 	v1 "repro/internal/api/v1"
 	"repro/internal/bus"
 	"repro/internal/ingest"
+	"repro/internal/query"
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 	"repro/internal/viz"
@@ -39,6 +40,32 @@ type Querier interface {
 type ReadyCheck struct {
 	Name  string
 	Check func() error
+}
+
+// degradedError marks a readiness failure as "limping but serving":
+// the check reports it, readiness stays 200, and the response carries
+// status "degraded" instead of "down".
+type degradedError struct{ err error }
+
+func (e *degradedError) Error() string { return e.err.Error() }
+func (e *degradedError) Unwrap() error { return e.err }
+
+// Degraded wraps a ReadyCheck error to downgrade it from "down" to
+// "degraded": the dependency is impaired (open circuits, parked
+// workers) but the system still answers, possibly with stale data.
+// Degraded checks do not flip readiness to 503.
+func Degraded(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &degradedError{err: err}
+}
+
+// IsDegraded reports whether err (or anything it wraps) was marked
+// with Degraded.
+func IsDegraded(err error) bool {
+	var d *degradedError
+	return errors.As(err, &d)
 }
 
 // Config assembles a Gateway. Every dependency is optional: routes
@@ -454,7 +481,8 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		maxPoints = n
 	}
-	series, err := g.cfg.Query.QueryContext(r.Context(), tsdb.Query{
+	ctx, marker := query.WithDegradedMarker(r.Context())
+	series, err := g.cfg.Query.QueryContext(ctx, tsdb.Query{
 		Metric: metric, Tags: tags, Start: from, End: to, MaxPoints: maxPoints,
 	})
 	if err != nil && !isNoMetric(err) {
@@ -465,6 +493,10 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i := range series {
 		out[i] = toSeries(&series[i])
 	}
+	degraded := marker.Degraded()
+	if degraded {
+		w.Header().Set(v1.HeaderDegraded, "true")
+	}
 	if negotiateNDJSON(r) {
 		w.Header().Set("Content-Type", v1.ContentTypeNDJSON)
 		enc := json.NewEncoder(w)
@@ -473,7 +505,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, v1.QueryResponse{Series: out})
+	writeJSON(w, v1.QueryResponse{Series: out, Degraded: degraded})
 }
 
 // isNoMetric treats "metric not yet written" as an empty result, the
@@ -757,17 +789,28 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleReady runs every dependency probe: 200 only when storage, bus
-// and detector tiers all answer. Liveness (/healthz) stays a plain
-// "the process serves"; readiness gates traffic.
+// handleReady runs every dependency probe: 200 while every check is
+// ok or merely degraded (wrapped with Degraded — the tier still
+// serves, possibly stale), 503 only when some check is down. Liveness
+// (/healthz) stays a plain "the process serves"; readiness gates
+// traffic.
 func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
-	resp := v1.ReadyResponse{Ready: true}
+	resp := v1.ReadyResponse{Ready: true, Status: v1.ReadyOK}
 	for _, c := range g.cfg.Ready {
-		rc := v1.ReadyCheck{Name: c.Name, OK: true}
+		rc := v1.ReadyCheck{Name: c.Name, OK: true, Status: v1.ReadyOK}
 		if err := c.Check(); err != nil {
-			rc.OK = false
 			rc.Error = err.Error()
-			resp.Ready = false
+			if IsDegraded(err) {
+				rc.Status = v1.ReadyDegraded
+				if resp.Status == v1.ReadyOK {
+					resp.Status = v1.ReadyDegraded
+				}
+			} else {
+				rc.OK = false
+				rc.Status = v1.ReadyDown
+				resp.Status = v1.ReadyDown
+				resp.Ready = false
+			}
 		}
 		resp.Checks = append(resp.Checks, rc)
 	}

@@ -21,6 +21,22 @@ const (
 	ContentTypeLines = "text/plain"
 )
 
+// HeaderDegraded is set to "true" on read responses served from a
+// stale cache window because the storage tier could not answer. The
+// body carries the same signal in QueryResponse.Degraded; the header
+// exists for streaming responses (NDJSON) whose body has no envelope.
+const HeaderDegraded = "X-Sentinel-Degraded"
+
+// Readiness statuses carried by ReadyCheck.Status and
+// ReadyResponse.Status. "ok" means fully healthy, "degraded" means the
+// dependency is limping but traffic is still served (possibly stale),
+// "down" means the dependency is unusable and readiness gates traffic.
+const (
+	ReadyOK       = "ok"
+	ReadyDegraded = "degraded"
+	ReadyDown     = "down"
+)
+
 // Machine-readable error codes carried in the error envelope.
 const (
 	CodeBadRequest  = "bad_request"
@@ -93,9 +109,12 @@ type Series struct {
 	Samples []Sample          `json:"samples"`
 }
 
-// QueryResponse is the body of GET /api/v1/query.
+// QueryResponse is the body of GET /api/v1/query. Degraded marks a
+// response answered from a stale cached window because the storage
+// tier was unreachable (mirrored in the X-Sentinel-Degraded header).
 type QueryResponse struct {
-	Series []Series `json:"series"`
+	Series   []Series `json:"series"`
+	Degraded bool     `json:"degraded,omitempty"`
 }
 
 // UnitSummary is one row of the fleet listing.
@@ -188,16 +207,22 @@ type AnomalyEvent struct {
 const EventAnomaly = "anomaly"
 
 // ReadyCheck is one dependency's contribution to GET /api/v1/readyz.
+// Status is ReadyOK, ReadyDegraded or ReadyDown; OK remains the
+// boolean view (true unless down) for older clients.
 type ReadyCheck struct {
-	Name  string `json:"name"`
-	OK    bool   `json:"ok"`
-	Error string `json:"error,omitempty"`
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Status string `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
-// ReadyResponse is the body of GET /api/v1/readyz. Ready is the AND of
-// every check; the HTTP status is 200 when ready, 503 otherwise.
+// ReadyResponse is the body of GET /api/v1/readyz. Ready stays true
+// while every check is ok or merely degraded; the HTTP status is 200
+// in both of those states and 503 only when some check is down.
+// Status is the worst check status: ok, degraded or down.
 type ReadyResponse struct {
 	Ready  bool         `json:"ready"`
+	Status string       `json:"status,omitempty"`
 	Checks []ReadyCheck `json:"checks"`
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
 
@@ -89,6 +90,9 @@ type Broker struct {
 	// pulse broadcasts "something changed" (append, commit, membership)
 	// to blocked publishers, pollers and drainers.
 	pulse pulse
+	// faults, when set, injects on publish ("bus/publish/<topic>") and
+	// consumer fetch ("bus/fetch/<topic>"). Nil when chaos is off.
+	faults atomic.Pointer[faultinject.Injector]
 
 	mu     sync.Mutex
 	topics map[string]*Topic
@@ -109,6 +113,12 @@ func New(cfg Config) *Broker {
 		topics:  make(map[string]*Topic),
 	}
 }
+
+// SetFaults installs (or, with nil, removes) a fault injector consulted
+// on every publish ("bus/publish/<topic>") and consumer poll
+// ("bus/fetch/<topic>"). Injected errors are transient: the record was
+// neither appended nor lost, and the caller may retry.
+func (b *Broker) SetFaults(f *faultinject.Injector) { b.faults.Store(f) }
 
 // Topic returns the named topic, creating it on first use.
 func (b *Broker) Topic(name string) *Topic {

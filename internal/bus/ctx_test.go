@@ -1,0 +1,125 @@
+package bus
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestPublishBlockedOnBackpressureHonorsCtx is the regression test for
+// deadline propagation under backpressure: with the partition's
+// uncommitted window full and no consumer committing, a blocked Publish
+// must return when the caller's ctx is cancelled — not wait for buffer
+// space indefinitely.
+func TestPublishBlockedOnBackpressureHonorsCtx(t *testing.T) {
+	b := New(Config{Partitions: 1, PartitionBuffer: 2})
+	defer b.Close()
+	topic := b.Topic("energy")
+	// Attaching a group (that never commits) activates the bound.
+	_ = topic.Group("lagging").Join()
+
+	// Fill the uncommitted window.
+	for i := 0; i < 2; i++ {
+		if _, err := topic.Publish(context.Background(), 0, i); err != nil {
+			t.Fatalf("fill publish %d: %v", i, err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := topic.Publish(ctx, 0, "overflow")
+		blocked <- err
+	}()
+	select {
+	case err := <-blocked:
+		t.Fatalf("publish into a full window returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-blocked:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked publish ignored ctx cancellation")
+	}
+
+	// The cancelled publish must not have appended.
+	if hw := topic.HighWater(0); hw != 2 {
+		t.Fatalf("high-water = %d after cancelled publish, want 2", hw)
+	}
+}
+
+// TestPublishExpiredCtxRejectedEvenWithSpace: a ctx that is already
+// done must not acknowledge an append even when the buffer has room.
+func TestPublishExpiredCtxRejectedEvenWithSpace(t *testing.T) {
+	b := New(Config{Partitions: 1})
+	defer b.Close()
+	topic := b.Topic("energy")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := topic.Publish(ctx, 0, "late"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if hw := topic.HighWater(0); hw != 0 {
+		t.Fatalf("high-water = %d, want 0: expired ctx appended", hw)
+	}
+}
+
+// TestPublishDeadlineWhileBlockedPropagates uses a real deadline rather
+// than explicit cancellation.
+func TestPublishDeadlineWhileBlockedPropagates(t *testing.T) {
+	b := New(Config{Partitions: 1, PartitionBuffer: 1})
+	defer b.Close()
+	topic := b.Topic("energy")
+	_ = topic.Group("lagging").Join()
+	if _, err := topic.Publish(context.Background(), 0, 0); err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := topic.Publish(ctx, 0, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("blocked publish returned after %v, deadline was 30ms", el)
+	}
+}
+
+func TestBusFaultInjectionOnPublishAndFetch(t *testing.T) {
+	b := New(Config{Partitions: 1})
+	defer b.Close()
+	inj := faultinject.New(3)
+	b.SetFaults(inj)
+	topic := b.Topic("energy")
+	c := topic.Group("readers").Join()
+
+	inj.Set("pub", faultinject.Rule{Op: "bus/publish/energy", ErrorRate: 1})
+	if _, err := topic.Publish(context.Background(), 0, "v"); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("publish err = %v, want ErrInjected", err)
+	}
+	if hw := topic.HighWater(0); hw != 0 {
+		t.Fatal("injected publish failure still appended")
+	}
+	inj.Clear("pub")
+	if _, err := topic.Publish(context.Background(), 0, "v"); err != nil {
+		t.Fatalf("publish after clear: %v", err)
+	}
+
+	inj.Set("fetch", faultinject.Rule{Op: "bus/fetch/energy", ErrorRate: 1})
+	if _, err := c.Poll(context.Background(), nil); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("poll err = %v, want ErrInjected", err)
+	}
+	inj.Clear("fetch")
+	recs, err := c.Poll(context.Background(), nil)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("poll after clear: %d recs, err %v", len(recs), err)
+	}
+}

@@ -255,6 +255,11 @@ func (c *Consumer) Poll(ctx context.Context, buf []Record) ([]Record, error) {
 	}
 	buf = buf[:0]
 	b := c.group.topic.broker
+	if f := b.faults.Load(); f.Active() > 0 {
+		if err := f.Do(ctx, "bus/fetch/"+c.group.topic.name); err != nil {
+			return buf, err
+		}
+	}
 	var err error
 	for {
 		// Check cancellation even when records are always ready: a

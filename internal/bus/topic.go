@@ -34,6 +34,17 @@ func (t *Topic) PartitionFor(key uint64) int {
 // commits, ctx is done, or the broker leaves the running state.
 func (t *Topic) Publish(ctx context.Context, key uint64, value any) (Record, error) {
 	b := t.broker
+	// An already-done ctx must not append: callers treat a nil error as
+	// an acknowledged publish, so cancellation has to be honored on the
+	// fast path too, not only while blocked on backpressure.
+	if err := ctx.Err(); err != nil {
+		return Record{}, err
+	}
+	if f := b.faults.Load(); f.Active() > 0 {
+		if err := f.Do(ctx, "bus/publish/"+t.name); err != nil {
+			return Record{}, err
+		}
+	}
 	p := t.partitions[t.PartitionFor(key)]
 	for {
 		if err := b.publishable(); err != nil {

@@ -1,0 +1,272 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ErrInjected is the error surfaced by an ErrorRate fault decision.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// ErrDropped is the error surfaced by a DropRate fault decision. At the
+// rpc layer a dropped call never resolves (the caller only observes its
+// ctx); at blocking boundaries it is returned like any transient error.
+var ErrDropped = errors.New("faultinject: dropped")
+
+// Rule describes one fault to inject on matching operations. All
+// fields compose: a rule can both delay and then fail an operation.
+type Rule struct {
+	// Op is an operation-name prefix; "" matches every operation.
+	// Operation names are slash-separated paths such as
+	// "rpc/tsd/0/put", "bus/publish/energy", "tsdb/put/tsd-1",
+	// "proxy/submit".
+	Op string
+	// Latency is added before the operation proceeds.
+	Latency time.Duration
+	// ErrorRate is the probability in [0,1] of injecting ErrInjected.
+	ErrorRate float64
+	// DropRate is the probability in [0,1] of injecting ErrDropped.
+	DropRate float64
+	// Stall blocks the operation until the rule is cleared or the
+	// operation's context is done.
+	Stall bool
+}
+
+type namedRule struct {
+	name    string
+	Rule    Rule
+	cleared chan struct{} // closed when the rule is removed
+}
+
+// Injector evaluates fault rules for named operations. Safe for
+// concurrent use; a nil *Injector is inert.
+type Injector struct {
+	// Decisions counts operations that received any fault; Delays,
+	// Errors, Drops and Stalls break down by kind.
+	Decisions telemetry.Counter
+	Delays    telemetry.Counter
+	Errors    telemetry.Counter
+	Drops     telemetry.Counter
+	Stalls    telemetry.Counter
+
+	active atomic.Int32 // number of installed rules: the fast path
+	mu     sync.Mutex
+	rules  []*namedRule // sorted by name for deterministic evaluation
+	rng    uint64       // splitmix64 state, guarded by mu
+}
+
+// New returns an Injector whose probabilistic decisions derive from
+// seed: the same seed and operation sequence reproduce the same faults.
+func New(seed uint64) *Injector {
+	return &Injector{rng: seed}
+}
+
+// Set installs or replaces the named rule. Replacing a stalling rule
+// releases operations blocked on the previous incarnation.
+func (in *Injector) Set(name string, r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	nr := &namedRule{name: name, Rule: r, cleared: make(chan struct{})}
+	for i, old := range in.rules {
+		if old.name == name {
+			close(old.cleared)
+			in.rules[i] = nr
+			return
+		}
+	}
+	in.rules = append(in.rules, nr)
+	sort.Slice(in.rules, func(i, j int) bool { return in.rules[i].name < in.rules[j].name })
+	in.active.Store(int32(len(in.rules)))
+}
+
+// Clear removes the named rule, releasing any operations stalled on it.
+func (in *Injector) Clear(name string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, r := range in.rules {
+		if r.name == name {
+			close(r.cleared)
+			in.rules = append(in.rules[:i], in.rules[i+1:]...)
+			in.active.Store(int32(len(in.rules)))
+			return
+		}
+	}
+}
+
+// Reset removes every rule, releasing all stalled operations.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		close(r.cleared)
+	}
+	in.rules = nil
+	in.active.Store(0)
+}
+
+// Active reports the number of installed rules.
+func (in *Injector) Active() int {
+	if in == nil {
+		return 0
+	}
+	return int(in.active.Load())
+}
+
+// roll returns the next deterministic float64 in [0,1). Caller holds mu.
+func (in *Injector) roll() float64 {
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Decision is the outcome of evaluating the rules for one operation.
+type Decision struct {
+	Latency time.Duration
+	Err     error           // ErrInjected, ErrDropped, or nil
+	stall   <-chan struct{} // non-nil: block until closed or ctx done
+}
+
+// Zero reports whether the decision injects nothing.
+func (d Decision) Zero() bool {
+	return d.Latency == 0 && d.Err == nil && d.stall == nil
+}
+
+// Decide evaluates all matching rules for op without blocking. The
+// caller applies the decision with Apply (or handles Err/Latency/stall
+// itself, as the rpc send path does for drops).
+func (in *Injector) Decide(op string) Decision {
+	if in == nil || in.active.Load() == 0 {
+		return Decision{}
+	}
+	in.mu.Lock()
+	var d Decision
+	for _, r := range in.rules {
+		if r.Rule.Op != "" && !strings.HasPrefix(op, r.Rule.Op) {
+			continue
+		}
+		if r.Rule.Latency > 0 {
+			d.Latency += r.Rule.Latency
+		}
+		if r.Rule.Stall && d.stall == nil {
+			d.stall = r.cleared
+		}
+		if d.Err == nil && r.Rule.ErrorRate > 0 && in.roll() < r.Rule.ErrorRate {
+			d.Err = ErrInjected
+		}
+		if d.Err == nil && r.Rule.DropRate > 0 && in.roll() < r.Rule.DropRate {
+			d.Err = ErrDropped
+		}
+	}
+	in.mu.Unlock()
+	if !d.Zero() {
+		in.Decisions.Inc()
+		if d.Latency > 0 {
+			in.Delays.Inc()
+		}
+		if d.stall != nil {
+			in.Stalls.Inc()
+		}
+		switch d.Err {
+		case ErrInjected:
+			in.Errors.Inc()
+		case ErrDropped:
+			in.Drops.Inc()
+		}
+	}
+	return d
+}
+
+// Apply blocks for the decision's latency and stall, then returns its
+// error. Returns ctx's error if the context expires first.
+func (in *Injector) Apply(ctx context.Context, d Decision) error {
+	if d.Zero() {
+		return nil
+	}
+	if d.Latency > 0 {
+		t := time.NewTimer(d.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if d.stall != nil {
+		select {
+		case <-d.stall:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return d.Err
+}
+
+// Do decides and applies faults for op at a blocking boundary.
+func (in *Injector) Do(ctx context.Context, op string) error {
+	if in == nil || in.active.Load() == 0 {
+		return nil
+	}
+	return in.Apply(ctx, in.Decide(op))
+}
+
+// Event is one step of a chaos Schedule.
+type Event struct {
+	At   time.Duration // offset from Run
+	Name string
+	Fire func()
+}
+
+// Schedule sequences timed fault events (crash, restart, rule toggles)
+// for scenario runners.
+type Schedule struct {
+	events []Event
+}
+
+// Add appends an event; events may be added in any order.
+func (s *Schedule) Add(at time.Duration, name string, fire func()) *Schedule {
+	s.events = append(s.events, Event{At: at, Name: name, Fire: fire})
+	return s
+}
+
+// Run fires the events at their offsets, invoking observe (if non-nil)
+// as each fires. The returned channel closes after the last event or
+// when ctx is done.
+func (s *Schedule) Run(ctx context.Context, observe func(Event)) <-chan struct{} {
+	events := make([]Event, len(s.events))
+	copy(events, s.events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		start := time.Now()
+		for _, ev := range events {
+			wait := ev.At - time.Since(start)
+			if wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return
+				}
+			} else if ctx.Err() != nil {
+				return
+			}
+			if observe != nil {
+				observe(ev)
+			}
+			ev.Fire()
+		}
+	}()
+	return done
+}

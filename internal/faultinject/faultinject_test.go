@@ -1,0 +1,228 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilAndEmptyInjectorAreInert(t *testing.T) {
+	var nilInj *Injector
+	if err := nilInj.Do(context.Background(), "rpc/tsd/0/put"); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	if d := nilInj.Decide("anything"); !d.Zero() {
+		t.Fatal("nil injector produced a decision")
+	}
+	in := New(1)
+	if err := in.Do(context.Background(), "rpc/tsd/0/put"); err != nil {
+		t.Fatalf("ruleless injector injected: %v", err)
+	}
+}
+
+func TestPrefixMatching(t *testing.T) {
+	in := New(1)
+	in.Set("tsd-errors", Rule{Op: "rpc/tsd/", ErrorRate: 1})
+	if err := in.Do(context.Background(), "rpc/tsd/0/put"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching op: err = %v, want ErrInjected", err)
+	}
+	if err := in.Do(context.Background(), "bus/publish/energy"); err != nil {
+		t.Fatalf("non-matching op injected: %v", err)
+	}
+	if got := in.Errors.Value(); got != 1 {
+		t.Fatalf("Errors = %d, want 1", got)
+	}
+}
+
+func TestErrorRateDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []bool {
+		in := New(seed)
+		in.Set("burst", Rule{Op: "rpc/", ErrorRate: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Do(context.Background(), "rpc/x") != nil
+		}
+		return out
+	}
+	a, b := run(99), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	hits := 0
+	for _, v := range a {
+		if v {
+			hits++
+		}
+	}
+	if hits < 16 || hits > 48 {
+		t.Fatalf("ErrorRate 0.5 hit %d/64 ops, implausible", hits)
+	}
+	c := run(100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	in := New(1)
+	in.Set("slow", Rule{Op: "proxy/", Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if err := in.Do(context.Background(), "proxy/submit"); err != nil {
+		t.Fatalf("latency-only rule returned error: %v", err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("latency rule waited only %v", el)
+	}
+	if in.Delays.Value() != 1 {
+		t.Fatalf("Delays = %d, want 1", in.Delays.Value())
+	}
+}
+
+func TestLatencyHonorsContext(t *testing.T) {
+	in := New(1)
+	in.Set("slow", Rule{Latency: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Do(ctx, "any/op")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("latency did not respect ctx cancellation")
+	}
+}
+
+func TestStallReleasesOnClear(t *testing.T) {
+	in := New(1)
+	in.Set("freeze", Rule{Op: "bus/", Stall: true})
+	released := make(chan error, 1)
+	go func() {
+		released <- in.Do(context.Background(), "bus/publish/energy")
+	}()
+	select {
+	case err := <-released:
+		t.Fatalf("stalled op returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	in.Clear("freeze")
+	select {
+	case err := <-released:
+		if err != nil {
+			t.Fatalf("released stall returned error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Clear did not release the stalled operation")
+	}
+	if in.Stalls.Value() != 1 {
+		t.Fatalf("Stalls = %d, want 1", in.Stalls.Value())
+	}
+}
+
+func TestStallHonorsContext(t *testing.T) {
+	in := New(1)
+	in.Set("freeze", Rule{Stall: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	released := make(chan error, 1)
+	go func() { released <- in.Do(ctx, "x") }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-released:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stall ignored ctx cancellation")
+	}
+}
+
+func TestResetReleasesEverything(t *testing.T) {
+	in := New(1)
+	in.Set("a", Rule{Stall: true})
+	in.Set("b", Rule{Op: "rpc/", ErrorRate: 1})
+	done := make(chan error, 1)
+	go func() { done <- in.Do(context.Background(), "anything") }()
+	time.Sleep(10 * time.Millisecond)
+	in.Reset()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Reset did not release stalled op")
+	}
+	if in.Active() != 0 {
+		t.Fatalf("Active = %d after Reset", in.Active())
+	}
+	if err := in.Do(context.Background(), "rpc/x"); err != nil {
+		t.Fatalf("cleared injector still injecting: %v", err)
+	}
+}
+
+func TestRulesCompose(t *testing.T) {
+	in := New(1)
+	in.Set("lat", Rule{Op: "rpc/", Latency: 5 * time.Millisecond})
+	in.Set("err", Rule{Op: "rpc/tsd/", ErrorRate: 1})
+	d := in.Decide("rpc/tsd/0/query")
+	if d.Latency != 5*time.Millisecond {
+		t.Fatalf("Latency = %v, want 5ms", d.Latency)
+	}
+	if !errors.Is(d.Err, ErrInjected) {
+		t.Fatalf("Err = %v, want ErrInjected", d.Err)
+	}
+}
+
+func TestDropDecision(t *testing.T) {
+	in := New(1)
+	in.Set("lossy", Rule{Op: "rpc/", DropRate: 1})
+	d := in.Decide("rpc/tsd/0/put")
+	if !errors.Is(d.Err, ErrDropped) {
+		t.Fatalf("Err = %v, want ErrDropped", d.Err)
+	}
+	if in.Drops.Value() != 1 {
+		t.Fatalf("Drops = %d, want 1", in.Drops.Value())
+	}
+}
+
+func TestScheduleFiresInOrder(t *testing.T) {
+	var s Schedule
+	order := make(chan string, 3)
+	s.Add(20*time.Millisecond, "second", func() { order <- "second" })
+	s.Add(1*time.Millisecond, "first", func() { order <- "first" })
+	s.Add(40*time.Millisecond, "third", func() { order <- "third" })
+	<-s.Run(context.Background(), nil)
+	want := []string{"first", "second", "third"}
+	for _, w := range want {
+		if got := <-order; got != w {
+			t.Fatalf("event %q fired out of order (want %q)", got, w)
+		}
+	}
+}
+
+func TestScheduleStopsOnCancel(t *testing.T) {
+	var s Schedule
+	fired := make(chan struct{}, 1)
+	s.Add(time.Hour, "never", func() { fired <- struct{}{} })
+	ctx, cancel := context.WithCancel(context.Background())
+	done := s.Run(ctx, nil)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("schedule did not stop on cancel")
+	}
+	select {
+	case <-fired:
+		t.Fatal("cancelled schedule fired an event")
+	default:
+	}
+}

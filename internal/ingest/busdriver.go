@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/bus"
+	"repro/internal/faultinject"
+	"repro/internal/resilience"
 	"repro/internal/simdata"
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
@@ -136,7 +138,10 @@ func (d *BusDriver) RunContext(ctx context.Context, from int64, steps int) (Stat
 // is at-least-once — a record is committed only after the sink accepts
 // it, and point writes are idempotent — except that batches the sink
 // definitively rejects are counted in Failures and committed anyway so
-// one poison batch cannot wedge the partition.
+// one poison batch cannot wedge the partition. Transient submission
+// faults (injected faults, deadlines) instead park the worker: the
+// batch is retried with jittered backoff and never committed until it
+// lands, so an outage delays delivery rather than losing samples.
 type StorageWriters struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -145,6 +150,50 @@ type StorageWriters struct {
 	// batches it rejected.
 	Delivered telemetry.Counter
 	Failures  telemetry.Counter
+	// Parks counts park episodes (transient submission faults that
+	// triggered retry-in-place); Parked is how many workers are parked
+	// right now.
+	Parks  telemetry.Counter
+	Parked telemetry.Gauge
+}
+
+// transientSubmit classifies submission errors worth retrying in
+// place: the path to storage is momentarily faulted but expected back.
+// Poison batches (shape errors) and shutdown are not transient.
+func transientSubmit(err error) bool {
+	return errors.Is(err, faultinject.ErrInjected) ||
+		errors.Is(err, faultinject.ErrDropped) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// submitParked submits with park-and-resume: transient faults retry
+// with jittered backoff until the sink accepts, the error proves
+// non-transient, or ctx ends.
+func (w *StorageWriters) submitParked(ctx context.Context, sink Sink, points []tsdb.Point) error {
+	boff := resilience.Backoff{Base: 5 * time.Millisecond, Factor: 2, Max: 500 * time.Millisecond, Jitter: true}
+	parked := false
+	defer func() {
+		if parked {
+			w.Parked.Dec()
+		}
+	}()
+	for attempt := 0; ; attempt++ {
+		err := submit(ctx, sink, points)
+		if err == nil {
+			return nil
+		}
+		if !transientSubmit(err) || ctx.Err() != nil {
+			return err
+		}
+		if !parked {
+			parked = true
+			w.Parks.Inc()
+			w.Parked.Inc()
+		}
+		if resilience.Sleep(ctx, boff.Delay(attempt)) != nil {
+			return ctx.Err()
+		}
+	}
 }
 
 // StartStorageWriters launches workers consumers in group g, each
@@ -174,7 +223,7 @@ func StartStorageWriters(ctx context.Context, g *bus.Group, sink Sink, workers i
 						w.Failures.Inc()
 						continue
 					}
-					if err := submit(ctx, sink, batch.Points); err != nil {
+					if err := w.submitParked(ctx, sink, batch.Points); err != nil {
 						if errors.Is(err, ctx.Err()) {
 							return
 						}

@@ -32,6 +32,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
+	"repro/internal/resilience"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
@@ -43,6 +45,11 @@ var ErrClosed = errors.New("proxy: closed")
 // ErrNoBackends means the proxy was built with no TSD addresses.
 var ErrNoBackends = errors.New("proxy: no backends")
 
+// errAllBreakersOpen is the internal delivery outcome when every
+// backend's circuit is open: hold off and re-probe instead of burning
+// calls into known-dead daemons.
+var errAllBreakersOpen = errors.New("proxy: all backend breakers open")
+
 // Config tunes the proxy.
 type Config struct {
 	// MaxInFlight caps concurrent requests to the TSD tier (default 8).
@@ -51,10 +58,18 @@ type Config struct {
 	// Submit blocks while the buffer is full.
 	BufferBatches int
 	// MaxRetries bounds delivery attempts per batch (default 8).
+	// Negative retries without bound until the proxy stops — the
+	// zero-loss setting when producers can tolerate the backpressure.
 	MaxRetries int
-	// RetryBackoff is the pause between attempts (default 2ms, doubled
-	// per retry).
+	// RetryBackoff seeds the retry backoff (default 2ms). Delays grow
+	// exponentially with full jitter (resilience.Backoff), capped at
+	// 250ms, so a fleet of senders retrying a recovering TSD
+	// desynchronizes instead of thundering in lockstep.
 	RetryBackoff time.Duration
+	// Breakers, when set, adds per-backend circuit breakers: delivery
+	// skips backends whose circuit is open, and when every circuit is
+	// open the sender backs off instead of attempting at all.
+	Breakers *resilience.Group
 	// DeliveryTimeout, when > 0, bounds each delivery attempt with a
 	// deadline propagated through the TSD into the region servers.
 	// Note this makes delivery at-least-once: an attempt abandoned at
@@ -72,7 +87,7 @@ func (c Config) withDefaults() Config {
 	if c.BufferBatches <= 0 {
 		c.BufferBatches = 1024
 	}
-	if c.MaxRetries <= 0 {
+	if c.MaxRetries == 0 {
 		c.MaxRetries = 8
 	}
 	if c.RetryBackoff <= 0 {
@@ -88,6 +103,8 @@ type Proxy struct {
 	cfg   Config
 	queue chan []tsdb.Point
 	rr    atomic.Uint64
+	// faults, when set, injects on submission ("proxy/submit").
+	faults atomic.Pointer[faultinject.Injector]
 
 	// mu guards closed against Submit's entry; submitters tracks
 	// producers between that check and their queue send so Close can
@@ -152,6 +169,11 @@ func (p *Proxy) SubmitContext(ctx context.Context, points []tsdb.Point) error {
 	if len(points) == 0 {
 		return nil
 	}
+	if f := p.faults.Load(); f.Active() > 0 {
+		if err := f.Do(ctx, "proxy/submit"); err != nil {
+			return err
+		}
+	}
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
@@ -205,31 +227,90 @@ func (p *Proxy) sender() {
 	}
 }
 
-// deliver attempts the batch against rotating TSDs.
+// SetFaults installs (or, with nil, removes) a fault injector consulted
+// on every submission, with operation "proxy/submit".
+func (p *Proxy) SetFaults(f *faultinject.Injector) { p.faults.Store(f) }
+
+// pickBackend rotates to the next backend, skipping open circuits when
+// breakers are configured. The empty address means every circuit is
+// open right now.
+func (p *Proxy) pickBackend() (string, *resilience.Breaker) {
+	n := uint64(len(p.tsds))
+	i := p.rr.Add(1)
+	if p.cfg.Breakers == nil {
+		return p.tsds[i%n], nil
+	}
+	for k := uint64(0); k < n; k++ {
+		addr := p.tsds[(i+k)%n]
+		if br := p.cfg.Breakers.For(addr); br.Allow() {
+			return addr, br
+		}
+	}
+	return "", nil
+}
+
+// canRetry reports whether another delivery attempt is allowed after
+// the given attempt index. Unbounded mode (MaxRetries < 0) stops
+// retrying once the proxy is shutting down so Close cannot hang on
+// dead backends.
+func (p *Proxy) canRetry(attempt int) bool {
+	if p.cfg.MaxRetries >= 0 {
+		return attempt < p.cfg.MaxRetries
+	}
+	select {
+	case <-p.stop:
+		return false
+	default:
+		return true
+	}
+}
+
+// backoffWait sleeps d, cut short by proxy shutdown.
+func (p *Proxy) backoffWait(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-p.stop:
+	}
+}
+
+// deliver attempts the batch against rotating TSDs, recording outcomes
+// on the per-backend breakers when configured.
 func (p *Proxy) deliver(batch []tsdb.Point) {
-	backoff := p.cfg.RetryBackoff
-	for attempt := 0; attempt <= p.cfg.MaxRetries; attempt++ {
-		addr := p.tsds[p.rr.Add(1)%uint64(len(p.tsds))]
-		ctx := context.Background()
-		cancel := context.CancelFunc(func() {})
-		if p.cfg.DeliveryTimeout > 0 {
-			ctx, cancel = context.WithTimeout(ctx, p.cfg.DeliveryTimeout)
+	boff := resilience.Backoff{Base: p.cfg.RetryBackoff, Factor: 2, Max: 250 * time.Millisecond, Jitter: true}
+	for attempt := 0; ; attempt++ {
+		addr, br := p.pickBackend()
+		err := errAllBreakersOpen
+		if addr != "" {
+			ctx := context.Background()
+			cancel := context.CancelFunc(func() {})
+			if p.cfg.DeliveryTimeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, p.cfg.DeliveryTimeout)
+			}
+			_, err = p.net.Call(ctx, addr, "put", &tsdb.PutBatch{Points: batch})
+			cancel()
+			if err == nil {
+				if br != nil {
+					br.Success()
+				}
+				p.Delivered.Add(int64(len(batch)))
+				return
+			}
+			if br != nil {
+				br.Failure()
+			}
 		}
-		_, err := p.net.Call(ctx, addr, "put", &tsdb.PutBatch{Points: batch})
-		cancel()
-		if err == nil {
-			p.Delivered.Add(int64(len(batch)))
-			return
-		}
-		if attempt == p.cfg.MaxRetries {
+		if !p.canRetry(attempt) {
 			break
 		}
 		p.Retries.Inc()
-		// Back off only on pressure signals; a dead TSD rotates
+		// Back off on pressure signals, open circuits, and after every
+		// full fruitless rotation; a single dead TSD rotates
 		// immediately.
-		if errors.Is(err, rpc.ErrQueueOverflow) {
-			time.Sleep(backoff)
-			backoff *= 2
+		if errors.Is(err, rpc.ErrQueueOverflow) || errors.Is(err, errAllBreakersOpen) ||
+			(attempt+1)%len(p.tsds) == 0 {
+			p.backoffWait(boff.Delay(attempt))
 		}
 	}
 	p.Dropped.Add(int64(len(batch)))

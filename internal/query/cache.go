@@ -99,9 +99,11 @@ func (k *keyScratch) key(q *tsdb.Query, from, to int64) []byte {
 }
 
 // flight is one in-progress fetch that concurrent identical queries
-// wait on instead of re-scanning storage (singleflight).
+// wait on instead of re-scanning storage (singleflight). degraded marks
+// a stale-cache serve so followers inherit the degraded flag too.
 type flight struct {
-	done   chan struct{}
-	series []tsdb.Series
-	err    error
+	done     chan struct{}
+	series   []tsdb.Series
+	err      error
+	degraded bool
 }

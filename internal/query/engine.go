@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
@@ -15,6 +17,44 @@ import (
 
 // ErrNoBackends means the engine was built with no TSD addresses.
 var ErrNoBackends = errors.New("query: no backends")
+
+// ErrCircuitOpen means a shard could not be attempted at all because
+// every backend's circuit breaker was open.
+var ErrCircuitOpen = errors.New("query: all backend circuits open")
+
+// degradedMarkerKey carries a *DegradedMarker through a request ctx.
+type degradedMarkerKey struct{}
+
+// DegradedMarker is an out-of-band flag the engine sets when it serves
+// stale (past-watermark) data instead of failing. The gateway installs
+// one per request with WithDegradedMarker and translates it into the
+// X-Sentinel-Degraded header and the v1 DTO `degraded` field without
+// the Querier interface having to change shape.
+type DegradedMarker struct {
+	v atomic.Bool
+}
+
+// Set marks the request degraded.
+func (m *DegradedMarker) Set() { m.v.Store(true) }
+
+// Degraded reports whether the request was marked.
+func (m *DegradedMarker) Degraded() bool { return m.v.Load() }
+
+// WithDegradedMarker returns a ctx carrying a fresh marker, and the
+// marker itself for inspection after the request completes.
+func WithDegradedMarker(ctx context.Context) (context.Context, *DegradedMarker) {
+	m := &DegradedMarker{}
+	return context.WithValue(ctx, degradedMarkerKey{}, m), m
+}
+
+// MarkDegraded flags the request's marker, when one is installed. It
+// is exported so any Querier implementation (not just the engine) can
+// signal a stale or partial answer to the gateway.
+func MarkDegraded(ctx context.Context) {
+	if m, ok := ctx.Value(degradedMarkerKey{}).(*DegradedMarker); ok {
+		m.Set()
+	}
+}
 
 // PartialPolicy decides what happens when a shard still fails after
 // failing over across every TSD.
@@ -46,6 +86,22 @@ type Config struct {
 	// Timeout, when > 0, bounds each query when the caller's context
 	// carries no deadline of its own.
 	Timeout time.Duration
+	// HedgeDelay, when > 0, hedges straggler shards: a duplicate
+	// sub-query is issued to the next TSD once the primary has been
+	// silent this long, and the first success wins. Requires at least
+	// two backends.
+	HedgeDelay time.Duration
+	// Breakers, when set, adds per-TSD circuit breakers: shard
+	// sub-queries skip backends whose circuit is open, and a shard
+	// with no admissible backend fails fast with ErrCircuitOpen
+	// instead of timing out against dead daemons.
+	Breakers *resilience.Group
+	// ServeStale, when true, answers from the window cache even past
+	// its watermark when a fresh fetch fails — stale-but-marked
+	// availability during storage outages. Degraded responses are
+	// flagged on the request's DegradedMarker and counted in
+	// DegradedServes; they are never re-cached as fresh.
+	ServeStale bool
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +139,13 @@ type Engine struct {
 	SubQueries telemetry.Counter
 	Failovers  telemetry.Counter
 	Partials   telemetry.Counter
+	// Hedged counts duplicate straggler sub-queries issued; HedgeWins
+	// those answered by the hedge before the primary.
+	Hedged    telemetry.Counter
+	HedgeWins telemetry.Counter
+	// DegradedServes counts queries answered from stale cache under
+	// ServeStale while the fresh path was failing.
+	DegradedServes telemetry.Counter
 }
 
 // New builds an engine over the fabric-registered TSD addresses. marks
@@ -158,6 +221,10 @@ func (e *Engine) QueryContext(ctx context.Context, q tsdb.Query) ([]tsdb.Series,
 			if fl.err != nil {
 				return nil, fl.err
 			}
+			if fl.degraded {
+				e.DegradedServes.Inc()
+				MarkDegraded(ctx)
+			}
 			return trim(fl.series, q.Start, q.End, from, to), nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -168,10 +235,25 @@ func (e *Engine) QueryContext(ctx context.Context, q tsdb.Query) ([]tsdb.Series,
 	e.mu.Unlock()
 
 	series, err := e.fetch(ctx, q, from, to)
-	fl.series, fl.err = series, err
+	degraded := false
+	if err != nil && e.cfg.ServeStale && !errors.Is(err, tsdb.ErrNoSuchMetric) {
+		// The fresh path is down (open circuits, dead shards). A stale
+		// window — whatever version — beats an error page; serve it
+		// marked so the caller can tell.
+		e.mu.Lock()
+		if ent, ok := e.cache.get([]byte(skey)); ok {
+			series, err, degraded = ent.series, nil, true
+		}
+		e.mu.Unlock()
+		if degraded {
+			e.DegradedServes.Inc()
+			MarkDegraded(ctx)
+		}
+	}
+	fl.series, fl.err, fl.degraded = series, err, degraded
 	e.mu.Lock()
 	delete(e.flight, skey)
-	if err == nil {
+	if err == nil && !degraded {
 		// ver was read before the fetch: a write racing the scan makes
 		// the entry conservatively stale rather than wrongly fresh.
 		e.cache.add(&entry{key: skey, series: series, version: ver})
@@ -192,17 +274,29 @@ func (e *Engine) QueryContext(ctx context.Context, q tsdb.Query) ([]tsdb.Series,
 func (e *Engine) fetch(ctx context.Context, q tsdb.Query, from, to int64) ([]tsdb.Series, error) {
 	shards := shardWindow(from, to, len(e.addrs), q.DownsampleSeconds)
 	futs := make([]*rpc.Future, len(shards))
+	brs := make([]*resilience.Breaker, len(shards))
 	for i, sh := range shards {
+		addr, br := e.pickAddr(i)
+		if addr == "" {
+			// Every circuit open: fail the shard fast; failover below
+			// re-probes in case a breaker admits by then.
+			continue
+		}
 		sub := q
 		sub.Start, sub.End = sh[0], sh[1]
 		e.SubQueries.Inc()
-		futs[i] = e.net.Go(ctx, e.addrs[i%len(e.addrs)], "query", &tsdb.QueryRequest{Query: sub})
+		futs[i] = e.net.Go(ctx, addr, "query", &tsdb.QueryRequest{Query: sub})
+		brs[i] = br
 	}
 	grouped := make(map[string]*tsdb.Series)
 	order := make([]string, 0, 8)
 	missing := 0
 	for i := range shards {
-		res, err := futs[i].Wait(ctx)
+		var res any
+		err := error(ErrCircuitOpen)
+		if futs[i] != nil {
+			res, err = e.await(ctx, futs[i], brs[i], q, shards[i], i)
+		}
 		if err != nil && !errors.Is(err, tsdb.ErrNoSuchMetric) {
 			// Every TSD shares the deployment's UID table, so an
 			// unknown metric is unknown everywhere — failing over on it
@@ -218,6 +312,15 @@ func (e *Engine) fetch(ctx context.Context, q tsdb.Query, from, to int64) ([]tsd
 			if e.cfg.Partial == PartialServe && ctx.Err() == nil {
 				e.Partials.Inc()
 				continue
+			}
+			// Failing the query abandons the shards not yet awaited;
+			// their futures were already issued with probe slots
+			// reserved, which must be released or their breakers wedge
+			// half-open forever.
+			for j := i + 1; j < len(shards); j++ {
+				if futs[j] != nil {
+					e.recordWhenDone(futs[j], brs[j])
+				}
 			}
 			return nil, fmt.Errorf("query: shard [%d,%d]: %w", shards[i][0], shards[i][1], err)
 		}
@@ -250,8 +353,130 @@ func (e *Engine) fetch(ctx context.Context, q tsdb.Query, from, to int64) ([]tsd
 	return out, nil
 }
 
-// failover retries one shard on every other TSD in turn. It returns
-// the last error when all of them reject the shard.
+// pickAddr returns the first breaker-admitted backend at or after
+// rotation slot i, with its breaker (nil when breakers are off). The
+// empty address means every circuit is open right now. An admitted
+// half-open breaker has a probe slot reserved; the caller must report
+// the call's outcome through record.
+func (e *Engine) pickAddr(i int) (string, *resilience.Breaker) {
+	n := len(e.addrs)
+	if e.cfg.Breakers == nil {
+		return e.addrs[i%n], nil
+	}
+	for k := 0; k < n; k++ {
+		addr := e.addrs[(i+k)%n]
+		if br := e.cfg.Breakers.For(addr); br.Allow() {
+			return addr, br
+		}
+	}
+	return "", nil
+}
+
+// recordWhenDone reports an abandoned in-flight future's eventual
+// outcome to its breaker off the caller's goroutine, so half-open probe
+// slots reserved at pickAddr are never leaked.
+func (e *Engine) recordWhenDone(fut *rpc.Future, br *resilience.Breaker) {
+	if br == nil {
+		return
+	}
+	go func() {
+		_, err := fut.Result()
+		e.record(br, err)
+	}()
+}
+
+// record reports a sub-query outcome to its breaker. ErrNoSuchMetric is
+// a healthy backend answering "nothing written yet", not a failure;
+// everything else — including abandoning a half-open probe at the
+// caller's deadline — counts against the circuit so probe slots are
+// always released.
+func (e *Engine) record(br *resilience.Breaker, err error) {
+	if br == nil {
+		return
+	}
+	if err == nil || errors.Is(err, tsdb.ErrNoSuchMetric) {
+		br.Success()
+		return
+	}
+	br.Failure()
+}
+
+// await waits on a shard's primary future, hedging a duplicate
+// sub-query to the next backend when the primary stays silent past
+// HedgeDelay. First success wins; both outcomes feed the breakers.
+func (e *Engine) await(ctx context.Context, fut *rpc.Future, br *resilience.Breaker, q tsdb.Query, sh [2]int64, i int) (any, error) {
+	if e.cfg.HedgeDelay <= 0 || len(e.addrs) < 2 {
+		res, err := fut.Wait(ctx)
+		e.record(br, err)
+		return res, err
+	}
+	t := time.NewTimer(e.cfg.HedgeDelay)
+	defer t.Stop()
+	select {
+	case <-fut.Done():
+		res, err := fut.Result()
+		e.record(br, err)
+		return res, err
+	case <-ctx.Done():
+		e.record(br, ctx.Err())
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	haddr, hbr := e.pickAddr(i + 1)
+	if haddr == "" {
+		// Nowhere to hedge to; keep waiting on the straggler.
+		res, err := fut.Wait(ctx)
+		e.record(br, err)
+		return res, err
+	}
+	sub := q
+	sub.Start, sub.End = sh[0], sh[1]
+	e.Hedged.Inc()
+	e.SubQueries.Inc()
+	hfut := e.net.Go(ctx, haddr, "query", &tsdb.QueryRequest{Query: sub})
+	var lastErr error
+	pd, hd := fut.Done(), hfut.Done()
+	for pd != nil || hd != nil {
+		select {
+		case <-pd:
+			res, err := fut.Result()
+			e.record(br, err)
+			if err == nil {
+				if hd != nil {
+					e.recordWhenDone(hfut, hbr)
+				}
+				return res, nil
+			}
+			lastErr = err
+			pd = nil
+		case <-hd:
+			res, err := hfut.Result()
+			e.record(hbr, err)
+			if err == nil {
+				e.HedgeWins.Inc()
+				if pd != nil {
+					e.recordWhenDone(fut, br)
+				}
+				return res, nil
+			}
+			lastErr = err
+			hd = nil
+		case <-ctx.Done():
+			if pd != nil {
+				e.record(br, ctx.Err())
+			}
+			if hd != nil {
+				e.record(hbr, ctx.Err())
+			}
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+// failover retries one shard on every other TSD in turn, skipping open
+// circuits. It returns the last error when all of them reject the
+// shard.
 func (e *Engine) failover(ctx context.Context, q tsdb.Query, sh [2]int64, i int, err error) (any, error) {
 	sub := q
 	sub.Start, sub.End = sh[0], sh[1]
@@ -259,10 +484,19 @@ func (e *Engine) failover(ctx context.Context, q tsdb.Query, sh [2]int64, i int,
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		addr := e.addrs[(i+off)%len(e.addrs)]
+		var br *resilience.Breaker
+		if e.cfg.Breakers != nil {
+			br = e.cfg.Breakers.For(addr)
+			if !br.Allow() {
+				continue
+			}
+		}
 		e.Failovers.Inc()
 		e.SubQueries.Inc()
 		var res any
-		res, err = e.net.Call(ctx, e.addrs[(i+off)%len(e.addrs)], "query", &tsdb.QueryRequest{Query: sub})
+		res, err = e.net.Call(ctx, addr, "query", &tsdb.QueryRequest{Query: sub})
+		e.record(br, err)
 		if err == nil || errors.Is(err, tsdb.ErrNoSuchMetric) {
 			return res, err
 		}

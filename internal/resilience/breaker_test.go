@@ -1,0 +1,147 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable clock for breaker cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(clk *fakeClock) (*Group, *Breaker) {
+	g := NewGroup(BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		ProbeLimit:       1,
+		SuccessesToClose: 2,
+		Now:              clk.Now,
+	})
+	return g, g.For("tsd/0")
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	g, b := newTestBreaker(clk)
+
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+
+	// Trip after three consecutive failures.
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("breaker tripped below threshold")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("breaker did not open at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+	if g.Opens.Value() != 1 {
+		t.Fatalf("Opens = %d, want 1", g.Opens.Value())
+	}
+
+	// After cooldown the first Allow is a probe; the second is shed
+	// because ProbeLimit is 1.
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit a probe after cooldown")
+	}
+	if b.State() != HalfOpen {
+		t.Fatal("breaker not half-open during probe")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe exceeded ProbeLimit")
+	}
+	if g.HalfOpens.Value() != 1 {
+		t.Fatalf("HalfOpens = %d, want 1", g.HalfOpens.Value())
+	}
+
+	// Two probe successes close the breaker.
+	b.Success()
+	if b.State() != HalfOpen {
+		t.Fatal("closed after one probe success, want two")
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected next probe after first completed")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatal("breaker did not close after SuccessesToClose probes")
+	}
+	if g.Closes.Value() != 1 {
+		t.Fatalf("Closes = %d, want 1", g.Closes.Value())
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	g, b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe admitted")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed a request without a fresh cooldown")
+	}
+	if g.Opens.Value() != 2 {
+		t.Fatalf("Opens = %d, want 2 (initial trip + failed probe)", g.Opens.Value())
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	_, b := newTestBreaker(clk)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestGroupPerTargetIsolationAndOpenCount(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	g := NewGroup(BreakerConfig{FailureThreshold: 1, Now: clk.Now})
+	g.For("tsd/a").Failure()
+	if g.For("tsd/a").State() != Open {
+		t.Fatal("tsd/a did not open")
+	}
+	if g.For("tsd/b").State() != Closed {
+		t.Fatal("tsd/b opened from tsd/a failures")
+	}
+	if g.OpenCount() != 1 {
+		t.Fatalf("OpenCount = %d, want 1", g.OpenCount())
+	}
+	if same := g.For("tsd/a"); same.State() != Open {
+		t.Fatal("For did not return the same breaker instance")
+	}
+}

@@ -1,0 +1,105 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func TestNetworkFaultErrorInjection(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	if _, err := n.Register("tsd/0", echoHandler, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(1)
+	n.SetFaults(inj)
+	inj.Set("kill", faultinject.Rule{Op: "rpc/tsd/0/", ErrorRate: 1})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := n.Call(ctx, "tsd/0", "put", "x"); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+
+	// Other addresses are unaffected.
+	if _, err := n.Register("tsd/1", echoHandler, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := n.Call(ctx, "tsd/1", "put", "x"); err != nil || v != "put:x" {
+		t.Fatalf("unmatched addr: v=%v err=%v", v, err)
+	}
+
+	// Clearing the rule restores the faulted address.
+	inj.Clear("kill")
+	if v, err := n.Call(ctx, "tsd/0", "put", "x"); err != nil || v != "put:x" {
+		t.Fatalf("after clear: v=%v err=%v", v, err)
+	}
+}
+
+func TestNetworkFaultDropResolvesOnlyViaCtx(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	if _, err := n.Register("tsd/0", echoHandler, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(1)
+	n.SetFaults(inj)
+	inj.Set("lossy", faultinject.Rule{Op: "rpc/", DropRate: 1})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	fut := n.Go(ctx, "tsd/0", "put", "x")
+	select {
+	case <-fut.Done():
+		t.Fatal("dropped call resolved before ctx expiry")
+	case <-time.After(10 * time.Millisecond):
+	}
+	if _, err := fut.Result(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestNetworkFaultLatencyDelaysDelivery(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	if _, err := n.Register("tsd/0", echoHandler, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(1)
+	n.SetFaults(inj)
+	inj.Set("slow", faultinject.Rule{Op: "rpc/", Latency: 30 * time.Millisecond})
+
+	start := time.Now()
+	v, err := n.Call(context.Background(), "tsd/0", "put", "x")
+	if err != nil || v != "put:x" {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("call completed in %v despite 30ms injected latency", el)
+	}
+}
+
+func TestNetworkFaultsOffByDefaultAndRemovable(t *testing.T) {
+	n := NewNetwork(0, nil)
+	defer n.Close()
+	if _, err := n.Register("a", echoHandler, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := n.Call(context.Background(), "a", "m", 1); err != nil || v != "m:1" {
+		t.Fatalf("no injector: v=%v err=%v", v, err)
+	}
+	inj := faultinject.New(1)
+	inj.Set("all", faultinject.Rule{ErrorRate: 1})
+	n.SetFaults(inj)
+	if _, err := n.Call(context.Background(), "a", "m", 1); err == nil {
+		t.Fatal("injector installed but no fault observed")
+	}
+	n.SetFaults(nil)
+	if v, err := n.Call(context.Background(), "a", "m", 1); err != nil || v != "m:1" {
+		t.Fatalf("after SetFaults(nil): v=%v err=%v", v, err)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
 
@@ -337,8 +338,18 @@ type Network struct {
 	clk     clock.Clock
 	closed  bool
 
+	// faults, when set, is consulted on every outgoing call (op
+	// "rpc/<addr>/<method>"). Nil when chaos is off: one atomic load.
+	faults atomic.Pointer[faultinject.Injector]
+
 	// Calls counts every Call/Go attempt, including failures.
 	Calls telemetry.Counter
+}
+
+// SetFaults installs (or, with nil, removes) a fault injector consulted
+// on every outgoing call, with operations named "rpc/<addr>/<method>".
+func (n *Network) SetFaults(f *faultinject.Injector) {
+	n.faults.Store(f)
 }
 
 // NewNetwork returns a network with the given per-call latency (0 for
@@ -479,6 +490,11 @@ func (n *Network) Go(ctx context.Context, addr, method string, payload any) *Fut
 		return resolved(fmt.Errorf("%w: %s", ErrUnknownAddr, addr))
 	}
 	c := &call{ctx: ctx, method: method, payload: payload, fut: newFuture()}
+	if f := n.faults.Load(); f.Active() > 0 {
+		if d := f.Decide("rpc/" + addr + "/" + method); !d.Zero() {
+			return n.faultedGo(ctx, f, d, s, c, lat)
+		}
+	}
 	if lat > 0 {
 		// Model the wire delay off the caller's goroutine so Go stays
 		// non-blocking; the future resolves after delay + service.
@@ -493,5 +509,38 @@ func (n *Network) Go(ctx context.Context, addr, method string, payload any) *Fut
 	if err := s.enqueue(c); err != nil {
 		return resolved(err)
 	}
+	return c.fut
+}
+
+// faultedGo carries out an injected fault decision on an outgoing call
+// off the caller's goroutine, keeping Go non-blocking.
+func (n *Network) faultedGo(ctx context.Context, f *faultinject.Injector, d faultinject.Decision, s *Server, c *call, lat time.Duration) *Future {
+	go func() {
+		if errors.Is(d.Err, faultinject.ErrDropped) {
+			// A dropped call models a lost packet: it never resolves on
+			// its own, the caller only observes its own ctx. Without a
+			// cancellable ctx there is nothing to wait on, so fail fast
+			// rather than leak the goroutine.
+			if ctx.Done() == nil {
+				c.fut.resolve(nil, faultinject.ErrDropped)
+				return
+			}
+			<-ctx.Done()
+			c.fut.resolve(nil, ctx.Err())
+			return
+		}
+		// Apply blocks for latency/stall and then surfaces the injected
+		// error, if any; otherwise the call proceeds normally, delayed.
+		if err := f.Apply(ctx, d); err != nil {
+			c.fut.resolve(nil, err)
+			return
+		}
+		if lat > 0 {
+			n.clk.Sleep(lat)
+		}
+		if err := s.enqueue(c); err != nil {
+			c.fut.resolve(nil, err)
+		}
+	}()
 	return c.fut
 }

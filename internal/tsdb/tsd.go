@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/hbase"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
@@ -54,6 +56,11 @@ type TSD struct {
 	// marks is the deployment-shared per-metric write watermark; nil
 	// for a TSD outside a deployment.
 	marks *Watermarks
+	// faults, when set, injects on this daemon's storage operations
+	// ("tsdb/put/<name>", "tsdb/query/<name>"). These hooks sit below
+	// the rpc layer, so they also cover in-process direct writers like
+	// the detector tier's anomaly sink.
+	faults atomic.Pointer[faultinject.Injector]
 
 	// PointsWritten counts samples accepted.
 	PointsWritten telemetry.Counter
@@ -78,6 +85,7 @@ type Deployment struct {
 	UIDs    *UIDTable
 	cfg     TSDConfig
 	marks   *Watermarks
+	faults  atomic.Pointer[faultinject.Injector]
 
 	mu   sync.Mutex
 	tsds []*TSD
@@ -127,6 +135,7 @@ func (d *Deployment) AddTSD() (*TSD, error) {
 		cfg:    d.cfg,
 		marks:  d.marks,
 	}
+	t.faults.Store(d.faults.Load())
 	_, err := d.Cluster.Network().Register(tsdAddr(name), t.handle, rpc.ServerConfig{
 		QueueCap: d.cfg.QueueCap,
 		Workers:  d.cfg.Workers,
@@ -138,6 +147,63 @@ func (d *Deployment) AddTSD() (*TSD, error) {
 	d.tsds = append(d.tsds, t)
 	d.mu.Unlock()
 	return t, nil
+}
+
+// SetFaults installs (or, with nil, removes) a fault injector on every
+// TSD in the deployment, present and future, with operations named
+// "tsdb/put/<name>" and "tsdb/query/<name>".
+func (d *Deployment) SetFaults(f *faultinject.Injector) {
+	d.faults.Store(f)
+	for _, t := range d.TSDs() {
+		t.SetFaults(f)
+	}
+}
+
+// SetFaults installs (or, with nil, removes) this daemon's fault
+// injector.
+func (t *TSD) SetFaults(f *faultinject.Injector) { t.faults.Store(f) }
+
+// CrashTSD abruptly kills the named daemon's RPC server: queued and
+// subsequent calls fail with rpc.ErrServerDown until RestartTSD. The
+// daemon's in-process state (codec, HBase client) is untouched, exactly
+// like a killed OpenTSDB process in front of a healthy HBase.
+func (d *Deployment) CrashTSD(name string) error {
+	t := d.byName(name)
+	if t == nil {
+		return fmt.Errorf("tsdb: no such daemon %q", name)
+	}
+	s, ok := d.Cluster.Network().Lookup(tsdAddr(name))
+	if !ok {
+		return fmt.Errorf("tsdb: daemon %q not on the network", name)
+	}
+	s.Crash()
+	return nil
+}
+
+// RestartTSD brings a crashed daemon back by re-registering its handler
+// at the same address (replacing the dead server), as if the process
+// was restarted by an operator.
+func (d *Deployment) RestartTSD(name string) error {
+	t := d.byName(name)
+	if t == nil {
+		return fmt.Errorf("tsdb: no such daemon %q", name)
+	}
+	_, err := d.Cluster.Network().Register(tsdAddr(name), t.handle, rpc.ServerConfig{
+		QueueCap: d.cfg.QueueCap,
+		Workers:  d.cfg.Workers,
+	})
+	return err
+}
+
+func (d *Deployment) byName(name string) *TSD {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range d.tsds {
+		if t.name == name {
+			return t
+		}
+	}
+	return nil
 }
 
 // TSDs returns the daemons in creation order.
@@ -232,6 +298,11 @@ func (t *TSD) PutContext(ctx context.Context, points []Point) error {
 	if len(points) == 0 {
 		return nil
 	}
+	if f := t.faults.Load(); f.Active() > 0 {
+		if err := f.Do(ctx, "tsdb/put/"+t.name); err != nil {
+			return err
+		}
+	}
 	cells := make([]hbase.Cell, 0, len(points))
 	for i := range points {
 		cell, err := t.codec.Encode(&points[i])
@@ -266,6 +337,11 @@ func (t *TSD) Query(q Query) ([]Series, error) {
 // optionally downsamples.
 func (t *TSD) QueryContext(ctx context.Context, q Query) ([]Series, error) {
 	t.QueriesServed.Inc()
+	if f := t.faults.Load(); f.Active() > 0 {
+		if err := f.Do(ctx, "tsdb/query/"+t.name); err != nil {
+			return nil, err
+		}
+	}
 	mu, ok := t.codec.uids.Lookup(kindMetric, q.Metric)
 	if !ok {
 		// Unknown locally; try reloading persisted UIDs once (another

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	v1 "repro/internal/api/v1"
+	"repro/internal/resilience"
 )
 
 // Client talks to one gateway. Safe for concurrent use.
@@ -42,7 +43,7 @@ type Client struct {
 	hc      *http.Client
 	apiKey  string
 	retries int
-	backoff time.Duration
+	backoff resilience.Backoff
 	sleep   func(ctx context.Context, d time.Duration) error
 }
 
@@ -58,10 +59,14 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
 
 // WithRetry tunes retry-on-backpressure: up to retries re-attempts
-// with exponential backoff starting at base (server Retry-After wins
-// when longer). WithRetry(0, …) disables retries.
+// with full-jitter exponential backoff starting at base (server
+// Retry-After wins when longer — it is a floor, never jittered below).
+// WithRetry(0, …) disables retries.
 func WithRetry(retries int, base time.Duration) Option {
-	return func(c *Client) { c.retries, c.backoff = retries, base }
+	return func(c *Client) {
+		c.retries = retries
+		c.backoff.Base = base
+	}
 }
 
 // New builds a client for the gateway at baseURL.
@@ -74,7 +79,10 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		base:    strings.TrimRight(baseURL, "/"),
 		hc:      http.DefaultClient,
 		retries: 3,
-		backoff: 250 * time.Millisecond,
+		// Full jitter desynchronizes a fleet of SDK clients retrying
+		// the same shedding gateway (each delay is uniform in
+		// [d/2, d]); the cap keeps tail waits bounded.
+		backoff: resilience.Backoff{Base: 250 * time.Millisecond, Factor: 2, Max: 8 * time.Second, Jitter: true},
 		sleep: func(ctx context.Context, d time.Duration) error {
 			t := time.NewTimer(d)
 			defer t.Stop()
@@ -137,9 +145,11 @@ func (c *Client) do(ctx context.Context, method, path string, contentType string
 			}
 			return nil, lastErr
 		}
-		wait := c.backoff << attempt
+		wait := c.backoff.Delay(attempt)
 		var ae *v1.Error
 		if errors.As(lastErr, &ae) && ae.RetryAfterSeconds > 0 {
+			// The server's Retry-After is a floor: jitter may stretch
+			// the wait beyond it but never revisit the server sooner.
 			if ra := time.Duration(ae.RetryAfterSeconds) * time.Second; ra > wait {
 				wait = ra
 			}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	v1 "repro/internal/api/v1"
+	"repro/internal/resilience"
 )
 
 // noSleep replaces backoff waits with a recorder.
@@ -243,5 +244,44 @@ func TestBadBaseURL(t *testing.T) {
 	}
 	if _, err := New(""); err == nil {
 		t.Fatal("accepted an empty base URL")
+	}
+}
+
+// TestRetryBackoffJittered: retry waits are full-jitter exponential —
+// each within [d/2, d] of the exponential schedule, and not marching
+// in deterministic lockstep.
+func TestRetryBackoffJittered(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(503)
+		_ = json.NewEncoder(w).Encode(v1.ErrorEnvelope{Error: &v1.Error{
+			Code: v1.CodeUnavailable, Message: "shedding", Status: 503,
+		}})
+	}))
+	defer srv.Close()
+	c, _ := New(srv.URL, WithHTTPClient(srv.Client()), WithRetry(6, 100*time.Millisecond))
+	c.backoff.Rand = resilience.NewRand(3)
+	var waits []time.Duration
+	c.sleep = noSleep(&waits)
+	if _, err := c.Fleet(context.Background(), FleetParams{}); err == nil {
+		t.Fatal("fleet succeeded against a 503-only server")
+	}
+	if len(waits) != 6 {
+		t.Fatalf("recorded %d waits, want 6", len(waits))
+	}
+	jittered := false
+	for i, w := range waits {
+		full := 100 * time.Millisecond << i
+		if full > 8*time.Second {
+			full = 8 * time.Second
+		}
+		if w < full/2 || w > full {
+			t.Fatalf("wait %d = %s outside [%s, %s]", i, w, full/2, full)
+		}
+		if w != full {
+			jittered = true
+		}
+	}
+	if !jittered {
+		t.Fatal("every wait hit the full exponential delay: no jitter applied")
 	}
 }

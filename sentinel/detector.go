@@ -2,14 +2,19 @@ package sentinel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/bus"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/ingest"
 	"repro/internal/mllib"
+	"repro/internal/resilience"
+	"repro/internal/rpc"
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
 )
@@ -69,6 +74,25 @@ type DetectorPool struct {
 	// never fails the batch — the flag is already durable in storage.
 	FlagsPublished    telemetry.Counter
 	FlagPublishErrors telemetry.Counter
+	// Parks counts park episodes (a worker pausing on a transient
+	// storage fault instead of dropping the flag); Parked is how many
+	// workers are parked right now. A parked worker retries its write
+	// with jittered backoff and resumes where it left off — the record
+	// is never committed while parked, so a crash redelivers it.
+	Parks  telemetry.Counter
+	Parked telemetry.Gauge
+}
+
+// transientStorage classifies errors worth parking on: the storage
+// tier is momentarily unhealthy (daemon down or overloaded, injected
+// fault, deadline) but expected back. Model/shape errors are not
+// transient — retrying a malformed batch forever would wedge the
+// partition.
+func transientStorage(err error) bool {
+	return errors.Is(err, rpc.ErrServerDown) ||
+		errors.Is(err, rpc.ErrQueueOverflow) ||
+		errors.Is(err, faultinject.ErrInjected) ||
+		errors.Is(err, context.DeadlineExceeded)
 }
 
 // AttachDetectorGroup attaches the detector consumer group at the
@@ -249,11 +273,24 @@ func (p *DetectorPool) worker(ctx context.Context, c *bus.Consumer) {
 	sc := detectorScratch{dets: make(map[int]mllib.Detector)}
 	sink := &tsdb.Sink{TSD: p.sys.TSDB.TSDs()[0]}
 	buf := make([]bus.Record, 0, 16)
+	boff := resilience.Backoff{Base: 5 * time.Millisecond, Factor: 2, Max: 500 * time.Millisecond, Jitter: true}
+	pollFails := 0
 	for {
 		recs, err := c.Poll(ctx, buf)
 		if err != nil {
+			// A transient fetch fault (injected, deadline) parks the
+			// worker briefly instead of killing it; only shutdown
+			// signals (ctx done, bus closed) end the loop.
+			if transientStorage(err) && ctx.Err() == nil {
+				if resilience.Sleep(ctx, boff.Delay(pollFails)) != nil {
+					return
+				}
+				pollFails++
+				continue
+			}
 			return
 		}
+		pollFails = 0
 		for i := range recs {
 			if err := p.process(ctx, &recs[i], sink, &sc); err != nil {
 				p.Errors.Inc()
@@ -261,6 +298,39 @@ func (p *DetectorPool) worker(ctx context.Context, c *bus.Consumer) {
 			p.Batches.Inc()
 		}
 		_ = c.CommitPolled(recs)
+	}
+}
+
+// writeFlag writes one anomaly, parking on transient storage faults:
+// jittered-backoff retries until the write lands, the fault turns out
+// to be permanent, or the worker is stopped. The enclosing record is
+// not committed while parked, so detection resumes exactly where the
+// outage interrupted it (point writes are idempotent, so a replay of
+// already-landed flags is harmless).
+func (p *DetectorPool) writeFlag(ctx context.Context, sink core.AnomalySink, a core.Anomaly) error {
+	boff := resilience.Backoff{Base: 5 * time.Millisecond, Factor: 2, Max: 500 * time.Millisecond, Jitter: true}
+	parked := false
+	defer func() {
+		if parked {
+			p.Parked.Dec()
+		}
+	}()
+	for attempt := 0; ; attempt++ {
+		err := sink.WriteAnomaly(a)
+		if err == nil {
+			return nil
+		}
+		if !transientStorage(err) || ctx.Err() != nil {
+			return err
+		}
+		if !parked {
+			parked = true
+			p.Parks.Inc()
+			p.Parked.Inc()
+		}
+		if resilience.Sleep(ctx, boff.Delay(attempt)) != nil {
+			return ctx.Err()
+		}
 	}
 }
 
@@ -305,7 +375,7 @@ func (p *DetectorPool) process(ctx context.Context, rec *bus.Record, sink core.A
 		if f.Sensor >= 0 {
 			a.Value = sc.rows[f.Row][f.Sensor]
 		}
-		if err := sink.WriteAnomaly(a); err != nil {
+		if err := p.writeFlag(ctx, sink, a); err != nil {
 			return fmt.Errorf("sentinel: write anomaly: %w", err)
 		}
 		p.AnomaliesWritten.Inc()

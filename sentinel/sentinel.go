@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/api"
 	v1 "repro/internal/api/v1"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/faultinject"
 	"repro/internal/fdr"
 	"repro/internal/hbase"
 	"repro/internal/hdfs"
@@ -44,6 +46,7 @@ import (
 	"repro/internal/mllib"
 	"repro/internal/proxy"
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/simdata"
 	"repro/internal/telemetry"
 	"repro/internal/tsdb"
@@ -120,6 +123,15 @@ type Config struct {
 	// ProxyMaxInFlight / ProxyBuffer tune the ingestion proxy.
 	ProxyMaxInFlight int
 	ProxyBuffer      int
+	// ProxyMaxRetries bounds delivery attempts per batch (0 takes the
+	// proxy default of 8; negative retries without bound until
+	// shutdown — the zero-loss setting the chaos soak runs with).
+	ProxyMaxRetries int
+	// Breaker tunes the per-TSD circuit breakers shared by the
+	// ingestion proxy and the gateway's query engine (zero fields take
+	// resilience defaults: trip after 5 consecutive failures, 1s
+	// cooldown, 2 probe successes to close).
+	Breaker resilience.BreakerConfig
 
 	// Partitions is the commit-log partition count for the ingestion
 	// topic (default max(4, StorageNodes)); units are keyed onto
@@ -212,6 +224,11 @@ type System struct {
 	Catalog *core.ModelCatalog
 	Trainer *core.Trainer
 
+	// Breakers holds the per-TSD circuit breakers shared by the
+	// ingestion proxy and the gateway's query tier: one health view
+	// per backend, fed by both read and write outcomes.
+	Breakers *resilience.Group
+
 	// Bus is the partitioned commit log decoupling producers from the
 	// storage and detection tiers; Writers drains it into the proxy.
 	Bus     *bus.Broker
@@ -265,9 +282,12 @@ func New(cfg Config) (*System, error) {
 		cluster.Stop()
 		return nil, fmt.Errorf("sentinel: create table: %w", err)
 	}
+	breakers := resilience.NewGroup(cfg.Breaker)
 	px, err := proxy.New(cluster.Network(), deployment.Addrs(), proxy.Config{
 		MaxInFlight:   cfg.ProxyMaxInFlight,
 		BufferBatches: cfg.ProxyBuffer,
+		MaxRetries:    cfg.ProxyMaxRetries,
+		Breakers:      breakers,
 	})
 	if err != nil {
 		cluster.Stop()
@@ -280,14 +300,15 @@ func New(cfg Config) (*System, error) {
 		MaxComponents:  cfg.MaxComponents,
 	})
 	sys := &System{
-		cfg:     cfg,
-		Fleet:   fleet,
-		Cluster: cluster,
-		TSDB:    deployment,
-		Proxy:   px,
-		Engine:  engine,
-		Catalog: catalog,
-		Trainer: trainer,
+		cfg:      cfg,
+		Fleet:    fleet,
+		Cluster:  cluster,
+		TSDB:     deployment,
+		Proxy:    px,
+		Engine:   engine,
+		Catalog:  catalog,
+		Trainer:  trainer,
+		Breakers: breakers,
 	}
 	sys.source = &tsdb.Source{TSD: deployment.TSDs()[0], Sensors: cfg.SensorsPerUnit}
 	sys.pipeline = core.NewPipeline(
@@ -319,6 +340,21 @@ func New(cfg Config) (*System, error) {
 
 // Config returns the effective configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// SetFaults installs (or, with nil, removes) one fault injector across
+// every injection point of the system: the RPC fabric (operations
+// "rpc/<addr>/<method>"), the commit log ("bus/publish/<topic>",
+// "bus/fetch/<topic>"), the TSD tier below the fabric
+// ("tsdb/put/<name>", "tsdb/query/<name>" — covering in-process
+// writers too), and the proxy's submission edge ("proxy/submit").
+// Runtime-toggleable: rules added or cleared on the injector take
+// effect on the next operation.
+func (s *System) SetFaults(f *faultinject.Injector) {
+	s.Cluster.Network().SetFaults(f)
+	s.Bus.SetFaults(f)
+	s.TSDB.SetFaults(f)
+	s.Proxy.SetFaults(f)
+}
 
 // Close releases every component: detector pools first, then the
 // storage writers and the bus, then the storage tier under them.
@@ -511,6 +547,14 @@ type GatewayConfig struct {
 	Burst      int
 	// AccessLog overrides the gateway's access logger.
 	AccessLog *log.Logger
+	// HedgeDelay, when > 0, hedges straggler shard reads: a duplicate
+	// sub-query goes to the next TSD once the primary has been silent
+	// this long, first success wins.
+	HedgeDelay time.Duration
+	// NoServeStale disables degraded-mode reads. By default the query
+	// tier answers from stale cache (marked via X-Sentinel-Degraded
+	// and the DTO degraded field) when the storage tier cannot.
+	NoServeStale bool
 }
 
 // Gateway returns the full web surface of the system as one handler:
@@ -529,7 +573,12 @@ func (s *System) Gateway(now int64, cfg GatewayConfig) (http.Handler, *api.Anoma
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 256
 	}
-	engine := s.QueryEngine(query.Config{MaxEntries: cfg.CacheEntries})
+	engine := s.QueryEngine(query.Config{
+		MaxEntries: cfg.CacheEntries,
+		Breakers:   s.Breakers,
+		HedgeDelay: cfg.HedgeDelay,
+		ServeStale: !cfg.NoServeStale,
+	})
 	backend := &viz.Backend{
 		Q:         engine,
 		Units:     s.cfg.Units,
@@ -539,6 +588,10 @@ func (s *System) Gateway(now int64, cfg GatewayConfig) (http.Handler, *api.Anoma
 	tail := s.NewAnomalyTail()
 	reg := telemetry.NewRegistry()
 	s.RegisterMetrics(reg)
+	// Query-tier resilience counters live on the per-gateway engine.
+	reg.RegisterCounter("query_hedged", &engine.Hedged)
+	reg.RegisterCounter("query_hedge_wins", &engine.HedgeWins)
+	reg.RegisterCounter("query_degraded_serves", &engine.DegradedServes)
 	gw := api.New(api.Config{
 		Backend:    backend,
 		Publisher:  &api.BusPublisher{Topic: s.topic},
@@ -584,6 +637,25 @@ func (s *System) RegisterMetrics(reg *telemetry.Registry) {
 	reg.RegisterFunc("samples_evaluated", s.SamplesEvaluated)
 	reg.RegisterFunc("tsdb_points_written", s.TSDB.PointsWritten)
 	reg.RegisterFunc("tsdb_queries_served", s.TSDB.QueriesServed)
+	reg.RegisterCounter("breaker_opens", &s.Breakers.Opens)
+	reg.RegisterCounter("breaker_half_opens", &s.Breakers.HalfOpens)
+	reg.RegisterCounter("breaker_closes", &s.Breakers.Closes)
+	reg.RegisterFunc("breakers_open", func() int64 { return int64(s.Breakers.OpenCount()) })
+	reg.RegisterCounter("writer_parks", &s.Writers.Parks)
+	reg.RegisterGauge("writer_parked", &s.Writers.Parked)
+	reg.RegisterFunc("detector_parks", func() int64 { return s.detectorStat(func(p *DetectorPool) int64 { return p.Parks.Value() }) })
+	reg.RegisterFunc("detector_parked", func() int64 { return s.detectorStat(func(p *DetectorPool) int64 { return p.Parked.Value() }) })
+}
+
+// detectorStat sums one per-pool counter across the running pools.
+func (s *System) detectorStat(get func(*DetectorPool) int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, p := range s.pools {
+		n += get(p)
+	}
+	return n
 }
 
 // ReadyChecks probes the tiers a serving gateway depends on: the bus
@@ -599,16 +671,36 @@ func (s *System) ReadyChecks() []api.ReadyCheck {
 			return nil
 		}},
 		{Name: "storage", Check: func() error {
-			if len(s.TSDB.Addrs()) == 0 {
+			n := len(s.TSDB.Addrs())
+			if n == 0 {
 				return errors.New("no TSDs")
+			}
+			open := s.Breakers.OpenCount()
+			if open >= n {
+				return fmt.Errorf("all %d backend circuits open", open)
+			}
+			if open > 0 {
+				// Some backends are tripped but the tier still
+				// answers (failover, stale cache): degraded, not down.
+				return api.Degraded(fmt.Errorf("%d of %d backend circuits open", open, n))
 			}
 			return nil
 		}},
 		{Name: "detectors", Check: func() error {
 			s.mu.Lock()
-			defer s.mu.Unlock()
-			if s.detGroup == nil {
+			attached := s.detGroup != nil
+			var parked int64
+			for _, p := range s.pools {
+				parked += p.Parked.Value()
+			}
+			s.mu.Unlock()
+			if !attached {
 				return errors.New("no detector pool attached")
+			}
+			if parked > 0 {
+				// Parked workers are riding out a storage fault with
+				// their records uncommitted — lagging, not lost.
+				return api.Degraded(fmt.Errorf("%d detector workers parked on storage faults", parked))
 			}
 			return nil
 		}},

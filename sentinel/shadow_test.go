@@ -2,6 +2,7 @@ package sentinel
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -164,5 +165,104 @@ func TestShadowSelfAgreement(t *testing.T) {
 				t.Fatalf("mgd mode = %s", d.Mode)
 			}
 		}
+	}
+}
+
+// errDetector always fails evaluation; badCtor families fail
+// construction. Both exercise the shadow error path.
+type errDetector struct{}
+
+func (d *errDetector) Name() string { return "errshadow" }
+
+func (d *errDetector) DetectBatchInto(xs [][]float64, ts []int64, out *mllib.Detections) error {
+	out.Reset()
+	return errors.New("errshadow: synthetic evaluation failure")
+}
+
+func init() {
+	mllib.Register("errshadow", func(c mllib.Context) (mllib.Detector, error) {
+		return &errDetector{}, nil
+	})
+	mllib.Register("badctor", func(c mllib.Context) (mllib.Detector, error) {
+		return nil, errors.New("badctor: synthetic construction failure")
+	})
+}
+
+// TestShadowEvalErrorsCountedNeverWedge: a shadow family that errors on
+// every batch increments its error counter, evaluates nothing — and
+// neither wedges the runner (a healthy sibling keeps evaluating) nor
+// leaks pooled jobs (the queue drains to zero), nor touches the
+// primary path.
+func TestShadowEvalErrorsCountedNeverWedge(t *testing.T) {
+	const steps = 20
+	ctx := context.Background()
+	sys, pool := newShadowTestSystem(t, []string{"errshadow", "mgd"}, 64)
+	if _, err := sys.IngestRange(60, steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := pool.DrainShadows(drainCtx); err != nil {
+		t.Fatalf("shadow queue wedged behind an erroring family: %v", err)
+	}
+
+	bad := pool.ShadowStats()["errshadow"]
+	if bad.Errors == 0 {
+		t.Fatalf("erroring shadow counted no errors: %+v", bad)
+	}
+	if bad.Batches != 0 || bad.Flags != 0 || bad.Agreements != 0 || bad.Disagreements != 0 {
+		t.Fatalf("erroring shadow evaluated anyway: %+v", bad)
+	}
+	healthy := pool.ShadowStats()["mgd"]
+	if healthy.Batches == 0 {
+		t.Fatalf("healthy sibling starved by the erroring family: %+v", healthy)
+	}
+	// Every offered job either errored or was shed before the runner saw
+	// it; nothing vanished.
+	if got := bad.Errors + bad.Shed; got != healthy.Batches+healthy.Shed {
+		t.Fatalf("errored+shed = %d, healthy evaluated+shed = %d: jobs went missing", got, healthy.Batches+healthy.Shed)
+	}
+	// Every pooled job was returned: pending drained to zero.
+	if n := pool.shadow.pending.Load(); n != 0 {
+		t.Fatalf("%d jobs still pending after drain — pooled batches leaked", n)
+	}
+	if pool.Errors.Value() != 0 {
+		t.Fatalf("shadow errors bled into the primary error counter: %d", pool.Errors.Value())
+	}
+	if pool.AnomaliesWritten.Value() == 0 {
+		t.Fatal("primary path wrote nothing; the isolation claim is vacuous")
+	}
+}
+
+// TestShadowConstructionErrorCounted: a family whose factory fails is
+// counted per batch and retried harmlessly — never cached as a broken
+// detector, never fatal to the runner.
+func TestShadowConstructionErrorCounted(t *testing.T) {
+	const steps = 10
+	ctx := context.Background()
+	sys, pool := newShadowTestSystem(t, []string{"badctor"}, 64)
+	if _, err := sys.IngestRange(60, steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := pool.DrainShadows(drainCtx); err != nil {
+		t.Fatalf("shadow queue wedged behind a failing constructor: %v", err)
+	}
+	st := pool.ShadowStats()["badctor"]
+	if st.Errors == 0 {
+		t.Fatalf("failing constructor counted no errors: %+v", st)
+	}
+	if st.Batches != 0 {
+		t.Fatalf("unconstructable shadow evaluated batches: %+v", st)
+	}
+	if n := pool.shadow.pending.Load(); n != 0 {
+		t.Fatalf("%d jobs still pending after drain", n)
 	}
 }
