@@ -12,9 +12,13 @@ EVAL_BENCH = BenchmarkFDRCorrections|BenchmarkOnlineEvalThroughput|BenchmarkEndT
 # BenchmarkBusPublishConsume; BenchmarkGatewayPutPath pins the /api/v1
 # ingest edge through the full middleware chain; BenchmarkDetectorBatch
 # matches every detector family's warmed batch path.
-ALLOC_BENCH = BenchmarkEvaluateBatchInto|BenchmarkApplyInto|BenchmarkMulInto|BenchmarkBusPublish|BenchmarkQueryCacheHit|BenchmarkGatewayPutPath|BenchmarkDetectorBatch
+ALLOC_BENCH = BenchmarkEvaluateBatchInto|BenchmarkApplyInto|BenchmarkMulInto|BenchmarkBusPublish|BenchmarkQueryCacheHit|BenchmarkGatewayPutPath|BenchmarkDetectorBatch|BenchmarkCompressedScan
 
-.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs backtest chaos conformance check
+# GATE_BENCHTIME drives the bench-gate comparison runs: long enough for
+# stable ns/op medians, short enough for a PR loop.
+GATE_BENCHTIME ?= 300ms
+
+.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs bench-gate soak backtest chaos conformance check
 
 build:
 	$(GO) build ./...
@@ -53,10 +57,13 @@ bench-json: bench-query
 
 # bench-query records the read-tier trajectory in BENCH_query.json:
 # the cold scatter-gather path, the cached hot path (whose allocs/op
-# is also pinned by bench-allocs) and LTTB bounding.
+# is also pinned by bench-allocs), LTTB bounding, and the compressed
+# storage tier (zero-alloc block scan, compression ratio, rollup-served
+# wide windows).
 bench-query:
 	@rm -f bench-query.out
 	$(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchtime $(BENCHTIME) -benchmem ./internal/query/ > bench-query.out
+	$(GO) test -run '^$$' -bench 'BenchmarkCompressedScan|BenchmarkBlockCompress|BenchmarkRollupQuery' -benchtime $(BENCHTIME) -benchmem ./internal/tsdb/ >> bench-query.out
 	$(GO) run ./cmd/benchjson -out BENCH_query.json < bench-query.out
 	@rm -f bench-query.out
 
@@ -67,9 +74,30 @@ bench-query:
 bench-allocs:
 	@rm -f bench-allocs.out
 	$(GO) test -run '^$$' -bench '$(ALLOC_BENCH)' -benchtime 1x -benchmem \
-		./internal/core/ ./internal/fdr/ ./internal/linalg/ ./internal/bus/ ./internal/query/ ./internal/api/ ./internal/mllib/ > bench-allocs.out
+		./internal/core/ ./internal/fdr/ ./internal/linalg/ ./internal/bus/ ./internal/query/ ./internal/api/ ./internal/mllib/ ./internal/tsdb/ > bench-allocs.out
 	$(GO) run ./cmd/allocgate -pins ALLOC_PINS < bench-allocs.out
 	@rm -f bench-allocs.out
+
+# bench-gate is the regression ratchet: re-run the benchmarks whose
+# key metrics are pinned in BENCH_PINS and compare against the
+# committed BENCH_query.json / BENCH_evaluation.json baselines.
+# Per-metric tolerances absorb runner noise; a genuine 2x regression
+# fails the build. Refresh baselines with `make bench-json` after an
+# intentional perf change.
+bench-gate:
+	@rm -f bench-gate.out
+	$(GO) test -run '^$$' -bench 'BenchmarkQueryCacheHit|BenchmarkQueryColdScatterGather' -benchtime $(GATE_BENCHTIME) -benchmem ./internal/query/ > bench-gate.out
+	$(GO) test -run '^$$' -bench 'BenchmarkCompressedScan|BenchmarkBlockCompress' -benchtime $(GATE_BENCHTIME) -benchmem ./internal/tsdb/ >> bench-gate.out
+	$(GO) test -run '^$$' -bench 'BenchmarkOnlineEvalThroughput' -benchtime $(GATE_BENCHTIME) -benchmem . >> bench-gate.out
+	$(GO) run ./cmd/benchgate -pins BENCH_PINS -baseline BENCH_query.json -baseline BENCH_evaluation.json < bench-gate.out
+	@rm -f bench-gate.out
+
+# soak runs the storage-tier compression soak at nightly length: a
+# multi-hour ingest → seal → spill → query cycle asserting
+# byte-identical readback through the whole tier, under the race
+# detector.
+soak:
+	TSDB_SOAK=1 $(GO) test -race -run TestCompressionSoak -count=1 -v ./internal/tsdb/
 
 # backtest scores every registered detector family against the
 # simulated fleet's injected-fault scenarios (stuck-at, drift, spike,
@@ -96,4 +124,4 @@ chaos:
 conformance:
 	$(GO) test ./internal/api/... -run TestV1Conformance
 
-check: lint build test bench bench-allocs backtest chaos conformance
+check: lint build test bench bench-allocs bench-gate backtest chaos conformance

@@ -1,0 +1,240 @@
+// Command benchgate is the bench-regression ratchet: it reads a fresh
+// `go test -bench -benchmem` run on stdin, the committed BENCH_*.json
+// baselines, and a pin file naming which (benchmark, metric) pairs are
+// guarded with what tolerance — and exits non-zero when a fresh number
+// regresses past tolerance, or when a pin matched nothing (so a
+// renamed benchmark cannot silently un-gate itself).
+//
+//	go test -run '^$' -bench 'Query' -benchmem ./internal/query/ |
+//	  benchgate -pins BENCH_PINS -baseline BENCH_query.json
+//
+// Pin file format: one `benchmark-prefix metric tolerance` triple per
+// line, '#' comments and blank lines ignored. The longest matching
+// prefix wins per metric. The metric is `ns_per_op`, `bytes_per_op`,
+// `allocs_per_op`, or any custom unit the benchmark reports
+// (`samples/s`, `bytes/sample`, ...). Tolerance is a factor >= 1:
+// lower-is-better metrics (ns/op, B/op, allocs/op, bytes/sample) fail
+// when fresh > baseline*tolerance; higher-is-better metrics (rates)
+// fail when fresh < baseline/tolerance. Tolerances absorb shared-
+// runner noise; a genuine 2x regression still fails. After an
+// intentional perf change, refresh the baselines (`make bench-json`)
+// in the same commit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/benchparse"
+)
+
+// entry mirrors cmd/benchjson's per-benchmark JSON shape.
+type entry struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+type baselineDoc struct {
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+type pin struct {
+	prefix    string
+	metric    string
+	tolerance float64
+	hits      int
+}
+
+// lowerBetter lists the metrics where a bigger fresh number is a
+// regression. Everything else (samples/s and friends) is a rate:
+// smaller is the regression.
+var lowerBetter = map[string]bool{
+	"ns_per_op":     true,
+	"bytes_per_op":  true,
+	"allocs_per_op": true,
+	"bytes/sample":  true,
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	pinsPath := flag.String("pins", "BENCH_PINS", "pin file (benchmark-prefix metric tolerance per line)")
+	var baselines multiFlag
+	flag.Var(&baselines, "baseline", "committed BENCH_*.json baseline (repeatable)")
+	flag.Parse()
+
+	pins, err := loadPins(*pinsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	if len(baselines) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: at least one -baseline required")
+		os.Exit(1)
+	}
+	base := map[string]entry{}
+	for _, path := range baselines {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		var doc baselineDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		for name, e := range doc.Benchmarks {
+			base[name] = e
+		}
+	}
+
+	violations, checked := 0, 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		r, ok := benchparse.Parse(sc.Text())
+		if !ok {
+			continue
+		}
+		b, ok := base[r.Name]
+		if !ok {
+			continue // fresh benchmark with no committed baseline yet
+		}
+		for _, p := range pins {
+			if !strings.HasPrefix(r.Name, p.prefix) {
+				continue
+			}
+			if better := match(pins, r.Name, p.metric); better != p {
+				continue // a longer prefix guards this metric
+			}
+			cur, curOK := metricValue(benchEntry(r), p.metric)
+			ref, refOK := metricValue(b, p.metric)
+			if !curOK || !refOK {
+				violations++
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: metric %q missing (fresh %v, baseline %v)\n",
+					r.Name, p.metric, curOK, refOK)
+				continue
+			}
+			p.hits++
+			checked++
+			if bad, limit := regressed(cur, ref, p.metric, p.tolerance); bad {
+				violations++
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s %s: %s vs baseline %s (limit %s, tolerance %gx)\n",
+					r.Name, p.metric, fmtNum(cur), fmtNum(ref), fmtNum(limit), p.tolerance)
+			} else {
+				fmt.Printf("benchgate: ok   %s %s: %s vs baseline %s (limit %s)\n",
+					r.Name, p.metric, fmtNum(cur), fmtNum(ref), fmtNum(limit))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: read stdin:", err)
+		os.Exit(1)
+	}
+	for _, p := range pins {
+		if p.hits == 0 {
+			violations++
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL pin %q %s matched no benchmark (renamed? not run?)\n",
+				p.prefix, p.metric)
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no pinned benchmarks on stdin")
+		os.Exit(1)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d metric(s) within tolerance\n", checked)
+}
+
+// regressed reports whether cur regressed past tolerance relative to
+// ref, and the limit it was held to.
+func regressed(cur, ref float64, metric string, tol float64) (bool, float64) {
+	if lowerBetter[metric] {
+		limit := ref * tol
+		return cur > limit, limit
+	}
+	limit := ref / tol
+	return cur < limit, limit
+}
+
+func benchEntry(r benchparse.Result) entry {
+	return entry{NsPerOp: r.NsPerOp, BytesPerOp: r.BytesPerOp, AllocsPerOp: r.AllocsPerOp, Metrics: r.Metrics}
+}
+
+func metricValue(e entry, metric string) (float64, bool) {
+	switch metric {
+	case "ns_per_op":
+		return e.NsPerOp, e.NsPerOp > 0
+	case "bytes_per_op":
+		return e.BytesPerOp, true
+	case "allocs_per_op":
+		return e.AllocsPerOp, true
+	default:
+		v, ok := e.Metrics[metric]
+		return v, ok
+	}
+}
+
+func fmtNum(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+func loadPins(path string) ([]*pin, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pins []*pin
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s: bad pin line %q (want: prefix metric tolerance)", path, line)
+		}
+		tol, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || tol < 1 {
+			return nil, fmt.Errorf("%s: bad tolerance in %q (must be a factor >= 1)", path, line)
+		}
+		pins = append(pins, &pin{prefix: fields[0], metric: fields[1], tolerance: tol})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pins) == 0 {
+		return nil, fmt.Errorf("%s: no pins", path)
+	}
+	// Longest prefix first, so match() can take the first hit.
+	sort.Slice(pins, func(i, j int) bool { return len(pins[i].prefix) > len(pins[j].prefix) })
+	return pins, nil
+}
+
+// match returns the winning pin for (name, metric): the longest
+// matching prefix that guards that metric.
+func match(pins []*pin, name, metric string) *pin {
+	for _, p := range pins {
+		if p.metric == metric && strings.HasPrefix(name, p.prefix) {
+			return p
+		}
+	}
+	return nil
+}

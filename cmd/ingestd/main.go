@@ -53,6 +53,12 @@ func main() {
 		rate       = flag.Float64("rate", 0, "per-client request rate limit (req/s; 0 disables)")
 		apiKeys    = flag.String("api-keys", "", "comma-separated X-API-Key values granted their own rate-limit bucket (unlisted keys fall back to per-IP)")
 		drainFor   = flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
+
+		sealAfter    = flag.Int64("seal-after", 3600, "fleet-seconds behind the ingest frontier before a closed storage row seals into the compressed block tier")
+		compactEvery = flag.Duration("compact-every", 15*time.Second, "storage maintenance cadence: seal closed rows, spill over-budget blocks, enforce retention (0 disables)")
+		rawTTL       = flag.Int64("raw-ttl", 0, "drop sealed raw blocks older than this many fleet-seconds (rollups survive; 0 keeps forever)")
+		rollupTTL    = flag.Int64("rollup-ttl", 0, "drop rollup buckets older than this many fleet-seconds (0 keeps forever)")
+		spillBytes   = flag.Int64("spill-bytes", 64<<20, "resident compressed payload budget before sealed blocks spill to the HDFS tier (negative spills everything)")
 	)
 	flag.Parse()
 	buckets := *salt
@@ -71,6 +77,21 @@ func main() {
 	if err := deploy.CreateTable(); err != nil {
 		log.Fatalf("ingestd: %v", err)
 	}
+	// The compressed sealed tier: closed rows compact into Gorilla
+	// blocks whose rollups answer wide dashboard windows; blocks over
+	// the resident budget spill to the simulated HDFS tier under the
+	// configured retention TTLs.
+	compactor := tsdb.NewCompactor(deploy,
+		tsdb.BlockStoreConfig{HotBlockBytes: *spillBytes},
+		tsdb.CompactorConfig{
+			Interval:  *compactEvery,
+			SealAfter: *sealAfter,
+			Retention: tsdb.RetentionPolicy{RawTTL: *rawTTL, RollupTTL: *rollupTTL},
+		})
+	if *compactEvery > 0 {
+		compactor.Start()
+	}
+	defer compactor.Stop()
 	// One breaker group shared by the proxy's write path and the query
 	// tier's read path: both see a single health view per TSD.
 	breakers := resilience.NewGroup(resilience.BreakerConfig{})
@@ -100,6 +121,7 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	registerMetrics(reg, broker, storage, writers, px, deploy, engine, breakers)
+	registerBlockMetrics(reg, compactor)
 
 	gw := api.New(api.Config{
 		Publisher: &api.BusPublisher{Topic: topic},
@@ -200,4 +222,22 @@ func registerMetrics(reg *telemetry.Registry, broker *bus.Broker, storage *bus.G
 	reg.RegisterCounter("breaker_half_opens", &breakers.HalfOpens)
 	reg.RegisterCounter("breaker_closes", &breakers.Closes)
 	reg.RegisterFunc("breakers_open", func() int64 { return int64(breakers.OpenCount()) })
+}
+
+// registerBlockMetrics exposes the compressed storage tier's counters,
+// matching the names sentinel systems export.
+func registerBlockMetrics(reg *telemetry.Registry, c *tsdb.Compactor) {
+	bs := c.Store()
+	reg.RegisterCounter("blocks_sealed", &bs.BlocksSealed)
+	reg.RegisterCounter("samples_sealed", &bs.SamplesSealed)
+	reg.RegisterCounter("bytes_sealed", &bs.BytesSealed)
+	reg.RegisterCounter("blocks_spilled", &bs.BlocksSpilled)
+	reg.RegisterCounter("spill_reads", &bs.SpillReads)
+	reg.RegisterCounter("block_scans", &bs.BlockScans)
+	reg.RegisterCounter("rollup_serves", &bs.RollupServes)
+	reg.RegisterCounter("blocks_expired", &bs.BlocksExpired)
+	reg.RegisterCounter("rollups_expired", &bs.RollupsExpired)
+	reg.RegisterFunc("blocks_hot_bytes", bs.HotBytes)
+	reg.RegisterCounter("compactor_passes", &c.Passes)
+	reg.RegisterCounter("compactor_pass_errors", &c.PassErrors)
 }

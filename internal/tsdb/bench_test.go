@@ -85,3 +85,94 @@ func BenchmarkTSDQuery(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(pts)*b.N)/b.Elapsed().Seconds(), "samples-read/s")
 }
+
+// BenchmarkCompressedScan decodes one sealed hour through the
+// zero-allocation iterator — the drill-down hot path. Pinned at
+// 0 allocs/op in ALLOC_PINS.
+func BenchmarkCompressedScan(b *testing.B) {
+	samples := make([]Sample, rowBaseSeconds)
+	v := 500.0
+	r := rng(3)
+	for i := range samples {
+		v += r.norm()
+		samples[i] = Sample{Timestamp: int64(i), Value: QuantizeValue(v, 4)}
+	}
+	data := EncodeBlock(samples)
+	var it BlockIter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Reset(data)
+		n := 0
+		var sum float64
+		for it.Next() {
+			_, val := it.At()
+			sum += val
+			n++
+		}
+		if it.Err() != nil || n != len(samples) {
+			b.Fatalf("decoded %d samples, err %v", n, it.Err())
+		}
+	}
+	b.ReportMetric(float64(len(samples)*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkBlockCompress seals one sensor-shaped hour and reports the
+// compression ratio the storage tier achieves — the bytes/sample
+// figure the bench gate ratchets.
+func BenchmarkBlockCompress(b *testing.B) {
+	samples := make([]Sample, rowBaseSeconds)
+	v := 500.0
+	r := rng(5)
+	for i := range samples {
+		v += r.norm()
+		samples[i] = Sample{Timestamp: int64(i), Value: QuantizeValue(v, 4)}
+	}
+	var size int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		size = len(EncodeBlock(samples))
+	}
+	b.ReportMetric(float64(size)/float64(len(samples)), "bytes/sample")
+	b.ReportMetric(float64(len(samples)*b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkRollupQuery serves a wide downsampled dashboard window
+// entirely from sealed rollups — no block is decompressed.
+func BenchmarkRollupQuery(b *testing.B) {
+	d := benchDeployment(b, 3)
+	bs := d.AttachBlockStore(BlockStoreConfig{})
+	tsd := d.TSDs()[0]
+	const hours = 6
+	pts := make([]Point, 0, rowBaseSeconds)
+	for h := int64(0); h < hours; h++ {
+		pts = pts[:0]
+		for ts := h * rowBaseSeconds; ts < (h+1)*rowBaseSeconds; ts++ {
+			pts = append(pts, EnergyPoint(1, 1, ts, QuantizeValue(500+float64(ts%600)/10, 4)))
+		}
+		if err := tsd.Put(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := tsd.CompactRows(hours * rowBaseSeconds); err != nil {
+		b.Fatal(err)
+	}
+	q := Query{Metric: MetricEnergy, Tags: EnergyTags(1, 1),
+		Start: 0, End: hours*rowBaseSeconds - 1, DownsampleSeconds: 600, Aggregate: AggAvg}
+	scans := bs.BlockScans.Value()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := tsd.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 1 || len(series[0].Samples) != hours*6 {
+			b.Fatalf("rollup query = %+v", series)
+		}
+	}
+	b.StopTimer()
+	if bs.BlockScans.Value() != scans {
+		b.Fatal("rollup bench decompressed blocks")
+	}
+	b.ReportMetric(float64(hours*rowBaseSeconds*b.N)/b.Elapsed().Seconds(), "samples-covered/s")
+}

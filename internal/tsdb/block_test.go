@@ -1,0 +1,157 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+)
+
+// rng is a tiny splitmix64 so the property tests are seeded and
+// deterministic without importing math/rand.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float() float64 { // uniform [0,1)
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+func (r *rng) norm() float64 { // rough gaussian (sum of 4 uniforms)
+	return r.float() + r.float() + r.float() + r.float() - 2
+}
+
+func roundtrip(t *testing.T, samples []Sample) {
+	t.Helper()
+	data := EncodeBlock(samples)
+	got, err := DecodeBlock(nil, data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(samples))
+	}
+	for i := range samples {
+		if got[i].Timestamp != samples[i].Timestamp {
+			t.Fatalf("sample %d: ts = %d, want %d", i, got[i].Timestamp, samples[i].Timestamp)
+		}
+		// Bit-identical, so NaN payloads and -0 must survive.
+		if math.Float64bits(got[i].Value) != math.Float64bits(samples[i].Value) {
+			t.Fatalf("sample %d: value bits %x, want %x", i,
+				math.Float64bits(got[i].Value), math.Float64bits(samples[i].Value))
+		}
+	}
+}
+
+func TestBlockRoundtripRandomWalks(t *testing.T) {
+	r := rng(1)
+	for trial := 0; trial < 200; trial++ {
+		n := int(r.next()%500) + 1
+		ts := int64(r.next() % 1e9)
+		v := 100 * r.norm()
+		samples := make([]Sample, 0, n)
+		for i := 0; i < n; i++ {
+			samples = append(samples, Sample{Timestamp: ts, Value: v})
+			// Mostly 1 Hz, occasionally a gap or a big jump.
+			switch r.next() % 10 {
+			case 0:
+				ts += int64(r.next()%100000) + 1
+			case 1:
+				ts += int64(r.next()%90) + 1
+			default:
+				ts++
+			}
+			if r.next()%20 == 0 {
+				v = 1e6 * (r.float() - 0.5) // level jump
+			} else {
+				v += r.norm()
+			}
+		}
+		roundtrip(t, samples)
+	}
+}
+
+func TestBlockRoundtripQuantized(t *testing.T) {
+	// The sensor-shaped workload: 1 Hz, ADC-quantized values.
+	r := rng(7)
+	samples := make([]Sample, 3600)
+	v := 500.0
+	for i := range samples {
+		v += r.norm()
+		samples[i] = Sample{Timestamp: int64(i), Value: QuantizeValue(v, 4)}
+	}
+	roundtrip(t, samples)
+	if got := len(EncodeBlock(samples)); got > 2*len(samples) {
+		t.Fatalf("quantized 1 Hz block = %d bytes (%.2f bytes/sample), want <= 2.0",
+			got, float64(got)/float64(len(samples)))
+	}
+}
+
+func TestBlockSpecialValues(t *testing.T) {
+	roundtrip(t, []Sample{
+		{Timestamp: 0, Value: math.NaN()},
+		{Timestamp: 1, Value: math.Inf(1)},
+		{Timestamp: 2, Value: math.Inf(-1)},
+		{Timestamp: 3, Value: math.Copysign(0, -1)},
+		{Timestamp: 4, Value: 0},
+		{Timestamp: 5, Value: math.Float64frombits(0x7FF8DEADBEEF0001)}, // NaN payload
+		{Timestamp: 6, Value: math.MaxFloat64},
+		{Timestamp: 7, Value: math.SmallestNonzeroFloat64},
+	})
+}
+
+func TestBlockEmptyAndSingle(t *testing.T) {
+	roundtrip(t, nil)
+	roundtrip(t, []Sample{{Timestamp: -12345, Value: 42.5}})
+	roundtrip(t, []Sample{{Timestamp: math.MaxInt64 / 2, Value: -1e300}})
+}
+
+func TestBlockOutOfOrderAndDuplicates(t *testing.T) {
+	// The codec itself is order-agnostic: negative deltas and repeated
+	// timestamps round-trip losslessly (the seal path sorts before
+	// encoding, but the codec must not depend on it).
+	roundtrip(t, []Sample{
+		{Timestamp: 100, Value: 1},
+		{Timestamp: 50, Value: 2},
+		{Timestamp: 50, Value: 3},
+		{Timestamp: 200, Value: 4},
+		{Timestamp: 199, Value: 5},
+		{Timestamp: -7, Value: 6},
+	})
+}
+
+func TestBlockCorruptionDetected(t *testing.T) {
+	samples := make([]Sample, 100)
+	for i := range samples {
+		samples[i] = Sample{Timestamp: int64(i), Value: float64(i)}
+	}
+	data := EncodeBlock(samples)
+	// Truncation must surface ErrBadBlock, not loop or panic.
+	for _, cut := range []int{0, 1, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeBlock(nil, data[:cut]); err == nil {
+			// A short prefix can still be a valid smaller block only if
+			// the count header says so; with 100 samples it cannot.
+			t.Fatalf("truncated block at %d decoded without error", cut)
+		}
+	}
+	// An absurd count header fails fast.
+	if _, err := DecodeBlock(nil, []byte{0xFF, 0xFF, 0xFF, 0x7F}); err == nil {
+		t.Fatal("bogus count header decoded without error")
+	}
+}
+
+func TestQuantizeValue(t *testing.T) {
+	if got := QuantizeValue(1.04, 4); got != 1.0625 {
+		t.Fatalf("QuantizeValue(1.04, 4) = %v, want 1.0625", got)
+	}
+	if !math.IsNaN(QuantizeValue(math.NaN(), 4)) {
+		t.Fatal("NaN must pass through quantization")
+	}
+	if !math.IsInf(QuantizeValue(math.Inf(-1), 4), -1) {
+		t.Fatal("-Inf must pass through quantization")
+	}
+}

@@ -15,6 +15,33 @@
 //     aggregation across salt buckets;
 //   - optional OpenTSDB-style row compaction (merging a row's columns
 //     into one wide cell), which the paper disabled to cut RPC volume.
+//
+// # The sealed storage tier
+//
+// On top of the hot rows sits a compressed block tier (block.go,
+// blockstore.go, retention.go). A background Compactor seals rows
+// older than a configurable age into Gorilla-encoded blocks and
+// deletes the raw cells. The block format is:
+//
+//   - a uvarint sample count, then a bit-packed stream;
+//   - the first sample's timestamp as a varint and its value as raw
+//     IEEE-754 bits;
+//   - subsequent timestamps as delta-of-delta with prefix codes
+//     ('0' for dod=0, then 7/9/12/64-bit classes) — a fixed 1 Hz
+//     cadence costs one bit per sample;
+//   - subsequent values XORed against the previous value: '0' for an
+//     identical value, '10' reusing the previous leading/trailing-
+//     zero window, '11' with 6-bit leading-zero count + 6-bit
+//     significant-bit length. Encoding is bit-lossless (NaN payloads,
+//     -0 and ±Inf roundtrip exactly).
+//
+// BlockIter decodes a block with zero heap allocations
+// (BenchmarkCompressedScan, pinned at 0 allocs/op). Each sealed block
+// carries exact 1m/1h rollups (count/sum/min/max per bucket) that
+// stay in memory so wide dashboard windows never decompress raw data;
+// cold blocks spill to the hdfs tier past a byte budget and read back
+// lazily. RetentionPolicy ages raw blocks and rollups out on separate
+// TTLs, per metric, measured against the ingest frontier.
 package tsdb
 
 import (

@@ -61,6 +61,10 @@ type TSD struct {
 	// the rpc layer, so they also cover in-process direct writers like
 	// the detector tier's anomaly sink.
 	faults atomic.Pointer[faultinject.Injector]
+	// blocks, when set, is the deployment-shared sealed tier: closed
+	// rows compact into compressed blocks there, and queries merge its
+	// contribution with the hot HBase scan.
+	blocks atomic.Pointer[BlockStore]
 
 	// PointsWritten counts samples accepted.
 	PointsWritten telemetry.Counter
@@ -87,8 +91,9 @@ type Deployment struct {
 	marks   *Watermarks
 	faults  atomic.Pointer[faultinject.Injector]
 
-	mu   sync.Mutex
-	tsds []*TSD
+	mu     sync.Mutex
+	tsds   []*TSD
+	blocks *BlockStore
 }
 
 // NewDeployment creates the shared UID table and n TSD daemons
@@ -136,6 +141,9 @@ func (d *Deployment) AddTSD() (*TSD, error) {
 		marks:  d.marks,
 	}
 	t.faults.Store(d.faults.Load())
+	d.mu.Lock()
+	t.blocks.Store(d.blocks)
+	d.mu.Unlock()
 	_, err := d.Cluster.Network().Register(tsdAddr(name), t.handle, rpc.ServerConfig{
 		QueueCap: d.cfg.QueueCap,
 		Workers:  d.cfg.Workers,
@@ -316,14 +324,20 @@ func (t *TSD) PutContext(ctx context.Context, points []Point) error {
 	}
 	t.PointsWritten.Add(int64(len(points)))
 	// Advance the write watermark once per distinct metric in the batch
-	// (batches are near-always homogeneous, so this is one bump).
+	// (batches are near-always homogeneous, so this is one bump), and
+	// track the ingest frontier the sealing/retention clock runs on.
 	last := ""
+	maxTS := int64(0)
 	for i := range points {
 		if points[i].Metric != last {
 			t.marks.Bump(points[i].Metric)
 			last = points[i].Metric
 		}
+		if points[i].Timestamp > maxTS {
+			maxTS = points[i].Timestamp
+		}
 	}
+	t.blocks.Load().Observe(maxTS)
 	return nil
 }
 
@@ -354,6 +368,18 @@ func (t *TSD) QueryContext(ctx context.Context, q Query) ([]Series, error) {
 		}
 	}
 	grouped := make(map[string]*Series)
+	// The sealed tier contributes first: wide downsampled windows come
+	// back as exact pre-aggregated buckets (pre, per series id) without
+	// a block ever being decompressed; drill-downs decode raw samples
+	// straight into grouped alongside the hot HBase scan below.
+	bs := t.blocks.Load()
+	var pre map[string][]Sample
+	if bs != nil && q.DownsampleSeconds > 0 && RollupWidth(q.DownsampleSeconds) > 0 {
+		pre = make(map[string][]Sample)
+	}
+	if err := bs.collect(ctx, q, grouped, pre); err != nil {
+		return nil, err
+	}
 	for _, rng := range t.codec.rowRanges(mu, q.Start, q.End) {
 		cells, err := t.client.ScanContext(ctx, rng[0], rng[1], 0)
 		if err != nil {
@@ -383,11 +409,17 @@ func (t *TSD) QueryContext(ctx context.Context, q Query) ([]Series, error) {
 	}
 	out := make([]Series, 0, len(grouped))
 	var returned int64
-	for _, ser := range grouped {
+	for id, ser := range grouped {
 		sort.Slice(ser.Samples, func(i, j int) bool { return ser.Samples[i].Timestamp < ser.Samples[j].Timestamp })
 		ser.Samples = dedupeSamples(ser.Samples)
 		if q.DownsampleSeconds > 0 {
 			ser.Samples = downsample(ser.Samples, q.DownsampleSeconds, q.Aggregate)
+		}
+		if buckets := pre[id]; len(buckets) > 0 {
+			ser.Samples = mergePreAggregated(ser.Samples, buckets)
+		}
+		if len(ser.Samples) == 0 {
+			continue
 		}
 		returned += int64(len(ser.Samples))
 		out = append(out, *ser)
@@ -395,6 +427,37 @@ func (t *TSD) QueryContext(ctx context.Context, q Query) ([]Series, error) {
 	t.SamplesReturned.Add(returned)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
 	return out, nil
+}
+
+// mergePreAggregated merges a series' hot downsampled buckets with the
+// sealed tier's pre-aggregated ones (both sorted by timestamp). Seal
+// boundaries are row-aligned and rollup-eligible widths divide the row
+// span, so a bucket lives wholly on one side; on the rare duplicate
+// (a late write racing a re-seal) the sealed value wins until the next
+// compaction pass absorbs the stragglers.
+func mergePreAggregated(hot, sealed []Sample) []Sample {
+	if len(hot) == 0 {
+		return sealed
+	}
+	out := make([]Sample, 0, len(hot)+len(sealed))
+	i, j := 0, 0
+	for i < len(hot) && j < len(sealed) {
+		switch {
+		case hot[i].Timestamp < sealed[j].Timestamp:
+			out = append(out, hot[i])
+			i++
+		case hot[i].Timestamp > sealed[j].Timestamp:
+			out = append(out, sealed[j])
+			j++
+		default:
+			out = append(out, sealed[j])
+			i++
+			j++
+		}
+	}
+	out = append(out, hot[i:]...)
+	out = append(out, sealed[j:]...)
+	return out
 }
 
 // dedupeSamples drops duplicate timestamps (a row-compacted cell can
@@ -460,18 +523,24 @@ func downsample(in []Sample, width int64, agg AggFunc) []Sample {
 	return out
 }
 
-// CompactRows performs OpenTSDB row compaction for every data row with
-// base time strictly older than beforeBase: each row's second-columns
-// are rewritten as one wide cell and the originals are deleted. It
-// returns the number of rows compacted. This is the operation the
-// paper disabled — each compacted row costs a scan, a put and a delete
-// RPC round.
+// CompactRows performs row compaction for every data row with base
+// time strictly older than beforeBase. With a block store attached
+// (AttachBlockStore) each closed row seals into the compressed tier —
+// its samples are Gorilla-encoded into the deployment-shared
+// BlockStore, its rollups refresh, and the raw HBase cells are
+// deleted. Without one it falls back to OpenTSDB-style wide-cell
+// rewrites (the operation the paper disabled — each compacted row
+// costs a scan, a put and a delete RPC round). It returns the number
+// of rows compacted or sealed.
 func (t *TSD) CompactRows(beforeBase int64) (int, error) {
 	return t.CompactRowsContext(context.Background(), beforeBase)
 }
 
 // CompactRowsContext is CompactRows under the caller's deadline.
 func (t *TSD) CompactRowsContext(ctx context.Context, beforeBase int64) (int, error) {
+	if bs := t.blocks.Load(); bs != nil {
+		return t.sealRows(ctx, bs, beforeBase)
+	}
 	if !t.cfg.CompactionEnabled {
 		return 0, nil
 	}
@@ -515,6 +584,58 @@ func (t *TSD) CompactRowsContext(ctx context.Context, beforeBase int64) (int, er
 		compacted++
 	}
 	return compacted, nil
+}
+
+// sealRows moves every data row with base time strictly older than
+// beforeBase into the compressed sealed tier: decode the row's cells
+// (one row is one series and hour), Seal the samples into the block
+// store, then delete the raw cells. A row is only deleted after its
+// block is durably in the store, so a crash between the two steps
+// leaves duplicate data (deduped at read time), never a hole.
+func (t *TSD) sealRows(ctx context.Context, bs *BlockStore, beforeBase int64) (int, error) {
+	cells, err := t.client.ScanContext(ctx, nil, []byte{metaPrefix}, 0)
+	if err != nil {
+		return 0, err
+	}
+	byRow := make(map[string][]hbase.Cell)
+	for _, c := range cells {
+		byRow[string(c.Row)] = append(byRow[string(c.Row)], c)
+	}
+	sealed := 0
+	for _, rowCells := range byRow {
+		if err := ctx.Err(); err != nil {
+			return sealed, err
+		}
+		base, ok := t.codec.rowBase(rowCells[0].Row)
+		if !ok || base >= beforeBase {
+			continue
+		}
+		var metric string
+		var tags map[string]string
+		samples := make([]Sample, 0, len(rowCells))
+		for _, c := range rowCells {
+			decodedCells, err := t.codec.Decode(c)
+			if err != nil {
+				return sealed, err
+			}
+			for _, s := range decodedCells {
+				metric, tags = s.metric, s.tags
+				samples = append(samples, Sample{Timestamp: s.ts, Value: s.value})
+			}
+		}
+		if len(samples) == 0 {
+			continue
+		}
+		if err := bs.Seal(metric, tags, samples); err != nil {
+			return sealed, err
+		}
+		if err := t.client.DeleteContext(ctx, rowCells); err != nil {
+			return sealed, err
+		}
+		t.RowsCompacted.Inc()
+		sealed++
+	}
+	return sealed, nil
 }
 
 // rowBase extracts the base time from a data row key.

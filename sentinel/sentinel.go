@@ -147,6 +147,27 @@ type Config struct {
 	// before Publish blocks (default 1024; negative disables).
 	BusBuffer int
 
+	// SealAfter is how many fleet-seconds behind the ingest frontier a
+	// storage row must fall before a compaction pass seals it into the
+	// compressed block tier (default one row span, 3600 — a row seals
+	// as soon as its hour has closed).
+	SealAfter int64
+	// CompactEvery starts the background compactor — each pass seals
+	// closed rows, spills resident blocks over budget to HDFS, and
+	// enforces retention — at this cadence. Zero leaves maintenance
+	// manual: call System.CompactNow.
+	CompactEvery time.Duration
+	// RawTTL drops sealed raw blocks older than this many fleet-seconds
+	// behind the ingest frontier (rollups survive, so wide dashboards
+	// still render); RollupTTL is the final expiry of rollups too. Zero
+	// keeps data forever.
+	RawTTL    int64
+	RollupTTL int64
+	// HotBlockBytes bounds resident compressed payload before sealed
+	// blocks spill to the HDFS tier (default 64 MiB; negative spills
+	// every sealed block).
+	HotBlockBytes int64
+
 	// PrimaryDetector is the registered family the detector pool
 	// evaluates and emits flags from (default "mgd", the trained
 	// MGD+FDR evaluator — the behavior predating the detector tier).
@@ -223,6 +244,14 @@ type System struct {
 	Engine  *dataflow.Engine
 	Catalog *core.ModelCatalog
 	Trainer *core.Trainer
+
+	// Blocks is the deployment-shared compressed sealed tier; closed
+	// storage rows compact into it and spill to HDFS under retention
+	// (see internal/tsdb). Compactor drives its maintenance passes —
+	// running in the background when Config.CompactEvery > 0, and
+	// manually through CompactNow always.
+	Blocks    *tsdb.BlockStore
+	Compactor *tsdb.Compactor
 
 	// Breakers holds the per-TSD circuit breakers shared by the
 	// ingestion proxy and the gateway's query tier: one health view
@@ -310,6 +339,22 @@ func New(cfg Config) (*System, error) {
 		Trainer:  trainer,
 		Breakers: breakers,
 	}
+	// The compressed sealed tier: closed rows compact into Gorilla
+	// blocks with hot rollups, spilling to the HDFS tier under the
+	// configured retention. The compactor loop only runs when a cadence
+	// is configured; the tier itself is always attached so manual
+	// CompactNow passes (and operator tooling) work out of the box.
+	sys.Compactor = tsdb.NewCompactor(deployment,
+		tsdb.BlockStoreConfig{HotBlockBytes: cfg.HotBlockBytes},
+		tsdb.CompactorConfig{
+			Interval:  cfg.CompactEvery,
+			SealAfter: cfg.SealAfter,
+			Retention: tsdb.RetentionPolicy{RawTTL: cfg.RawTTL, RollupTTL: cfg.RollupTTL},
+		})
+	sys.Blocks = sys.Compactor.Store()
+	if cfg.CompactEvery > 0 {
+		sys.Compactor.Start()
+	}
 	sys.source = &tsdb.Source{TSD: deployment.TSDs()[0], Sensors: cfg.SensorsPerUnit}
 	sys.pipeline = core.NewPipeline(
 		catalog,
@@ -356,9 +401,11 @@ func (s *System) SetFaults(f *faultinject.Injector) {
 	s.Proxy.SetFaults(f)
 }
 
-// Close releases every component: detector pools first, then the
-// storage writers and the bus, then the storage tier under them.
+// Close releases every component: the compactor and detector pools
+// first (both touch storage), then the storage writers and the bus,
+// then the storage tier under them.
 func (s *System) Close() {
+	s.Compactor.Stop()
 	s.mu.Lock()
 	pools := s.pools
 	s.pools = nil
@@ -404,6 +451,16 @@ func (s *System) IngestRange(from int64, steps int) (ingest.Stats, error) {
 	}
 	s.Proxy.Flush()
 	return stats, nil
+}
+
+// CompactNow runs one storage-tier maintenance pass synchronously:
+// rows whose hour has closed (per Config.SealAfter) seal into
+// compressed blocks, blocks over the resident budget spill to HDFS,
+// and retention TTLs are enforced. Safe alongside the background
+// compactor; useful in tests and batch tooling that want the tier
+// advanced deterministically.
+func (s *System) CompactNow(ctx context.Context) error {
+	return s.Compactor.RunOnce(ctx)
 }
 
 // Units returns all unit ids.
@@ -641,6 +698,18 @@ func (s *System) RegisterMetrics(reg *telemetry.Registry) {
 	reg.RegisterCounter("breaker_half_opens", &s.Breakers.HalfOpens)
 	reg.RegisterCounter("breaker_closes", &s.Breakers.Closes)
 	reg.RegisterFunc("breakers_open", func() int64 { return int64(s.Breakers.OpenCount()) })
+	reg.RegisterCounter("blocks_sealed", &s.Blocks.BlocksSealed)
+	reg.RegisterCounter("samples_sealed", &s.Blocks.SamplesSealed)
+	reg.RegisterCounter("bytes_sealed", &s.Blocks.BytesSealed)
+	reg.RegisterCounter("blocks_spilled", &s.Blocks.BlocksSpilled)
+	reg.RegisterCounter("spill_reads", &s.Blocks.SpillReads)
+	reg.RegisterCounter("block_scans", &s.Blocks.BlockScans)
+	reg.RegisterCounter("rollup_serves", &s.Blocks.RollupServes)
+	reg.RegisterCounter("blocks_expired", &s.Blocks.BlocksExpired)
+	reg.RegisterCounter("rollups_expired", &s.Blocks.RollupsExpired)
+	reg.RegisterFunc("blocks_hot_bytes", s.Blocks.HotBytes)
+	reg.RegisterCounter("compactor_passes", &s.Compactor.Passes)
+	reg.RegisterCounter("compactor_pass_errors", &s.Compactor.PassErrors)
 	reg.RegisterCounter("writer_parks", &s.Writers.Parks)
 	reg.RegisterGauge("writer_parked", &s.Writers.Parked)
 	reg.RegisterFunc("detector_parks", func() int64 { return s.detectorStat(func(p *DetectorPool) int64 { return p.Parks.Value() }) })

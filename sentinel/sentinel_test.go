@@ -1,6 +1,7 @@
 package sentinel
 
 import (
+	"context"
 	"io"
 	"log"
 	"net/http/httptest"
@@ -8,7 +9,10 @@ import (
 	"testing"
 
 	"repro/internal/fdr"
+	"repro/internal/query"
 	"repro/internal/simdata"
+	"repro/internal/telemetry"
+	"repro/internal/tsdb"
 )
 
 // newSmallSystem boots a laptop-scale deployment with aggressive
@@ -173,5 +177,64 @@ func TestUnitsAccessor(t *testing.T) {
 	}
 	if sys.Config().Units != 4 {
 		t.Fatal("Config accessor wrong")
+	}
+}
+
+func TestStorageTierThroughSystem(t *testing.T) {
+	// End-to-end over the public surface: ingest two hours through the
+	// bus and proxy, seal the closed hour with a manual maintenance
+	// pass, and check queries and metrics see the compressed tier.
+	sys, err := New(Config{
+		StorageNodes:   2,
+		Units:          2,
+		SensorsPerUnit: 3,
+		Seed:           7,
+		HotBlockBytes:  -1, // spill every sealed block
+		RawTTL:         0,  // keep everything
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+
+	// Two sparse "hours": a burst at the start of each, so the ingest
+	// stays fast but the row bases span a seal boundary.
+	if _, err := sys.IngestRange(0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.IngestRange(3600, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CompactNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Blocks.BlocksSealed.Value() == 0 {
+		t.Fatal("maintenance pass sealed nothing")
+	}
+	if sys.Blocks.BlocksSpilled.Value() == 0 {
+		t.Fatal("negative budget must spill sealed blocks")
+	}
+
+	// The gateway's query engine reads sealed + hot tiers seamlessly.
+	engine := sys.QueryEngine(query.Config{MaxEntries: -1})
+	series, err := engine.QueryContext(context.Background(), tsdb.Query{
+		Metric: tsdb.MetricEnergy, Tags: tsdb.EnergyTags(1, 1), Start: 0, End: 3700,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Samples) != 60 {
+		t.Fatalf("query over sealed+hot = %d series / %d samples, want 1 / 60",
+			len(series), len(series[0].Samples))
+	}
+
+	// The new counters are on the metrics surface.
+	reg := telemetry.NewRegistry()
+	sys.RegisterMetrics(reg)
+	dump := reg.Dump()
+	for _, name := range []string{"blocks_sealed", "blocks_spilled", "spill_reads", "rollup_serves", "compactor_passes"} {
+		if !strings.Contains(dump, name) {
+			t.Fatalf("metric %q missing from /metrics:\n%s", name, dump)
+		}
 	}
 }
