@@ -10,7 +10,8 @@
 //
 // Pin file format: one `benchmark-prefix metric tolerance` triple per
 // line, '#' comments and blank lines ignored. The longest matching
-// prefix wins per metric. The metric is `ns_per_op`, `bytes_per_op`,
+// prefix wins per metric; a shorter pin whose every match is shadowed
+// by longer pins still counts as matched, not dangling. The metric is `ns_per_op`, `bytes_per_op`,
 // `allocs_per_op`, or any custom unit the benchmark reports
 // (`samples/s`, `bytes/sample`, ...). Tolerance is a factor >= 1:
 // lower-is-better metrics (ns/op, B/op, allocs/op, bytes/sample) fail
@@ -26,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -100,8 +102,27 @@ func main() {
 		}
 	}
 
-	violations, checked := 0, 0
-	sc := bufio.NewScanner(os.Stdin)
+	checked, violations, err := gate(pins, base, os.Stdin, os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no pinned benchmarks on stdin")
+		os.Exit(1)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d metric(s) within tolerance\n", checked)
+}
+
+// gate compares the bench run on in against base under pins, reporting
+// passes to out and failures to errOut. It returns the number of
+// (benchmark, metric) pairs checked and the number of violations.
+func gate(pins []*pin, base map[string]entry, in io.Reader, out, errOut io.Writer) (checked, violations int, err error) {
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		r, ok := benchparse.Parse(sc.Text())
@@ -117,13 +138,17 @@ func main() {
 				continue
 			}
 			if better := match(pins, r.Name, p.metric); better != p {
-				continue // a longer prefix guards this metric
+				// A longer prefix guards this benchmark's metric, but the
+				// pin did match it — count the hit so a pin whose every
+				// match is shadowed isn't failed as dangling below.
+				p.hits++
+				continue
 			}
 			cur, curOK := metricValue(benchEntry(r), p.metric)
 			ref, refOK := metricValue(b, p.metric)
 			if !curOK || !refOK {
 				violations++
-				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: metric %q missing (fresh %v, baseline %v)\n",
+				fmt.Fprintf(errOut, "benchgate: FAIL %s: metric %q missing (fresh %v, baseline %v)\n",
 					r.Name, p.metric, curOK, refOK)
 				continue
 			}
@@ -131,34 +156,25 @@ func main() {
 			checked++
 			if bad, limit := regressed(cur, ref, p.metric, p.tolerance); bad {
 				violations++
-				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s %s: %s vs baseline %s (limit %s, tolerance %gx)\n",
+				fmt.Fprintf(errOut, "benchgate: FAIL %s %s: %s vs baseline %s (limit %s, tolerance %gx)\n",
 					r.Name, p.metric, fmtNum(cur), fmtNum(ref), fmtNum(limit), p.tolerance)
 			} else {
-				fmt.Printf("benchgate: ok   %s %s: %s vs baseline %s (limit %s)\n",
+				fmt.Fprintf(out, "benchgate: ok   %s %s: %s vs baseline %s (limit %s)\n",
 					r.Name, p.metric, fmtNum(cur), fmtNum(ref), fmtNum(limit))
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate: read stdin:", err)
-		os.Exit(1)
+		return checked, violations, fmt.Errorf("read input: %w", err)
 	}
 	for _, p := range pins {
 		if p.hits == 0 {
 			violations++
-			fmt.Fprintf(os.Stderr, "benchgate: FAIL pin %q %s matched no benchmark (renamed? not run?)\n",
+			fmt.Fprintf(errOut, "benchgate: FAIL pin %q %s matched no benchmark (renamed? not run?)\n",
 				p.prefix, p.metric)
 		}
 	}
-	if checked == 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: no pinned benchmarks on stdin")
-		os.Exit(1)
-	}
-	if violations > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d violation(s)\n", violations)
-		os.Exit(1)
-	}
-	fmt.Printf("benchgate: %d metric(s) within tolerance\n", checked)
+	return checked, violations, nil
 }
 
 // regressed reports whether cur regressed past tolerance relative to

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func testPins(t *testing.T, lines ...string) []*pin {
+	t.Helper()
+	path := t.TempDir() + "/BENCH_PINS"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pins, err := loadPins(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pins
+}
+
+func runGate(t *testing.T, pins []*pin, base map[string]entry, input string) (checked, violations int) {
+	t.Helper()
+	checked, violations, err := gate(pins, base, strings.NewReader(input), io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checked, violations
+}
+
+func TestGateWithinTolerance(t *testing.T) {
+	pins := testPins(t, "BenchmarkFoo ns_per_op 2")
+	base := map[string]entry{"BenchmarkFoo": {NsPerOp: 100}}
+	checked, violations := runGate(t, pins, base, "BenchmarkFoo-8  1000  150 ns/op\n")
+	if checked != 1 || violations != 0 {
+		t.Fatalf("checked %d / violations %d, want 1 / 0", checked, violations)
+	}
+}
+
+func TestGateCatchesRegression(t *testing.T) {
+	pins := testPins(t, "BenchmarkFoo ns_per_op 2")
+	base := map[string]entry{"BenchmarkFoo": {NsPerOp: 100}}
+	if _, violations := runGate(t, pins, base, "BenchmarkFoo-8  1000  250 ns/op\n"); violations != 1 {
+		t.Fatalf("violations = %d, want 1", violations)
+	}
+	// Rates regress downward.
+	pins = testPins(t, "BenchmarkBar samples/s 2")
+	base = map[string]entry{"BenchmarkBar": {Metrics: map[string]float64{"samples/s": 1000}}}
+	if _, violations := runGate(t, pins, base, "BenchmarkBar-8  1000  10 ns/op  400 samples/s\n"); violations != 1 {
+		t.Fatalf("rate violations = %d, want 1", violations)
+	}
+}
+
+func TestGateDanglingPinFails(t *testing.T) {
+	pins := testPins(t, "BenchmarkFoo ns_per_op 2", "BenchmarkGone ns_per_op 2")
+	base := map[string]entry{"BenchmarkFoo": {NsPerOp: 100}}
+	if _, violations := runGate(t, pins, base, "BenchmarkFoo-8  1000  100 ns/op\n"); violations != 1 {
+		t.Fatalf("violations = %d, want 1 (renamed pin must fail)", violations)
+	}
+}
+
+func TestGateShadowedPinIsNotDangling(t *testing.T) {
+	// Every benchmark matching the short pin is guarded by the longer
+	// one; the short pin must still count as matched, not fail the run.
+	pins := testPins(t,
+		"BenchmarkFoo ns_per_op 2",
+		"BenchmarkFooBar ns_per_op 3",
+	)
+	base := map[string]entry{"BenchmarkFooBar": {NsPerOp: 100}}
+	checked, violations := runGate(t, pins, base, "BenchmarkFooBar-8  1000  120 ns/op\n")
+	if violations != 0 {
+		t.Fatalf("violations = %d, want 0 (shadowed pin flagged as dangling)", violations)
+	}
+	// Only the longer pin actually checks the metric.
+	if checked != 1 {
+		t.Fatalf("checked = %d, want 1", checked)
+	}
+	// And the longer pin's tolerance is the one applied: 250 ns/op is
+	// within 3x of 100 but past the shorter pin's 2x.
+	if _, violations := runGate(t, pins, base, "BenchmarkFooBar-8  1000  250 ns/op\n"); violations != 0 {
+		t.Fatalf("violations = %d, want 0 (longest prefix's tolerance governs)", violations)
+	}
+}

@@ -119,6 +119,11 @@ type BlockStore struct {
 	hotBytes int64
 	frontier atomic.Int64 // max timestamp observed by any put
 
+	// testAfterSpillWrite, when set by tests, runs after a spill file
+	// is written and before the block records it — the window where a
+	// concurrent drop would orphan the file.
+	testAfterSpillWrite func()
+
 	// BlocksSealed / SamplesSealed / BytesSealed count the seal path;
 	// BytesSealed is compressed payload, the bytes/sample numerator.
 	BlocksSealed  telemetry.Counter
@@ -233,14 +238,26 @@ func (s *BlockStore) Seal(metric string, tags map[string]string, samples []Sampl
 		s.order = append(s.order, key)
 	}
 
-	// Absorb overlapping sealed blocks (late writes to a re-sealed
-	// range): decode them, union with the new samples, seal once.
-	lo := sort.Search(len(sb.blocks), func(i int) bool { return sb.blocks[i].end >= start })
-	hi := lo
-	for hi < len(sb.blocks) && sb.blocks[hi].start <= end {
-		hi++
-	}
-	if lo < hi {
+	// Absorb sealed blocks sharing a coarse-rollup bucket with the new
+	// samples — not just range-overlapping ones. rebuildRollups below
+	// replaces every touched bucket with aggregates of these samples
+	// alone, so a block left out of the union (a second seal filling a
+	// gap elsewhere in the same hour, say) would have its counts
+	// silently dropped from the shared buckets. Merging can widen the
+	// span into further buckets, so repeat until no block intersects
+	// the bucket-aligned window.
+	var lo int
+	for {
+		absorbLo := BucketStart(start, RollupCoarse)
+		absorbHi := BucketStart(end, RollupCoarse) + RollupCoarse - 1
+		lo = sort.Search(len(sb.blocks), func(i int) bool { return sb.blocks[i].end >= absorbLo })
+		hi := lo
+		for hi < len(sb.blocks) && sb.blocks[hi].start <= absorbHi {
+			hi++
+		}
+		if lo == hi {
+			break
+		}
 		merged := append([]Sample(nil), samples...)
 		for _, blk := range sb.blocks[lo:hi] {
 			data, err := s.payloadLocked(blk)
@@ -253,7 +270,10 @@ func (s *BlockStore) Seal(metric string, tags map[string]string, samples []Sampl
 			s.dropBlockLocked(blk)
 		}
 		sb.blocks = append(sb.blocks[:lo], sb.blocks[hi:]...)
-		sort.Slice(merged, func(i, j int) bool { return merged[i].Timestamp < merged[j].Timestamp })
+		// The new samples sit ahead of the decoded old ones, so the
+		// stable sort plus keep-first dedupe lets a late rewrite of an
+		// existing timestamp deterministically win.
+		sort.SliceStable(merged, func(i, j int) bool { return merged[i].Timestamp < merged[j].Timestamp })
 		samples = dedupeSamples(merged)
 		start, end = samples[0].Timestamp, samples[len(samples)-1].Timestamp
 	}
@@ -348,6 +368,22 @@ func RollupWidth(w int64) int64 {
 	return 0
 }
 
+// rollupWidthFor returns the rollup resolution serving q exactly, or 0
+// when q must decode raw blocks: the downsample width must be
+// rollup-eligible (RollupWidth) and the window edges must sit on the
+// rollup grid — a partial edge bucket would admit samples outside
+// [q.Start, q.End] that the raw and hot paths exclude.
+func rollupWidthFor(q Query) int64 {
+	if q.DownsampleSeconds <= 0 {
+		return 0
+	}
+	rw := RollupWidth(q.DownsampleSeconds)
+	if rw == 0 || BucketStart(q.Start, rw) != q.Start || BucketStart(q.End+1, rw) != q.End+1 {
+		return 0
+	}
+	return rw
+}
+
 // collect appends the sealed tier's contribution for q over
 // [q.Start, q.End] into grouped/pre. Raw-path series samples go into
 // the grouped map (merged with the hot HBase scan); rollup-path series
@@ -357,8 +393,8 @@ func (s *BlockStore) collect(ctx context.Context, q Query, grouped map[string]*S
 		return nil
 	}
 	rw := int64(0)
-	if q.DownsampleSeconds > 0 && pre != nil {
-		rw = RollupWidth(q.DownsampleSeconds)
+	if pre != nil {
+		rw = rollupWidthFor(q)
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -499,15 +535,29 @@ func (s *BlockStore) SpillPass() (int, error) {
 		if err := s.dfs.WriteFile(path, data); err != nil {
 			return spilled, err
 		}
+		if s.testAfterSpillWrite != nil {
+			s.testAfterSpillWrite()
+		}
 		s.mu.Lock()
+		orphan := false
 		if c.blk.data != nil {
 			c.blk.path = path
 			c.blk.data = nil
 			s.hotBytes -= int64(len(data))
 			s.BlocksSpilled.Inc()
 			spilled++
+		} else {
+			// The block lost its payload while the write was in flight
+			// (a retention drop or merge re-seal): nothing records the
+			// file just written, so delete it rather than leak it. The
+			// path != blk.path guard keeps a concurrent pass that spilled
+			// the same block to the same deterministic path intact.
+			orphan = c.blk.path != path
 		}
 		s.mu.Unlock()
+		if orphan {
+			_ = s.dfs.DeleteFile(path)
+		}
 	}
 	return spilled, nil
 }

@@ -228,6 +228,10 @@ func TestMergeResealNoDoubleCount(t *testing.T) {
 	if len(series[0].Samples) != rowBaseSeconds {
 		t.Fatalf("after re-seal: %d samples, want %d", len(series[0].Samples), rowBaseSeconds)
 	}
+	// The late rewrite deterministically wins over the sealed original.
+	if got := series[0].Samples[1800]; got.Timestamp != 1800 || got.Value != 999 {
+		t.Fatalf("sample at t=1800 = %+v, want the late write's 999", got)
+	}
 	counts, err := tsd.Query(Query{Metric: MetricEnergy, Tags: EnergyTags(1, 1),
 		Start: 0, End: rowBaseSeconds - 1, DownsampleSeconds: 600, Aggregate: AggCount})
 	if err != nil {
@@ -237,6 +241,158 @@ func TestMergeResealNoDoubleCount(t *testing.T) {
 		if s.Value != 600 {
 			t.Fatalf("bucket %d count = %v, want 600 (double count?)", s.Timestamp, s.Value)
 		}
+	}
+}
+
+func TestSealGapFillSameHourRollups(t *testing.T) {
+	// Two seal passes whose sample ranges do NOT overlap but share the
+	// 1h rollup bucket: the second pass must absorb the first block, or
+	// the rebuilt bucket drops the earlier samples' counts.
+	d, bs := sealedDeployment(t, BlockStoreConfig{})
+	tsd := d.TSDs()[0]
+	var pts []Point
+	for ts := int64(0); ts < 1800; ts++ {
+		pts = append(pts, EnergyPoint(1, 1, ts, float64(ts)))
+	}
+	if err := tsd.Put(pts); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tsd.CompactRows(rowBaseSeconds); err != nil || n != 1 {
+		t.Fatalf("first seal: %d rows (%v)", n, err)
+	}
+	// The gap at the end of the hour fills late and seals in a second
+	// pass; [1800, 3599] never touches the first block's [0, 1799].
+	pts = pts[:0]
+	for ts := int64(1800); ts < rowBaseSeconds; ts++ {
+		pts = append(pts, EnergyPoint(1, 1, ts, float64(ts)))
+	}
+	if err := tsd.Put(pts); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tsd.CompactRows(rowBaseSeconds); err != nil || n != 1 {
+		t.Fatalf("second seal: %d rows (%v)", n, err)
+	}
+	if got := len(bs.series[seriesID(MetricEnergy, EnergyTags(1, 1))].blocks); got != 1 {
+		t.Fatalf("gap fill left %d blocks, want 1 merged", got)
+	}
+
+	// The shared 1h bucket must count both passes' samples — and still
+	// be served from rollups, not a block decode.
+	for _, w := range []int64{RollupCoarse, 600} {
+		before := bs.BlockScans.Value()
+		counts, err := tsd.Query(Query{Metric: MetricEnergy, Tags: EnergyTags(1, 1),
+			Start: 0, End: rowBaseSeconds - 1, DownsampleSeconds: w, Aggregate: AggCount})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bs.BlockScans.Value() != before {
+			t.Fatalf("width %d: gap-filled hour not served from rollups", w)
+		}
+		if want := rowBaseSeconds / int(w); len(counts[0].Samples) != want {
+			t.Fatalf("width %d: %d buckets, want %d", w, len(counts[0].Samples), want)
+		}
+		for _, s := range counts[0].Samples {
+			if s.Value != float64(w) {
+				t.Fatalf("width %d bucket %d count = %v, want %v (earlier block dropped?)",
+					w, s.Timestamp, s.Value, float64(w))
+			}
+		}
+	}
+	// And the sums reflect every sample exactly once: sum(0..3599).
+	sums, err := tsd.Query(Query{Metric: MetricEnergy, Tags: EnergyTags(1, 1),
+		Start: 0, End: rowBaseSeconds - 1, DownsampleSeconds: RollupCoarse, Aggregate: AggSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(rowBaseSeconds) * float64(rowBaseSeconds-1) / 2; sums[0].Samples[0].Value != want {
+		t.Fatalf("hour sum = %v, want %v", sums[0].Samples[0].Value, want)
+	}
+}
+
+func TestUnalignedDownsampleFallsBackToRaw(t *testing.T) {
+	// A rollup-eligible width with window edges off the rollup grid
+	// must decode raw blocks: whole edge buckets would otherwise admit
+	// samples outside [Start, End] that the hot path excludes.
+	d, bs := sealedDeployment(t, BlockStoreConfig{})
+	tsd := d.TSDs()[0]
+	pts := putHours(t, d, 1, 1, 1)
+	if _, err := tsd.CompactRows(rowBaseSeconds); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Metric: MetricEnergy, Tags: EnergyTags(1, 1),
+		Start: 30, End: 1229, DownsampleSeconds: 600, Aggregate: AggCount}
+	before := bs.BlockScans.Value()
+	series, err := tsd.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.BlockScans.Value() == before {
+		t.Fatal("unaligned window must fall back to decoding raw blocks")
+	}
+	var raw []Sample
+	for _, p := range pts {
+		if p.Timestamp >= q.Start && p.Timestamp <= q.End {
+			raw = append(raw, Sample{Timestamp: p.Timestamp, Value: p.Value})
+		}
+	}
+	want := downsample(raw, q.DownsampleSeconds, q.Aggregate)
+	got := series[0].Samples
+	if len(got) != len(want) {
+		t.Fatalf("%d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v (edge bucket counted out-of-window samples?)",
+				i, got[i], want[i])
+		}
+	}
+}
+
+func TestRollupWidthForAlignment(t *testing.T) {
+	cases := []struct {
+		start, end, w, want int64
+	}{
+		{0, 3599, 600, RollupFine},
+		{60, 3659, 600, RollupFine}, // edges on the 1m grid
+		{0, 7199, 7200, RollupCoarse},
+		{30, 3599, 600, 0},     // start off the grid
+		{0, 3600, 600, 0},      // end+1 off the grid
+		{1800, 5399, 7200, 0},  // edges off the 1h grid
+		{0, 3599, 7, 0},        // width never rollup-eligible
+		{30, 1229, 0, 0},       // no downsample at all
+	}
+	for _, c := range cases {
+		q := Query{Start: c.start, End: c.end, DownsampleSeconds: c.w}
+		if got := rollupWidthFor(q); got != c.want {
+			t.Fatalf("rollupWidthFor([%d,%d] w=%d) = %d, want %d", c.start, c.end, c.w, got, c.want)
+		}
+	}
+}
+
+func TestSpillOrphanCleanup(t *testing.T) {
+	// A block dropped (here: by retention) while its spill write is in
+	// flight must not leak the just-written file in the HDFS tier.
+	d, bs := sealedDeployment(t, BlockStoreConfig{HotBlockBytes: -1})
+	tsd := d.TSDs()[0]
+	putHours(t, d, 1, 1, 1)
+	if _, err := tsd.CompactRows(rowBaseSeconds); err != nil {
+		t.Fatal(err)
+	}
+	bs.Observe(10 * rowBaseSeconds) // age the sealed hour far past the TTL
+	bs.testAfterSpillWrite = func() {
+		if n, _ := bs.EnforceRetention(RetentionPolicy{RawTTL: rowBaseSeconds}, nil); n != 1 {
+			t.Errorf("retention dropped %d blocks mid-spill, want 1", n)
+		}
+	}
+	spilled, err := bs.SpillPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spilled != 0 {
+		t.Fatalf("spilled %d blocks, want 0 (block dropped mid-write)", spilled)
+	}
+	if files := d.Cluster.DFS().ListFiles("/tsdb/blocks/"); len(files) != 0 {
+		t.Fatalf("orphan spill files leaked: %v", files)
 	}
 }
 

@@ -374,7 +374,7 @@ func (t *TSD) QueryContext(ctx context.Context, q Query) ([]Series, error) {
 	// straight into grouped alongside the hot HBase scan below.
 	bs := t.blocks.Load()
 	var pre map[string][]Sample
-	if bs != nil && q.DownsampleSeconds > 0 && RollupWidth(q.DownsampleSeconds) > 0 {
+	if bs != nil && rollupWidthFor(q) > 0 {
 		pre = make(map[string][]Sample)
 	}
 	if err := bs.collect(ctx, q, grouped, pre); err != nil {
