@@ -18,7 +18,7 @@ ALLOC_BENCH = BenchmarkEvaluateBatchInto|BenchmarkApplyInto|BenchmarkMulInto|Ben
 # stable ns/op medians, short enough for a PR loop.
 GATE_BENCHTIME ?= 300ms
 
-.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs bench-gate soak backtest chaos conformance check
+.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs bench-gate soak backtest chaos conformance cluster cluster-smoke check
 
 build:
 	$(GO) build ./...
@@ -124,4 +124,31 @@ chaos:
 conformance:
 	$(GO) test ./internal/api/... -run TestV1Conformance
 
-check: lint build test bench bench-allocs bench-gate backtest chaos conformance
+# cluster boots a local four-process cluster on fixed ports: one
+# broker, two store nodes, and a combined detect+gateway node hosting
+# the coordination service, with the gateway's HTTP surface on
+# 127.0.0.1:8080. Ctrl-C tears every process down. Drive it with
+# `go run ./examples/clusterdemo` or the SDK.
+CLUSTER_PEERS = broker=127.0.0.1:7401,store-1=127.0.0.1:7402,store-2=127.0.0.1:7403,dg=127.0.0.1:7404
+CLUSTER_ARGS = -peers $(CLUSTER_PEERS) -partitions 4 -units 4 -sensors 3 -stores 2
+cluster:
+	$(GO) build -o bin/sentineld ./cmd/sentineld
+	@trap 'kill 0' INT TERM EXIT; \
+	bin/sentineld -name dg -role detect,gateway -listen 127.0.0.1:7404 -http 127.0.0.1:8080 $(CLUSTER_ARGS) & \
+	bin/sentineld -name broker -role broker -listen 127.0.0.1:7401 -zk-node dg $(CLUSTER_ARGS) & \
+	sleep 1; \
+	bin/sentineld -name store-1 -role store -listen 127.0.0.1:7402 -zk-node dg $(CLUSTER_ARGS) & \
+	bin/sentineld -name store-2 -role store -listen 127.0.0.1:7403 -zk-node dg $(CLUSTER_ARGS) & \
+	wait
+
+# cluster-smoke is the gating multi-process failover check: it boots
+# the same four-role topology as separate OS processes, ingests
+# through the gateway with the SDK, SIGKILLs the broker mid-stream,
+# and asserts zero acked-sample loss, a promoted store leader on
+# /api/v1/cluster, and an anomaly on the SSE stream. See
+# cmd/clustersmoke.
+cluster-smoke:
+	$(GO) build -o bin/sentineld ./cmd/sentineld
+	$(GO) run ./cmd/clustersmoke -bin bin/sentineld
+
+check: lint build test bench bench-allocs bench-gate backtest chaos conformance cluster-smoke

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bus"
 	"repro/internal/faultinject"
 	"repro/internal/ingest"
 	"repro/internal/query"
@@ -183,7 +184,7 @@ func main() {
 	}()
 
 	topic := sys.Topic()
-	driver := ingest.NewBusDriver(sys.Fleet, topic, ingest.DriverConfig{})
+	driver := ingest.NewBusDriver(sys.Fleet, bus.LocalTopic{Topic: topic}, ingest.DriverConfig{})
 	storageGroup := topic.Group(sentinel.GroupStorage)
 	next := int64(warmSteps)
 

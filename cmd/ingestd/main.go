@@ -105,7 +105,7 @@ func main() {
 	defer broker.Close()
 	topic := broker.Topic("energy")
 	storage := topic.Group("storage")
-	writers := ingest.StartStorageWriters(context.Background(), storage, px, *workers)
+	writers := ingest.StartStorageWriters(context.Background(), bus.LocalGroup{Group: storage}, px, *workers)
 	defer writers.Stop()
 
 	// Reads fan out across every TSD through the cached window tier —
@@ -124,7 +124,7 @@ func main() {
 	registerBlockMetrics(reg, compactor)
 
 	gw := api.New(api.Config{
-		Publisher: &api.BusPublisher{Topic: topic},
+		Publisher: &api.BusPublisher{Topic: bus.LocalTopic{Topic: topic}},
 		Query:     engine,
 		Registry:  reg,
 		Ready: []api.ReadyCheck{

@@ -52,13 +52,13 @@ func testStack(t *testing.T) (gw *api.Gateway, topic *bus.Topic, deploy *tsdb.De
 	t.Cleanup(broker.Close)
 	topic = broker.Topic("energy")
 	group := topic.Group("storage")
-	writers := ingest.StartStorageWriters(context.Background(), group, px, 2)
+	writers := ingest.StartStorageWriters(context.Background(), bus.LocalGroup{Group: group}, px, 2)
 	t.Cleanup(writers.Stop)
 	engine = query.NewFromDeployment(deploy, query.Config{MaxEntries: 64})
 	reg := telemetry.NewRegistry()
 	registerMetrics(reg, broker, group, writers, px, deploy, engine, resilience.NewGroup(resilience.BreakerConfig{}))
 	gw = api.New(api.Config{
-		Publisher: &api.BusPublisher{Topic: topic},
+		Publisher: &api.BusPublisher{Topic: bus.LocalTopic{Topic: topic}},
 		Query:     engine,
 		Registry:  reg,
 		AccessLog: testLogger(),

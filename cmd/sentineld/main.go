@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/sentinel"
+)
+
+func main() {
+	var (
+		name         = flag.String("name", "", "cluster-unique node name (required)")
+		roles        = flag.String("role", "", "comma-separated roles: broker,store,detect,gateway (required)")
+		listen       = flag.String("listen", "127.0.0.1:0", "rpc transport listen address")
+		httpAddr     = flag.String("http", "", "HTTP listen address (empty disables)")
+		peers        = flag.String("peers", "", "comma-separated name=host:port pairs, one per cluster node")
+		zkNode       = flag.String("zk-node", "", "peer hosting the coordination service (default: self when gateway)")
+		partitions   = flag.Int("partitions", 4, "cluster-wide bus partition count")
+		units        = flag.Int("units", 10, "fleet units")
+		sensors      = flag.Int("sensors", 8, "sensors per unit")
+		storageNodes = flag.Int("storage-nodes", 2, "region servers / TSD daemons on a store node")
+		writers      = flag.Int("writers", 2, "storage writer consumers on a store node")
+		workers      = flag.Int("workers", 2, "detector pool workers on a detect node")
+		detector     = flag.String("detector", "cusum", "primary detector family on detect nodes")
+		warmup       = flag.Int("warmup", 0, "detector warmup rows (0 = family default)")
+		stores       = flag.Int("stores", 1, "store nodes to wait for before serving")
+		seed         = flag.Uint64("seed", 42, "detector seed")
+	)
+	flag.Parse()
+	log.SetPrefix("sentineld: ")
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	roleList, err := sentinel.ParseRoles(*roles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peerMap := make(map[string]string)
+	if *peers != "" {
+		for _, pair := range strings.Split(*peers, ",") {
+			kv := strings.SplitN(pair, "=", 2)
+			if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+				log.Fatalf("bad -peers entry %q (want name=host:port)", pair)
+			}
+			peerMap[kv[0]] = kv[1]
+		}
+	}
+
+	var detParams map[string]float64
+	if *warmup > 0 {
+		detParams = map[string]float64{"warmup": float64(*warmup)}
+	}
+
+	node, err := sentinel.StartNode(sentinel.NodeConfig{
+		Name:            *name,
+		Roles:           roleList,
+		Listen:          *listen,
+		Peers:           peerMap,
+		ZKNode:          *zkNode,
+		Partitions:      *partitions,
+		Units:           *units,
+		SensorsPerUnit:  *sensors,
+		StorageNodes:    *storageNodes,
+		StorageWriters:  *writers,
+		DetectorWorkers: *workers,
+		PrimaryDetector: *detector,
+		DetectorParams:  detParams,
+		ExpectStores:    *stores,
+		Seed:            *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s serving roles [%s] on %s", node.Name(), *roles, node.Addr())
+
+	var srv *http.Server
+	if *httpAddr != "" {
+		srv = &http.Server{Addr: *httpAddr, Handler: node.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("http: %v", err)
+			}
+		}()
+		log.Printf("%s http on %s", node.Name(), *httpAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("%s shutting down", node.Name())
+	if srv != nil {
+		srv.Close()
+	}
+	node.Close()
+}

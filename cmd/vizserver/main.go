@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/bus"
 	"repro/internal/query"
 	"repro/internal/telemetry"
 	"repro/internal/viz"
@@ -154,7 +155,7 @@ func main() {
 	reg.RegisterCounter("stream_dropped", &tail.Dropped)
 	gw := api.New(api.Config{
 		Backend:    backend,
-		Publisher:  &api.BusPublisher{Topic: sys.Topic()},
+		Publisher:  &api.BusPublisher{Topic: bus.LocalTopic{Topic: sys.Topic()}},
 		Query:      engine,
 		Tail:       tail,
 		Registry:   reg,

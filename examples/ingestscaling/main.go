@@ -100,7 +100,7 @@ func replayDemo(fleet *simdata.Fleet) {
 	group := topic.Group("detectors")
 
 	// Publish 10 one-step batches for unit 0 onto the single partition.
-	driver := ingest.NewBusDriver(fleet, topic, ingest.DriverConfig{
+	driver := ingest.NewBusDriver(fleet, bus.LocalTopic{Topic: topic}, ingest.DriverConfig{
 		BatchSize: fleet.Sensors(), // one record per step
 		Senders:   1,
 	})

@@ -36,7 +36,7 @@ func benchTopic(b *testing.B) *bus.Topic {
 // BenchmarkIngestPutBaseline for the chain's overhead.
 func BenchmarkGatewayPutPath(b *testing.B) {
 	gw := New(Config{
-		Publisher: &BusPublisher{Topic: benchTopic(b)},
+		Publisher: &BusPublisher{Topic: bus.LocalTopic{Topic: benchTopic(b)}},
 		Registry:  telemetry.NewRegistry(),
 		AccessLog: testLogger(),
 	})

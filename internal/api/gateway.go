@@ -94,6 +94,10 @@ type Config struct {
 	// (mode, flag and shadow-agreement counters, ensemble config). Nil
 	// answers 503 unavailable.
 	Detectors func() v1.DetectorsResponse
+	// Cluster snapshots the node membership map for GET
+	// /api/v1/cluster (roles, partition leadership, replication
+	// health). Nil answers 503 unavailable.
+	Cluster func() v1.ClusterResponse
 
 	// Now supplies "current" fleet time for window defaults (default:
 	// wall clock seconds).
@@ -254,6 +258,7 @@ func New(cfg Config) *Gateway {
 	handle("GET", "/api/v1/anomalies/top", std(g.handleTop))
 	handle("GET", "/api/v1/anomalies/stream", stream(g.handleStream))
 	handle("GET", "/api/v1/detectors", std(g.handleDetectors))
+	handle("GET", "/api/v1/cluster", std(g.handleCluster))
 	handle("GET", "/api/v1/metrics", std(g.handleMetrics))
 	handle("GET", "/api/v1/healthz", std(g.handleHealth))
 	handle("GET", "/api/v1/readyz", std(g.handleReady))
@@ -422,7 +427,7 @@ func validatePoints(pts []tsdb.Point) ([]tsdb.Point, error) {
 // idempotent, so retrying the whole request wholesale converges (the
 // same contract the pre-v1 ingestd documented).
 type BusPublisher struct {
-	Topic *bus.Topic
+	Topic bus.TopicHandle
 	// Timeout bounds publish backpressure before shedding load with a
 	// 504-mapped error (default 5s).
 	Timeout time.Duration
@@ -773,6 +778,16 @@ func (g *Gateway) handleDetectors(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, g.cfg.Detectors())
+}
+
+// handleCluster reports the cluster membership map: every live node
+// with its roles, bus partition leadership and replication health.
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.Cluster == nil {
+		writeError(w, &apiError{status: http.StatusServiceUnavailable, code: v1.CodeUnavailable, msg: "no cluster membership"})
+		return
+	}
+	writeJSON(w, g.cfg.Cluster())
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {

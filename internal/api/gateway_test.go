@@ -131,6 +131,12 @@ func TestV1Conformance(t *testing.T) {
 				Ensemble: v1.EnsembleConfig{Members: []string{"cusum", "zscore"}, MinVotes: 2},
 			}
 		}
+		c.Cluster = func() v1.ClusterResponse {
+			return v1.ClusterResponse{Nodes: []v1.ClusterNode{
+				{Name: "broker-1", Roles: []string{"broker"}, Addr: "127.0.0.1:7401", PartitionGroupsLed: []int{0}},
+				{Name: "gw-1", Roles: []string{"gateway"}, Addr: "127.0.0.1:7404"},
+			}}
+		}
 	})
 	okCases := []struct {
 		path string
@@ -144,6 +150,7 @@ func TestV1Conformance(t *testing.T) {
 		{"/api/v1/query?unit=1&sensor=2&from=0&to=59", `"series"`},
 		{"/api/v1/anomalies/top?from=0&to=59", `"anomalies"`},
 		{"/api/v1/detectors", `"mode":"primary"`},
+		{"/api/v1/cluster", `"partitionGroupsLed":[0]`},
 		{"/api/v1/metrics", "http_requests"},
 		{"/api/v1/healthz", "ok"},
 		{"/api/v1/readyz", `"ready":true`},
@@ -212,7 +219,7 @@ func TestV1Conformance(t *testing.T) {
 		t.Errorf("storage failure = %d (%s), want 500 internal", rec.Code, rec.Body)
 	}
 	// 503: routes whose dependency is absent.
-	for _, path := range []string{"/api/v1/anomalies/stream", "/api/v1/detectors", "/api/v1/metrics"} {
+	for _, path := range []string{"/api/v1/anomalies/stream", "/api/v1/detectors", "/api/v1/cluster", "/api/v1/metrics"} {
 		rec := get(t, broken, path)
 		if rec.Code != 503 || envelope(t, rec).Code != v1.CodeUnavailable {
 			t.Errorf("GET %s without dependency = %d, want 503 unavailable", path, rec.Code)

@@ -29,7 +29,7 @@ import (
 // monitoring feed: the flags remain durable in the TSDB; the stream is
 // a best-effort live view.
 type AnomalyTail struct {
-	group  *bus.Group
+	group  bus.GroupHandle
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	once   sync.Once
@@ -53,7 +53,7 @@ const subscriberBuffer = 256
 // NewAnomalyTail attaches a consumer group named group to topic at its
 // current end (the stream is live — history stays in the TSDB) and
 // starts the drain loop. Close it before the broker shuts down.
-func NewAnomalyTail(topic *bus.Topic, group string) *AnomalyTail {
+func NewAnomalyTail(topic bus.TopicHandle, group string) *AnomalyTail {
 	g := topic.Group(group)
 	g.SeekToEnd()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -69,9 +69,9 @@ func NewAnomalyTail(topic *bus.Topic, group string) *AnomalyTail {
 }
 
 // Group exposes the tail's consumer group (lag diagnostics).
-func (t *AnomalyTail) Group() *bus.Group { return t.group }
+func (t *AnomalyTail) Group() bus.GroupHandle { return t.group }
 
-func (t *AnomalyTail) run(ctx context.Context, c *bus.Consumer) {
+func (t *AnomalyTail) run(ctx context.Context, c bus.ConsumerHandle) {
 	defer t.wg.Done()
 	defer c.Leave()
 	buf := make([]bus.Record, 0, 16)

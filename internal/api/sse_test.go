@@ -37,7 +37,7 @@ func publishFlag(t *testing.T, topic *bus.Topic, unit, sensor int, ts int64, z f
 // commits behind itself so the topic does not retain forever.
 func TestAnomalyTailFanout(t *testing.T) {
 	_, topic := flagTopic(t)
-	tail := NewAnomalyTail(topic, "stream")
+	tail := NewAnomalyTail(bus.LocalTopic{Topic: topic}, "stream")
 	defer tail.Close()
 	a, cancelA := tail.Subscribe()
 	b, cancelB := tail.Subscribe()
@@ -92,7 +92,7 @@ func TestAnomalyTailFanout(t *testing.T) {
 func TestAnomalyTailSkipsHistory(t *testing.T) {
 	_, topic := flagTopic(t)
 	publishFlag(t, topic, 1, 1, 50, 9.9)
-	tail := NewAnomalyTail(topic, "stream")
+	tail := NewAnomalyTail(bus.LocalTopic{Topic: topic}, "stream")
 	defer tail.Close()
 	ch, cancel := tail.Subscribe()
 	defer cancel()
@@ -112,7 +112,7 @@ func TestAnomalyTailSkipsHistory(t *testing.T) {
 func sseEnv(t *testing.T, mutate func(*Config)) (*bus.Topic, *AnomalyTail, *httptest.Server) {
 	t.Helper()
 	_, topic := flagTopic(t)
-	tail := NewAnomalyTail(topic, "stream")
+	tail := NewAnomalyTail(bus.LocalTopic{Topic: topic}, "stream")
 	t.Cleanup(tail.Close)
 	cfg := Config{
 		Tail:            tail,

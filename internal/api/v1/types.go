@@ -259,3 +259,34 @@ type DetectorsResponse struct {
 	Detectors []DetectorInfo `json:"detectors"`
 	Ensemble  EnsembleConfig `json:"ensemble"`
 }
+
+// ClusterNode describes one live node of the cluster on GET
+// /api/v1/cluster: its roles, rpc endpoint, the bus partition groups
+// it currently leads, and its replication health. A single-process
+// deployment reports one node holding every role.
+type ClusterNode struct {
+	Name  string   `json:"name"`
+	Roles []string `json:"roles"`
+	// Addr is the node's rpc endpoint (the TCP listener in a
+	// multi-process cluster; empty in-process).
+	Addr string `json:"addr,omitempty"`
+	// TSDs lists the TSD daemon addresses a store node serves, as
+	// cluster-visible routes (prefixed with the node name).
+	TSDs []string `json:"tsds,omitempty"`
+	// PartitionGroupsLed lists the bus partition groups this node's
+	// bus service currently leads (elected via the coordination
+	// service); Promotions counts leaderships it acquired by failover
+	// rather than first election.
+	PartitionGroupsLed []int `json:"partitionGroupsLed,omitempty"`
+	Promotions         int64 `json:"promotions,omitempty"`
+	// FollowerLag is the worst record shortfall across this leader's
+	// followers (0 when fully replicated or not a leader).
+	FollowerLag int64 `json:"followerLag,omitempty"`
+}
+
+// ClusterResponse is the body of GET /api/v1/cluster: the membership
+// map assembled from the coordination service's ephemeral node
+// records.
+type ClusterResponse struct {
+	Nodes []ClusterNode `json:"nodes"`
+}

@@ -32,4 +32,31 @@
 // consumers keep polling and committing until every group has caught
 // up to the high-water marks; Close stops everything, waking blocked
 // publishers and pollers with ErrClosed.
+//
+// # The cluster service layer
+//
+// On top of the in-process Broker, three files grow the bus into a
+// multi-process tier over the internal/rpc fabric:
+//
+//   - iface.go defines TopicHandle/GroupHandle/ConsumerHandle, the
+//     seams every pipeline stage (publishers, storage writers,
+//     detector pools, SSE tails) consumes, so a stage cannot tell an
+//     in-process Topic from a remote one.
+//   - service.go + replica.go export a Broker as a bus service:
+//     Publish/Fetch/Commit/Rebalance rpc handlers, partition-group
+//     leadership elected through internal/zk (zk.Election), and
+//     synchronous replication of every accepted publish to the
+//     registered follower replicas before the ack — which is what
+//     lets a follower be promoted on leader death without losing an
+//     acked record. The service heartbeats an ephemeral membership
+//     record and evicts stale replicas.
+//   - remote.go implements RemoteBus/RemoteTopic/RemoteGroup: clients
+//     resolve the current partition-group leader through the
+//     coordination service, retry publishes across a leadership
+//     handover, and rejoin consumer groups after a failover
+//     (committed offsets are mirrored onto followers alongside the
+//     log, so group progress survives promotion).
+//
+// The sentinel cluster runtime (package sentinel, cmd/sentineld) wires
+// these together into broker/store/detect/gateway node roles.
 package bus

@@ -1,0 +1,627 @@
+package bus
+
+// service.go turns the in-process Broker into a clustered bus: every
+// broker-capable node runs a Service over a full local Broker replica,
+// leadership per partition-group is decided by a zk election, and the
+// pipeline's producers and consumers reach the leader through the rpc
+// fabric (remote.go).
+//
+// Replication protocol. Publish is served by the partition-group
+// leader: it appends locally (normal backpressure applies), then
+// synchronously replicates the record to every *registered* replica
+// before acking — so an acked record exists on all live replicas and
+// survives the leader's death. A replica that has vanished from the zk
+// registry (its ephemeral node expired) is skipped; one that is
+// registered but failing fails the publish, and the producer retries.
+// Followers detect gaps (a replicated offset ahead of their high-water
+// mark) and the leader backfills from its own log.
+//
+// Group coordination. All consumer-group traffic (join/fetch/commit/…)
+// goes to the partition-group-0 leader — the group coordinator — which
+// runs the ordinary Group/Consumer machinery over its local replica.
+// Remote members are leased: a member that stops fetching past the TTL
+// is evicted, triggering the usual rebalance. Committed offsets are
+// mirrored to followers on every commit, so a promoted coordinator
+// resumes groups where the dead one left them; members of the old
+// coordinator are unknown to the new one and simply rejoin, resuming
+// from the mirrored offsets (the at-least-once contract — uncommitted
+// records are redelivered).
+//
+// Known limitation: records the dead leader appended but never acked
+// may exist on a subset of replicas (the acked prefix is on all of
+// them). After promotion those suffixes can diverge; downstream writes
+// are idempotent, so duplicates are absorbed, and nothing acked is
+// ever lost.
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+	"repro/internal/zk"
+)
+
+// Cluster-bus errors (wire-registered so they survive the TCP bridge).
+var (
+	// ErrNotLeader is returned by leader-only methods on a follower;
+	// clients re-resolve the election and retry.
+	ErrNotLeader = errors.New("bus: not partition leader")
+	// ErrUnknownMember is returned when a consumer's lease expired or
+	// the coordinator changed; clients rejoin.
+	ErrUnknownMember = errors.New("bus: unknown remote member")
+)
+
+// busOp is the single request DTO for every bus rpc method.
+type busOp struct {
+	Topic  string
+	Group  string
+	Member string
+	Part   int
+	Offset int64
+	UpTo   int64
+	Key    uint64
+	Value  any
+	WaitMS int64
+	Recs   []Record
+}
+
+// busResult is the single response DTO for every bus rpc method.
+type busResult struct {
+	Rec        Record
+	Recs       []Record
+	Assigned   []int
+	Generation int64
+	Offset     int64
+	Lag        int64
+	OK         bool
+}
+
+func init() {
+	gob.Register(&busOp{})
+	gob.Register(&busResult{})
+	gob.Register(Record{})
+	rpc.RegisterWireError(ErrClosed, ErrDraining, ErrOffsetTrimmed,
+		ErrOffsetOutOfRange, ErrNotMember, ErrNotAssigned,
+		ErrReplicaGap, ErrNotLeader, ErrUnknownMember)
+}
+
+// ServiceConfig tunes a bus Service.
+type ServiceConfig struct {
+	// Node is this node's unique name ("broker", "store-1", …).
+	Node string
+	// Addr is the rpc address this service answers on and publishes as
+	// its election payload (convention: "bus/<node>").
+	Addr string
+	// Root is the zk namespace (default "/sentinel/bus").
+	Root string
+	// PartitionGroups is the number of leader-elected partition groups
+	// (currently clamped to 1: one leader owns all partitions; the
+	// structure generalizes when partition ranges split across groups).
+	PartitionGroups int
+	// MemberTTL evicts remote consumers silent this long (default 3s).
+	MemberTTL time.Duration
+	// ReplicaTimeout bounds each replication rpc (default 2s).
+	ReplicaTimeout time.Duration
+	// RegistryRefresh bounds replica-registry staleness (default
+	// 200ms).
+	RegistryRefresh time.Duration
+}
+
+func (c *ServiceConfig) defaults() {
+	if c.Root == "" {
+		c.Root = "/sentinel/bus"
+	}
+	// Clamped: the replication and coordination paths assume one
+	// group until partition ranges are split across leaders.
+	c.PartitionGroups = 1
+	if c.MemberTTL <= 0 {
+		c.MemberTTL = 3 * time.Second
+	}
+	if c.ReplicaTimeout <= 0 {
+		c.ReplicaTimeout = 2 * time.Second
+	}
+	if c.RegistryRefresh <= 0 {
+		c.RegistryRefresh = 200 * time.Millisecond
+	}
+}
+
+// Service exposes a Broker replica over rpc, participating in the
+// per-partition-group elections and the replica registry.
+type Service struct {
+	broker *Broker
+	net    *rpc.Network
+	zkc    zk.Client
+	cfg    ServiceConfig
+
+	elections []*zk.Election
+	leading   []chan struct{} // closed when this node leads group i
+
+	mu       sync.Mutex
+	members  map[string]*remoteMember
+	replicas map[string]string // node → addr, cached from zk
+	repAt    time.Time
+	repLocks map[string][]*sync.Mutex // per topic-partition replication order
+	closed   bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// Promotions counts leadership acquisitions after startup —
+	// failovers this node absorbed.
+	Promotions telemetry.Counter
+	// Replicated counts records synchronously copied to followers.
+	Replicated telemetry.Counter
+	// Evictions counts remote members dropped by lease expiry.
+	Evictions telemetry.Counter
+}
+
+// remoteMember is one leased remote consumer.
+type remoteMember struct {
+	c        *Consumer
+	mu       sync.Mutex // serializes Poll/Commit on the consumer
+	lastSeen time.Time
+}
+
+// StartService registers the node in the replica registry, joins the
+// partition-group elections and begins serving the bus rpc methods on
+// cfg.Addr.
+func StartService(net *rpc.Network, zkc zk.Client, b *Broker, cfg ServiceConfig) (*Service, error) {
+	cfg.defaults()
+	s := &Service{
+		broker:   b,
+		net:      net,
+		zkc:      zkc,
+		cfg:      cfg,
+		members:  make(map[string]*remoteMember),
+		repLocks: make(map[string][]*sync.Mutex),
+		stop:     make(chan struct{}),
+	}
+	if err := zk.EnsurePath(zkc, cfg.Root+"/replicas"); err != nil {
+		return nil, fmt.Errorf("bus: service %s: %w", cfg.Node, err)
+	}
+	if err := zkc.Create(cfg.Root+"/replicas/"+cfg.Node, []byte(cfg.Addr), true); err != nil {
+		return nil, fmt.Errorf("bus: register replica %s: %w", cfg.Node, err)
+	}
+	for g := 0; g < cfg.PartitionGroups; g++ {
+		e, err := zk.JoinElection(zkc, fmt.Sprintf("%s/pg-%d", cfg.Root, g), cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("bus: join election pg-%d: %w", g, err)
+		}
+		s.elections = append(s.elections, e)
+		s.leading = append(s.leading, make(chan struct{}))
+	}
+	if _, err := net.Register(cfg.Addr, s.Handle, rpc.ServerConfig{Workers: 8, QueueCap: 1024}); err != nil {
+		return nil, fmt.Errorf("bus: register %s: %w", cfg.Addr, err)
+	}
+	for g := range s.elections {
+		s.wg.Add(1)
+		go s.campaign(g)
+	}
+	s.wg.Add(1)
+	go s.reapMembers()
+	return s, nil
+}
+
+// Close resigns the elections, deregisters the replica and stops
+// serving. The underlying broker is left to its owner.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.net.Remove(s.cfg.Addr)
+	for _, e := range s.elections {
+		_ = e.Resign()
+	}
+	_ = s.zkc.Delete(s.cfg.Root + "/replicas/" + s.cfg.Node)
+	s.wg.Wait()
+}
+
+// campaign blocks until this node leads partition group g, then marks
+// it. Leadership is sticky: it is lost only with the zk session (i.e.
+// the process).
+func (s *Service) campaign(g int) {
+	defer s.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-s.stop
+		cancel()
+	}()
+	lead, err := s.elections[g].IsLeader()
+	if err == nil && lead {
+		close(s.leading[g])
+		return
+	}
+	if err := s.elections[g].AwaitLeadership(ctx); err != nil {
+		return
+	}
+	s.Promotions.Inc()
+	close(s.leading[g])
+}
+
+// IsLeader reports whether this node currently leads partition group g.
+func (s *Service) IsLeader(g int) bool {
+	if g < 0 || g >= len(s.leading) {
+		return false
+	}
+	select {
+	case <-s.leading[g]:
+		return true
+	default:
+		return false
+	}
+}
+
+// PartitionsLed returns how many partition groups this node leads.
+func (s *Service) PartitionsLed() int {
+	n := 0
+	for g := range s.leading {
+		if s.IsLeader(g) {
+			n++
+		}
+	}
+	return n
+}
+
+// groupFor maps a partition to its partition group.
+func (s *Service) groupFor(part int) int { return part % s.cfg.PartitionGroups }
+
+// reapMembers evicts remote consumers whose lease expired.
+func (s *Service) reapMembers() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.MemberTTL / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-tick.C:
+			var doomed []*remoteMember
+			s.mu.Lock()
+			for key, m := range s.members {
+				if now.Sub(m.lastSeen) > s.cfg.MemberTTL {
+					doomed = append(doomed, m)
+					delete(s.members, key)
+				}
+			}
+			s.mu.Unlock()
+			for _, m := range doomed {
+				m.c.Leave()
+				s.Evictions.Inc()
+			}
+		}
+	}
+}
+
+// replicaSet returns node→addr for every *other* registered replica,
+// cached for RegistryRefresh.
+func (s *Service) replicaSet(force bool) (map[string]string, error) {
+	s.mu.Lock()
+	if !force && s.replicas != nil && time.Since(s.repAt) < s.cfg.RegistryRefresh {
+		set := s.replicas
+		s.mu.Unlock()
+		return set, nil
+	}
+	s.mu.Unlock()
+	kids, err := s.zkc.Children(s.cfg.Root + "/replicas")
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]string, len(kids))
+	for _, node := range kids {
+		if node == s.cfg.Node {
+			continue
+		}
+		data, _, err := s.zkc.Get(s.cfg.Root + "/replicas/" + node)
+		if err != nil {
+			continue // vanished between list and read
+		}
+		set[node] = string(data)
+	}
+	s.mu.Lock()
+	s.replicas = set
+	s.repAt = time.Now()
+	s.mu.Unlock()
+	return set, nil
+}
+
+// repLock returns the per-partition replication mutex for topic so
+// records replicate to followers in offset order.
+func (s *Service) repLock(topic string, part int) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	locks, ok := s.repLocks[topic]
+	if !ok {
+		locks = make([]*sync.Mutex, s.broker.cfg.Partitions)
+		for i := range locks {
+			locks[i] = &sync.Mutex{}
+		}
+		s.repLocks[topic] = locks
+	}
+	return locks[part]
+}
+
+// replicate copies rec to every registered replica, backfilling gaps,
+// and fails if a registered replica cannot be reached (the producer
+// retries — an ack means the record is on every live replica).
+func (s *Service) replicate(ctx context.Context, topic string, rec Record) error {
+	lock := s.repLock(topic, rec.Partition)
+	lock.Lock()
+	defer lock.Unlock()
+	set, err := s.replicaSet(false)
+	if err != nil {
+		return fmt.Errorf("bus: replica registry: %w", err)
+	}
+	for node, addr := range set {
+		if err := s.replicateTo(ctx, addr, topic, rec); err != nil {
+			// Re-check the registry: a replica that died (and lost its
+			// ephemeral registration) is skipped, anything else fails
+			// the publish.
+			fresh, rerr := s.replicaSet(true)
+			if rerr == nil {
+				if _, still := fresh[node]; !still {
+					continue
+				}
+			}
+			return fmt.Errorf("bus: replicate %s/%d@%d to %s: %w",
+				topic, rec.Partition, rec.Offset, node, err)
+		}
+		s.Replicated.Inc()
+	}
+	return nil
+}
+
+// replicateTo ships rec (plus any backfill the follower asks for) to
+// one replica.
+func (s *Service) replicateTo(ctx context.Context, addr, topic string, rec Record) error {
+	batch := []Record{rec}
+	for attempt := 0; attempt < 4; attempt++ {
+		cctx, cancel := context.WithTimeout(ctx, s.cfg.ReplicaTimeout)
+		v, err := s.net.Call(cctx, addr, "replicate", &busOp{Topic: topic, Part: rec.Partition, Recs: batch})
+		cancel()
+		if err != nil {
+			return err
+		}
+		res, ok := v.(*busResult)
+		if !ok {
+			return fmt.Errorf("bus: replicate: bad result %T", v)
+		}
+		if res.OK {
+			return nil
+		}
+		// Gap: the follower is at res.Offset; backfill from our log.
+		batch = nil
+		t := s.broker.Topic(topic)
+		for off := res.Offset; off <= rec.Offset; {
+			chunk, err := t.ReadAt(rec.Partition, off, make([]Record, 0, defaultPollRecords))
+			if err != nil {
+				return fmt.Errorf("bus: backfill read @%d: %w", off, err)
+			}
+			if len(chunk) == 0 {
+				break
+			}
+			batch = append(batch, chunk...)
+			off = chunk[len(chunk)-1].Offset + 1
+		}
+		if len(batch) == 0 {
+			return fmt.Errorf("%w: backfill found nothing at %d", ErrReplicaGap, res.Offset)
+		}
+	}
+	return fmt.Errorf("%w: follower %s still gapped after backfill", ErrReplicaGap, addr)
+}
+
+// mirrorCommit pushes a committed offset to the other replicas so a
+// promoted coordinator resumes from it. Best-effort: an unreachable
+// follower merely re-delivers (at-least-once) if it is later promoted.
+func (s *Service) mirrorCommit(ctx context.Context, topic, group string, part int, upTo int64) {
+	set, err := s.replicaSet(false)
+	if err != nil {
+		return
+	}
+	for _, addr := range set {
+		cctx, cancel := context.WithTimeout(ctx, s.cfg.ReplicaTimeout)
+		_, _ = s.net.Call(cctx, addr, "commitsync", &busOp{Topic: topic, Group: group, Part: part, UpTo: upTo})
+		cancel()
+	}
+}
+
+// member resolves a leased consumer, refreshing its lease.
+func (s *Service) member(topic, group, id string) (*remoteMember, error) {
+	key := topic + "/" + group + "/" + id
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.members[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownMember, key)
+	}
+	m.lastSeen = time.Now()
+	return m, nil
+}
+
+// Handle is the rpc.Handler serving the bus methods.
+func (s *Service) Handle(ctx context.Context, method string, payload any) (any, error) {
+	op, ok := payload.(*busOp)
+	if !ok {
+		return nil, fmt.Errorf("bus: %s: bad payload %T", method, payload)
+	}
+	t := s.broker.Topic(op.Topic)
+	switch method {
+	case "publish":
+		part := t.PartitionFor(op.Key)
+		if !s.IsLeader(s.groupFor(part)) {
+			return nil, fmt.Errorf("%w: %s partition %d", ErrNotLeader, s.cfg.Node, part)
+		}
+		rec, err := t.Publish(ctx, op.Key, op.Value)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.replicate(ctx, op.Topic, rec); err != nil {
+			// The local append is not acked; the producer retries and
+			// downstream idempotency absorbs the duplicate.
+			return nil, err
+		}
+		return &busResult{Rec: rec}, nil
+
+	case "replicate":
+		var hwm int64
+		for _, rec := range op.Recs {
+			h, err := t.ReplicaAppend(op.Part, rec.Offset, rec.Key, rec.Value)
+			if err != nil {
+				if errors.Is(err, ErrReplicaGap) {
+					return &busResult{OK: false, Offset: h}, nil
+				}
+				return nil, err
+			}
+			hwm = h
+		}
+		return &busResult{OK: true, Offset: hwm}, nil
+
+	case "commitsync":
+		t.Group(op.Group).ForceCommit(op.Part, op.UpTo)
+		return &busResult{OK: true}, nil
+
+	case "hwm":
+		var total int64
+		for p := 0; p < t.Partitions(); p++ {
+			total += t.HighWater(p)
+		}
+		return &busResult{Offset: total}, nil
+	}
+
+	// Everything below is group coordination: pg-0-leader only.
+	if !s.IsLeader(0) {
+		return nil, fmt.Errorf("%w: %s is not the coordinator", ErrNotLeader, s.cfg.Node)
+	}
+	switch method {
+	case "join":
+		g := t.Group(op.Group)
+		key := op.Topic + "/" + op.Group + "/" + op.Member
+		s.mu.Lock()
+		if old, ok := s.members[key]; ok {
+			// A rejoin after failover or lease expiry replaces the old
+			// membership.
+			old.c.Leave()
+		}
+		m := &remoteMember{c: g.Join(), lastSeen: time.Now()}
+		s.members[key] = m
+		s.mu.Unlock()
+		return &busResult{Generation: g.Generation()}, nil
+
+	case "fetch":
+		m, err := s.member(op.Topic, op.Group, op.Member)
+		if err != nil {
+			return nil, err
+		}
+		wait := time.Duration(op.WaitMS) * time.Millisecond
+		if wait <= 0 || wait > time.Second {
+			wait = 250 * time.Millisecond
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		fctx, cancel := context.WithTimeout(ctx, wait)
+		defer cancel()
+		recs, err := m.c.Poll(fctx, make([]Record, 0, defaultPollRecords))
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			if errors.Is(err, ErrNotMember) {
+				return nil, fmt.Errorf("%w: evicted", ErrUnknownMember)
+			}
+			return nil, err
+		}
+		return &busResult{
+			Recs:       recs,
+			Assigned:   m.c.Assigned(),
+			Generation: t.Group(op.Group).Generation(),
+		}, nil
+
+	case "commit":
+		m, err := s.member(op.Topic, op.Group, op.Member)
+		if err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		err = m.c.Commit(op.Part, op.UpTo)
+		m.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		s.mirrorCommit(ctx, op.Topic, op.Group, op.Part, op.UpTo)
+		return &busResult{OK: true}, nil
+
+	case "leave":
+		key := op.Topic + "/" + op.Group + "/" + op.Member
+		s.mu.Lock()
+		m, ok := s.members[key]
+		delete(s.members, key)
+		s.mu.Unlock()
+		if ok {
+			m.c.Leave()
+		}
+		return &busResult{OK: true}, nil
+
+	case "seektoend":
+		g := t.Group(op.Group)
+		g.SeekToEnd()
+		for p := 0; p < t.Partitions(); p++ {
+			s.mirrorCommit(ctx, op.Topic, op.Group, p, g.Committed(p))
+		}
+		return &busResult{OK: true}, nil
+
+	case "lag":
+		return &busResult{Lag: t.Group(op.Group).Lag()}, nil
+
+	case "hasgroups":
+		return &busResult{OK: t.HasGroups()}, nil
+
+	case "groupclose":
+		t.Group(op.Group).Close()
+		return &busResult{OK: true}, nil
+
+	default:
+		return nil, fmt.Errorf("bus: unknown method %q", method)
+	}
+}
+
+// FollowerLag returns the worst total log shortfall (records) across
+// the registered followers, by asking each for its high-water sums.
+// Metrics-scrape granularity; 0 when this node leads nothing.
+func (s *Service) FollowerLag(topics []string) int64 {
+	if s.PartitionsLed() == 0 {
+		return 0
+	}
+	set, err := s.replicaSet(false)
+	if err != nil {
+		return 0
+	}
+	var worst int64
+	for _, topic := range topics {
+		t := s.broker.Topic(topic)
+		var local int64
+		for p := 0; p < t.Partitions(); p++ {
+			local += t.HighWater(p)
+		}
+		for _, addr := range set {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			v, err := s.net.Call(ctx, addr, "hwm", &busOp{Topic: topic})
+			cancel()
+			if err != nil {
+				continue
+			}
+			if res, ok := v.(*busResult); ok {
+				if lag := local - res.Offset; lag > worst {
+					worst = lag
+				}
+			}
+		}
+	}
+	return worst
+}

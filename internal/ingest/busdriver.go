@@ -35,12 +35,12 @@ type UnitBatch struct {
 // with StorageWriters (and a detector pool) consuming the same topic.
 type BusDriver struct {
 	fleet *simdata.Fleet
-	topic *bus.Topic
+	topic bus.TopicHandle
 	cfg   DriverConfig
 }
 
 // NewBusDriver builds a driver publishing the fleet onto topic.
-func NewBusDriver(fleet *simdata.Fleet, topic *bus.Topic, cfg DriverConfig) *BusDriver {
+func NewBusDriver(fleet *simdata.Fleet, topic bus.TopicHandle, cfg DriverConfig) *BusDriver {
 	return &BusDriver{fleet: fleet, topic: topic, cfg: cfg.withDefaults()}
 }
 
@@ -199,7 +199,7 @@ func (w *StorageWriters) submitParked(ctx context.Context, sink Sink, points []t
 // StartStorageWriters launches workers consumers in group g, each
 // submitting polled batches to sink. Stop (or cancelling ctx) halts
 // the pool.
-func StartStorageWriters(ctx context.Context, g *bus.Group, sink Sink, workers int) *StorageWriters {
+func StartStorageWriters(ctx context.Context, g bus.GroupHandle, sink Sink, workers int) *StorageWriters {
 	if workers <= 0 {
 		workers = 1
 	}

@@ -1,0 +1,134 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/hbase"
+	"repro/internal/tsdb"
+)
+
+// fanoutEnv boots one store group (its own cluster + TSD tier) and
+// seeds the given units' energy series over [0, steps).
+func fanoutEnv(t *testing.T, units []int, sensors int, steps int64) *tsdb.Deployment {
+	t.Helper()
+	cluster, err := hbase.NewCluster(hbase.Config{RegionServers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Stop)
+	d, err := tsdb.NewDeployment(cluster, 2, tsdb.TSDConfig{SaltBuckets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateTable(); err != nil {
+		t.Fatal(err)
+	}
+	var pts []tsdb.Point
+	for _, u := range units {
+		for s := 0; s < sensors; s++ {
+			for ts := int64(0); ts < steps; ts++ {
+				pts = append(pts, tsdb.EnergyPoint(u, s, ts, float64(u*100+s)+float64(ts%13)))
+			}
+		}
+	}
+	if err := d.TSDs()[0].Put(pts); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestFanoutMergesGroups queries two store groups holding disjoint
+// units plus one unit both landed (a batch replayed across a failover)
+// and checks every series arrives exactly once, ID-sorted, with
+// duplicate timestamps collapsed.
+func TestFanoutMergesGroups(t *testing.T) {
+	const sensors, steps = 2, 40
+	d1 := fanoutEnv(t, []int{0, 1}, sensors, steps) // unit 1 duplicated
+	d2 := fanoutEnv(t, []int{1, 2}, sensors, steps)
+	f := NewFanout(
+		NewFromDeployment(d1, Config{}),
+		NewFromDeployment(d2, Config{}),
+	)
+	q := tsdb.Query{Metric: tsdb.MetricEnergy, Start: 0, End: steps - 1}
+	series, err := f.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * sensors; len(series) != want {
+		t.Fatalf("got %d series, want %d", len(series), want)
+	}
+	seen := make(map[string]bool)
+	prev := ""
+	for i := range series {
+		s := &series[i]
+		id := s.ID()
+		if seen[id] {
+			t.Fatalf("series %s returned twice", id)
+		}
+		seen[id] = true
+		if id < prev {
+			t.Fatalf("series out of order: %s after %s", id, prev)
+		}
+		prev = id
+		if len(s.Samples) != steps {
+			t.Fatalf("series %s has %d samples, want %d (duplicates not collapsed?)", id, len(s.Samples), steps)
+		}
+		for j, smp := range s.Samples {
+			if smp.Timestamp != int64(j) {
+				t.Fatalf("series %s sample %d at ts %d", id, j, smp.Timestamp)
+			}
+		}
+	}
+	if f.Queries.Value() != 1 {
+		t.Fatalf("Queries = %d", f.Queries.Value())
+	}
+}
+
+// TestFanoutGroupFailureFailsQuery kills every TSD of one group: the
+// fanout must fail the query (a dead group is a hole across the whole
+// fleet), not silently serve the surviving group.
+func TestFanoutGroupFailureFailsQuery(t *testing.T) {
+	d1 := fanoutEnv(t, []int{0}, 1, 10)
+	d2 := fanoutEnv(t, []int{1}, 1, 10)
+	f := NewFanout(
+		NewFromDeployment(d1, Config{MaxEntries: -1}),
+		NewFromDeployment(d2, Config{MaxEntries: -1}),
+	)
+	for i := range d2.TSDs() {
+		if err := d2.CrashTSD(fmt.Sprintf("tsd-%d", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := tsdb.Query{Metric: tsdb.MetricEnergy, Start: 0, End: 9}
+	if _, err := f.QueryContext(context.Background(), q); err == nil {
+		t.Fatal("query succeeded with a dead store group")
+	}
+	if f.GroupErrors.Value() == 0 {
+		t.Fatal("group failure not counted")
+	}
+}
+
+// TestFanoutSingleGroupPassthrough: one group behaves exactly like its
+// engine, including the cache path.
+func TestFanoutSingleGroupPassthrough(t *testing.T) {
+	d := fanoutEnv(t, []int{0}, 1, 10)
+	e := NewFromDeployment(d, Config{})
+	f := NewFanout(e)
+	q := tsdb.Query{Metric: tsdb.MetricEnergy, Start: 0, End: 9}
+	want, err := e.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("passthrough mismatch: %d vs %d series", len(got), len(want))
+	}
+	if e.CacheHits.Value() == 0 {
+		t.Fatal("second query missed the engine cache")
+	}
+}

@@ -342,6 +342,12 @@ type Network struct {
 	// "rpc/<addr>/<method>"). Nil when chaos is off: one atomic load.
 	faults atomic.Pointer[faultinject.Injector]
 
+	// routeMu guards the TCP bridge state (see transport.go): the
+	// outbound prefix routes and the pooled peer connections.
+	routeMu sync.RWMutex
+	routes  []route
+	peers   map[string]*peerConn
+
 	// Calls counts every Call/Go attempt, including failures.
 	Calls telemetry.Counter
 }
@@ -453,6 +459,7 @@ func (n *Network) Close() {
 	for _, s := range servers {
 		s.stop()
 	}
+	n.ClosePeers()
 }
 
 // Call sends a request to addr and blocks until the response, the
@@ -487,6 +494,16 @@ func (n *Network) Go(ctx context.Context, addr, method string, payload any) *Fut
 	lat := n.latency
 	n.mu.RUnlock()
 	if !ok {
+		// Not served here: forward along a configured route, so remote
+		// processes look like locally registered servers to callers.
+		if fwdAddr, endpoint, rok := n.lookupRoute(addr); rok {
+			if f := n.faults.Load(); f.Active() > 0 {
+				if d := f.Decide("rpc/" + addr + "/" + method); !d.Zero() && d.Err != nil {
+					return resolved(d.Err)
+				}
+			}
+			return n.goRemote(ctx, addr, fwdAddr, endpoint, method, payload)
+		}
 		return resolved(fmt.Errorf("%w: %s", ErrUnknownAddr, addr))
 	}
 	c := &call{ctx: ctx, method: method, payload: payload, fut: newFuture()}

@@ -355,11 +355,11 @@ func TestRollupWidthForAlignment(t *testing.T) {
 		{0, 3599, 600, RollupFine},
 		{60, 3659, 600, RollupFine}, // edges on the 1m grid
 		{0, 7199, 7200, RollupCoarse},
-		{30, 3599, 600, 0},     // start off the grid
-		{0, 3600, 600, 0},      // end+1 off the grid
-		{1800, 5399, 7200, 0},  // edges off the 1h grid
-		{0, 3599, 7, 0},        // width never rollup-eligible
-		{30, 1229, 0, 0},       // no downsample at all
+		{30, 3599, 600, 0},    // start off the grid
+		{0, 3600, 600, 0},     // end+1 off the grid
+		{1800, 5399, 7200, 0}, // edges off the 1h grid
+		{0, 3599, 7, 0},       // width never rollup-eligible
+		{30, 1229, 0, 0},      // no downsample at all
 	}
 	for _, c := range cases {
 		q := Query{Start: c.start, End: c.end, DownsampleSeconds: c.w}

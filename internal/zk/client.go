@@ -1,0 +1,36 @@
+package zk
+
+// Client is the coordination API shared by in-process sessions and
+// remote (rpc-bridged) sessions. *Session satisfies it directly; nodes
+// in other processes use a RemoteClient speaking to a Service. The
+// recipes layered on top (EnsurePath, Election) accept a Client so
+// they behave identically either way.
+type Client interface {
+	// ID returns the session identifier, unique per server.
+	ID() int64
+	// Create makes a znode at p with data. The parent must exist.
+	Create(p string, data []byte, ephemeral bool) error
+	// CreateSequential makes a znode named prefix + zero-padded
+	// counter (per parent), returning the created path.
+	CreateSequential(prefix string, data []byte, ephemeral bool) (string, error)
+	// Get returns the data and stat of the znode at p.
+	Get(p string) ([]byte, Stat, error)
+	// Set replaces the data at p; version >= 0 is a compare-and-set,
+	// -1 skips the check.
+	Set(p string, data []byte, version int) error
+	// Delete removes the znode at p, which must have no children.
+	Delete(p string) error
+	// Exists reports whether p exists.
+	Exists(p string) (bool, error)
+	// Children returns the sorted child names (not full paths) of p.
+	Children(p string) ([]string, error)
+	// Watch arms a one-shot watch on p's lifecycle and data.
+	Watch(p string) (<-chan Event, error)
+	// WatchChildren arms a one-shot watch for membership changes
+	// under p.
+	WatchChildren(p string) (<-chan Event, error)
+	// Close expires the session, deleting its ephemeral znodes.
+	Close()
+}
+
+var _ Client = (*Session)(nil)

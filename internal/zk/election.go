@@ -16,7 +16,7 @@ import (
 // backup automatically — the failover the paper's deployment relies on
 // (one HMaster, one BackupHMaster).
 type Election struct {
-	session *Session
+	session Client
 	root    string
 	me      string // the candidate znode this session created
 	id      string // human-readable candidate identity
@@ -25,7 +25,7 @@ type Election struct {
 // EnsurePath creates p and any missing ancestors as persistent znodes,
 // ignoring nodes that already exist (like ZooKeeper's creatingParents
 // recipe).
-func EnsurePath(s *Session, p string) error {
+func EnsurePath(s Client, p string) error {
 	p = normalize(p)
 	if p == "/" {
 		return nil
@@ -43,7 +43,7 @@ func EnsurePath(s *Session, p string) error {
 
 // JoinElection registers the candidate id under root (created when
 // missing) and returns the election handle.
-func JoinElection(s *Session, root, id string) (*Election, error) {
+func JoinElection(s Client, root, id string) (*Election, error) {
 	root = normalize(root)
 	if err := EnsurePath(s, root); err != nil {
 		return nil, fmt.Errorf("zk: create election root: %w", err)

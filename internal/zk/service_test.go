@@ -1,0 +1,195 @@
+package zk
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// startService wires a Server + Service onto a fresh rpc network.
+func startService(t *testing.T, ttl time.Duration) (*rpc.Network, *Server, *Service) {
+	t.Helper()
+	net := rpc.NewNetwork(0, nil)
+	srv := NewServer()
+	svc := NewService(srv, ttl)
+	if err := svc.Register(net, "zk", rpc.ServerConfig{}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	t.Cleanup(func() { svc.Close(); net.Close() })
+	return net, srv, svc
+}
+
+func remoteCfg() RemoteConfig {
+	return RemoteConfig{KeepAlive: 20 * time.Millisecond, PollInterval: 5 * time.Millisecond}
+}
+
+func TestRemoteClientBasicOps(t *testing.T) {
+	net, _, _ := startService(t, time.Second)
+	c, err := Connect(context.Background(), net, "zk", remoteCfg())
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	defer c.Close()
+
+	if err := c.Create("/a", []byte("one"), false); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := c.Create("/a", nil, false); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("want ErrNodeExists, got %v", err)
+	}
+	data, stat, err := c.Get("/a")
+	if err != nil || string(data) != "one" || stat.Version != 0 {
+		t.Fatalf("get: %q %+v %v", data, stat, err)
+	}
+	if err := c.Set("/a", []byte("two"), 5); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+	if err := c.Set("/a", []byte("two"), 0); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	p, err := c.CreateSequential("/a/seq-", nil, true)
+	if err != nil {
+		t.Fatalf("createseq: %v", err)
+	}
+	kids, err := c.Children("/a")
+	if err != nil || len(kids) != 1 {
+		t.Fatalf("children: %v %v", kids, err)
+	}
+	ok, err := c.Exists(p)
+	if err != nil || !ok {
+		t.Fatalf("exists %s: %v %v", p, ok, err)
+	}
+	if err := c.Delete(p); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, _, err := c.Get(p); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("want ErrNoNode, got %v", err)
+	}
+}
+
+func TestRemoteClientWatches(t *testing.T) {
+	net, srv, _ := startService(t, time.Second)
+	c, err := Connect(context.Background(), net, "zk", remoteCfg())
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	defer c.Close()
+	local := srv.NewSession()
+	defer local.Close()
+
+	if err := local.Create("/w", []byte("v0"), false); err != nil {
+		t.Fatal(err)
+	}
+	dw, err := c.Watch("/w")
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	cw, err := c.WatchChildren("/w")
+	if err != nil {
+		t.Fatalf("watchchildren: %v", err)
+	}
+	if err := local.Set("/w", []byte("v1"), -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Create("/w/kid", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-dw:
+		if ev.Type != EventDataChanged {
+			t.Fatalf("data watch fired %v", ev.Type)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("data watch never fired")
+	}
+	select {
+	case ev := <-cw:
+		if ev.Type != EventChildrenChanged {
+			t.Fatalf("child watch fired %v", ev.Type)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("child watch never fired")
+	}
+}
+
+// TestRemoteSessionExpiryFailsOverElection is the liveness core: a
+// remote candidate that stops pinging loses its ephemerals, promoting
+// the next candidate.
+func TestRemoteSessionExpiryFailsOverElection(t *testing.T) {
+	net, srv, _ := startService(t, 60*time.Millisecond)
+	c1, err := Connect(context.Background(), net, "zk", remoteCfg())
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	e1, err := JoinElection(c1, "/election", "remote-1")
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	local := srv.NewSession()
+	defer local.Close()
+	e2, err := JoinElection(local, "/election", "local-2")
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if lead, _ := e1.IsLeader(); !lead {
+		t.Fatal("remote candidate should lead")
+	}
+	if lead, _ := e2.IsLeader(); lead {
+		t.Fatal("local candidate should follow")
+	}
+
+	// Simulate a SIGKILL: stop the keepalive without a clean close.
+	close(c1.stop)
+	c1.wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e2.AwaitLeadership(ctx); err != nil {
+		t.Fatalf("follower never promoted: %v", err)
+	}
+	if leader, err := e2.Leader(); err != nil || leader != "local-2" {
+		t.Fatalf("leader=%q err=%v", leader, err)
+	}
+}
+
+// TestRemoteElectionOverClient exercises the election recipe fully
+// through the remote client, including the polling child watch inside
+// AwaitLeadership.
+func TestRemoteElectionOverClient(t *testing.T) {
+	net, _, _ := startService(t, time.Second)
+	c1, err := Connect(context.Background(), net, "zk", remoteCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Connect(context.Background(), net, "zk", remoteCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	e1, err := JoinElection(c1, "/el2", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := JoinElection(c2, "/el2", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		promoted <- e2.AwaitLeadership(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := e1.Resign(); err != nil {
+		t.Fatalf("resign: %v", err)
+	}
+	if err := <-promoted; err != nil {
+		t.Fatalf("await: %v", err)
+	}
+}

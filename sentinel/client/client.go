@@ -391,6 +391,17 @@ func (c *Client) Detectors(ctx context.Context) (*v1.DetectorsResponse, error) {
 	return &out, nil
 }
 
+// Cluster fetches the cluster membership map: every live node with
+// its roles, rpc endpoint, TSD routes and bus leadership state. A
+// single-process server reports one node holding every role.
+func (c *Client) Cluster(ctx context.Context) (*v1.ClusterResponse, error) {
+	var out v1.ClusterResponse
+	if err := c.getJSON(ctx, v1.PathPrefix+"/cluster", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Health probes liveness.
 func (c *Client) Health(ctx context.Context) error {
 	resp, err := c.do(ctx, http.MethodGet, "/healthz", "", nil, "")

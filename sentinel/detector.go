@@ -53,8 +53,8 @@ import (
 // there would starve those batch jobs (or deadlock outright once
 // workers outnumber executors).
 type DetectorPool struct {
-	sys    *System
-	group  *bus.Group
+	env    DetectorEnv
+	group  bus.GroupHandle
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	once   sync.Once
@@ -95,6 +95,62 @@ func transientStorage(err error) bool {
 		errors.Is(err, context.DeadlineExceeded)
 }
 
+// DetectorEnv is everything a DetectorPool needs to run, decoupled
+// from System so a detect-only cluster node can operate a pool against
+// a remote bus and a remote anomaly sink without booting the full
+// single-process stack.
+type DetectorEnv struct {
+	// Sensors is the per-unit sensor count batches are validated
+	// against.
+	Sensors int
+	// Primary is the registered detector family workers evaluate.
+	Primary string
+	// NewDetector constructs one unit's instance of a named family
+	// (primary or shadow).
+	NewDetector func(name string, unit int) (mllib.Detector, error)
+	// Sink receives the flags workers write back to storage.
+	Sink core.AnomalySink
+	// Flags, when non-nil, is the flag-feed topic anomalies are
+	// published onto while a consumer group (an SSE tail) is attached.
+	Flags bus.TopicHandle
+	// Shadows and ShadowBuffer configure the asynchronous shadow
+	// runner (empty: none).
+	Shadows      []string
+	ShadowBuffer int
+	// OnStop, when non-nil, runs once inside Stop after the workers
+	// and shadow runner have halted; it owns group detachment (System
+	// uses it for pool-registry bookkeeping). When nil, Stop closes
+	// the group itself.
+	OnStop func(p *DetectorPool)
+}
+
+// NewDetectorPool starts workers consumer-group members evaluating
+// unit batches from group through env. Callers wanting System's group
+// sharing and registry semantics use System.StartDetectors; cluster
+// detect nodes build pools directly against a remote group.
+func NewDetectorPool(env DetectorEnv, group bus.GroupHandle, workers int) *DetectorPool {
+	if workers <= 0 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &DetectorPool{env: env, group: group, cancel: cancel}
+	if len(env.Shadows) > 0 {
+		p.shadow = newShadowRunner(env.NewDetector, env.Shadows, env.ShadowBuffer)
+	}
+	// Join every member before the first worker polls, so the pool
+	// starts on a settled assignment instead of rebalancing (and
+	// redelivering) its way up.
+	members := make([]bus.ConsumerHandle, workers)
+	for i := range members {
+		members[i] = group.Join()
+	}
+	for _, c := range members {
+		p.wg.Add(1)
+		go p.worker(ctx, c)
+	}
+	return p
+}
+
 // AttachDetectorGroup attaches the detector consumer group at the
 // current end of the topic without starting workers: records published
 // afterwards are retained (and, once the partition buffer fills, exert
@@ -112,13 +168,13 @@ func (s *System) AttachDetectorGroup() {
 // with StartDetectors so attach and pool registration happen in one
 // critical section (a concurrent Stop cannot detach the group in
 // between).
-func (s *System) attachDetectorGroupLocked() *bus.Group {
+func (s *System) attachDetectorGroupLocked() bus.GroupHandle {
 	if s.detGroup == nil {
 		g := s.topic.Group(GroupDetectors)
 		// Skip history (typically the training range, already stored
 		// and not worth flagging); the group sees live traffic only.
 		g.SeekToEnd()
-		s.detGroup = g
+		s.detGroup = bus.LocalGroup{Group: g}
 	}
 	return s.detGroup
 }
@@ -133,37 +189,59 @@ func (s *System) StartDetectors(workers int) *DetectorPool {
 	if workers <= 0 {
 		workers = s.cfg.DetectorWorkers
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	p := &DetectorPool{
-		sys:    s,
-		cancel: cancel,
-	}
-	if len(s.cfg.ShadowDetectors) > 0 {
-		p.shadow = newShadowRunner(s, s.cfg.ShadowDetectors, s.cfg.ShadowBuffer)
+	env := DetectorEnv{
+		Sensors:      s.cfg.SensorsPerUnit,
+		Primary:      s.cfg.PrimaryDetector,
+		NewDetector:  s.newDetector,
+		Sink:         &tsdb.Sink{TSD: s.TSDB.TSDs()[0]},
+		Flags:        bus.LocalTopic{Topic: s.flags},
+		Shadows:      s.cfg.ShadowDetectors,
+		ShadowBuffer: s.cfg.ShadowBuffer,
+		OnStop:       s.poolStopped,
 	}
 	// Attach (or reuse) the group and register the pool atomically, so
 	// a concurrent Stop of the last running pool either sees this pool
 	// as a sharer or has fully detached before the group is resolved.
 	s.mu.Lock()
-	p.group = s.attachDetectorGroupLocked()
+	defer s.mu.Unlock()
+	p := NewDetectorPool(env, s.attachDetectorGroupLocked(), workers)
 	s.pools = append(s.pools, p)
-	s.mu.Unlock()
-	// Join every member before the first worker polls, so the pool
-	// starts on a settled assignment instead of rebalancing (and
-	// redelivering) its way up.
-	members := make([]*bus.Consumer, workers)
-	for i := range members {
-		members[i] = p.group.Join()
-	}
-	for _, c := range members {
-		p.wg.Add(1)
-		go p.worker(ctx, c)
-	}
 	return p
 }
 
+// poolStopped is the System side of DetectorPool.Stop: deregister the
+// pool and — once no other pool shares its group — detach the group,
+// so stopping one pool never kills a sibling started by a second
+// StartDetectors call.
+func (s *System) poolStopped(p *DetectorPool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	shared := false
+	kept := s.pools[:0]
+	for _, other := range s.pools {
+		if other == p {
+			continue
+		}
+		kept = append(kept, other)
+		if other.group == p.group {
+			shared = true
+		}
+	}
+	s.pools = kept
+	if !shared {
+		if s.detGroup == p.group {
+			s.detGroup = nil
+		}
+		// Detach inside the critical section: a concurrent
+		// StartDetectors must observe either the attached group (and
+		// register as a sharer) or a fully detached topic, never join
+		// a group about to close.
+		p.group.Close()
+	}
+}
+
 // Group exposes the pool's consumer group (lag, committed offsets).
-func (p *DetectorPool) Group() *bus.Group { return p.group }
+func (p *DetectorPool) Group() bus.GroupHandle { return p.group }
 
 // Sync blocks until the pool has committed every record published so
 // far (benchmarks and the live loop use it as a barrier). It does not
@@ -206,31 +284,11 @@ func (p *DetectorPool) Stop() {
 			// close safely.
 			p.shadow.stop()
 		}
-		s := p.sys
-		s.mu.Lock()
-		shared := false
-		kept := s.pools[:0]
-		for _, other := range s.pools {
-			if other == p {
-				continue
-			}
-			kept = append(kept, other)
-			if other.group == p.group {
-				shared = true
-			}
+		if p.env.OnStop != nil {
+			p.env.OnStop(p)
+			return
 		}
-		s.pools = kept
-		if !shared {
-			if s.detGroup == p.group {
-				s.detGroup = nil
-			}
-			// Detach inside the critical section: a concurrent
-			// StartDetectors must observe either the attached group
-			// (and register as a sharer) or a fully detached topic,
-			// never join a group about to close.
-			p.group.Close()
-		}
-		s.mu.Unlock()
+		p.group.Close()
 	})
 }
 
@@ -255,7 +313,7 @@ func (p *DetectorPool) detector(sc *detectorScratch, unit int) (mllib.Detector, 
 	if d, ok := sc.dets[unit]; ok {
 		return d, nil
 	}
-	d, err := p.sys.newDetector(p.sys.cfg.PrimaryDetector, unit)
+	d, err := p.env.NewDetector(p.env.Primary, unit)
 	if err != nil {
 		return nil, err
 	}
@@ -267,11 +325,11 @@ func (p *DetectorPool) detector(sc *detectorScratch, unit int) (mllib.Detector, 
 // flags, commit. Commit happens only after the whole poll is
 // processed, so a worker lost mid-batch redelivers (at-least-once) to
 // the surviving members.
-func (p *DetectorPool) worker(ctx context.Context, c *bus.Consumer) {
+func (p *DetectorPool) worker(ctx context.Context, c bus.ConsumerHandle) {
 	defer p.wg.Done()
 	defer c.Leave()
 	sc := detectorScratch{dets: make(map[int]mllib.Detector)}
-	sink := &tsdb.Sink{TSD: p.sys.TSDB.TSDs()[0]}
+	sink := p.env.Sink
 	buf := make([]bus.Record, 0, 16)
 	boff := resilience.Backoff{Base: 5 * time.Millisecond, Factor: 2, Max: 500 * time.Millisecond, Jitter: true}
 	pollFails := 0
@@ -341,7 +399,7 @@ func (p *DetectorPool) process(ctx context.Context, rec *bus.Record, sink core.A
 	if !ok {
 		return fmt.Errorf("sentinel: record %d/%d is not a unit batch", rec.Partition, rec.Offset)
 	}
-	sensors := p.sys.cfg.SensorsPerUnit
+	sensors := p.env.Sensors
 	if err := sc.assemble(batch, sensors); err != nil {
 		return err
 	}
@@ -359,7 +417,7 @@ func (p *DetectorPool) process(ctx context.Context, rec *bus.Record, sink core.A
 	}
 	sc.rowFlags = sc.rowFlags[:n]
 	clear(sc.rowFlags)
-	primary := p.sys.cfg.PrimaryDetector
+	primary := p.env.Primary
 	for _, f := range sc.det.Flags {
 		sc.rowFlags[f.Row] = true
 		a := core.Anomaly{
@@ -386,8 +444,8 @@ func (p *DetectorPool) process(ctx context.Context, rec *bus.Record, sink core.A
 		// stream is live; a flag written during the race is simply
 		// not streamed). Failures are counted, not fatal — the
 		// flag is already durable in the TSDB.
-		if p.sys.flags.HasGroups() {
-			if _, err := p.sys.flags.Publish(ctx, uint64(a.Unit), a); err != nil {
+		if p.env.Flags != nil && p.env.Flags.HasGroups() {
+			if _, err := p.env.Flags.Publish(ctx, uint64(a.Unit), a); err != nil {
 				p.FlagPublishErrors.Inc()
 			} else {
 				p.FlagsPublished.Inc()

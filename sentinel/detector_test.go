@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/bus"
 	"repro/internal/fdr"
 	"repro/internal/tsdb"
 )
@@ -112,9 +113,10 @@ func TestDetectorPoolRebalanceKeepsEvaluating(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Lose a member mid-stream: Leave redistributes its partitions.
-	gen := pool.Group().Generation()
+	dg := pool.group.(bus.LocalGroup).Group
+	gen := dg.Generation()
 	pool.group.Join().Leave() // join/leave forces two rebalances
-	if pool.Group().Generation() == gen {
+	if dg.Generation() == gen {
 		t.Fatal("membership churn did not bump the generation")
 	}
 	if _, err := sys.IngestRange(50, 10); err != nil {

@@ -271,7 +271,7 @@ type System struct {
 
 	mu       sync.Mutex
 	pools    []*DetectorPool
-	detGroup *bus.Group
+	detGroup bus.GroupHandle
 
 	streamSeq atomic.Int64
 }
@@ -379,7 +379,7 @@ func New(cfg Config) (*System, error) {
 	// consuming would retain flags forever.
 	sys.flags = sys.Bus.Topic(TopicAnomalies)
 	sys.storage = sys.topic.Group(GroupStorage)
-	sys.Writers = ingest.StartStorageWriters(context.Background(), sys.storage, px, cfg.StorageWriters)
+	sys.Writers = ingest.StartStorageWriters(context.Background(), bus.LocalGroup{Group: sys.storage}, px, cfg.StorageWriters)
 	return sys, nil
 }
 
@@ -432,7 +432,7 @@ func (s *System) AnomalyTopic() *bus.Topic { return s.flags }
 // consumer group, so every tail sees every flag and closing one never
 // detaches another's. Close the tail before System.Close.
 func (s *System) NewAnomalyTail() *api.AnomalyTail {
-	return api.NewAnomalyTail(s.flags, fmt.Sprintf("%s-%d", GroupStream, s.streamSeq.Add(1)))
+	return api.NewAnomalyTail(bus.LocalTopic{Topic: s.flags}, fmt.Sprintf("%s-%d", GroupStream, s.streamSeq.Add(1)))
 }
 
 // IngestRange streams fleet time steps [from, from+steps) onto the
@@ -441,7 +441,7 @@ func (s *System) NewAnomalyTail() *api.AnomalyTail {
 // the training and detection paths rely on. Detector pools consume the
 // same records asynchronously.
 func (s *System) IngestRange(from int64, steps int) (ingest.Stats, error) {
-	driver := ingest.NewBusDriver(s.Fleet, s.topic, ingest.DriverConfig{})
+	driver := ingest.NewBusDriver(s.Fleet, bus.LocalTopic{Topic: s.topic}, ingest.DriverConfig{})
 	stats, err := driver.Run(from, steps)
 	if err != nil {
 		return stats, err
@@ -651,7 +651,7 @@ func (s *System) Gateway(now int64, cfg GatewayConfig) (http.Handler, *api.Anoma
 	reg.RegisterCounter("query_degraded_serves", &engine.DegradedServes)
 	gw := api.New(api.Config{
 		Backend:    backend,
-		Publisher:  &api.BusPublisher{Topic: s.topic},
+		Publisher:  &api.BusPublisher{Topic: bus.LocalTopic{Topic: s.topic}},
 		Query:      engine,
 		Tail:       tail,
 		Registry:   reg,
@@ -659,6 +659,7 @@ func (s *System) Gateway(now int64, cfg GatewayConfig) (http.Handler, *api.Anoma
 		Ready:      s.ReadyChecks(),
 		Now:        cfg.Now,
 		Detectors:  s.DetectorStatus,
+		Cluster:    s.ClusterStatus,
 		RatePerSec: cfg.RatePerSec,
 		Burst:      cfg.Burst,
 		AccessLog:  cfg.AccessLog,

@@ -50,7 +50,7 @@ type shadowJob struct {
 // and counted, so a pathologically slow shadow detector can never
 // stall, backpressure or corrupt the primary path.
 type shadowRunner struct {
-	sys     *System
+	newDet  func(name string, unit int) (mllib.Detector, error)
 	names   []string
 	jobs    chan *shadowJob
 	free    sync.Pool
@@ -71,14 +71,14 @@ type shadowCounters struct {
 	batches, flags, agreements, disagreements, shed, errors atomic.Int64
 }
 
-func newShadowRunner(sys *System, names []string, buffer int) *shadowRunner {
+func newShadowRunner(newDet func(name string, unit int) (mllib.Detector, error), names []string, buffer int) *shadowRunner {
 	r := &shadowRunner{
-		sys:   sys,
-		names: names,
-		jobs:  make(chan *shadowJob, buffer),
-		done:  make(chan struct{}),
-		stats: make([]shadowCounters, len(names)),
-		dets:  make([]map[int]mllib.Detector, len(names)),
+		newDet: newDet,
+		names:  names,
+		jobs:   make(chan *shadowJob, buffer),
+		done:   make(chan struct{}),
+		stats:  make([]shadowCounters, len(names)),
+		dets:   make([]map[int]mllib.Detector, len(names)),
 	}
 	for i := range r.dets {
 		r.dets[i] = make(map[int]mllib.Detector)
@@ -154,7 +154,7 @@ func (r *shadowRunner) evalShadow(i int, name string, job *shadowJob) {
 	d, ok := r.dets[i][job.unit]
 	if !ok {
 		var err error
-		d, err = r.sys.newDetector(name, job.unit)
+		d, err = r.newDet(name, job.unit)
 		if err != nil {
 			st.errors.Add(1)
 			return
