@@ -18,7 +18,7 @@ ALLOC_BENCH = BenchmarkEvaluateBatchInto|BenchmarkApplyInto|BenchmarkMulInto|Ben
 # stable ns/op medians, short enough for a PR loop.
 GATE_BENCHTIME ?= 300ms
 
-.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs bench-gate soak backtest chaos conformance cluster cluster-smoke check
+.PHONY: build lint vet fmt test bench bench-json bench-query bench-allocs bench-gate soak backtest chaos conformance cluster cluster-smoke load-smoke load check
 
 build:
 	$(GO) build ./...
@@ -89,8 +89,30 @@ bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkQueryCacheHit|BenchmarkQueryColdScatterGather' -benchtime $(GATE_BENCHTIME) -benchmem ./internal/query/ > bench-gate.out
 	$(GO) test -run '^$$' -bench 'BenchmarkCompressedScan|BenchmarkBlockCompress' -benchtime $(GATE_BENCHTIME) -benchmem ./internal/tsdb/ >> bench-gate.out
 	$(GO) test -run '^$$' -bench 'BenchmarkOnlineEvalThroughput' -benchtime $(GATE_BENCHTIME) -benchmem . >> bench-gate.out
-	$(GO) run ./cmd/benchgate -pins BENCH_PINS -baseline BENCH_query.json -baseline BENCH_evaluation.json < bench-gate.out
+	$(GO) run ./cmd/benchgate -pins BENCH_PINS -baseline BENCH_query.json -baseline BENCH_evaluation.json -skip BenchmarkLoad < bench-gate.out
 	@rm -f bench-gate.out
+
+# load-smoke is the gating overload-contract check: cmd/loadgen boots
+# an in-process System behind a real listener, calibrates capacity
+# closed-loop, then drives 2x capacity open-loop (coordinated-omission
+# safe) with mixed ingest / interactive / bulk / SSE-tailer traffic
+# against the admission controller. -assert enforces the contract —
+# accepted-ingest p99 bounded, zero acked-point loss, sheds present
+# and ordered bulk >= interactive >= ingest — and benchgate then
+# ratchets the fresh numbers against the committed BENCH_load.json
+# (only the BenchmarkLoad pins; the PR-loop bench-gate skips them).
+load-smoke:
+	@rm -f bench-load.out bench-load.json
+	$(GO) run ./cmd/loadgen -self -assert -calibrate 3s -duration 6s \
+		-out bench-load.json -bench bench-load.out
+	$(GO) run ./cmd/benchgate -pins BENCH_PINS -baseline BENCH_load.json -only BenchmarkLoad < bench-load.out
+	@rm -f bench-load.out bench-load.json
+
+# load is the full-length run that refreshes the committed
+# BENCH_load.json baseline (nightly, or after an intentional
+# capacity/latency change — commit the refreshed file).
+load:
+	$(GO) run ./cmd/loadgen -self -assert -calibrate 5s -duration 20s -out BENCH_load.json
 
 # soak runs the storage-tier compression soak at nightly length: a
 # multi-hour ingest → seal → spill → query cycle asserting
@@ -151,4 +173,4 @@ cluster-smoke:
 	$(GO) build -o bin/sentineld ./cmd/sentineld
 	$(GO) run ./cmd/clustersmoke -bin bin/sentineld
 
-check: lint build test bench bench-allocs bench-gate backtest chaos conformance cluster-smoke
+check: lint build test bench bench-allocs bench-gate backtest chaos conformance cluster-smoke load-smoke

@@ -72,13 +72,20 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	pinsPath := flag.String("pins", "BENCH_PINS", "pin file (benchmark-prefix metric tolerance per line)")
-	var baselines multiFlag
+	var baselines, only, skip multiFlag
 	flag.Var(&baselines, "baseline", "committed BENCH_*.json baseline (repeatable)")
+	flag.Var(&only, "only", "enforce only pins whose prefix starts with this (repeatable)")
+	flag.Var(&skip, "skip", "ignore pins whose prefix starts with this (repeatable)")
 	flag.Parse()
 
 	pins, err := loadPins(*pinsPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	pins = filterPins(pins, only, skip)
+	if len(pins) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no pins left after -only/-skip")
 		os.Exit(1)
 	}
 	if len(baselines) == 0 {
@@ -116,6 +123,32 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: %d metric(s) within tolerance\n", checked)
+}
+
+// filterPins applies the -only/-skip prefix selectors, letting one
+// pin file serve runs that exercise different benchmark subsets (the
+// PR-loop bench-gate skips the load pins; load-smoke enforces only
+// them) without un-pinned pins failing as dangling.
+func filterPins(pins []*pin, only, skip []string) []*pin {
+	anyPrefix := func(s string, prefixes []string) bool {
+		for _, p := range prefixes {
+			if strings.HasPrefix(s, p) {
+				return true
+			}
+		}
+		return false
+	}
+	var kept []*pin
+	for _, p := range pins {
+		if len(only) > 0 && !anyPrefix(p.prefix, only) {
+			continue
+		}
+		if anyPrefix(p.prefix, skip) {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept
 }
 
 // gate compares the bench run on in against base under pins, reporting

@@ -3,6 +3,7 @@ package main
 import (
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -80,5 +81,48 @@ func TestGateShadowedPinIsNotDangling(t *testing.T) {
 	// within 3x of 100 but past the shorter pin's 2x.
 	if _, violations := runGate(t, pins, base, "BenchmarkFooBar-8  1000  250 ns/op\n"); violations != 0 {
 		t.Fatalf("violations = %d, want 0 (longest prefix's tolerance governs)", violations)
+	}
+}
+
+func TestFilterPinsOnlySkip(t *testing.T) {
+	pins := testPins(t,
+		"BenchmarkLoadIngest samples/s 3",
+		"BenchmarkLoadQuery ns_per_op 4",
+		"BenchmarkQueryCacheHit ns_per_op 4",
+	)
+	names := func(ps []*pin) string {
+		var out []string
+		for _, p := range ps {
+			out = append(out, p.prefix)
+		}
+		sort.Strings(out)
+		return strings.Join(out, ",")
+	}
+	if got := names(filterPins(pins, []string{"BenchmarkLoad"}, nil)); got != "BenchmarkLoadIngest,BenchmarkLoadQuery" {
+		t.Fatalf("-only BenchmarkLoad kept %q", got)
+	}
+	if got := names(filterPins(pins, nil, []string{"BenchmarkLoad"})); got != "BenchmarkQueryCacheHit" {
+		t.Fatalf("-skip BenchmarkLoad kept %q", got)
+	}
+	if got := names(filterPins(pins, nil, nil)); got != "BenchmarkLoadIngest,BenchmarkLoadQuery,BenchmarkQueryCacheHit" {
+		t.Fatalf("no filters kept %q", got)
+	}
+	if got := filterPins(pins, []string{"BenchmarkLoad"}, []string{"BenchmarkLoad"}); len(got) != 0 {
+		t.Fatalf("only+skip of the same prefix kept %d pins", len(got))
+	}
+}
+
+// A skipped pin that matches nothing on stdin must not fail as
+// dangling — that is the whole point of -skip for subset runs.
+func TestSkippedPinNotDangling(t *testing.T) {
+	pins := testPins(t,
+		"BenchmarkLoadIngest samples/s 3",
+		"BenchmarkFoo ns_per_op 2",
+	)
+	pins = filterPins(pins, nil, []string{"BenchmarkLoad"})
+	base := map[string]entry{"BenchmarkFoo": {NsPerOp: 100}}
+	checked, violations := runGate(t, pins, base, "BenchmarkFoo-8  1000  100 ns/op\n")
+	if checked != 1 || violations != 0 {
+		t.Fatalf("checked %d / violations %d, want 1 / 0", checked, violations)
 	}
 }

@@ -26,13 +26,19 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
+	v1 "repro/internal/api/v1"
 	"repro/internal/bus"
 	"repro/internal/faultinject"
 	"repro/internal/ingest"
@@ -40,6 +46,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/tsdb"
 	"repro/sentinel"
+	"repro/sentinel/client"
 )
 
 // report is the BENCH_chaos.json schema.
@@ -71,6 +78,14 @@ type report struct {
 	DetectorParks    int64 `json:"detector_parks"`
 	AnomaliesWritten int64 `json:"anomalies_written"`
 	DetectorErrors   int64 `json:"detector_errors"`
+
+	// The admission-blackout scenario: points acked through the
+	// admission-gated gateway while storage was dark, typed 503 sheds
+	// the controller issued, and how many of the acked points were
+	// queryable after recovery (must be all of them).
+	AdmissionAcked     int64 `json:"admission_acked_points"`
+	AdmissionSheds     int64 `json:"admission_sheds"`
+	AdmissionQueryable int64 `json:"admission_queryable_points"`
 
 	RecoveryMS map[string]int64 `json:"recovery_ms"`
 	Failures   []string         `json:"failures,omitempty"`
@@ -286,6 +301,43 @@ func main() {
 	}
 	rep.RecoveryMS["breakers-closed"] = time.Since(closeStart).Milliseconds()
 
+	// Scenario 5: admission-controlled shedding through a second
+	// storage blackout, driven over the real HTTP surface. A gateway
+	// with a deliberately tiny storage-lag budget faces SDK writers
+	// with retries off: once the blackout parks the storage group and
+	// lag crosses the budget, the controller must shed with typed 503s
+	// — and every point acked BEFORE a shed is an unbreakable promise
+	// that survives the blackout on the bus. Shedding is only legal
+	// before the ack, never after.
+	rep.Phases = append(rep.Phases, "admission-blackout-shed")
+	fmt.Fprintln(os.Stderr, "chaossoak: phase admission-blackout-shed")
+	admitted, shed, admErrs := runAdmissionBlackout(sys, inj, units, sensors, hold, fail)
+	drain("admission-blackout-shed")
+	closeBreakersAgain := time.Now()
+	for sys.Breakers.OpenCount() > 0 {
+		if time.Since(closeBreakersAgain) > recoveryBudget {
+			fail("breakers never re-closed after admission blackout (still open: %d)", sys.Breakers.OpenCount())
+			break
+		}
+		pctx, pcancel := context.WithTimeout(context.Background(), time.Second)
+		_, _ = prober.QueryContext(pctx, warmQ)
+		pcancel()
+		time.Sleep(20 * time.Millisecond)
+	}
+	rep.AdmissionAcked = admitted
+	rep.AdmissionSheds = shed
+	bandQueryable := countBand(sys, units, fail)
+	rep.AdmissionQueryable = bandQueryable
+	if shed == 0 {
+		fail("admission blackout shed nothing: the lag signal never engaged")
+	}
+	if admErrs != 0 {
+		fail("admission blackout produced %d non-shed errors", admErrs)
+	}
+	if bandQueryable < admitted {
+		fail("admission blackout dropped acked records: %d acked, %d queryable", admitted, bandQueryable)
+	}
+
 	// Let the detector pool catch up, then stop the reader.
 	syncCtx, cancelSync := context.WithTimeout(context.Background(), recoveryBudget)
 	if err := pool.Sync(syncCtx); err != nil {
@@ -394,4 +446,91 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "chaossoak: PASS — %d samples, %d queries (%d degraded), breakers %d/%d/%d open/half-open/close\n",
 		published, rep.QueriesTotal, rep.QueriesDegraded, rep.BreakerOpens, rep.BreakerHalfOpens, rep.BreakerCloses)
+}
+
+// admissionBand is the timestamp band the admission-blackout scenario
+// writes into: far above any driver step, so its ledger is disjoint
+// from the phase ingest verified against `expected`.
+const admissionBand = int64(1) << 20
+
+// runAdmissionBlackout drives SDK writers (retries OFF) at an
+// admission-gated gateway through a storage blackout. The controller
+// gets a deliberately tiny storage-lag budget so the parked storage
+// group trips shedding within a few dozen acked rows. Returns acked
+// points, typed sheds, and non-shed errors; faults are cleared before
+// returning so the caller can drain.
+func runAdmissionBlackout(sys *sentinel.System, inj *faultinject.Injector, units, sensors int, hold time.Duration, fail func(string, ...any)) (acked, sheds, errs int64) {
+	ctrl := sys.NewAdmissionController(48, admission.Config{})
+	h, tail := sys.Gateway(0, sentinel.GatewayConfig{
+		Admission: ctrl,
+		AccessLog: log.New(io.Discard, "", 0),
+	})
+	defer tail.Close()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	cl, err := client.New(srv.URL, client.WithHTTPClient(srv.Client()), client.WithRetry(0, time.Millisecond))
+	if err != nil {
+		fail("admission blackout: client: %v", err)
+		return
+	}
+
+	inj.Set("adm-blackout-rpc", faultinject.Rule{Op: "rpc/tsd/", ErrorRate: 1})
+	inj.Set("adm-blackout-put", faultinject.Rule{Op: "tsdb/put/", ErrorRate: 1})
+	defer func() {
+		inj.Clear("adm-blackout-rpc")
+		inj.Clear("adm-blackout-put")
+	}()
+
+	deadline := time.Now().Add(hold)
+	for i := int64(0); time.Now().Before(deadline) || sheds == 0; i++ {
+		if i >= 20000 {
+			fail("admission blackout: no shed after %d rows", i)
+			break
+		}
+		unit := int(i) % units
+		ts := admissionBand + i/int64(units)
+		pts := make([]v1.Point, sensors)
+		for s := 0; s < sensors; s++ {
+			pts[s] = v1.Point{
+				Metric:    tsdb.MetricEnergy,
+				Timestamp: ts,
+				Value:     float64(unit),
+				Tags:      map[string]string{"unit": fmt.Sprint(unit), "sensor": fmt.Sprint(s)},
+			}
+		}
+		n, err := cl.PutPoints(context.Background(), pts)
+		switch {
+		case err == nil:
+			acked += int64(n)
+		case errors.Is(err, client.ErrOverloaded):
+			sheds++
+		default:
+			errs++
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	return acked, sheds, errs
+}
+
+// countBand counts the admission-band samples queryable from storage
+// through a cache-free engine.
+func countBand(sys *sentinel.System, units int, fail func(string, ...any)) int64 {
+	verifier := sys.QueryEngine(query.Config{MaxEntries: -1})
+	var total int64
+	for u := 0; u < units; u++ {
+		series, err := verifier.QueryContext(context.Background(), tsdb.Query{
+			Metric: tsdb.MetricEnergy,
+			Tags:   map[string]string{"unit": fmt.Sprint(u)},
+			Start:  admissionBand,
+			End:    admissionBand + (1 << 16),
+		})
+		if err != nil {
+			fail("verify admission band unit %d: %v", u, err)
+			continue
+		}
+		for i := range series {
+			total += int64(len(series[i].Samples))
+		}
+	}
+	return total
 }

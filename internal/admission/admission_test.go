@@ -1,0 +1,237 @@
+package admission
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a controller's view of time manually.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (f *fakeClock) now() time.Time          { return time.Unix(0, f.ns.Load()) }
+func (f *fakeClock) advance(d time.Duration) { f.ns.Add(int64(d)) }
+
+func newTestController(load *atomic.Int64, limit int64, clk *fakeClock) *Controller {
+	return NewController(Config{
+		Signals: []Signal{{Name: "lag", Load: load.Load, Limit: limit}},
+		Now:     clk.now,
+	})
+}
+
+func TestClassThresholdOrdering(t *testing.T) {
+	var load atomic.Int64
+	clk := &fakeClock{}
+	c := newTestController(&load, 100, clk)
+
+	check := func(wantBulk, wantInteractive, wantIngest bool) {
+		t.Helper()
+		c.Recompute()
+		if got := c.Admit(Bulk, "").OK; got != wantBulk {
+			t.Errorf("pressure %.2f: bulk admitted = %v, want %v", c.Pressure(), got, wantBulk)
+		}
+		if got := c.Admit(Interactive, "").OK; got != wantInteractive {
+			t.Errorf("pressure %.2f: interactive admitted = %v, want %v", c.Pressure(), got, wantInteractive)
+		}
+		if got := c.Admit(Ingest, "").OK; got != wantIngest {
+			t.Errorf("pressure %.2f: ingest admitted = %v, want %v", c.Pressure(), got, wantIngest)
+		}
+		if !c.Admit(Exempt, "").OK {
+			t.Error("exempt shed")
+		}
+	}
+
+	load.Store(0) // idle: everyone in
+	check(true, true, true)
+	load.Store(60) // past bulk threshold only
+	check(false, true, true)
+	load.Store(80) // interactive sheds too
+	check(false, false, true)
+	load.Store(120) // over budget: ingest sheds last
+	check(false, false, false)
+	load.Store(10) // recovery
+	check(true, true, true)
+
+	if c.ShedTotal() != 6 {
+		t.Errorf("ShedTotal = %d, want 6", c.ShedTotal())
+	}
+	if got := c.Shed[Bulk].Value(); got != 3 {
+		t.Errorf("bulk sheds = %d, want 3", got)
+	}
+}
+
+func TestShedDecisionShape(t *testing.T) {
+	var load atomic.Int64
+	clk := &fakeClock{}
+	c := newTestController(&load, 100, clk)
+	load.Store(300) // pressure 3.0
+	c.Recompute()
+	d := c.Admit(Ingest, "")
+	if d.OK || d.Status != 503 {
+		t.Fatalf("decision = %+v, want shed 503", d)
+	}
+	// 1s at the threshold + 2s per unit of excess: 1 + 2*(3-1) = 5.
+	if d.RetryAfter != 5 {
+		t.Errorf("RetryAfter = %d, want 5", d.RetryAfter)
+	}
+	load.Store(10_000)
+	c.Recompute()
+	if d := c.Admit(Ingest, ""); d.RetryAfter != 8 {
+		t.Errorf("RetryAfter = %d, want capped at 8", d.RetryAfter)
+	}
+}
+
+func TestRecomputeThrottled(t *testing.T) {
+	var load atomic.Int64
+	clk := &fakeClock{}
+	c := newTestController(&load, 100, clk)
+	load.Store(500)
+	clk.advance(time.Second) // move past the initial tick at t=0
+	c.Admit(Ingest, "")      // first Admit recomputes
+	if c.Pressure() != 5 {
+		t.Fatalf("pressure = %v, want 5", c.Pressure())
+	}
+	load.Store(0)
+	c.Admit(Ingest, "") // within the window: stale pressure holds
+	if c.Pressure() != 5 {
+		t.Fatalf("pressure refreshed inside RecomputeEvery window")
+	}
+	clk.advance(150 * time.Millisecond)
+	c.Admit(Ingest, "")
+	if c.Pressure() != 0 {
+		t.Fatalf("pressure = %v, want 0 after window elapsed", c.Pressure())
+	}
+}
+
+func TestLatencyGradientRaisesPressure(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewController(Config{Now: clk.now})
+	// Establish a ~2ms baseline, then spike to 60ms: fast EWMA runs
+	// far ahead of slow and the gradient alone must shed bulk.
+	for i := 0; i < 200; i++ {
+		c.ObserveLatency(Ingest, 2*time.Millisecond)
+	}
+	c.Recompute()
+	if p := c.Pressure(); p >= 0.5 {
+		t.Fatalf("steady-state pressure = %v, want < 0.5", p)
+	}
+	for i := 0; i < 20; i++ {
+		c.ObserveLatency(Ingest, 60*time.Millisecond)
+	}
+	c.Recompute()
+	if p := c.Pressure(); p < 0.5 {
+		t.Fatalf("post-spike pressure = %v, want ≥ 0.5", p)
+	}
+	if c.Admit(Bulk, "").OK {
+		t.Fatal("bulk admitted during latency spike")
+	}
+}
+
+func TestGradientIgnoresSubMillisecondNoise(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewController(Config{Now: clk.now})
+	// A 10× gradient entirely below MinLatency is noise, not load.
+	for i := 0; i < 200; i++ {
+		c.ObserveLatency(Ingest, 100*time.Microsecond)
+	}
+	for i := 0; i < 20; i++ {
+		c.ObserveLatency(Ingest, time.Millisecond)
+	}
+	c.Recompute()
+	if p := c.Pressure(); p != 0 {
+		t.Fatalf("pressure = %v, want 0 below MinLatency", p)
+	}
+}
+
+func TestNonIngestLatencyIgnored(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewController(Config{Now: clk.now})
+	for i := 0; i < 100; i++ {
+		c.ObserveLatency(Bulk, time.Second)
+	}
+	c.Recompute()
+	if p := c.Pressure(); p != 0 {
+		t.Fatalf("pressure = %v, want 0 (bulk latency must not move the gradient)", p)
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewController(Config{
+		Quotas: map[string]Quota{"key:alpha": {RatePerSec: 10, Burst: 2}},
+		Now:    clk.now,
+	})
+	if d := c.Admit(Ingest, "key:alpha"); !d.OK {
+		t.Fatalf("first request denied: %+v", d)
+	}
+	if d := c.Admit(Ingest, "key:alpha"); !d.OK {
+		t.Fatalf("burst request denied: %+v", d)
+	}
+	d := c.Admit(Ingest, "key:alpha")
+	if d.OK || d.Status != 429 {
+		t.Fatalf("over-quota decision = %+v, want 429", d)
+	}
+	if c.QuotaDenials.Value() != 1 {
+		t.Errorf("QuotaDenials = %d, want 1", c.QuotaDenials.Value())
+	}
+	// Unlisted tenants take the (zero = unlimited) default quota, and
+	// anonymous traffic is never quota'd.
+	for i := 0; i < 10; i++ {
+		if !c.Admit(Ingest, "key:beta").OK || !c.Admit(Ingest, "").OK {
+			t.Fatal("unquota'd tenant denied")
+		}
+	}
+	// Tokens refill with time.
+	clk.advance(time.Second)
+	if d := c.Admit(Ingest, "key:alpha"); !d.OK {
+		t.Fatalf("post-refill request denied: %+v", d)
+	}
+}
+
+func TestDefaultQuotaAppliesToUnlistedTenants(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewController(Config{
+		DefaultQuota: Quota{RatePerSec: 5, Burst: 1},
+		Now:          clk.now,
+	})
+	if !c.Admit(Interactive, "key:gamma").OK {
+		t.Fatal("first request denied")
+	}
+	if d := c.Admit(Interactive, "key:gamma"); d.OK {
+		t.Fatal("second request admitted past default burst")
+	}
+	// Anonymous traffic still bypasses quotas entirely.
+	for i := 0; i < 5; i++ {
+		if !c.Admit(Interactive, "").OK {
+			t.Fatal("anonymous request denied by quota")
+		}
+	}
+}
+
+func TestAdmitConcurrent(t *testing.T) {
+	var load atomic.Int64
+	clk := &fakeClock{}
+	c := newTestController(&load, 100, clk)
+	load.Store(90)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				c.Admit(Bulk, "key:a")
+				c.Admit(Ingest, "")
+				c.ObserveLatency(Ingest, time.Millisecond)
+				clk.advance(time.Millisecond)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := c.Admitted[Ingest].Value(); got != 8000 {
+		t.Errorf("ingest admitted = %d, want 8000", got)
+	}
+	if got := c.Shed[Bulk].Value() + c.Admitted[Bulk].Value(); got != 8000 {
+		t.Errorf("bulk decisions = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,129 @@
+package admission
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// AutoscaleConfig tunes an Autoscaler. ScaleUpLag is required; other
+// zero values take the documented defaults.
+type AutoscaleConfig struct {
+	// Min and Max bound the worker count (defaults 1 and 8).
+	Min, Max int
+	// ScaleUpLag adds a worker while lag ≥ this; ScaleDownLag removes
+	// one while lag ≤ this (default ScaleUpLag/4). The dead band
+	// between them prevents flapping.
+	ScaleUpLag   int64
+	ScaleDownLag int64
+	// Interval is the evaluation cadence (default 250ms); Cooldown is
+	// the minimum spacing between scale operations (default 4×
+	// Interval), so one backlog spike grows the pool a worker at a
+	// time instead of jumping straight to Max.
+	Interval time.Duration
+	Cooldown time.Duration
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Autoscaler resizes a worker pool from a lag signal: the same queue
+// depth that drives load shedding first drives adding capacity. Wire
+// it to a consumer group's Lag and the pool's Workers/Resize (see
+// sentinel.System.AutoscaleDetectors).
+type Autoscaler struct {
+	cfg     AutoscaleConfig
+	lag     func() int64
+	workers func() int
+	resize  func(int)
+
+	lastScale time.Time // loop/Tick-only; not synchronized
+	stop      chan struct{}
+	done      chan struct{}
+
+	ScaleUps   telemetry.Counter
+	ScaleDowns telemetry.Counter
+	LastLag    telemetry.Gauge
+}
+
+// NewAutoscaler builds an Autoscaler over the three pool callbacks.
+// Call Start to run it in the background, or Tick to evaluate once.
+func NewAutoscaler(lag func() int64, workers func() int, resize func(int), cfg AutoscaleConfig) *Autoscaler {
+	if cfg.Min <= 0 {
+		cfg.Min = 1
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+		if cfg.Max < 8 {
+			cfg.Max = 8
+		}
+	}
+	if cfg.ScaleDownLag <= 0 {
+		cfg.ScaleDownLag = cfg.ScaleUpLag / 4
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 4 * cfg.Interval
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Autoscaler{cfg: cfg, lag: lag, workers: workers, resize: resize}
+}
+
+// Tick evaluates the lag signal once and applies at most one scale
+// operation. It is the loop body of Start; tests call it directly for
+// deterministic scaling.
+func (a *Autoscaler) Tick() {
+	lag := a.lag()
+	a.LastLag.Set(lag)
+	now := a.cfg.Now()
+	if !a.lastScale.IsZero() && now.Sub(a.lastScale) < a.cfg.Cooldown {
+		return
+	}
+	w := a.workers()
+	switch {
+	case lag >= a.cfg.ScaleUpLag && a.cfg.ScaleUpLag > 0 && w < a.cfg.Max:
+		a.resize(w + 1)
+		a.ScaleUps.Inc()
+		a.lastScale = now
+	case lag <= a.cfg.ScaleDownLag && w > a.cfg.Min:
+		a.resize(w - 1)
+		a.ScaleDowns.Inc()
+		a.lastScale = now
+	}
+}
+
+// Start runs the evaluation loop in the background until Stop.
+func (a *Autoscaler) Start() {
+	if a.stop != nil {
+		return
+	}
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	go func() {
+		defer close(a.done)
+		t := time.NewTicker(a.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-t.C:
+				a.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it to exit. Stop the autoscaler
+// before stopping the pool it resizes.
+func (a *Autoscaler) Stop() {
+	if a.stop == nil {
+		return
+	}
+	close(a.stop)
+	<-a.done
+	a.stop = nil
+}

@@ -1,0 +1,59 @@
+// Package admission is the adaptive overload-control layer: it decides,
+// per request, whether the system should do the work at all — before
+// any of the work (body decode, timeout context, concurrency slot) has
+// been spent.
+//
+// The static limits elsewhere in the stack (token buckets, concurrency
+// caps) protect against abusive clients; they say nothing about whether
+// the tiers *behind* the gateway are keeping up. Admission closes that
+// loop: a Controller samples load signals — bus consumer lag (queue
+// depth) and the gradient of ingest latency — folds them into one
+// scalar pressure, and sheds traffic by priority class as pressure
+// rises.
+//
+// # Pressure
+//
+// Pressure is the max over two families of signals:
+//
+//   - queue depth: each registered Signal reports load/limit (e.g. the
+//     storage consumer group's lag over the configured lag budget).
+//     Pressure 1.0 means the queue is at its budget.
+//   - latency gradient: a fast EWMA of ingest latency over a slow one.
+//     A ratio at Config.GradientLimit (default 3×) maps to pressure
+//     1.0 — latency rising fast means saturation even before queues
+//     show it.
+//
+// # Classes
+//
+// Every route is classified once, at registration: Ingest (sensor
+// writes — the data the system exists to keep), Interactive (dashboard
+// reads), Bulk (NDJSON exports, SSE backfill), or Exempt (health,
+// readiness, metrics — never shed; operators need them most during an
+// incident). Each class sheds at its own pressure threshold, lowest
+// first:
+//
+//	Bulk        ≥ 0.5   cheap to retry, nobody is waiting on it
+//	Interactive ≥ 0.75  a dashboard refresh can fail visibly
+//	Ingest      ≥ 1.0   shed only to protect the tier itself
+//
+// A shed is a 503 with code "overloaded" and a Retry-After scaled by
+// how far past the threshold pressure sits. It costs the server almost
+// nothing: the decision is two atomic loads, taken before the request
+// body is read.
+//
+// # Quotas
+//
+// Per-tenant token buckets layer on the API-key identity: a tenant is
+// a *validated* X-API-Key (never an attacker-chosen header), and a
+// tenant over its Config.Quotas budget gets 429 "rate_limited" even
+// when the system is idle. Anonymous traffic is not quota'd here — the
+// per-IP rate limiter already covers it.
+//
+// # Autoscaling
+//
+// The same lag signal that sheds load also adds capacity: an
+// Autoscaler watches a consumer group's lag and resizes the detector
+// pool between Min and Max workers (see sentinel.System
+// AutoscaleDetectors), so the detection tier grows into a backlog
+// before shedding has to.
+package admission

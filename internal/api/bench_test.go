@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/admission"
 	"repro/internal/bus"
 	"repro/internal/hbase"
 	"repro/internal/ingest"
@@ -27,6 +28,36 @@ func benchTopic(b *testing.B) *bus.Topic {
 	broker := bus.New(bus.Config{Partitions: 4})
 	b.Cleanup(broker.Close)
 	return broker.Topic("energy")
+}
+
+// BenchmarkGatewayPutPathAdmission is the ingest edge with the
+// overload controller in the chain: the admitted-path cost of the
+// admission stage must be invisible (two atomic loads, the latency
+// EWMA feed) — it shares BenchmarkGatewayPutPath's ALLOC_PINS prefix,
+// so a controller that starts allocating per request fails the gate.
+func BenchmarkGatewayPutPathAdmission(b *testing.B) {
+	gw := New(Config{
+		Publisher: &BusPublisher{Topic: bus.LocalTopic{Topic: benchTopic(b)}},
+		Registry:  telemetry.NewRegistry(),
+		AccessLog: testLogger(),
+		Admission: admission.NewController(admission.Config{
+			Signals: []admission.Signal{{Name: "idle", Load: func() int64 { return 0 }, Limit: 1 << 20}},
+		}),
+	})
+	for i := 0; i < 64; i++ {
+		req := httptest.NewRequest("POST", "/api/v1/points", strings.NewReader(putBody))
+		gw.ServeHTTP(httptest.NewRecorder(), req)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/api/v1/points", strings.NewReader(putBody))
+		rec := httptest.NewRecorder()
+		gw.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+		}
+	}
 }
 
 // BenchmarkGatewayPutPath measures the full v1 ingest edge: routing,

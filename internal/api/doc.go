@@ -30,7 +30,7 @@
 //
 // Standard routes run, outermost first:
 //
-//	RequestID → AccessLog → Recover → Timeout → ConcurrencyLimit → RateLimit → Gzip → handler
+//	RequestID → AccessLog → Recover → Admission → RateLimit → ConcurrencyLimit → Timeout → Gzip → handler
 //
 // The order is load-bearing:
 //
@@ -38,17 +38,37 @@
 //     panic logs, error envelopes — can name the request.
 //   - AccessLog wraps Recover so a panicked request is still logged
 //     and counted as a 500.
-//   - Timeout sits above the limiters so a request parked on a
-//     concurrency slot cannot wait forever.
-//   - RateLimit is inside ConcurrencyLimit: a 429 is cheap and must
-//     not consume a concurrency slot meant for real work.
+//   - The cheap-reject layers run before any per-request work is
+//     spent, cheapest first: Admission (two atomic loads against the
+//     overload controller), then RateLimit (one bucket under a
+//     mutex), then ConcurrencyLimit (a channel slot). A shed or
+//     limited request never reads the body, never allocates a timeout
+//     context, and never takes a slot meant for real work — rejecting
+//     cheap and early is what makes shedding protective rather than
+//     just another cost.
+//   - Timeout is inside the limiters: ConcurrencyLimit sheds rather
+//     than queues (its slot take never blocks), so only requests that
+//     will actually run pay for a deadline context.
 //   - Gzip is innermost so everything outside it observes the true
 //     status and byte counts.
 //
-// Streaming routes (the SSE tail) drop Timeout, ConcurrencyLimit and
+// Streaming routes (the SSE tail) drop ConcurrencyLimit, Timeout and
 // Gzip — a tail lives for minutes by design, must not occupy a
 // request slot, and its frames have to flush per event, not per gzip
 // block — and instead respect the gateway's MaxStreams cap.
+//
+// # Admission classes
+//
+// When Config.Admission is set, every route is classified at
+// registration and gated on the adaptive overload controller
+// (internal/admission): writes are Ingest (shed last), dashboard
+// reads are Interactive, the SSE stream and NDJSON exports are Bulk
+// (shed first — /api/v1/query and the drill-downs escalate from
+// Interactive to Bulk when the client negotiates NDJSON), and the ops
+// routes (/metrics, /healthz, /readyz) are Exempt: operators need
+// them most while the system is melting. Sheds answer 503 with code
+// "overloaded" and a pressure-scaled Retry-After; tenant-quota
+// rejections answer 429 "rate_limited".
 //
 // Rejections are typed: the per-client token bucket answers 429 with
 // Retry-After, shed load (concurrency or stream caps) answers 503

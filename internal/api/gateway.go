@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/admission"
 	v1 "repro/internal/api/v1"
 	"repro/internal/bus"
 	"repro/internal/ingest"
@@ -109,6 +110,15 @@ type Config struct {
 	// PageLimit is the default (and maximum) fleet page size
 	// (default 100).
 	PageLimit int
+
+	// Admission, when non-nil, gates every non-exempt route on the
+	// adaptive overload controller: requests are classified (ingest /
+	// interactive / bulk) at registration and shed cheap and early —
+	// before the body is read, the timeout context is created, or a
+	// concurrency slot is taken — as the controller's pressure crosses
+	// each class's threshold. The controller's counters register on
+	// Registry when both are set.
+	Admission *admission.Controller
 
 	// RatePerSec enables per-client token-bucket rate limiting
 	// (0 disables); Burst is the bucket size (default 2×rate).
@@ -209,27 +219,53 @@ func New(cfg Config) *Gateway {
 	if cfg.RatePerSec > 0 {
 		g.limiter = NewRateLimiter(cfg.RatePerSec, cfg.Burst, nil)
 	}
+	if cfg.Admission != nil && cfg.Registry != nil {
+		cfg.Admission.Register(cfg.Registry)
+	}
+
+	// Routes are classified once, at registration: static sheds
+	// per-route, ndjsonBulk escalates the reads that double as bulk
+	// exports when the client negotiates NDJSON.
+	static := func(class admission.Class) func(*http.Request) admission.Class {
+		return func(*http.Request) admission.Class { return class }
+	}
+	ndjsonBulk := func(class admission.Class) func(*http.Request) admission.Class {
+		return func(r *http.Request) admission.Class {
+			if negotiateNDJSON(r) {
+				return admission.Bulk
+			}
+			return class
+		}
+	}
 
 	// std is the full middleware chain for request/response routes;
 	// stream drops the layers that would break a long-lived SSE tail
 	// (timeout, concurrency slots, gzip). Chains wrap per-route — the
-	// mux resolves the pattern first, so AccessLog sees r.Pattern.
-	std := func(h http.HandlerFunc) http.Handler {
+	// mux resolves the pattern first, so AccessLog sees r.Pattern. The
+	// cheap-reject layers (admission, rate limit, concurrency) sit
+	// above Timeout and Gzip so a shed request never pays for a timeout
+	// context or response plumbing it will not use.
+	stdClass := func(classify func(*http.Request) admission.Class, h http.HandlerFunc) http.Handler {
 		return Chain(h,
 			RequestID(),
 			AccessLog(cfg.AccessLog, cfg.Registry),
 			Recover(cfg.AccessLog),
-			Timeout(cfg.RequestTimeout),
-			ConcurrencyLimit(cfg.MaxConcurrent),
+			Admission(cfg.Admission, classify, g.apiKeys),
 			RateLimit(g.limiter, g.apiKeys),
+			ConcurrencyLimit(cfg.MaxConcurrent),
+			Timeout(cfg.RequestTimeout),
 			Gzip(),
 		)
 	}
-	stream := func(h http.HandlerFunc) http.Handler {
+	std := func(class admission.Class, h http.HandlerFunc) http.Handler {
+		return stdClass(static(class), h)
+	}
+	stream := func(class admission.Class, h http.HandlerFunc) http.Handler {
 		return Chain(h,
 			RequestID(),
 			AccessLog(cfg.AccessLog, cfg.Registry),
 			Recover(cfg.AccessLog),
+			Admission(cfg.Admission, static(class), g.apiKeys),
 			RateLimit(g.limiter, g.apiKeys),
 		)
 	}
@@ -240,7 +276,7 @@ func New(cfg Config) *Gateway {
 	// into a 404.
 	handle := func(method, path string, h http.Handler) {
 		g.mux.Handle(method+" "+path, h)
-		g.mux.Handle(path, std(func(w http.ResponseWriter, r *http.Request) {
+		g.mux.Handle(path, std(admission.Exempt, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Allow", method)
 			writeError(w, &apiError{
 				status: http.StatusMethodNotAllowed,
@@ -249,44 +285,46 @@ func New(cfg Config) *Gateway {
 			})
 		}))
 	}
-	handle("POST", "/api/v1/points", std(g.handlePut))
-	handle("GET", "/api/v1/query", std(g.handleQuery))
-	handle("GET", "/api/v1/fleet", std(g.handleFleet))
-	handle("GET", "/api/v1/machines/{unit}", std(g.handleMachine))
-	handle("GET", "/api/v1/machines/{unit}/sensors/{sensor}", std(g.handleSensorPath))
-	handle("GET", "/api/v1/series", std(g.handleSeries))
-	handle("GET", "/api/v1/anomalies/top", std(g.handleTop))
-	handle("GET", "/api/v1/anomalies/stream", stream(g.handleStream))
-	handle("GET", "/api/v1/detectors", std(g.handleDetectors))
-	handle("GET", "/api/v1/cluster", std(g.handleCluster))
-	handle("GET", "/api/v1/metrics", std(g.handleMetrics))
-	handle("GET", "/api/v1/healthz", std(g.handleHealth))
-	handle("GET", "/api/v1/readyz", std(g.handleReady))
+	handle("POST", "/api/v1/points", std(admission.Ingest, g.handlePut))
+	handle("GET", "/api/v1/query", stdClass(ndjsonBulk(admission.Interactive), g.handleQuery))
+	handle("GET", "/api/v1/fleet", std(admission.Interactive, g.handleFleet))
+	handle("GET", "/api/v1/machines/{unit}", std(admission.Interactive, g.handleMachine))
+	handle("GET", "/api/v1/machines/{unit}/sensors/{sensor}", stdClass(ndjsonBulk(admission.Interactive), g.handleSensorPath))
+	handle("GET", "/api/v1/series", stdClass(ndjsonBulk(admission.Interactive), g.handleSeries))
+	handle("GET", "/api/v1/anomalies/top", std(admission.Interactive, g.handleTop))
+	handle("GET", "/api/v1/anomalies/stream", stream(admission.Bulk, g.handleStream))
+	handle("GET", "/api/v1/detectors", std(admission.Interactive, g.handleDetectors))
+	handle("GET", "/api/v1/cluster", std(admission.Interactive, g.handleCluster))
+	// Ops routes are exempt from shedding: operators need metrics and
+	// health most while the system is melting.
+	handle("GET", "/api/v1/metrics", std(admission.Exempt, g.handleMetrics))
+	handle("GET", "/api/v1/healthz", std(admission.Exempt, g.handleHealth))
+	handle("GET", "/api/v1/readyz", std(admission.Exempt, g.handleReady))
 	// Unmatched /api/v1/* paths get the envelope, not the mux's text 404.
-	g.mux.Handle("/api/v1/", std(func(w http.ResponseWriter, r *http.Request) {
+	g.mux.Handle("/api/v1/", std(admission.Exempt, func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errNotFound("no route %s %s", r.Method, r.URL.Path))
 	}))
 
 	// Ops endpoints at their conventional unversioned paths.
-	handle("GET", "/healthz", std(g.handleHealth))
-	handle("GET", "/readyz", std(g.handleReady))
+	handle("GET", "/healthz", std(admission.Exempt, g.handleHealth))
+	handle("GET", "/readyz", std(admission.Exempt, g.handleReady))
 
 	// Legacy shims: the pre-v1 surfaces of ingestd and vizserver, kept
 	// byte-compatible for old clients and marked deprecated. Each is a
 	// thin adapter onto the v1 handler's internals. They get the same
 	// method-less 405 fallback as v1 routes — without it, a wrong-method
 	// request would fall through to the HTML catch-all and answer 200.
-	handle("POST", "/api/put", std(g.legacyPut(false)))
-	handle("POST", "/api/put/line", std(g.legacyPut(true)))
-	handle("GET", "/api/query", std(g.legacyQuery))
-	handle("GET", "/api/fleet", std(g.legacyFleet))
-	handle("GET", "/api/machine/{unit}", std(g.legacyMachine))
-	handle("GET", "/api/series", std(g.legacySeries))
-	handle("GET", "/api/top", std(g.legacyTop))
-	handle("GET", "/metrics", std(g.legacyMetrics))
+	handle("POST", "/api/put", std(admission.Ingest, g.legacyPut(false)))
+	handle("POST", "/api/put/line", std(admission.Ingest, g.legacyPut(true)))
+	handle("GET", "/api/query", std(admission.Interactive, g.legacyQuery))
+	handle("GET", "/api/fleet", std(admission.Interactive, g.legacyFleet))
+	handle("GET", "/api/machine/{unit}", std(admission.Interactive, g.legacyMachine))
+	handle("GET", "/api/series", std(admission.Interactive, g.legacySeries))
+	handle("GET", "/api/top", std(admission.Interactive, g.legacyTop))
+	handle("GET", "/metrics", std(admission.Exempt, g.legacyMetrics))
 
 	if cfg.HTML != nil {
-		g.mux.Handle("/", std(cfg.HTML.ServeHTTP))
+		g.mux.Handle("/", std(admission.Interactive, cfg.HTML.ServeHTTP))
 	}
 	return g
 }

@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
+	v1 "repro/internal/api/v1"
 	"repro/internal/telemetry"
 )
 
@@ -189,6 +191,59 @@ func Recover(logger *log.Logger) Middleware {
 			next.ServeHTTP(w, r)
 		})
 	}
+}
+
+// Admission consults the adaptive overload controller before any
+// per-request work is spent: the shed path is two atomic loads and an
+// error envelope — no body read, no timeout context, no concurrency
+// slot (see internal/admission; rejecting cheap and early is the
+// point, so this layer sits above all of those). classify maps the
+// request to its priority class; routes whose cost depends on content
+// negotiation (a dashboard read vs an NDJSON bulk export of the same
+// path) escalate per request. Admitted ingest requests feed their
+// latency back into the controller's gradient signal. A nil controller
+// disables the stage.
+func Admission(ctrl *admission.Controller, classify func(*http.Request) admission.Class, keys map[string]struct{}) Middleware {
+	return func(next http.Handler) http.Handler {
+		if ctrl == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			class := classify(r)
+			d := ctrl.Admit(class, tenantKey(r, keys))
+			if !d.OK {
+				code := v1.CodeOverloaded
+				if d.Status == http.StatusTooManyRequests {
+					code = v1.CodeRateLimited
+				}
+				writeError(w, &apiError{status: d.Status, code: code, msg: d.Reason, retry: d.RetryAfter})
+				return
+			}
+			if class != admission.Ingest {
+				next.ServeHTTP(w, r)
+				return
+			}
+			start := time.Now()
+			next.ServeHTTP(w, r)
+			ctrl.ObserveLatency(admission.Ingest, time.Since(start))
+		})
+	}
+}
+
+// tenantKey is the quota identity for admission: the validated
+// X-API-Key, or "" for anonymous traffic (which is never quota'd here
+// — the per-IP rate limiter covers it). Same trust rule as clientKey:
+// an unvalidated header value must not name a tenant.
+func tenantKey(r *http.Request, keys map[string]struct{}) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		if _, ok := keys[k]; ok {
+			return "key:" + k
+		}
+	}
+	return ""
 }
 
 // Timeout bounds each request's context. Handlers thread ctx into the

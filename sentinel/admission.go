@@ -1,0 +1,69 @@
+package sentinel
+
+import (
+	"repro/internal/admission"
+)
+
+// AdmissionSignals returns the system's standard overload signals for
+// an admission controller:
+//
+//   - storage consumer lag — records published but not yet durably
+//     committed by the storage group, against lagLimit. Lag growing
+//     toward the bus's buffered capacity is the earliest sign the
+//     write path is saturating: once a partition's uncommitted window
+//     fills, publishes block and ingest latency explodes. lagLimit 0
+//     defaults to half the bus's total buffered capacity
+//     (Partitions × BusBuffer / 2), so shedding starts while publish
+//     is still non-blocking.
+//   - ingestion proxy queue depth against its buffer, catching a
+//     stalled downstream before the bus signal moves.
+func (s *System) AdmissionSignals(lagLimit int64) []admission.Signal {
+	if lagLimit <= 0 {
+		buf := s.cfg.BusBuffer
+		if buf <= 0 {
+			buf = 1024 // the bus package default (unbounded gets the same budget)
+		}
+		lagLimit = int64(s.cfg.Partitions) * int64(buf) / 2
+	}
+	pbuf := s.cfg.ProxyBuffer
+	if pbuf <= 0 {
+		pbuf = 1024 // ingest.Config.BufferBatches default
+	}
+	return []admission.Signal{
+		{Name: "storage_lag", Load: s.storage.Lag, Limit: lagLimit},
+		{Name: "proxy_queue", Load: s.Proxy.QueueDepth.Value, Limit: int64(pbuf)},
+	}
+}
+
+// NewAdmissionController builds an adaptive overload controller wired
+// to the system's load signals (AdmissionSignals). lagLimit is the
+// storage-lag budget in records (0: half the bus's buffered capacity).
+// Extra caller signals in cfg.Signals are kept; pass the result to
+// GatewayConfig.Admission.
+func (s *System) NewAdmissionController(lagLimit int64, cfg admission.Config) *admission.Controller {
+	cfg.Signals = append(cfg.Signals, s.AdmissionSignals(lagLimit)...)
+	return admission.NewController(cfg)
+}
+
+// AutoscaleDetectors starts a consumer-lag-driven autoscaler over
+// pool: when the detector group's lag crosses cfg.ScaleUpLag the pool
+// grows a worker (new member, rebalance), and when it drains below
+// cfg.ScaleDownLag the tail worker retires. ScaleUpLag 0 defaults to
+// a quarter of the bus's buffered capacity; Max 0 defaults to the
+// partition count (more members than partitions sit idle). Stop the
+// returned autoscaler before the pool.
+func (s *System) AutoscaleDetectors(pool *DetectorPool, cfg admission.AutoscaleConfig) *admission.Autoscaler {
+	if cfg.ScaleUpLag <= 0 {
+		buf := s.cfg.BusBuffer
+		if buf <= 0 {
+			buf = 1024
+		}
+		cfg.ScaleUpLag = int64(s.cfg.Partitions) * int64(buf) / 4
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = s.cfg.Partitions
+	}
+	a := admission.NewAutoscaler(pool.Group().Lag, pool.Workers, pool.Resize, cfg)
+	a.Start()
+	return a
+}

@@ -18,6 +18,13 @@
 // Writes are safe to retry wholesale — point writes are idempotent —
 // so the client retries POST /points on 429/503/504 exactly like
 // reads.
+//
+// The exception is admission-controlled shedding: a 503 whose code is
+// "overloaded" means the gateway deliberately rejected the request to
+// protect itself, and hammering it with retries defeats the point. The
+// client surfaces those immediately as *OverloadedError (match with
+// errors.Is(err, ErrOverloaded)) carrying the server's Retry-After, so
+// callers decide whether to back off, downshift, or drop.
 package client
 
 import (
@@ -109,6 +116,29 @@ func retryable(status int) bool {
 		status == http.StatusGatewayTimeout
 }
 
+// ErrOverloaded marks a request the gateway's admission controller
+// shed (503 with code "overloaded"). Unlike other 503s it is returned
+// immediately, without burning the retry budget: the server asked the
+// fleet to slow down, and the right response is the caller's to make.
+var ErrOverloaded = errors.New("client: gateway overloaded")
+
+// OverloadedError is the typed form of an admission shed. It matches
+// both errors.Is(err, ErrOverloaded) and errors.As(err, **v1.Error).
+type OverloadedError struct {
+	// RetryAfter is the server's suggested backoff (zero when the
+	// response carried none).
+	RetryAfter time.Duration
+	// Err is the decoded v1 error envelope.
+	Err *v1.Error
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("client: gateway overloaded (retry after %s): %s", e.RetryAfter, e.Err.Message)
+}
+
+// Unwrap exposes both the ErrOverloaded sentinel and the envelope.
+func (e *OverloadedError) Unwrap() []error { return []error{ErrOverloaded, e.Err} }
+
 // do executes one request with retries; body may be nil. The returned
 // response body is the caller's to close.
 func (c *Client) do(ctx context.Context, method, path string, contentType string, body []byte, accept string) (*http.Response, error) {
@@ -138,6 +168,17 @@ func (c *Client) do(ctx context.Context, method, path string, contentType string
 			return resp, nil
 		} else {
 			lastErr = decodeError(resp) // reads and closes the body
+			var ae *v1.Error
+			if resp.StatusCode == http.StatusServiceUnavailable &&
+				errors.As(lastErr, &ae) && ae.Code == v1.CodeOverloaded {
+				// A deliberate admission shed: retrying into an
+				// overloaded gateway is exactly the load it is trying
+				// to lose. Surface it typed, immediately.
+				return nil, &OverloadedError{
+					RetryAfter: time.Duration(ae.RetryAfterSeconds) * time.Second,
+					Err:        ae,
+				}
+			}
 		}
 		if attempt >= c.retries || ctx.Err() != nil {
 			if lastErr == nil {

@@ -83,6 +83,74 @@ func TestRetriesExhaustedSurfaceTypedError(t *testing.T) {
 	}
 }
 
+// TestOverloadShedNotRetried is the regression guard for admission
+// sheds: a 503 with code "overloaded" must come back on the FIRST
+// attempt as a typed *OverloadedError carrying Retry-After — folding
+// it into the generic 503 retry loop would have the whole fleet
+// hammering a gateway that just asked it to stop.
+func TestOverloadShedNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(503)
+		_ = json.NewEncoder(w).Encode(v1.ErrorEnvelope{Error: &v1.Error{
+			Code: v1.CodeOverloaded, Message: "shed: bulk at pressure 0.81", Status: 503, RetryAfterSeconds: 3,
+		}})
+	}))
+	defer srv.Close()
+	c, _ := New(srv.URL, WithHTTPClient(srv.Client()), WithRetry(5, time.Millisecond))
+	var waits []time.Duration
+	c.sleep = noSleep(&waits)
+	_, err := c.PutPoints(context.Background(), []v1.Point{{Metric: "energy", Timestamp: 1, Value: 2}})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want errors.Is(…, ErrOverloaded)", err)
+	}
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %T, want *OverloadedError", err)
+	}
+	if oe.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %s, want 3s", oe.RetryAfter)
+	}
+	var ae *v1.Error
+	if !errors.As(err, &ae) || ae.Code != v1.CodeOverloaded {
+		t.Fatalf("envelope not exposed through Unwrap: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("shed request attempted %d times, want 1 (no retry burn)", calls.Load())
+	}
+	if len(waits) != 0 {
+		t.Fatalf("client slept %d times on a shed, want 0", len(waits))
+	}
+}
+
+// A 503 WITHOUT the overloaded code keeps its retry semantics.
+func TestPlainUnavailableStillRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(503)
+			_ = json.NewEncoder(w).Encode(v1.ErrorEnvelope{Error: &v1.Error{
+				Code: v1.CodeUnavailable, Message: "bus draining", Status: 503,
+			}})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(v1.PutResponse{Accepted: 1})
+	}))
+	defer srv.Close()
+	c, _ := New(srv.URL, WithHTTPClient(srv.Client()), WithRetry(2, time.Millisecond))
+	var waits []time.Duration
+	c.sleep = noSleep(&waits)
+	n, err := c.PutPoints(context.Background(), []v1.Point{{Metric: "energy", Timestamp: 1, Value: 2}})
+	if err != nil || n != 1 {
+		t.Fatalf("put = %d, %v", n, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("attempts = %d, want 2", calls.Load())
+	}
+}
+
 func TestNoRetryOnClientError(t *testing.T) {
 	var calls atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -55,10 +55,18 @@ import (
 type DetectorPool struct {
 	env    DetectorEnv
 	group  bus.GroupHandle
+	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	once   sync.Once
 	shadow *shadowRunner
+
+	// wmu guards the per-worker cancel list (Resize/Workers) and the
+	// stopped flag; each worker runs under its own child context so
+	// one can be retired without stopping the pool.
+	wmu     sync.Mutex
+	workers []context.CancelFunc
+	stopped bool
 
 	// SamplesEvaluated counts sensor samples scored (the §IV-A
 	// throughput unit); AnomaliesWritten counts flags written back.
@@ -133,7 +141,7 @@ func NewDetectorPool(env DetectorEnv, group bus.GroupHandle, workers int) *Detec
 		workers = 1
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	p := &DetectorPool{env: env, group: group, cancel: cancel}
+	p := &DetectorPool{env: env, group: group, ctx: ctx, cancel: cancel}
 	if len(env.Shadows) > 0 {
 		p.shadow = newShadowRunner(env.NewDetector, env.Shadows, env.ShadowBuffer)
 	}
@@ -144,11 +152,54 @@ func NewDetectorPool(env DetectorEnv, group bus.GroupHandle, workers int) *Detec
 	for i := range members {
 		members[i] = group.Join()
 	}
+	p.wmu.Lock()
 	for _, c := range members {
-		p.wg.Add(1)
-		go p.worker(ctx, c)
+		p.startWorkerLocked(c)
 	}
+	p.wmu.Unlock()
 	return p
+}
+
+// startWorkerLocked launches one member under its own cancellable
+// child context. Caller holds p.wmu.
+func (p *DetectorPool) startWorkerLocked(c bus.ConsumerHandle) {
+	wctx, cancel := context.WithCancel(p.ctx)
+	p.workers = append(p.workers, cancel)
+	p.wg.Add(1)
+	go p.worker(wctx, c)
+}
+
+// Workers reports the current worker count (autoscaler input).
+func (p *DetectorPool) Workers() int {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return len(p.workers)
+}
+
+// Resize grows or shrinks the pool to n workers (clamped to ≥ 1).
+// Growth joins new consumer-group members — the group rebalances
+// partitions onto them; shrinking cancels workers from the tail, each
+// finishing its in-flight poll before leaving the group (its record
+// batch commits or redelivers per the at-least-once contract, exactly
+// as on Stop). A reassigned unit's streaming detector state restarts
+// from warmup on its new owner, as on any rebalance. No-op after Stop.
+func (p *DetectorPool) Resize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if p.stopped {
+		return
+	}
+	for len(p.workers) < n {
+		p.startWorkerLocked(p.group.Join())
+	}
+	for len(p.workers) > n {
+		last := len(p.workers) - 1
+		p.workers[last]()
+		p.workers = p.workers[:last]
+	}
 }
 
 // AttachDetectorGroup attaches the detector consumer group at the
@@ -277,8 +328,17 @@ func (p *DetectorPool) ShadowStats() map[string]ShadowStats {
 // sibling started by a second StartDetectors call. Idempotent.
 func (p *DetectorPool) Stop() {
 	p.once.Do(func() {
+		// Mark stopped under wmu first: a concurrent Resize either
+		// finishes its wg.Add before we observe the lock, or sees
+		// stopped and no-ops — never an Add racing wg.Wait.
+		p.wmu.Lock()
+		p.stopped = true
 		p.cancel()
+		p.wmu.Unlock()
 		p.wg.Wait()
+		p.wmu.Lock()
+		p.workers = nil
+		p.wmu.Unlock()
 		if p.shadow != nil {
 			// After wg.Wait no worker can offer again, so the queue can
 			// close safely.

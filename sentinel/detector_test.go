@@ -132,3 +132,69 @@ func TestDetectorPoolRebalanceKeepsEvaluating(t *testing.T) {
 		t.Fatalf("pool evaluated %d samples, want >= %d", got, want)
 	}
 }
+
+// TestDetectorPoolResize drives the autoscaler's lever directly: grow
+// the pool mid-stream (new members join, the group rebalances onto
+// them), shrink it back below the start (tail workers retire after
+// their in-flight poll), and verify at-least-once evaluation holds
+// across both transitions.
+func TestDetectorPoolResize(t *testing.T) {
+	sys, err := New(Config{
+		StorageNodes:   2,
+		Units:          6,
+		SensorsPerUnit: 8,
+		Seed:           13,
+		Partitions:     6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.IngestRange(0, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainFromTSDB(0, 40, true); err != nil {
+		t.Fatal(err)
+	}
+	pool := sys.StartDetectors(2)
+	if got := pool.Workers(); got != 2 {
+		t.Fatalf("Workers() = %d, want 2", got)
+	}
+
+	if _, err := sys.IngestRange(40, 10); err != nil {
+		t.Fatal(err)
+	}
+	pool.Resize(4)
+	if got := pool.Workers(); got != 4 {
+		t.Fatalf("after grow Workers() = %d, want 4", got)
+	}
+	if _, err := sys.IngestRange(50, 10); err != nil {
+		t.Fatal(err)
+	}
+	pool.Resize(1)
+	if got := pool.Workers(); got != 1 {
+		t.Fatalf("after shrink Workers() = %d, want 1", got)
+	}
+	if _, err := sys.IngestRange(60, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// At-least-once across both rebalances.
+	want := int64(6 * 8 * 30)
+	if got := pool.SamplesEvaluated.Value(); got < want {
+		t.Fatalf("pool evaluated %d samples, want >= %d", got, want)
+	}
+
+	// Resize clamps to one worker and goes quiet after Stop.
+	pool.Resize(0)
+	if got := pool.Workers(); got != 1 {
+		t.Fatalf("Resize(0) left Workers() = %d, want clamp to 1", got)
+	}
+	pool.Stop()
+	pool.Resize(3)
+	if got := pool.Workers(); got != 0 {
+		t.Fatalf("Resize after Stop left Workers() = %d, want 0", got)
+	}
+}

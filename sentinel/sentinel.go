@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/api"
 	v1 "repro/internal/api/v1"
 	"repro/internal/bus"
@@ -612,6 +613,12 @@ type GatewayConfig struct {
 	// tier answers from stale cache (marked via X-Sentinel-Degraded
 	// and the DTO degraded field) when the storage tier cannot.
 	NoServeStale bool
+	// APIKeys lists client keys (X-API-Key) that earn their own
+	// rate-limit bucket and admission quota identity.
+	APIKeys []string
+	// Admission, when set, gates every route on the adaptive overload
+	// controller — see System.NewAdmissionController.
+	Admission *admission.Controller
 }
 
 // Gateway returns the full web surface of the system as one handler:
@@ -663,6 +670,8 @@ func (s *System) Gateway(now int64, cfg GatewayConfig) (http.Handler, *api.Anoma
 		RatePerSec: cfg.RatePerSec,
 		Burst:      cfg.Burst,
 		AccessLog:  cfg.AccessLog,
+		APIKeys:    cfg.APIKeys,
+		Admission:  cfg.Admission,
 	})
 	return gw, tail
 }
